@@ -1,0 +1,246 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (see EXPERIMENTS.md for the experiment index).
+
+    - [T1] — the results table (Program / Lines / DML / Qualifiers /
+      Time): verification of the 11 DML-suite benchmarks with their
+      qualifier sets, alongside the paper-reported DML annotation sizes.
+    - [F1] — the overview "figures": inferred liquid types of the worked
+      examples ([max], [sum], [foldn], [arraymax]).
+    - [A1] — qualifier ablation: benchmarks needing a custom qualifier
+      pattern fail cleanly without it (supports the paper's claim that
+      the qualifier language is the entire annotation burden).
+    - [A2] — SMT cache ablation: solver query counts and time with the
+      result cache on/off (implementation ablation, ours).
+    - [BECHAMEL] — one [Test.make] per T1 row, measuring the full
+      inference pipeline with Bechamel's monotonic clock.
+
+    Run with [dune exec bench/main.exe]; pass [quick] to skip the
+    Bechamel section. *)
+
+let line = String.make 72 '='
+
+let section name = Fmt.pr "@.%s@.== %s@.%s@." line name line
+
+(* ------------------------------------------------------------------ *)
+(* T1: the results table                                               *)
+(* ------------------------------------------------------------------ *)
+
+let t1 () =
+  section "T1: Benchmark results (paper: Figure `Results')";
+  Fmt.pr
+    "Each row verifies one NanoML port of the paper's DML benchmark with@.\
+     the shared default qualifiers plus the listed per-program patterns.@.\
+     `DML' is the paper-reported annotation size (chars) of the DML@.\
+     baseline; the reproduction claim is the shape: a handful of@.\
+     qualifier patterns replaces per-function dependent signatures.@.@.";
+  let rows = Liquid_suite.Runner.verify_all () in
+  Fmt.pr "%a@." Liquid_suite.Runner.pp_table rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* F1: inferred types of the overview examples                         *)
+(* ------------------------------------------------------------------ *)
+
+let f1 () =
+  section "F1: Inferred liquid types (paper: overview figures)";
+  List.iter
+    (fun (ex : Liquid_suite.Overview.example) ->
+      let r =
+        Liquid_driver.Pipeline.verify_string ~name:ex.Liquid_suite.Overview.name
+          ex.Liquid_suite.Overview.source
+      in
+      Fmt.pr "--- %s (%s)@." ex.Liquid_suite.Overview.name
+        (if r.Liquid_driver.Pipeline.safe then "safe" else "UNSAFE");
+      List.iter
+        (fun (x, t) ->
+          if not (Liquid_common.Ident.is_internal x) then
+            Fmt.pr "  val %a : %a@." Liquid_common.Ident.pp x
+              Liquid_infer.Rtype.pp (Liquid_infer.Report.display t))
+        r.Liquid_driver.Pipeline.item_types;
+      Fmt.pr "@.")
+    Liquid_suite.Overview.all
+
+(* ------------------------------------------------------------------ *)
+(* A1: qualifier ablation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let a1 () =
+  section "A1: Qualifier ablation (custom patterns are necessary)";
+  Fmt.pr "%-10s %-38s %10s %10s@." "Program" "Extra qualifier" "with" "without";
+  List.iter
+    (fun name ->
+      let b = Liquid_suite.Programs.find name in
+      let with_ = Liquid_suite.Runner.verify b in
+      let without =
+        Liquid_suite.Runner.verify ~quals:Liquid_infer.Qualifier.defaults b
+      in
+      let verdict (r : Liquid_suite.Runner.row) =
+        if r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe then "safe"
+        else
+          Fmt.str "%d errors"
+            (List.length
+               r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.errors)
+      in
+      Fmt.pr "%-10s %-38s %10s %10s@." name
+        (String.trim b.Liquid_suite.Programs.extra_qualifiers)
+        (verdict with_) (verdict without))
+    [ "tower"; "simplex"; "gauss"; "bcopy" ]
+
+(* ------------------------------------------------------------------ *)
+(* A2: SMT cache ablation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let a2 () =
+  section "A2: SMT result-cache ablation";
+  let run_with cache =
+    Liquid_smt.Solver.cache_enabled := cache;
+    Liquid_smt.Solver.clear_cache ();
+    Liquid_smt.Solver.reset_stats ();
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      Liquid_suite.Runner.verify_all
+        ~benchmarks:
+          (List.filter
+             (fun (b : Liquid_suite.Programs.benchmark) ->
+               (* keep the ablation affordable *)
+               List.mem b.Liquid_suite.Programs.name
+                 [ "dotprod"; "bcopy"; "bsearch"; "isort"; "heapsort" ])
+             Liquid_suite.Programs.all)
+        ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let all_safe =
+      List.for_all
+        (fun (r : Liquid_suite.Runner.row) ->
+          r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
+        rows
+    in
+    (dt, Liquid_smt.Solver.stats.queries, Liquid_smt.Solver.stats.cache_hits, all_safe)
+  in
+  let t_on, q_on, h_on, safe_on = run_with true in
+  let t_off, q_off, h_off, safe_off = run_with false in
+  Liquid_smt.Solver.cache_enabled := true;
+  Fmt.pr "%-10s %10s %12s %12s %8s@." "cache" "time(s)" "queries" "cache-hits" "safe";
+  Fmt.pr "%-10s %10.2f %12d %12d %8b@." "on" t_on q_on h_on safe_on;
+  Fmt.pr "%-10s %10.2f %12d %12d %8b@." "off" t_off q_off h_off safe_off
+
+(* ------------------------------------------------------------------ *)
+(* E1: extended suite (ours)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  section "E1: Extended suite (beyond the paper's table)";
+  Fmt.pr
+    "Additional verified programs exercising modular indexing, in-place@.     triangular updates, flag arrays, two-array scans, rectangular@.     matrices and memoization; run with constant mining enabled.@.@.";
+  Fmt.pr "%-10s %-55s %6s %8s@." "Program" "Description" "Safe" "Time(s)";
+  Fmt.pr "%s@." (String.make 80 '-');
+  List.iter
+    (fun (b : Liquid_suite.Programs.benchmark) ->
+      let row = Liquid_suite.Runner.verify ~mine:true b in
+      Fmt.pr "%-10s %-55s %6s %8.2f@." b.Liquid_suite.Programs.name
+        b.Liquid_suite.Programs.description
+        (if row.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe then
+           "yes"
+         else "NO")
+        row.Liquid_suite.Runner.time)
+    Liquid_suite.Extended.all
+
+(* ------------------------------------------------------------------ *)
+(* A3: qualifier mining ablation                                        *)
+(* ------------------------------------------------------------------ *)
+
+let a3 () =
+  section "A3: Constant-mining ablation";
+  Fmt.pr
+    "Mining adds the program's comparison constants as placeholder@.     candidates (as DSOLVE scraped constants).  It proves constant@.     post-conditions no explicit qualifier covers, at some cost in@.     candidate-set size.@.@.";
+  let probe =
+    "let rec f i = if i < 10 then begin assert (i <= 9); f (i + 1) end else      i
+let main = assert (f 0 = 10)"
+  in
+  let verdict mine =
+    let r = Liquid_driver.Pipeline.verify_string ~mine ~name:"probe" probe in
+    if r.Liquid_driver.Pipeline.safe then "safe" else "UNSAFE"
+  in
+  Fmt.pr "constant-bound probe:  mining on: %s   mining off: %s@."
+    (verdict true) (verdict false);
+  let time_suite mine =
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      List.map
+        (fun b -> Liquid_suite.Runner.verify ~mine b)
+        Liquid_suite.Programs.all
+    in
+    ( Unix.gettimeofday () -. t0,
+      List.for_all
+        (fun (r : Liquid_suite.Runner.row) ->
+          r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
+        rows )
+  in
+  let t_off, safe_off = time_suite false in
+  let t_on, safe_on = time_suite true in
+  Fmt.pr "T1 suite:  mining off: %.1fs (safe=%b)   mining on: %.1fs (safe=%b)@."
+    t_off safe_off t_on safe_on
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per (fast) T1 row           *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let test_of_bench (b : Liquid_suite.Programs.benchmark) =
+    Test.make ~name:b.Liquid_suite.Programs.name
+      (Staged.stage (fun () -> ignore (Liquid_suite.Runner.verify b)))
+  in
+  let fast =
+    List.filter
+      (fun (b : Liquid_suite.Programs.benchmark) ->
+        (* programs verifying in well under a second; slower rows are
+           timed (single-shot) in the T1 table itself *)
+        List.mem b.Liquid_suite.Programs.name
+          [ "dotprod"; "bcopy"; "isort"; "heapsort"; "queens" ])
+      Liquid_suite.Programs.all
+  in
+  Test.make_grouped ~name:"verify" (List.map test_of_bench fast)
+
+let run_bechamel () =
+  section "BECHAMEL: pipeline micro-benchmarks (fast T1 rows)";
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _instance tbl ->
+      Hashtbl.iter
+        (fun name (res : Analyze.OLS.t) ->
+          match Analyze.OLS.estimates res with
+          | Some [ est ] -> Fmt.pr "%-28s %12.3f ms/run@." name (est /. 1e6)
+          | _ -> Fmt.pr "%-28s (no estimate)@." name)
+        tbl)
+    results
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  let rows = t1 () in
+  f1 ();
+  a1 ();
+  a2 ();
+  e1 ();
+  if not quick then begin
+    a3 ();
+    run_bechamel ()
+  end;
+  let all_safe =
+    List.for_all
+      (fun (r : Liquid_suite.Runner.row) ->
+        r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
+      rows
+  in
+  Fmt.pr "@.%s@.Overall: %s@.%s@." line
+    (if all_safe then "all benchmarks verified SAFE" else "SOME BENCHMARKS FAILED")
+    line;
+  exit (if all_safe then 0 else 1)

@@ -1,0 +1,129 @@
+(** dsolve — liquid type inference for NanoML programs.
+
+    Usage: [dsolve [-q QUALFILE] [-Q 'qualif ...'] [--stats] FILE.ml]
+
+    Verifies the given NanoML program (array-bounds safety and
+    assertions), printing the inferred refinement types of its top-level
+    bindings and any failed obligations.  Exits 0 iff the program is
+    proved safe. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run file qualfile inline_quals no_defaults list_quals specfile show_stats execute =
+  let quals =
+    let base = if no_defaults then [] else Liquid_infer.Qualifier.defaults in
+    let base =
+      if list_quals then base @ Liquid_infer.Qualifier.list_defaults else base
+    in
+    let from_file =
+      match qualfile with
+      | None -> []
+      | Some path -> Liquid_infer.Qualifier.parse_string (read_file path)
+    in
+    let inline =
+      List.concat_map Liquid_infer.Qualifier.parse_string inline_quals
+    in
+    base @ from_file @ inline
+  in
+  try
+    let specs =
+      match specfile with
+      | None -> []
+      | Some path -> Liquid_infer.Spec.parse_string (read_file path)
+    in
+    let report = Liquid_driver.Pipeline.verify_file ~quals ~specs file in
+    Fmt.pr "%a@." Liquid_driver.Pipeline.pp_report report;
+    if show_stats then begin
+      let s = report.Liquid_driver.Pipeline.stats in
+      Fmt.pr
+        "stats: lines=%d kvars=%d wf=%d sub=%d quals=%d candidates=%d \
+         checks=%d smt-queries=%d cache-hits=%d time=%.3fs@."
+        s.Liquid_driver.Pipeline.source_lines s.n_kvars s.n_wf_constraints
+        s.n_sub_constraints s.n_qualifiers s.n_initial_candidates
+        s.n_implication_checks s.n_smt_queries s.n_smt_cache_hits s.elapsed
+    end;
+    (if execute then begin
+       Fmt.pr "@.--- running %s ---@." file;
+       let prog = Liquid_lang.Parser.program_of_file file in
+       match Liquid_eval.Eval.run_program ~quiet:false prog with
+       | env -> (
+           match Liquid_common.Ident.Map.find_opt "main" env with
+           | Some v -> Fmt.pr "main = %a@." Liquid_eval.Eval.pp_value v
+           | None -> ())
+       | exception Liquid_eval.Eval.Bounds_violation msg ->
+           Fmt.pr "runtime bounds violation: %s@." msg
+       | exception Liquid_eval.Eval.Assertion_failure loc ->
+           Fmt.pr "runtime assertion failure at %a@." Liquid_common.Loc.pp loc
+     end;
+     if report.Liquid_driver.Pipeline.safe then 0 else 1)
+  with
+  | Liquid_driver.Pipeline.Source_error (msg, loc) ->
+      Fmt.epr "%a: %s@." Liquid_common.Loc.pp loc msg;
+      2
+  | Liquid_infer.Spec.Error msg ->
+      Fmt.epr "specification error: %s@." msg;
+      2
+  | Sys_error msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"NanoML source file")
+
+let qualfile_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "q"; "qualifiers" ] ~docv:"QUALFILE"
+        ~doc:"File of additional qualifier declarations")
+
+let inline_quals_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "Q" ] ~docv:"QUAL" ~doc:"Inline qualifier declaration")
+
+let no_defaults_arg =
+  Arg.(
+    value & flag
+    & info [ "no-default-qualifiers" ]
+        ~doc:"Do not include the built-in default qualifier set")
+
+let list_quals_arg =
+  Arg.(
+    value & flag
+    & info [ "list-qualifiers" ]
+        ~doc:"Include the list-length (llen) qualifier set")
+
+let spec_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "spec" ] ~docv:"SPECFILE"
+        ~doc:"Refinement-type specifications (val name : type) to check \
+              modularly")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print inference statistics")
+
+let run_arg =
+  Arg.(
+    value & flag
+    & info [ "run" ]
+        ~doc:"After verification, execute the program with the reference \
+              interpreter (bounds- and assertion-checked)")
+
+let cmd =
+  let doc = "liquid type inference for NanoML (PLDI 2008 reproduction)" in
+  Cmd.v
+    (Cmd.info "dsolve" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ file_arg $ qualfile_arg $ inline_quals_arg $ no_defaults_arg
+      $ list_quals_arg $ spec_arg $ stats_arg $ run_arg)
+
+let () = exit (Cmd.eval' cmd)

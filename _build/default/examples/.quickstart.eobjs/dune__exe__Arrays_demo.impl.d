@@ -1,0 +1,1 @@
+examples/arrays_demo.ml: Fmt Liquid_common Liquid_driver Liquid_eval Liquid_lang Str

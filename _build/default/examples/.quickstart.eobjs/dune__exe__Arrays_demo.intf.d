@@ -1,0 +1,1 @@
+examples/arrays_demo.mli:

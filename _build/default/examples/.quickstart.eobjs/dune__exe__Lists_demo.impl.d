@@ -1,0 +1,1 @@
+examples/lists_demo.ml: Fmt Liquid_common Liquid_driver Liquid_eval Liquid_infer Liquid_lang

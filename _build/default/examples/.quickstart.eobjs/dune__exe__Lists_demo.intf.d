@@ -1,0 +1,1 @@
+examples/lists_demo.mli:

@@ -1,0 +1,1 @@
+examples/smt_demo.ml: Fmt Liquid_logic Liquid_smt Pred Solver Sort Term

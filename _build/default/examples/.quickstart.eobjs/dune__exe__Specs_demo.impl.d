@@ -1,0 +1,1 @@
+examples/specs_demo.ml: Fmt Liquid_driver Liquid_infer

@@ -1,0 +1,1 @@
+examples/specs_demo.mli:

@@ -1,0 +1,51 @@
+(** Higher-order and polymorphic invariants — the paper's distinctive
+    capability: refinements flow through function arguments and through
+    polymorphic instantiation without any annotations.
+
+    Run with: [dune exec examples/higher_order_demo.exe] *)
+
+let source = {|
+(* bounded iteration: foldn calls f only with indices in [0, n) *)
+let foldn n b f =
+  let rec loop i c =
+    if i < n then loop (i + 1) (f i c) else c
+  in
+  loop 0 b
+
+(* the element invariant of an array flows through polymorphic
+   instantiation of the Array primitives *)
+let build_table size =
+  let t = Array.make size 0 in
+  let set_square i _ =
+    t.(i) <- i * i;
+    0
+  in
+  foldn size 0 set_square;
+  t
+
+(* polymorphic identity preserves the refinement of its argument *)
+let id x = x
+
+let main =
+  let t = build_table 10 in
+  let three = id 3 in
+  assert (three = 3);
+  assert (Array.length t = 10);
+  t.(three)
+|}
+
+let () =
+  Fmt.pr "=== higher-order demo: verification ===@.";
+  let report = Liquid_driver.Pipeline.verify_string ~name:"hof.ml" source in
+  Fmt.pr "%a@." Liquid_driver.Pipeline.pp_report report;
+  Fmt.pr
+    "@.Note the type of foldn: the index parameter of f is refined with@.\
+     0 <= v && v < n — inferred, not annotated — which is what makes the@.\
+     unannotated t.(i) write inside set_square verifiable.@.";
+
+  Fmt.pr "@.=== higher-order demo: execution ===@.";
+  let prog = Liquid_lang.Parser.program_of_string ~file:"hof.ml" source in
+  let env = Liquid_eval.Eval.run_program prog in
+  match Liquid_common.Ident.Map.find_opt "main" env with
+  | Some (Liquid_eval.Eval.Vint n) -> Fmt.pr "t.(3) = %d@." n
+  | _ -> Fmt.pr "unexpected result@."

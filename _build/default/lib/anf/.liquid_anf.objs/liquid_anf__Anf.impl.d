@@ -1,0 +1,1 @@
+lib/anf/anf.ml: Ast Fun Gensym Ident Liquid_common Liquid_lang List Printf

@@ -1,0 +1,1 @@
+lib/anf/anf.mli: Ast Ident Liquid_common Liquid_lang

@@ -1,0 +1,24 @@
+(** A-normalization and alpha-renaming.
+
+    Produces programs where application arguments, operator operands,
+    [if] conditions, container components, match scrutinees and assert
+    operands are atoms (variables or constants), application spines are
+    preserved, and every binder is globally unique. *)
+
+open Liquid_common
+open Liquid_lang
+
+(** Reset the renaming counter (deterministic tests only). *)
+val reset : unit -> unit
+
+val is_atom : Ast.expr -> bool
+
+val normalize_expr : Ast.expr -> Ast.expr
+val normalize_program : Ast.program -> Ast.program
+
+(** Rename a source binder to a globally unique, readable name
+    (["x#N"]). *)
+val rename_binder : Ident.t -> Ident.t
+
+(** Validity check used by tests. *)
+val is_anf : Ast.expr -> bool

@@ -1,0 +1,1 @@
+lib/common/gensym.mli: Ident

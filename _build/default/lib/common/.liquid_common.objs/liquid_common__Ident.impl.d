@@ -1,0 +1,1 @@
+lib/common/ident.ml: Fmt Hashtbl Map Set String

@@ -1,0 +1,1 @@
+lib/common/ident.mli: Format Hashtbl Map Set

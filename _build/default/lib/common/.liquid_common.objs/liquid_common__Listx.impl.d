@@ -1,0 +1,1 @@
+lib/common/listx.ml: List Set

@@ -1,0 +1,1 @@
+lib/common/loc.ml: Fmt Lexing

@@ -1,0 +1,25 @@
+(** Fresh-name generation.
+
+    All compiler-introduced names share a single global counter so that a
+    fresh name can never collide with another fresh name.  [reset] exists
+    solely so that unit tests and the benchmark harness produce
+    deterministic output run after run. *)
+
+let counter = ref 0
+
+let reset () = counter := 0
+
+let next () =
+  incr counter;
+  !counter
+
+(** [fresh base] returns an identifier ["%base.N"].  The ['%'] prefix marks
+    the name as internal (see {!Ident.is_internal}); source identifiers can
+    never start with ['%']. *)
+let fresh base =
+  let n = next () in
+  Ident.of_string (Printf.sprintf "%%%s.%d" base n)
+
+(** [rename x] returns a fresh copy of [x] that keeps the original name as
+    a readable prefix, e.g. [rename "lo"] gives ["%lo.7"]. *)
+let rename x = fresh (Ident.to_string x)

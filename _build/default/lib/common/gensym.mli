@@ -1,0 +1,15 @@
+(** Fresh-name generation (single global counter). *)
+
+(** Reset the counter.  Only for deterministic test/bench output. *)
+val reset : unit -> unit
+
+(** Next counter value. *)
+val next : unit -> int
+
+(** [fresh base] returns an internal identifier ["%base.N"] (see
+    {!Ident.is_internal}). *)
+val fresh : string -> Ident.t
+
+(** [rename x] is a fresh internal copy of [x] keeping the original name
+    as a readable prefix. *)
+val rename : Ident.t -> Ident.t

@@ -1,0 +1,49 @@
+(** Identifiers.
+
+    Identifiers are interned strings.  After parsing, the ANF pass
+    alpha-renames the program so that every binder is globally unique;
+    downstream passes (constraint generation, the logic, the SMT solver)
+    may therefore treat identifiers as plain names without scoping
+    concerns. *)
+
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let hash = Hashtbl.hash
+
+let of_string s = s
+let to_string s = s
+
+(** The distinguished "value variable" [ν] of refinement predicates. *)
+let vv : t = "VV"
+
+let is_vv x = String.equal x vv
+
+(** Identifiers introduced by the compiler (ANF temporaries, SSA copies)
+    start with a character that cannot begin a source identifier, so they
+    can never capture user names. *)
+let is_internal x = String.length x > 0 && x.[0] = '%'
+
+(** Pretty-printer: the value variable displays as ["v"]; internal names
+    drop their ['%'] marker. *)
+let pp ppf x =
+  if is_vv x then Fmt.string ppf "v"
+  else if is_internal x then Fmt.string ppf (String.sub x 1 (String.length x - 1))
+  else Fmt.string ppf x
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

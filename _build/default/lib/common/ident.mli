@@ -1,0 +1,33 @@
+(** Identifiers.
+
+    Identifiers are plain strings.  After parsing, the ANF pass
+    alpha-renames the program so that every binder is globally unique;
+    downstream passes (constraint generation, the logic, the SMT solver)
+    may therefore treat identifiers as global names without scoping
+    concerns. *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val of_string : string -> t
+val to_string : t -> string
+
+(** The distinguished "value variable" [ν] of refinement predicates. *)
+val vv : t
+
+val is_vv : t -> bool
+
+(** Compiler-introduced names (ANF temporaries) start with ['%'], which
+    cannot begin a source identifier. *)
+val is_internal : t -> bool
+
+(** Pretty-printer: the value variable displays as ["v"]; internal names
+    drop their ['%'] marker. *)
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,20 @@
+(** Source locations: a span of positions within a named input. *)
+
+type pos = { line : int; col : int }
+
+type t = { file : string; start_pos : pos; end_pos : pos }
+
+val dummy_pos : pos
+val dummy : t
+val is_dummy : t -> bool
+
+val make : file:string -> start_pos:pos -> end_pos:pos -> t
+
+(** Build a span from two lexer positions. *)
+val of_lexing : Lexing.position -> Lexing.position -> t
+
+(** Smallest span covering both locations (assumes the same file). *)
+val merge : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

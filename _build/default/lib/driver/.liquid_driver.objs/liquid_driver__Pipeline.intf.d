@@ -1,0 +1,1 @@
+lib/driver/pipeline.mli: Ast Format Ident Liquid_common Liquid_infer Liquid_lang Liquid_smt Loc Qualifier Rtype Spec

@@ -1,0 +1,197 @@
+(** The DSOLVE pipeline: parse → A-normalize → ML inference → liquid
+    constraint generation → fixpoint solving → report.
+
+    This is the public entry point of the library: give it NanoML source
+    and a qualifier set, get back the inferred refinement types of the
+    top-level items and the list of unverifiable obligations (empty iff
+    the program is proved safe). *)
+
+open Liquid_common
+open Liquid_lang
+open Liquid_typing
+open Liquid_infer
+
+type error = {
+  err_loc : Loc.t;
+  err_reason : string;
+  err_goal : string;
+  err_cex : (string * int) list; (* falsifying values, when available *)
+}
+
+type stats = {
+  source_lines : int;
+  ast_nodes : int;
+  n_kvars : int;
+  n_wf_constraints : int;
+  n_sub_constraints : int;
+  n_qualifiers : int; (* qualifier patterns supplied *)
+  n_initial_candidates : int; (* total instances over all κs *)
+  n_implication_checks : int;
+  n_smt_queries : int;
+  n_smt_cache_hits : int;
+  elapsed : float; (* wall-clock seconds for the whole pipeline *)
+}
+
+type report = {
+  safe : bool;
+  errors : error list;
+  item_types : (Ident.t * Rtype.t) list; (* with the solution applied *)
+  solution : Liquid_smt.Solver.result option; (* unused placeholder *)
+  stats : stats;
+}
+
+exception Source_error of string * Loc.t
+
+(** Count non-empty, non-comment-only source lines. *)
+let count_lines (src : string) : int =
+  let lines = String.split_on_char '\n' src in
+  List.length
+    (List.filter
+       (fun l ->
+         let l = String.trim l in
+         String.length l > 0
+         && not (String.length l >= 2 && l.[0] = '(' && l.[1] = '*'))
+       lines)
+
+let parse_program ~name (src : string) : Ast.program =
+  try Parser.program_of_string ~file:name src with
+  | Parser.Error (msg, loc) -> raise (Source_error ("parse error: " ^ msg, loc))
+  | Lexer.Error (msg, pos) ->
+      raise (Source_error ("lex error: " ^ msg, Loc.of_lexing pos pos))
+
+(** Integer literals worth mining for qualifier instances: those the
+    program {e compares against} (comparison operands).  Literals used
+    only as data (array initialisers, arithmetic) rarely appear in
+    invariants and would bloat every κ's candidate set.  Capped. *)
+let mine_constants (prog : Ast.program) : int list =
+  let interesting = ref [] in
+  let note (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Const (Ast.Cint n) when abs n < 1_000_000 ->
+        interesting := n :: !interesting
+    | _ -> ()
+  in
+  let visit _ (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), a, b)
+      ->
+        note a;
+        note b
+    | Ast.App ({ Ast.desc = Ast.Var "Array.make"; _ }, n) ->
+        (* literal array sizes become length qualifiers *)
+        note n
+    | _ -> ()
+  in
+  List.iter (fun (i : Ast.item) -> Ast.fold visit () i.Ast.body) prog;
+  Listx.take 16
+    (Listx.dedup_ordered ~compare:Int.compare
+       (List.filter (fun n -> n <> 0) !interesting))
+
+let verify_program ?(quals = Qualifier.defaults) ?(mine = true)
+    ?(specs : Spec.t = []) (prog : Ast.program) ~(source_lines : int) :
+    report =
+  let t0 = Unix.gettimeofday () in
+  let smt0 = Liquid_smt.Solver.stats.queries in
+  let smt_hits0 = Liquid_smt.Solver.stats.cache_hits in
+  let prog = Liquid_anf.Anf.normalize_program prog in
+  let info =
+    try Infer.infer_program prog
+    with Infer.Type_error (msg, loc) ->
+      raise (Source_error ("type error: " ^ msg, loc))
+  in
+  let out =
+    try Congen.generate ~specs info prog with
+    | Congen.Congen_error (msg, loc) -> raise (Source_error (msg, loc))
+    | Constr.Shape_error msg -> raise (Source_error (msg, Loc.dummy))
+  in
+  let consts = if mine then mine_constants prog else [] in
+  let res = Fixpoint.solve ~quals ~consts out.Congen.wfs out.Congen.subs in
+  let errors =
+    List.map
+      (fun (f : Fixpoint.failure) ->
+        {
+          err_loc = f.Fixpoint.f_origin.Constr.loc;
+          err_reason = f.Fixpoint.f_origin.Constr.reason;
+          err_goal = Fmt.str "%a" Liquid_logic.Pred.pp f.Fixpoint.f_goal;
+          err_cex = f.Fixpoint.f_cex;
+        })
+      res.Fixpoint.failures
+  in
+  let item_types =
+    List.map
+      (fun (x, t) -> (x, Fixpoint.apply_solution res.Fixpoint.solution t))
+      out.Congen.item_types
+  in
+  let kvars =
+    List.length
+      (Listx.dedup_ordered ~compare:Int.compare
+         (List.map (fun (w : Constr.wf) -> w.Constr.wf_kvar) out.Congen.wfs))
+  in
+  {
+    safe = errors = [];
+    errors;
+    item_types;
+    solution = None;
+    stats =
+      {
+        source_lines;
+        ast_nodes =
+          List.fold_left (fun n (i : Ast.item) -> n + Ast.size i.Ast.body) 0 prog;
+        n_kvars = kvars;
+        n_wf_constraints = List.length out.Congen.wfs;
+        n_sub_constraints = List.length out.Congen.subs;
+        n_qualifiers = List.length quals;
+        n_initial_candidates =
+          res.Fixpoint.solver_stats.Fixpoint.initial_candidates;
+        n_implication_checks =
+          res.Fixpoint.solver_stats.Fixpoint.implication_checks;
+        n_smt_queries = Liquid_smt.Solver.stats.queries - smt0;
+        n_smt_cache_hits = Liquid_smt.Solver.stats.cache_hits - smt_hits0;
+        elapsed = Unix.gettimeofday () -. t0;
+      };
+  }
+
+let verify_string ?(quals = Qualifier.defaults) ?(mine = true) ?(specs = [])
+    ?(name = "<string>") (src : string) : report =
+  let prog = parse_program ~name src in
+  verify_program ~quals ~mine ~specs prog ~source_lines:(count_lines src)
+
+let verify_file ?(quals = Qualifier.defaults) ?(mine = true) ?(specs = [])
+    (path : string) : report =
+  let ic = open_in path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  verify_string ~quals ~mine ~specs ~name:path src
+
+(* -- Report printing ---------------------------------------------------------- *)
+
+let pp_error ppf (e : error) =
+  Fmt.pf ppf "%a: %s@,  unprovable obligation: %s" Loc.pp e.err_loc
+    e.err_reason e.err_goal;
+  match e.err_cex with
+  | [] -> ()
+  | cex ->
+      Fmt.pf ppf "@,  possible counterexample: %a"
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (x, v) -> Fmt.pf ppf "%s = %d" x v))
+        (Liquid_common.Listx.take 6 cex)
+
+let pp_report ppf (r : report) =
+  let user_items =
+    List.filter (fun (x, _) -> not (Ident.is_internal x)) r.item_types
+  in
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun (x, t) ->
+      Fmt.pf ppf "val %a : %a@," Ident.pp x Rtype.pp (Report.display t))
+    user_items;
+  if r.safe then Fmt.pf ppf "@,program is SAFE@,"
+  else begin
+    Fmt.pf ppf "@,program is UNSAFE (%d obligations failed):@,"
+      (List.length r.errors);
+    List.iter (fun e -> Fmt.pf ppf "  %a@," pp_error e) r.errors
+  end;
+  Fmt.pf ppf "@]"

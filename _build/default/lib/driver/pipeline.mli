@@ -1,0 +1,76 @@
+(** The DSOLVE pipeline: parse → A-normalize → ML inference → liquid
+    constraint generation → fixpoint solving → report.  The public entry
+    point of the library. *)
+
+open Liquid_common
+open Liquid_lang
+open Liquid_infer
+
+type error = {
+  err_loc : Loc.t;
+  err_reason : string;
+  err_goal : string;
+  err_cex : (string * int) list; (* falsifying values, when available *)
+}
+
+type stats = {
+  source_lines : int;
+  ast_nodes : int;
+  n_kvars : int;
+  n_wf_constraints : int;
+  n_sub_constraints : int;
+  n_qualifiers : int; (* qualifier patterns supplied *)
+  n_initial_candidates : int; (* total instances over all κs *)
+  n_implication_checks : int;
+  n_smt_queries : int;
+  n_smt_cache_hits : int;
+  elapsed : float; (* wall-clock seconds for the whole pipeline *)
+}
+
+type report = {
+  safe : bool;
+  errors : error list;
+  item_types : (Ident.t * Rtype.t) list; (* with the solution applied *)
+  solution : Liquid_smt.Solver.result option; (* reserved *)
+  stats : stats;
+}
+
+exception Source_error of string * Loc.t
+
+(** Non-empty, non-comment source lines (the LOC column of the results
+    table). *)
+val count_lines : string -> int
+
+(** @raise Source_error on lex/parse errors. *)
+val parse_program : name:string -> string -> Ast.program
+
+(** Integer literals the program compares against (qualifier mining). *)
+val mine_constants : Ast.program -> int list
+
+(** Verify a parsed program.  [quals] is the qualifier set (defaults to
+    {!Liquid_infer.Qualifier.defaults}); [mine] enables constant mining
+    (default true).
+    @raise Source_error on type errors. *)
+val verify_program :
+  ?quals:Qualifier.t list ->
+  ?mine:bool ->
+  ?specs:Spec.t ->
+  Ast.program ->
+  source_lines:int ->
+  report
+
+val verify_string :
+  ?quals:Qualifier.t list ->
+  ?mine:bool ->
+  ?specs:Spec.t ->
+  ?name:string ->
+  string ->
+  report
+
+val verify_file :
+  ?quals:Qualifier.t list -> ?mine:bool -> ?specs:Spec.t -> string -> report
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Print inferred types (display-cleaned) and the verdict. *)
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/eval/eval.ml: Array Ast Fmt Ident Liquid_common Liquid_lang List Loc Printf

@@ -1,0 +1,1 @@
+lib/eval/eval.mli: Ast Format Ident Liquid_common Liquid_lang Loc

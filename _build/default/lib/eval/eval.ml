@@ -1,0 +1,249 @@
+(** Reference interpreter for NanoML.
+
+    The interpreter implements the operational semantics the type system
+    is sound for: array accesses are bounds-checked ({!Bounds_violation})
+    and [assert]s are checked ({!Assertion_failure}).  It is used by the
+    test suite for the paper's soundness claim in executable form —
+    a program accepted by the liquid verifier never raises either
+    exception at runtime — and by the examples to actually run the
+    benchmark workloads.
+
+    Evaluation is big-step with a fuel budget so tests can bail out of
+    accidental divergence. *)
+
+open Liquid_common
+open Liquid_lang
+open Ast
+
+type value =
+  | Vint of int
+  | Vbool of bool
+  | Vunit
+  | Vtuple of value list
+  | Vlist of value list
+  | Varray of value array
+  | Vclosure of env ref * Ident.t * expr
+  | Vprim of string * value list (* primitive + collected args *)
+
+and env = value Ident.Map.t
+
+exception Bounds_violation of string
+exception Assertion_failure of Loc.t
+exception Runtime_error of string
+exception Out_of_fuel
+
+let prim_arity = function
+  | "Array.make" | "Array.get" | "min" | "max" -> 2
+  | "Array.set" -> 3
+  | "Array.length" | "abs" | "print_int" | "print_newline" | "List.length" -> 1
+  | p -> raise (Runtime_error ("unknown primitive " ^ p))
+
+let is_prim x = match prim_arity x with _ -> true | exception Runtime_error _ -> false
+
+let rec pp_value ppf = function
+  | Vint n -> Fmt.int ppf n
+  | Vbool b -> Fmt.bool ppf b
+  | Vunit -> Fmt.string ppf "()"
+  | Vtuple vs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma pp_value) vs
+  | Vlist vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:semi pp_value) vs
+  | Varray vs ->
+      Fmt.pf ppf "[|%a|]" Fmt.(list ~sep:semi pp_value) (Array.to_list vs)
+  | Vclosure _ -> Fmt.string ppf "<fun>"
+  | Vprim (p, _) -> Fmt.pf ppf "<prim %s>" p
+
+let apply_prim ~quiet name args =
+  match (name, args) with
+  | "Array.make", [ Vint n; v ] ->
+      if n < 0 then raise (Bounds_violation "Array.make with negative size")
+      else Varray (Array.make n v)
+  | "Array.length", [ Varray a ] -> Vint (Array.length a)
+  | "Array.get", [ Varray a; Vint i ] ->
+      if i < 0 || i >= Array.length a then
+        raise
+          (Bounds_violation
+             (Printf.sprintf "Array.get index %d out of bounds [0, %d)" i
+                (Array.length a)))
+      else a.(i)
+  | "Array.set", [ Varray a; Vint i; v ] ->
+      if i < 0 || i >= Array.length a then
+        raise
+          (Bounds_violation
+             (Printf.sprintf "Array.set index %d out of bounds [0, %d)" i
+                (Array.length a)))
+      else begin
+        a.(i) <- v;
+        Vunit
+      end
+  | "min", [ Vint a; Vint b ] -> Vint (min a b)
+  | "max", [ Vint a; Vint b ] -> Vint (max a b)
+  | "abs", [ Vint a ] -> Vint (abs a)
+  | "print_int", [ Vint n ] ->
+      if not quiet then print_string (string_of_int n);
+      Vunit
+  | "print_newline", [ Vunit ] ->
+      if not quiet then print_newline ();
+      Vunit
+  | "List.length", [ Vlist l ] -> Vint (List.length l)
+  | _ -> raise (Runtime_error ("ill-typed primitive application: " ^ name))
+
+let rec match_pat (p : pat) (v : value) : (Ident.t * value) list option =
+  match (p, v) with
+  | Pwild, _ -> Some []
+  | Pvar x, v -> Some [ (x, v) ]
+  | Punit, Vunit -> Some []
+  | Pbool b, Vbool b' -> if b = b' then Some [] else None
+  | Pint n, Vint n' -> if n = n' then Some [] else None
+  | Ptuple ps, Vtuple vs when List.length ps = List.length vs ->
+      let rec go ps vs acc =
+        match (ps, vs) with
+        | [], [] -> Some acc
+        | p :: ps, v :: vs -> (
+            match match_pat p v with
+            | Some binds -> go ps vs (binds @ acc)
+            | None -> None)
+        | _ -> None
+      in
+      go ps vs []
+  | Pnil, Vlist [] -> Some []
+  | Pcons (p1, p2), Vlist (v :: vs) -> (
+      match match_pat p1 v with
+      | Some b1 -> (
+          match match_pat p2 (Vlist vs) with
+          | Some b2 -> Some (b1 @ b2)
+          | None -> None)
+      | None -> None)
+  | Pnil, Vlist (_ :: _) | Pcons _, Vlist [] -> None
+  | _ -> raise (Runtime_error "pattern/value shape mismatch")
+
+type config = { mutable fuel : int; quiet : bool }
+
+let rec eval (cfg : config) (env : env) (e : expr) : value =
+  if cfg.fuel <= 0 then raise Out_of_fuel;
+  cfg.fuel <- cfg.fuel - 1;
+  match e.desc with
+  | Const (Cint n) -> Vint n
+  | Const (Cbool b) -> Vbool b
+  | Const Cunit -> Vunit
+  | Var x -> (
+      match Ident.Map.find_opt x env with
+      | Some v -> v
+      | None ->
+          let name = Ident.to_string x in
+          if is_prim name then Vprim (name, [])
+          else raise (Runtime_error ("unbound variable " ^ name)))
+  | Fun (x, body) -> Vclosure (ref env, x, body)
+  | App (e1, e2) -> (
+      let f = eval cfg env e1 in
+      let a = eval cfg env e2 in
+      match f with
+      | Vclosure (cenv, x, body) -> eval cfg (Ident.Map.add x a !cenv) body
+      | Vprim (name, args) ->
+          let args = args @ [ a ] in
+          if List.length args = prim_arity name then
+            apply_prim ~quiet:cfg.quiet name args
+          else Vprim (name, args)
+      | _ -> raise (Runtime_error "application of a non-function"))
+  | Binop (op, e1, e2) -> (
+      let v1 = eval cfg env e1 in
+      let v2 = eval cfg env e2 in
+      match (op, v1, v2) with
+      | Add, Vint a, Vint b -> Vint (a + b)
+      | Sub, Vint a, Vint b -> Vint (a - b)
+      | Mul, Vint a, Vint b -> Vint (a * b)
+      | Div, Vint a, Vint b ->
+          if b = 0 then raise (Runtime_error "division by zero") else Vint (a / b)
+      | Mod, Vint a, Vint b ->
+          if b = 0 then raise (Runtime_error "mod by zero") else Vint (a mod b)
+      | Eq, a, b -> Vbool (value_eq a b)
+      | Ne, a, b -> Vbool (not (value_eq a b))
+      | Lt, Vint a, Vint b -> Vbool (a < b)
+      | Le, Vint a, Vint b -> Vbool (a <= b)
+      | Gt, Vint a, Vint b -> Vbool (a > b)
+      | Ge, Vint a, Vint b -> Vbool (a >= b)
+      | _ -> raise (Runtime_error "ill-typed binary operation"))
+  | Unop (Neg, e1) -> (
+      match eval cfg env e1 with
+      | Vint n -> Vint (-n)
+      | _ -> raise (Runtime_error "negation of a non-integer"))
+  | Unop (Not, e1) -> (
+      match eval cfg env e1 with
+      | Vbool b -> Vbool (not b)
+      | _ -> raise (Runtime_error "'not' of a non-boolean"))
+  | If (c, e1, e2) -> (
+      match eval cfg env c with
+      | Vbool true -> eval cfg env e1
+      | Vbool false -> eval cfg env e2
+      | _ -> raise (Runtime_error "non-boolean condition"))
+  | Let (Nonrec, x, e1, e2) ->
+      let v1 = eval cfg env e1 in
+      eval cfg (Ident.Map.add x v1 env) e2
+  | Let (Rec, x, e1, e2) -> (
+      match e1.desc with
+      | Fun (p, body) ->
+          let cenv = ref env in
+          let clo = Vclosure (cenv, p, body) in
+          cenv := Ident.Map.add x clo env;
+          eval cfg (Ident.Map.add x clo env) e2
+      | _ -> raise (Runtime_error "let rec of a non-function"))
+  | Tuple es -> Vtuple (List.map (eval cfg env) es)
+  | Nil -> Vlist []
+  | Cons (e1, e2) -> (
+      let v1 = eval cfg env e1 in
+      match eval cfg env e2 with
+      | Vlist vs -> Vlist (v1 :: vs)
+      | _ -> raise (Runtime_error "cons onto a non-list"))
+  | Match (scrut, cases) ->
+      let v = eval cfg env scrut in
+      let rec try_cases = function
+        | [] -> raise (Runtime_error "match failure")
+        | (p, body) :: rest -> (
+            match match_pat p v with
+            | Some binds ->
+                let env' =
+                  List.fold_left
+                    (fun env (x, v) -> Ident.Map.add x v env)
+                    env binds
+                in
+                eval cfg env' body
+            | None -> try_cases rest)
+      in
+      try_cases cases
+  | Assert e1 -> (
+      match eval cfg env e1 with
+      | Vbool true -> Vunit
+      | Vbool false -> raise (Assertion_failure e.loc)
+      | _ -> raise (Runtime_error "assert of a non-boolean"))
+
+and value_eq a b =
+  match (a, b) with
+  | Vint m, Vint n -> m = n
+  | Vbool m, Vbool n -> m = n
+  | Vunit, Vunit -> true
+  | Vtuple xs, Vtuple ys | Vlist xs, Vlist ys ->
+      List.length xs = List.length ys && List.for_all2 value_eq xs ys
+  | Varray xs, Varray ys -> xs == ys
+  | _ -> raise (Runtime_error "equality on functional values")
+
+(** Run a whole program: evaluate items in order, returning the
+    environment of top-level values.  [fuel] bounds the number of
+    evaluation steps (default: one million). *)
+let run_program ?(fuel = 1_000_000) ?(quiet = true) (prog : program) : env =
+  let cfg = { fuel; quiet } in
+  List.fold_left
+    (fun env (item : item) ->
+      let v =
+        match item.rec_flag with
+        | Nonrec -> eval cfg env item.body
+        | Rec -> (
+            match item.body.desc with
+            | Fun (p, body) ->
+                (* Tie the knot: the closure's environment contains the
+                   closure itself under the item's name. *)
+                let cenv = ref env in
+                let clo = Vclosure (cenv, p, body) in
+                cenv := Ident.Map.add item.name clo env;
+                clo
+            | _ -> raise (Runtime_error "top-level let rec of a non-function"))
+      in
+      Ident.Map.add item.name v env)
+    Ident.Map.empty prog

@@ -1,0 +1,31 @@
+(** Reference interpreter for NanoML — the operational semantics the type
+    system is sound for.  Array accesses are bounds-checked and [assert]s
+    are checked, so running a verified program doubles as a soundness
+    witness in tests. *)
+
+open Liquid_common
+open Liquid_lang
+
+type value =
+  | Vint of int
+  | Vbool of bool
+  | Vunit
+  | Vtuple of value list
+  | Vlist of value list
+  | Varray of value array
+  | Vclosure of env ref * Ident.t * Ast.expr
+  | Vprim of string * value list (* primitive + collected arguments *)
+
+and env = value Ident.Map.t
+
+exception Bounds_violation of string
+exception Assertion_failure of Loc.t
+exception Runtime_error of string
+exception Out_of_fuel
+
+val pp_value : Format.formatter -> value -> unit
+
+(** Run a whole program, returning the environment of top-level values.
+    [fuel] bounds evaluation steps (default one million); [quiet]
+    suppresses [print_int]/[print_newline] output (default [true]). *)
+val run_program : ?fuel:int -> ?quiet:bool -> Ast.program -> env

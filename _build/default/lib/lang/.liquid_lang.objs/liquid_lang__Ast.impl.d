@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Fmt Ident Liquid_common List Loc

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Hashtbl Lexing List Printf Token

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Fun Gensym Ident Lexer Lexing Liquid_common List Loc Printf Token

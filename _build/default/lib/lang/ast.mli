@@ -1,0 +1,81 @@
+(** Abstract syntax of NanoML (see the parser for the surface
+    desugarings).  Every expression node carries a unique id so later
+    passes can attach information in side tables. *)
+
+open Liquid_common
+
+type const = Cint of int | Cbool of bool | Cunit
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type unop = Neg | Not
+
+type rec_flag = Nonrec | Rec
+
+type pat =
+  | Pwild
+  | Pvar of Ident.t
+  | Punit
+  | Pbool of bool
+  | Pint of int
+  | Ptuple of pat list
+  | Pnil
+  | Pcons of pat * pat
+
+type expr = { id : int; loc : Loc.t; desc : desc }
+
+and desc =
+  | Const of const
+  | Var of Ident.t
+  | Fun of Ident.t * expr
+  | App of expr * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | If of expr * expr * expr
+  | Let of rec_flag * Ident.t * expr * expr
+  | Tuple of expr list
+  | Nil
+  | Cons of expr * expr
+  | Match of expr * (pat * expr) list
+  | Assert of expr
+
+(** A top-level binding. *)
+type item = {
+  item_loc : Loc.t;
+  rec_flag : rec_flag;
+  name : Ident.t;
+  body : expr;
+}
+
+type program = item list
+
+(** Construct a node with a fresh id. *)
+val mk : ?loc:Loc.t -> desc -> expr
+
+val pat_vars : pat -> Ident.t list
+
+(** Fold over all sub-expressions, top-down. *)
+val fold : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+
+(** Number of expression nodes. *)
+val size : expr -> int
+
+val free_vars : expr -> Ident.Set.t
+
+val pp_const : Format.formatter -> const -> unit
+val binop_name : binop -> string
+val pp_pat : Format.formatter -> pat -> unit
+val pp : Format.formatter -> expr -> unit
+val pp_item : Format.formatter -> item -> unit
+val pp_program : Format.formatter -> program -> unit

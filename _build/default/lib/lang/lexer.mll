@@ -1,0 +1,81 @@
+{
+(* Lexer for NanoML.  Produces {!Token.t} values; tracks line numbers in
+   the lexbuf so the parser can build {!Liquid_common.Loc} spans.  Nested
+   OCaml-style comments are supported. *)
+
+open Token
+
+exception Error of string * Lexing.position
+
+let keyword_table =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (k, v) -> Hashtbl.add tbl k v)
+    [
+      ("let", LET); ("rec", REC); ("in", IN); ("if", IF); ("then", THEN);
+      ("else", ELSE); ("fun", FUN); ("match", MATCH); ("with", WITH);
+      ("assert", ASSERT); ("true", TRUE); ("false", FALSE); ("not", NOT);
+      ("mod", MOD); ("begin", BEGIN); ("end", END); ("val", VAL);
+    ];
+  tbl
+}
+
+let digit = ['0'-'9']
+let lower = ['a'-'z']
+let upper = ['A'-'Z']
+let idchar = ['a'-'z' 'A'-'Z' '0'-'9' '_' '\'']
+let lident = (lower | '_') idchar*
+let uident = upper idchar*
+let qualified = uident '.' lident
+
+rule token = parse
+  | [' ' '\t' '\r']+      { token lexbuf }
+  | '\n'                  { Lexing.new_line lexbuf; token lexbuf }
+  | "(*"                  { comment 1 lexbuf; token lexbuf }
+  | digit+ as n           { INT (int_of_string n) }
+  | "_"                   { UNDERSCORE }
+  | qualified as s        { IDENT s }
+  | uident as s           { IDENT s }
+  | lident as s           {
+      match Hashtbl.find_opt keyword_table s with
+      | Some tok -> tok
+      | None -> IDENT s }
+  | "->"                  { ARROW }
+  | "&&"                  { AMPAMP }
+  | "||"                  { BARBAR }
+  | "<-"                  { LARROW }
+  | "<>"                  { NE }
+  | "<="                  { LE }
+  | ">="                  { GE }
+  | "::"                  { COLONCOLON }
+  | ":"                   { COLON }
+  | "{"                   { LBRACE }
+  | "}"                   { RBRACE }
+  | "'" (lident as s)     { TYVAR s }
+  | ";;"                  { SEMISEMI }
+  | ".("                  { DOTLPAREN }
+  | "|"                   { BAR }
+  | "+"                   { PLUS }
+  | "-"                   { MINUS }
+  | "*"                   { STAR }
+  | "/"                   { SLASH }
+  | "="                   { EQ }
+  | "<"                   { LT }
+  | ">"                   { GT }
+  | "("                   { LPAREN }
+  | ")"                   { RPAREN }
+  | "["                   { LBRACKET }
+  | "]"                   { RBRACKET }
+  | ";"                   { SEMI }
+  | ","                   { COMMA }
+  | eof                   { EOF }
+  | _ as c                {
+      raise (Error (Printf.sprintf "unexpected character %C" c,
+                    Lexing.lexeme_start_p lexbuf)) }
+
+and comment depth = parse
+  | "(*"                  { comment (depth + 1) lexbuf }
+  | "*)"                  { if depth > 1 then comment (depth - 1) lexbuf }
+  | '\n'                  { Lexing.new_line lexbuf; comment depth lexbuf }
+  | eof                   { raise (Error ("unterminated comment",
+                                          Lexing.lexeme_start_p lexbuf)) }
+  | _                     { comment depth lexbuf }

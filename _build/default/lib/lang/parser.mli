@@ -1,0 +1,20 @@
+(** Recursive-descent parser for NanoML.  Performs the surface
+    desugarings ([&&]/[||] to [if], sequencing to [let _], array sugar to
+    [Array.get]/[Array.set] applications, multi-parameter and
+    pattern-binding [let]s, list literals). *)
+
+open Liquid_common
+
+exception Error of string * Loc.t
+
+(** Parse a whole program (a sequence of top-level [let] items).
+    @raise Error on syntax errors (lexer errors are re-raised as [Error]
+    only by the [program_of_*] entry points). *)
+val program_of_lexbuf : file:string -> Lexing.lexbuf -> Ast.program
+
+val program_of_string : ?file:string -> string -> Ast.program
+val program_of_file : string -> Ast.program
+
+(** Parse a single expression (for tests and tools).
+    @raise Error on trailing input. *)
+val expr_of_string : ?file:string -> string -> Ast.expr

@@ -1,0 +1,103 @@
+(** Tokens produced by the NanoML lexer. *)
+
+type t =
+  | INT of int
+  | IDENT of string (* lowercase identifiers, possibly module-qualified *)
+  | LET
+  | REC
+  | IN
+  | IF
+  | THEN
+  | ELSE
+  | FUN
+  | MATCH
+  | WITH
+  | ASSERT
+  | TRUE
+  | FALSE
+  | NOT
+  | MOD
+  | BEGIN
+  | END
+  | ARROW (* -> *)
+  | BAR (* | *)
+  | AMPAMP (* && *)
+  | BARBAR (* || *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQ (* = *)
+  | NE (* <> *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | SEMI (* ; *)
+  | SEMISEMI (* ;; *)
+  | COLONCOLON (* :: *)
+  | COMMA
+  | UNDERSCORE
+  | LARROW (* <- *)
+  | DOTLPAREN (* .( *)
+  | COLON (* : *)
+  | LBRACE (* { *)
+  | RBRACE (* } *)
+  | TYVAR of string (* 'a *)
+  | VAL (* val keyword, spec files *)
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | LET -> "let"
+  | REC -> "rec"
+  | IN -> "in"
+  | IF -> "if"
+  | THEN -> "then"
+  | ELSE -> "else"
+  | FUN -> "fun"
+  | MATCH -> "match"
+  | WITH -> "with"
+  | ASSERT -> "assert"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | NOT -> "not"
+  | MOD -> "mod"
+  | BEGIN -> "begin"
+  | END -> "end"
+  | ARROW -> "->"
+  | BAR -> "|"
+  | AMPAMP -> "&&"
+  | BARBAR -> "||"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | SEMISEMI -> ";;"
+  | COLONCOLON -> "::"
+  | COMMA -> ","
+  | UNDERSCORE -> "_"
+  | LARROW -> "<-"
+  | DOTLPAREN -> ".("
+  | COLON -> ":"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | TYVAR s -> "'" ^ s
+  | VAL -> "val"
+  | EOF -> "<eof>"

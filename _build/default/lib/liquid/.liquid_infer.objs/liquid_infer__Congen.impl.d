@@ -1,0 +1,1 @@
+lib/liquid/congen.ml: Ast Constr Fmt Gensym Ident Infer Liquid_anf Liquid_common Liquid_lang Liquid_logic Liquid_typing List Loc Mltype Pred Prims Rtype Sort Spec Symbol Term

@@ -1,0 +1,1 @@
+lib/liquid/congen.mli: Ast Constr Ident Infer Liquid_common Liquid_lang Liquid_typing Loc Rtype Spec

@@ -1,0 +1,1 @@
+lib/liquid/constr.ml: Fmt Ident Int Liquid_common Liquid_logic List Loc Pred Rtype Sort Stdlib Symbol Term

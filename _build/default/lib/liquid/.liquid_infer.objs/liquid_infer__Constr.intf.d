@@ -1,0 +1,1 @@
+lib/liquid/constr.mli: Format Ident Liquid_common Liquid_logic Loc Map Pred Rtype Sort

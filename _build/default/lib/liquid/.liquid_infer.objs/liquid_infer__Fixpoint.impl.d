@@ -1,0 +1,1 @@
+lib/liquid/fixpoint.ml: Constr Ident Int Liquid_common Liquid_logic Liquid_smt List Map Pred Qualifier Queue Rtype Set Solver Sort Term

@@ -1,0 +1,1 @@
+lib/liquid/fixpoint.mli: Constr Liquid_logic Map Pred Qualifier Rtype

@@ -1,0 +1,1 @@
+lib/liquid/prims.ml: Hashtbl Ident Liquid_common Liquid_logic List Pred Rtype Sort Term

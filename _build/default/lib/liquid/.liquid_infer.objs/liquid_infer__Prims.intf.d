@@ -1,0 +1,1 @@
+lib/liquid/prims.mli: Ident Liquid_common Rtype

@@ -1,0 +1,1 @@
+lib/liquid/qualifier.ml: Fmt Ident Liquid_common Liquid_lang Liquid_logic List Listx Pred Printf Qualparse Sort String Term Token

@@ -1,0 +1,1 @@
+lib/liquid/qualifier.mli: Format Ident Liquid_common Liquid_logic Pred Qualparse Sort

@@ -1,0 +1,1 @@
+lib/liquid/qualparse.ml: Fmt Ident Lexer Lexing Liquid_common Liquid_lang Liquid_logic Pred Printf Sort String Term Token

@@ -1,0 +1,1 @@
+lib/liquid/report.ml: Hashtbl Ident Liquid_common Liquid_logic Liquid_smt List Pred Rtype String Term

@@ -1,0 +1,1 @@
+lib/liquid/report.mli: Liquid_logic Rtype

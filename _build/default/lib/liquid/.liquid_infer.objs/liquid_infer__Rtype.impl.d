@@ -1,0 +1,1 @@
+lib/liquid/rtype.ml: Fmt Gensym Hashtbl Ident Liquid_common Liquid_logic Liquid_typing List Mltype Pred Sort String Symbol Term

@@ -1,0 +1,1 @@
+lib/liquid/rtype.mli: Format Ident Liquid_common Liquid_logic Liquid_typing Mltype Pred Sort Symbol Term

@@ -1,0 +1,1 @@
+lib/liquid/spec.ml: Fmt Gensym Hashtbl Ident Liquid_common Liquid_lang Liquid_logic Liquid_typing List Mltype Pred Qualparse Rtype Sort Term Token

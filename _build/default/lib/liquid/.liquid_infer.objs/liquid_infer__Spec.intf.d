@@ -1,0 +1,1 @@
+lib/liquid/spec.mli: Format Ident Liquid_common Liquid_typing Rtype

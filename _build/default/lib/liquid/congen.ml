@@ -1,0 +1,624 @@
+(** Liquid constraint generation.
+
+    Walks the A-normal program, building a refinement-type derivation with
+    templates ({!Rtype.Kvar}s) at every position whose refinement must be
+    inferred, and emitting:
+
+    - {e well-formedness} constraints fixing the scope of each κ, and
+    - {e subtyping} constraints between templates,
+
+    exactly following the paper's syntax-directed rules: constants and
+    variables get singleton ("selfified") types, [if] adds the guard to
+    the environment of each branch, applications substitute actual
+    arguments into dependent signatures, and joins ([if]/[match] results,
+    [let] bodies whose type would let the binder escape, recursive
+    definitions) go through fresh templates. *)
+
+open Liquid_common
+open Liquid_logic
+open Liquid_lang
+open Liquid_typing
+
+exception Congen_error of string * Loc.t
+
+type entry = { rt : Rtype.t; poly : bool }
+
+type genv = { vars : (Ident.t * entry) list; cenv : Constr.env }
+
+let empty_genv = { vars = []; cenv = Constr.empty_env }
+
+let bind_mono x rt g =
+  {
+    vars = (x, { rt; poly = false }) :: g.vars;
+    cenv = Constr.bind_var x rt g.cenv;
+  }
+
+let bind_poly x rt g =
+  {
+    vars = (x, { rt; poly = true }) :: g.vars;
+    cenv = Constr.bind_var x rt g.cenv;
+  }
+
+let guard p g = { g with cenv = Constr.guard p g.cenv }
+
+type ctx = {
+  info : Infer.result;
+  mutable subs : Constr.sub list;
+  mutable wfs : Constr.wf list;
+}
+
+let emit_sub ctx env ?(reason = "subtyping") loc t1 t2 =
+  let origin = { Constr.loc; reason } in
+  ctx.subs <- Constr.split env origin t1 t2 ctx.subs
+
+let emit_wf ctx env t = ctx.wfs <- Constr.split_wf env t ctx.wfs
+
+(** Fresh template for [ty], well-formed in [env]. *)
+let fresh_template ctx (env : Constr.env) (ty : Mltype.t) : Rtype.t =
+  let t = Rtype.template ty in
+  emit_wf ctx env t;
+  t
+
+(** Fresh template for [ty] whose [Fun] binders follow the lambda
+    structure of [e].  Recursive definitions get their template this way
+    so that the κ of each parameter can be instantiated with qualifiers
+    over the {e earlier parameters by their source names} — fresh internal
+    binder names would be excluded from qualifier instantiation, losing
+    all inter-parameter invariants (e.g. [k <= hs] in Hanoi). *)
+let fresh_template_like ctx (env : Constr.env) (e : Ast.expr)
+    (ty : Mltype.t) : Rtype.t =
+  let rec go (e : Ast.expr) (ty : Mltype.t) : Rtype.t =
+    match (e.desc, Mltype.repr ty) with
+    | Ast.Fun (x, body), Mltype.Tarrow (tx, tb) ->
+        Rtype.Fun (x, Rtype.template tx, go body tb)
+    | _ -> Rtype.template ty
+  in
+  let t = go e ty in
+  emit_wf ctx env t;
+  t
+
+(* -- Atoms ------------------------------------------------------------------ *)
+
+let sort_of_mltype (ty : Mltype.t) : Sort.t =
+  match Mltype.repr ty with
+  | Mltype.Tint -> Sort.Int
+  | Mltype.Tbool -> Sort.Bool
+  | _ -> Sort.Obj
+
+(** Logical value of an atom ([None] for unit). *)
+let atom_value ctx (a : Ast.expr) : Pred.value option =
+  match a.desc with
+  | Ast.Const (Ast.Cint n) -> Some (Pred.Tm (Term.int n))
+  | Ast.Const (Ast.Cbool b) -> Some (Pred.Pr (if b then Pred.tt else Pred.ff))
+  | Ast.Const Ast.Cunit -> None
+  | Ast.Var x -> (
+      match sort_of_mltype (Infer.type_of ctx.info a) with
+      | Sort.Bool -> Some (Pred.Pr (Pred.bvar x))
+      | s -> Some (Pred.Tm (Term.var x s)))
+  | _ -> invalid_arg "atom_value: not an atom"
+
+(** Integer term of an int-sorted atom. *)
+let int_term (a : Ast.expr) : Term.t =
+  match a.desc with
+  | Ast.Const (Ast.Cint n) -> Term.int n
+  | Ast.Var x -> Term.var x Sort.Int
+  | _ -> invalid_arg "int_term: not an atom"
+
+(** Boolean predicate denoted by a bool-sorted atom. *)
+let bool_pred (a : Ast.expr) : Pred.t =
+  match a.desc with
+  | Ast.Const (Ast.Cbool b) -> if b then Pred.tt else Pred.ff
+  | Ast.Var x -> Pred.bvar x
+  | _ -> invalid_arg "bool_pred: not an atom"
+
+let vv_int = Term.var Ident.vv Sort.Int
+let vv_bool = Pred.bvar Ident.vv
+
+let exact_int t = Rtype.Base (Rtype.Bint, Rtype.known (Pred.eq vv_int t))
+let exact_bool p = Rtype.Base (Rtype.Bbool, Rtype.known (Pred.iff vv_bool p))
+let unit_t = Rtype.Base (Rtype.Bunit, Rtype.trivial)
+
+(* -- Variables ----------------------------------------------------------------- *)
+
+let lookup_var ctx (g : genv) (e : Ast.expr) (x : Ident.t) : Rtype.t =
+  let site_ty = Infer.type_of ctx.info e in
+  match List.assoc_opt x g.vars with
+  | Some { rt; poly = false } -> Rtype.selfify x rt
+  | Some { rt; poly = true } ->
+      let inst = Rtype.instantiate rt site_ty in
+      emit_wf ctx g.cenv inst;
+      Rtype.selfify x inst
+  | None -> (
+      match Prims.lookup x with
+      | Some rt ->
+          let inst = Rtype.instantiate rt site_ty in
+          emit_wf ctx g.cenv inst;
+          inst
+      | None ->
+          raise (Congen_error (Fmt.str "unbound variable %a" Ident.pp x, e.loc)))
+
+(** Exact refinement type of an atom. *)
+let type_of_atom ctx (g : genv) (a : Ast.expr) : Rtype.t =
+  match a.desc with
+  | Ast.Const (Ast.Cint n) -> exact_int (Term.int n)
+  | Ast.Const (Ast.Cbool b) -> exact_bool (if b then Pred.tt else Pred.ff)
+  | Ast.Const Ast.Cunit -> unit_t
+  | Ast.Var x -> lookup_var ctx g a x
+  | _ -> invalid_arg "type_of_atom: not an atom"
+
+(** Syntactic head of an application spine, if it is a variable. *)
+let rec spine_head (e : Ast.expr) : Ident.t option =
+  match e.desc with
+  | Ast.Var x -> Some x
+  | Ast.App (e1, _) -> spine_head e1
+  | _ -> None
+
+(* -- Refined operator results ------------------------------------------------------ *)
+
+(** Exact result type of an integer division [a1 / a2].  When the divisor
+    is a positive literal [k], truncation toward zero is axiomatized with
+    linear inequalities; otherwise the quotient is the uninterpreted
+    [div(a1, a2)]. *)
+let div_type (t1 : Term.t) (t2 : Term.t) : Rtype.t =
+  match t2 with
+  | Term.Int k when k > 0 ->
+      (* x >= 0: kν <= x < kν + k;  x < 0: kν - k < x <= kν *)
+      let x = t1 and kv = Term.mul (Term.int k) vv_int in
+      let nonneg =
+        Pred.imp
+          (Pred.ge x (Term.int 0))
+          (Pred.conj
+             [ Pred.le kv x; Pred.lt x (Term.add kv (Term.int k)) ])
+      in
+      let negative =
+        Pred.imp
+          (Pred.lt x (Term.int 0))
+          (Pred.conj
+             [ Pred.le x kv; Pred.lt (Term.sub kv (Term.int k)) x ])
+      in
+      Rtype.Base (Rtype.Bint, Rtype.known (Pred.and_ nonneg negative))
+  | _ ->
+      (* variable divisor: quotient is uninterpreted, but for non-negative
+         dividends and positive divisors it is bounded by the dividend *)
+      let q = Term.app Symbol.div [ t1; t2 ] in
+      let bounds =
+        Pred.imp
+          (Pred.and_ (Pred.ge t1 (Term.int 0)) (Pred.gt t2 (Term.int 0)))
+          (Pred.conj [ Pred.le (Term.int 0) vv_int; Pred.le vv_int t1 ])
+      in
+      Rtype.Base
+        (Rtype.Bint, Rtype.known (Pred.and_ (Pred.eq vv_int q) bounds))
+
+(** Exact result type of [a1 mod a2]; with a positive literal divisor the
+    remainder is tied to the uninterpreted quotient and bounded. *)
+let mod_type (t1 : Term.t) (t2 : Term.t) : Rtype.t =
+  match t2 with
+  | Term.Int k when k > 0 ->
+      let q = Term.app Symbol.div [ t1; t2 ] in
+      let x = t1 and kq = Term.mul (Term.int k) q in
+      let defining = Pred.eq vv_int (Term.sub x kq) in
+      let bounds =
+        Pred.imp
+          (Pred.ge x (Term.int 0))
+          (Pred.conj
+             [
+               Pred.le (Term.int 0) vv_int;
+               Pred.lt vv_int (Term.int k);
+               Pred.le kq x;
+               Pred.lt x (Term.add kq (Term.int k));
+             ])
+      in
+      Rtype.Base (Rtype.Bint, Rtype.known (Pred.and_ defining bounds))
+  | _ ->
+      (* variable divisor: remainder of a non-negative dividend by a
+         positive divisor lies in [0, divisor) *)
+      let r = Term.app Symbol.imod [ t1; t2 ] in
+      let bounds =
+        Pred.imp
+          (Pred.and_ (Pred.ge t1 (Term.int 0)) (Pred.gt t2 (Term.int 0)))
+          (Pred.conj [ Pred.le (Term.int 0) vv_int; Pred.lt vv_int t2 ])
+      in
+      Rtype.Base
+        (Rtype.Bint, Rtype.known (Pred.and_ (Pred.eq vv_int r) bounds))
+
+let binop_type ctx (a1 : Ast.expr) (op : Ast.binop) (a2 : Ast.expr) : Rtype.t =
+  let ity () = (int_term a1, int_term a2) in
+  match op with
+  | Ast.Add ->
+      let t1, t2 = ity () in
+      exact_int (Term.add t1 t2)
+  | Ast.Sub ->
+      let t1, t2 = ity () in
+      exact_int (Term.sub t1 t2)
+  | Ast.Mul ->
+      let t1, t2 = ity () in
+      exact_int (Term.mul t1 t2)
+  | Ast.Div ->
+      let t1, t2 = ity () in
+      div_type t1 t2
+  | Ast.Mod ->
+      let t1, t2 = ity () in
+      mod_type t1 t2
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      let t1, t2 = ity () in
+      let rel =
+        match op with
+        | Ast.Lt -> Pred.Lt
+        | Ast.Le -> Pred.Le
+        | Ast.Gt -> Pred.Gt
+        | Ast.Ge -> Pred.Ge
+        | _ -> assert false
+      in
+      exact_bool (Pred.atom t1 rel t2)
+  | Ast.Eq | Ast.Ne -> (
+      let ty = Infer.type_of ctx.info a1 in
+      let mk p = exact_bool (if op = Ast.Eq then p else Pred.not_ p) in
+      match sort_of_mltype ty with
+      | Sort.Int -> mk (Pred.eq (int_term a1) (int_term a2))
+      | Sort.Bool -> mk (Pred.iff (bool_pred a1) (bool_pred a2))
+      | Sort.Obj -> (
+          (* Equality of aggregates: logical ([Obj]-sorted) equality.
+             All uninterpreted symbols of the logic (len, projections)
+             respect structural equality, so reflecting the program's
+             structural test as logical equality is sound. *)
+          match (a1.desc, a2.desc) with
+          | Ast.Var x, Ast.Var y ->
+              mk (Pred.eq (Term.var x Sort.Obj) (Term.var y Sort.Obj))
+          | _ -> Rtype.Base (Rtype.Bbool, Rtype.trivial)))
+
+(* -- Pattern facts -------------------------------------------------------------------- *)
+
+(** Strengthen the top-level refinement of [t] with [ν = value]. *)
+let strengthen_self (value : Pred.value option) (t : Rtype.t) : Rtype.t =
+  match value with
+  | None -> t
+  | Some v -> (
+      let self =
+        match (Rtype.sort_of t, v) with
+        | Sort.Bool, Pred.Pr p -> Some (Pred.iff vv_bool p)
+        | Sort.Bool, Pred.Tm _ -> None
+        | s, Pred.Tm tm -> Some (Pred.eq (Term.var Ident.vv s) tm)
+        | _, Pred.Pr _ -> None
+      in
+      match self with
+      | None -> t
+      | Some p -> (
+          match t with
+          | Rtype.Base (Rtype.Bunit, _) -> t
+          | Rtype.Base (b, r) -> Rtype.Base (b, Rtype.strengthen p r)
+          | Rtype.Array (e, r) -> Rtype.Array (e, Rtype.strengthen p r)
+          | Rtype.Tyvar (k, r) -> Rtype.Tyvar (k, Rtype.strengthen p r)
+          | _ -> t))
+
+(** Bindings and guard facts contributed by matching pattern [p] against a
+    scrutinee of type [t] whose logical value is [value]. *)
+let rec pat_facts (value : Pred.value option) (t : Rtype.t) (p : Ast.pat) :
+    (Ident.t * Rtype.t) list * Pred.t list =
+  match p with
+  | Ast.Pwild | Ast.Punit -> ([], [])
+  | Ast.Pvar x -> ([ (x, strengthen_self value t) ], [])
+  | Ast.Pbool b -> (
+      ( [],
+        match value with
+        | Some (Pred.Pr q) -> [ (if b then q else Pred.not_ q) ]
+        | _ -> [] ))
+  | Ast.Pint n -> (
+      ( [],
+        match value with
+        | Some (Pred.Tm tm) -> [ Pred.eq tm (Term.int n) ]
+        | _ -> [] ))
+  | Ast.Ptuple ps -> (
+      match t with
+      | Rtype.Tuple ts when List.length ts = List.length ps ->
+          let parts =
+            List.mapi
+              (fun i (pi, ti) ->
+                let s = Rtype.sort_of ti in
+                let vi =
+                  match (value, s) with
+                  | Some (Pred.Tm base), s when not (Sort.equal s Sort.Bool) ->
+                      Some
+                        (Pred.Tm (Term.app (Rtype.proj_symbol i s) [ base ]))
+                  | _ -> None
+                in
+                pat_facts vi ti pi)
+              (List.combine ps ts)
+          in
+          List.fold_left
+            (fun (bs, gs) (bs', gs') -> (bs @ bs', gs @ gs'))
+            ([], []) parts
+      | _ -> ([], []))
+  | Ast.Pnil -> (
+      (* matching []: the scrutinee's length is zero *)
+      ( [],
+        match value with
+        | Some (Pred.Tm tm) -> [ Pred.eq (Term.llen tm) (Term.int 0) ]
+        | _ -> [] ))
+  | Ast.Pcons (p1, p2) -> (
+      match t with
+      | Rtype.List (elt, _) ->
+          let b1, g1 = pat_facts None elt p1 in
+          (* the tail's length is one less than the scrutinee's *)
+          let tail_type =
+            match value with
+            | Some (Pred.Tm tm) ->
+                Rtype.List
+                  ( elt,
+                    Rtype.known
+                      (Pred.eq
+                         (Term.llen (Term.var Ident.vv Sort.Obj))
+                         (Term.sub (Term.llen tm) (Term.int 1))) )
+            | _ -> t
+          in
+          let b2, g2 = pat_facts None tail_type p2 in
+          let guards =
+            match value with
+            | Some (Pred.Tm tm) -> [ Pred.ge (Term.llen tm) (Term.int 1) ]
+            | _ -> []
+          in
+          (b1 @ b2, g1 @ g2 @ guards)
+      | _ -> ([], []))
+
+(* -- Array access signatures ----------------------------------------------------- *)
+
+let array_access_prim (h : Ident.t) : bool =
+  match Ident.to_string h with
+  | "Array.get" | "Array.set" -> true
+  | _ -> false
+
+(** Specialized dependent signature of [Array.get]/[Array.set] at an
+    array whose element type is [elem]: the element type of the array
+    itself, not a fresh template. *)
+let array_access_sig (h : Ident.t) (elem : Rtype.t) : Rtype.t =
+  let fa = Gensym.fresh "a" in
+  let fi = Gensym.fresh "i" in
+  let in_bounds =
+    Pred.conj
+      [
+        Pred.le (Term.int 0) vv_int;
+        Pred.lt vv_int (Term.len (Term.var fa Sort.Obj));
+      ]
+  in
+  let idx = Rtype.Base (Rtype.Bint, Rtype.known in_bounds) in
+  let arr = Rtype.Array (elem, Rtype.trivial) in
+  match Ident.to_string h with
+  | "Array.get" -> Rtype.Fun (fa, arr, Rtype.Fun (fi, idx, elem))
+  | _ ->
+      let fx = Gensym.fresh "x" in
+      Rtype.Fun (fa, arr, Rtype.Fun (fi, idx, Rtype.Fun (fx, elem, unit_t)))
+
+(* -- Main walker --------------------------------------------------------------------------- *)
+
+let rec cg (ctx : ctx) (g : genv) (e : Ast.expr) : Rtype.t =
+  match e.desc with
+  | Ast.Const _ | Ast.Var _ -> type_of_atom ctx g e
+  | Ast.Fun (x, body) -> (
+      match Mltype.repr (Infer.type_of ctx.info e) with
+      | Mltype.Tarrow (tx, _) ->
+          let targ = fresh_template ctx g.cenv tx in
+          let tbody = cg ctx (bind_mono x targ g) body in
+          Rtype.Fun (x, targ, tbody)
+      | _ -> raise (Congen_error ("lambda without arrow type", e.loc)))
+  | Ast.App (e1, a) -> (
+      let tf =
+        match e1.desc with
+        | Ast.Var h when array_access_prim h -> (
+            (* Array.get/Array.set operate on the array's {e own} element
+               type instead of a fresh instance template: a fresh κ per
+               access site would add an invariance back-flow constraint
+               that can only weaken the array's refinements (the access
+               site's qualifier vocabulary is often poorer than the
+               definition's), and it is never needed — reads return
+               exactly the stored elements and writes must preserve
+               exactly the stored element type. *)
+            match type_of_atom ctx g a with
+            | Rtype.Array (elem, _) -> array_access_sig h elem
+            | _ -> cg ctx g e1)
+        | _ -> cg ctx g e1
+      in
+      match tf with
+      | Rtype.Fun (xf, tformal, tresult) ->
+          let tactual = type_of_atom ctx g a in
+          let reason =
+            match spine_head e1 with
+            | Some h -> (
+                match Prims.arg_reason h with
+                | Some r -> r
+                | None -> Fmt.str "argument of %a" Ident.pp h)
+            | None -> "function argument"
+          in
+          emit_sub ctx g.cenv ~reason e.loc tactual tformal;
+          (match atom_value ctx a with
+          | Some v -> Rtype.subst1 xf v tresult
+          | None -> tresult)
+      | _ ->
+          raise
+            (Congen_error
+               (Fmt.str "application of non-function type %a" Rtype.pp tf, e.loc)))
+  | Ast.Binop (op, a1, a2) -> binop_type ctx a1 op a2
+  | Ast.Unop (Ast.Neg, a) -> exact_int (Term.neg (int_term a))
+  | Ast.Unop (Ast.Not, a) -> exact_bool (Pred.not_ (bool_pred a))
+  | Ast.If (c, e1, e2)
+    when Liquid_anf.Anf.is_atom e1 && Liquid_anf.Anf.is_atom e2
+         && (match sort_of_mltype (Infer.type_of ctx.info e) with
+            | Sort.Int | Sort.Bool -> true
+            | Sort.Obj -> false) -> (
+      (* Both branches are atoms (typical for desugared && / ||): the
+         conditional has an exact base refinement — no template, no join,
+         no precision loss.  [ν = if c then a1 else a2] is encoded as
+         (c ⇒ ν = a1) ∧ (¬c ⇒ ν = a2). *)
+      let p = bool_pred c in
+      match sort_of_mltype (Infer.type_of ctx.info e) with
+      | Sort.Int ->
+          Rtype.Base
+            ( Rtype.Bint,
+              Rtype.known
+                (Pred.and_
+                   (Pred.imp p (Pred.eq vv_int (int_term e1)))
+                   (Pred.imp (Pred.not_ p) (Pred.eq vv_int (int_term e2)))) )
+      | _ ->
+          Rtype.Base
+            ( Rtype.Bbool,
+              Rtype.known
+                (Pred.and_
+                   (Pred.imp p (Pred.iff vv_bool (bool_pred e1)))
+                   (Pred.imp (Pred.not_ p) (Pred.iff vv_bool (bool_pred e2)))) ))
+  | Ast.If (c, e1, e2) ->
+      let result = fresh_template ctx g.cenv (Infer.type_of ctx.info e) in
+      let p = bool_pred c in
+      let g1 = guard p g in
+      let t1 = cg ctx g1 e1 in
+      emit_sub ctx g1.cenv ~reason:"then-branch join" e1.loc t1 result;
+      let g2 = guard (Pred.not_ p) g in
+      let t2 = cg ctx g2 e2 in
+      emit_sub ctx g2.cenv ~reason:"else-branch join" e2.loc t2 result;
+      result
+  | Ast.Let (Ast.Nonrec, x, e1, e2) ->
+      let t1 = cg ctx g e1 in
+      let poly = Infer.is_value e1 in
+      let g' = if poly then bind_poly x t1 g else bind_mono x t1 g in
+      let t2 = cg ctx g' e2 in
+      close_let ctx g g' x e t2
+  | Ast.Let (Ast.Rec, x, e1, e2) ->
+      let tf = fresh_template_like ctx g.cenv e1 (Infer.type_of ctx.info e1) in
+      let gbody = bind_mono x tf g in
+      let t1 = cg ctx gbody e1 in
+      emit_sub ctx gbody.cenv ~reason:"recursive definition" e1.loc t1 tf;
+      let g' = bind_poly x tf g in
+      let t2 = cg ctx g' e2 in
+      close_let ctx g g' x e t2
+  | Ast.Tuple atoms -> Rtype.Tuple (List.map (type_of_atom ctx g) atoms)
+  | Ast.Nil -> (
+      match Mltype.repr (Infer.type_of ctx.info e) with
+      | Mltype.Tlist elt ->
+          (* measure semantics: llen [] = 0 *)
+          Rtype.List
+            ( fresh_template ctx g.cenv elt,
+              Rtype.known (Pred.eq (Term.llen (Term.var Ident.vv Sort.Obj)) (Term.int 0)) )
+      | _ -> raise (Congen_error ("[] without list type", e.loc)))
+  | Ast.Cons (a, l) -> (
+      match Mltype.repr (Infer.type_of ctx.info e) with
+      | Mltype.Tlist elt_ty ->
+          let telt = fresh_template ctx g.cenv elt_ty in
+          let ta = type_of_atom ctx g a in
+          emit_sub ctx g.cenv ~reason:"list element join" a.loc ta telt;
+          let tl = cg ctx g l in
+          (match tl with
+          | Rtype.List (tl_elt, _) ->
+              emit_sub ctx g.cenv ~reason:"list element join" l.loc tl_elt telt
+          | _ -> ());
+          (* measure semantics: llen (a :: l) = llen l + 1 *)
+          let len_ref =
+            match atom_value ctx l with
+            | Some (Pred.Tm tail) ->
+                Rtype.known
+                  (Pred.eq
+                     (Term.llen (Term.var Ident.vv Sort.Obj))
+                     (Term.add (Term.llen tail) (Term.int 1)))
+            | _ ->
+                Rtype.known
+                  (Pred.ge (Term.llen (Term.var Ident.vv Sort.Obj)) (Term.int 1))
+          in
+          Rtype.List (telt, len_ref)
+      | _ -> raise (Congen_error ("cons without list type", e.loc)))
+  | Ast.Match (scrut, cases) ->
+      let tscrut = type_of_atom ctx g scrut in
+      let result = fresh_template ctx g.cenv (Infer.type_of ctx.info e) in
+      let v = atom_value ctx scrut in
+      List.iter
+        (fun (p, body) ->
+          let binds, guards = pat_facts v tscrut p in
+          let g' =
+            List.fold_left (fun g (x, t) -> bind_mono x t g) g binds
+          in
+          let g' = List.fold_left (fun g p -> guard p g) g' guards in
+          let tb = cg ctx g' body in
+          emit_sub ctx g'.cenv ~reason:"match arm join" body.loc tb result)
+        cases;
+      result
+  | Ast.Assert a ->
+      let ta = type_of_atom ctx g a in
+      emit_sub ctx g.cenv ~reason:"assertion may fail" e.loc ta
+        (Rtype.Base (Rtype.Bbool, Rtype.known vv_bool));
+      unit_t
+
+(** Close the scope of a let: if the binder could occur in the body's
+    type, funnel through a fresh template well-formed without the binder
+    (the paper's [LET] rule).  Passing the type through unchanged is only
+    sound when it contains no κ (a κ's eventual solution may mention the
+    binder even if its pending substitution does not) and its concrete
+    refinements do not mention the binder. *)
+and close_let ctx (gouter : genv) (ginner : genv) (x : Ident.t)
+    (e : Ast.expr) (t2 : Rtype.t) : Rtype.t =
+  let escapes =
+    Rtype.kvars t2 <> []
+    || List.exists (Ident.equal x) (Rtype.free_prog_vars t2)
+  in
+  if not escapes then t2
+  else begin
+    let result = fresh_template ctx gouter.cenv (Infer.type_of ctx.info e) in
+    emit_sub ctx ginner.cenv ~reason:"let body join" e.loc t2 result;
+    result
+  end
+
+(* -- Programs --------------------------------------------------------------------------------- *)
+
+type output = {
+  subs : Constr.sub list;
+  wfs : Constr.wf list;
+  item_types : (Ident.t * Rtype.t) list; (* in program order *)
+}
+
+let generate ?(specs : Spec.t = []) (info : Infer.result)
+    (prog : Ast.program) : output =
+  let ctx = { info; subs = []; wfs = [] } in
+  let spec_of (item : Ast.item) =
+    match Spec.lookup specs item.name with
+    | None -> None
+    | Some sp -> (
+        try Some (Spec.align_tyvars sp (Infer.type_of ctx.info item.body))
+        with Spec.Misaligned msg ->
+          raise
+            (Congen_error
+               (Fmt.str "specification of %a: %s" Ident.pp item.name msg,
+                item.item_loc)))
+  in
+  let _, items =
+    List.fold_left
+      (fun (g, acc) (item : Ast.item) ->
+        let spec = spec_of item in
+        let rt =
+          match (item.rec_flag, spec) with
+          | Ast.Nonrec, None -> cg ctx g item.body
+          | Ast.Nonrec, Some sp ->
+              let t1 = cg ctx g item.body in
+              emit_sub ctx g.cenv ~reason:"specification check" item.item_loc
+                t1 sp;
+              sp
+          | Ast.Rec, None ->
+              let tf =
+                fresh_template_like ctx g.cenv item.body
+                  (Infer.type_of ctx.info item.body)
+              in
+              let gbody = bind_mono item.name tf g in
+              let t1 = cg ctx gbody item.body in
+              emit_sub ctx gbody.cenv ~reason:"recursive definition"
+                item.item_loc t1 tf;
+              tf
+          | Ast.Rec, Some sp ->
+              (* Modular checking: assume the specification inside the
+                 body, check the body against it. *)
+              let gbody = bind_mono item.name sp g in
+              let t1 = cg ctx gbody item.body in
+              emit_sub ctx gbody.cenv ~reason:"specification check"
+                item.item_loc t1 sp;
+              sp
+        in
+        let poly = Infer.is_value item.body || spec <> None in
+        let g' =
+          if poly then bind_poly item.name rt g else bind_mono item.name rt g
+        in
+        (g', (item.name, rt) :: acc))
+      (empty_genv, []) prog
+  in
+  { subs = List.rev ctx.subs; wfs = List.rev ctx.wfs; item_types = List.rev items }

@@ -1,0 +1,22 @@
+(** Liquid constraint generation: walks the A-normal program, building
+    templates and emitting well-formedness and subtyping constraints per
+    the paper's syntax-directed rules. *)
+
+open Liquid_common
+open Liquid_lang
+open Liquid_typing
+
+exception Congen_error of string * Loc.t
+
+type output = {
+  subs : Constr.sub list;
+  wfs : Constr.wf list;
+  item_types : (Ident.t * Rtype.t) list; (* in program order *)
+}
+
+(** Generate the constraint system.  [specs] supplies refinement-type
+    specifications to check modularly (see {!Spec}).
+    @raise Congen_error on unbound variables, shape errors, or misaligned
+    specifications.  The program must be in A-normal form and typed by
+    [info]. *)
+val generate : ?specs:Spec.t -> Infer.result -> Ast.program -> output

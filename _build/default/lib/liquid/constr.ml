@@ -1,0 +1,232 @@
+(** Liquid constraints: environments, well-formedness and subtyping
+    constraints, constraint splitting, and environment embedding.
+
+    Constraint generation (see {!Congen}) produces constraints between
+    whole refinement types; [split] reduces them to {e simple} constraints
+    whose right-hand side is either a single κ (to be weakened by the
+    fixpoint) or a concrete predicate (to be checked once the fixpoint
+    stabilizes), mirroring the paper's decomposition of [Γ ⊢ T₁ <: T₂].
+    [embed_env] translates an environment into the antecedent predicates
+    of an implication check, given the current solution for the [κ]
+    variables. *)
+
+open Liquid_common
+open Liquid_logic
+
+(* -- Environments -------------------------------------------------------- *)
+
+type env = {
+  binds : (Ident.t * Rtype.t) list; (* newest first *)
+  guards : Pred.t list;
+}
+
+let empty_env = { binds = []; guards = [] }
+
+let bind_var x rt env = { env with binds = (x, rt) :: env.binds }
+
+let guard p env = { env with guards = p :: env.guards }
+
+let lookup_env env x = List.assoc_opt x env.binds
+
+(** Scope of an environment: variables usable in qualifier instances and
+    their logical sorts.  Function-typed variables are excluded (no
+    uninterpreted symbol applies to them) as are unit variables. *)
+let scope_of_env env : (Ident.t * Sort.t) list =
+  List.filter_map
+    (fun (x, rt) ->
+      match rt with
+      | Rtype.Fun _ -> None
+      | Rtype.Base (Rtype.Bunit, _) -> None
+      | rt -> Some (x, Rtype.sort_of rt))
+    env.binds
+
+(* -- Constraints -------------------------------------------------------------- *)
+
+type origin = { loc : Loc.t; reason : string }
+
+(** Right-hand side of a simple constraint. *)
+type rhs =
+  | Rkvar of Rtype.kvar * Pred.subst (* weaken this κ *)
+  | Rconc of Pred.t (* concrete obligation, checked after the fixpoint *)
+
+type sub = {
+  sub_id : int;
+  sub_env : env;
+  lhs : Rtype.refinement;
+  rhs : rhs;
+  vv_sort : Sort.t;
+  origin : origin;
+}
+
+type wf = { wf_env : env; wf_kvar : Rtype.kvar; wf_sort : Sort.t }
+
+exception Shape_error of string
+
+let sub_counter = ref 0
+
+let mk_sub env lhs rhs vv_sort origin =
+  incr sub_counter;
+  { sub_id = !sub_counter; sub_env = env; lhs; rhs; vv_sort; origin }
+
+(** One simple constraint per κ on the right, plus one concrete check if
+    the right-hand side has a non-trivial concrete part. *)
+let subs_of_refinements env origin (r1 : Rtype.refinement)
+    (r2 : Rtype.refinement) vv_sort acc =
+  let acc =
+    if Pred.equal r2.Rtype.preds Pred.tt then acc
+    else mk_sub env r1 (Rconc r2.Rtype.preds) vv_sort origin :: acc
+  in
+  List.fold_left
+    (fun acc (k, theta) -> mk_sub env r1 (Rkvar (k, theta)) vv_sort origin :: acc)
+    acc r2.Rtype.kvars
+
+(* -- Splitting ------------------------------------------------------------------ *)
+
+let base_sort = function
+  | Rtype.Bint -> Sort.Int
+  | Rtype.Bbool -> Sort.Bool
+  | Rtype.Bunit -> Sort.Obj
+
+(** Value usable to substitute variable [x] (of type [t]) for a formal. *)
+let var_value (t : Rtype.t) (x : Ident.t) : Pred.value =
+  match Rtype.sort_of t with
+  | Sort.Bool -> Pred.Pr (Pred.bvar x)
+  | s -> Pred.Tm (Term.var x s)
+
+(** Split [env ⊢ t1 <: t2] into simple refinement constraints. *)
+let rec split env origin (t1 : Rtype.t) (t2 : Rtype.t) (acc : sub list) :
+    sub list =
+  match (t1, t2) with
+  | Rtype.Base (Rtype.Bunit, _), Rtype.Base (Rtype.Bunit, _) -> acc
+  | Rtype.Base (b1, r1), Rtype.Base (b2, r2) when b1 = b2 ->
+      subs_of_refinements env origin r1 r2 (base_sort b1) acc
+  | Rtype.Fun (x1, a1, r1), Rtype.Fun (x2, a2, r2) ->
+      (* contravariant arguments, covariant results with renamed binder *)
+      let acc = split env origin a2 a1 acc in
+      let r1' = Rtype.subst1 x1 (var_value a2 x2) r1 in
+      let env' = bind_var x2 a2 env in
+      split env' origin r1' r2 acc
+  | Rtype.Tuple ts1, Rtype.Tuple ts2 when List.length ts1 = List.length ts2 ->
+      List.fold_left2 (fun acc t1 t2 -> split env origin t1 t2 acc) acc ts1 ts2
+  | Rtype.List (e1, r1), Rtype.List (e2, r2) ->
+      (* immutable container: covariant elements *)
+      let acc = split env origin e1 e2 acc in
+      subs_of_refinements env origin r1 r2 Sort.Obj acc
+  | Rtype.Array (e1, r1), Rtype.Array (e2, r2) ->
+      (* mutable container: invariant element type *)
+      let acc = split env origin e1 e2 acc in
+      let acc = split env origin e2 e1 acc in
+      subs_of_refinements env origin r1 r2 Sort.Obj acc
+  | Rtype.Tyvar (i, r1), Rtype.Tyvar (j, r2) when i = j ->
+      subs_of_refinements env origin r1 r2 Sort.Obj acc
+  | _ ->
+      raise
+        (Shape_error
+           (Fmt.str "subtyping between incompatible shapes %a and %a" Rtype.pp
+              t1 Rtype.pp t2))
+
+(** Well-formedness constraints for every κ of a template, with binders
+    entering scope as in the paper's [Γ ⊢ T] rules. *)
+let rec split_wf env (t : Rtype.t) (acc : wf list) : wf list =
+  match t with
+  | Rtype.Base (b, r) -> wf_of_refinement env r (base_sort b) acc
+  | Rtype.Fun (x, a, r) ->
+      let acc = split_wf env a acc in
+      split_wf (bind_var x a env) r acc
+  | Rtype.Tuple ts -> List.fold_left (fun acc t -> split_wf env t acc) acc ts
+  | Rtype.List (e, r) ->
+      let acc = split_wf env e acc in
+      wf_of_refinement env r Sort.Obj acc
+  | Rtype.Array (e, r) ->
+      let acc = split_wf env e acc in
+      wf_of_refinement env r Sort.Obj acc
+  | Rtype.Tyvar (_, r) -> wf_of_refinement env r Sort.Obj acc
+
+and wf_of_refinement env (r : Rtype.refinement) sort acc =
+  List.fold_left
+    (fun acc (k, _) -> { wf_env = env; wf_kvar = k; wf_sort = sort } :: acc)
+    acc r.Rtype.kvars
+
+(* -- Embedding -------------------------------------------------------------------- *)
+
+module KMap = Stdlib.Map.Make (Int)
+
+type solution = Pred.t list KMap.t
+
+let sol_find (sol : solution) k =
+  match KMap.find_opt k sol with Some ps -> ps | None -> []
+
+(** Predicates denoted by a refinement, with [ν] replaced by [value]. *)
+let preds_of_refinement (lookup : Rtype.kvar -> Pred.t list)
+    (value : Pred.value) (r : Rtype.refinement) : Pred.t list =
+  let inst p = Pred.subst1 Ident.vv value p in
+  inst r.Rtype.preds
+  :: List.concat_map
+       (fun (k, theta) ->
+         List.map (fun q -> inst (Pred.subst theta q)) (lookup k))
+       r.Rtype.kvars
+
+(** The axiom [measure(value) >= 0], contributed for every array ([len])
+    and list ([llen]) binding. *)
+let nonneg_measure (m : Symbol.t) (value : Pred.value) : Pred.t =
+  match value with
+  | Pred.Tm tm -> Pred.ge (Term.app m [ tm ]) (Term.int 0)
+  | Pred.Pr _ -> Pred.tt
+
+(** Facts contributed by one environment binding.  [value] names the
+    bound value in the logic (a variable, or a projection chain for tuple
+    components). *)
+let rec embed_binding lookup (value : Pred.value) (rt : Rtype.t) : Pred.t list
+    =
+  match rt with
+  | Rtype.Base (Rtype.Bunit, _) -> []
+  | Rtype.Base (_, r) -> preds_of_refinement lookup value r
+  | Rtype.Array (_, r) ->
+      (* array lengths are non-negative by construction *)
+      nonneg_measure Symbol.len value :: preds_of_refinement lookup value r
+  | Rtype.List (_, r) ->
+      nonneg_measure Symbol.llen value :: preds_of_refinement lookup value r
+  | Rtype.Tyvar (_, r) -> preds_of_refinement lookup value r
+  | Rtype.Tuple ts -> (
+      match value with
+      | Pred.Tm base ->
+          List.concat
+            (List.mapi
+               (fun i ti ->
+                 let s = Rtype.sort_of ti in
+                 if Sort.equal s Sort.Bool then []
+                 else
+                   let proj = Term.app (Rtype.proj_symbol i s) [ base ] in
+                   embed_binding lookup (Pred.Tm proj) ti)
+               ts)
+      | Pred.Pr _ -> [])
+  | Rtype.Fun _ -> []
+
+(** All antecedent facts of an environment under the given solution,
+    separated into binding-derived facts and guards (guards are exempt
+    from relevance pruning in the solver). *)
+let embed_env (lookup : Rtype.kvar -> Pred.t list) (env : env) :
+    Pred.t list * Pred.t list =
+  let bind_facts =
+    List.concat_map
+      (fun (x, rt) -> embed_binding lookup (var_value rt x) rt)
+      env.binds
+  in
+  (List.filter (fun p -> not (Pred.equal p Pred.tt)) bind_facts, env.guards)
+
+(* -- Printing ---------------------------------------------------------------------- *)
+
+let pp_origin ppf { loc; reason } = Fmt.pf ppf "%s at %a" reason Loc.pp loc
+
+let pp_rhs ppf = function
+  | Rkvar (k, theta) ->
+      if Ident.Map.is_empty theta then Fmt.pf ppf "k%d" k
+      else Fmt.pf ppf "k%d%a" k Rtype.pp_subst theta
+  | Rconc p -> Pred.pp ppf p
+
+let pp_sub ppf (c : sub) =
+  Fmt.pf ppf "[%d] ... ⊢ %a <: %a (%a)" c.sub_id Rtype.pp_refinement c.lhs
+    pp_rhs c.rhs pp_origin c.origin
+
+let pp_wf ppf (c : wf) =
+  Fmt.pf ppf "... ⊢ k%d : %a" c.wf_kvar Sort.pp c.wf_sort

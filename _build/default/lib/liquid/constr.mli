@@ -1,0 +1,85 @@
+(** Liquid constraints: environments, well-formedness and subtyping
+    constraints, splitting into simple constraints, and environment
+    embedding. *)
+
+open Liquid_common
+open Liquid_logic
+
+(** {1 Environments} *)
+
+type env = {
+  binds : (Ident.t * Rtype.t) list; (* newest first *)
+  guards : Pred.t list;
+}
+
+val empty_env : env
+val bind_var : Ident.t -> Rtype.t -> env -> env
+val guard : Pred.t -> env -> env
+val lookup_env : env -> Ident.t -> Rtype.t option
+
+(** Variables usable in qualifier instances, with their sorts (functions
+    and unit excluded). *)
+val scope_of_env : env -> (Ident.t * Sort.t) list
+
+(** {1 Constraints} *)
+
+type origin = { loc : Loc.t; reason : string }
+
+(** Right-hand side of a simple constraint: a κ to weaken, or a concrete
+    obligation checked after the fixpoint. *)
+type rhs = Rkvar of Rtype.kvar * Pred.subst | Rconc of Pred.t
+
+type sub = {
+  sub_id : int;
+  sub_env : env;
+  lhs : Rtype.refinement;
+  rhs : rhs;
+  vv_sort : Sort.t;
+  origin : origin;
+}
+
+type wf = { wf_env : env; wf_kvar : Rtype.kvar; wf_sort : Sort.t }
+
+exception Shape_error of string
+
+(** {1 Splitting} *)
+
+val base_sort : Rtype.base -> Sort.t
+
+(** Logical value standing for a variable of a given type. *)
+val var_value : Rtype.t -> Ident.t -> Pred.value
+
+(** Split [env ⊢ t1 <: t2] into simple constraints (functions
+    contravariant, arrays invariant, lists covariant).
+    @raise Shape_error on incompatible shapes. *)
+val split : env -> origin -> Rtype.t -> Rtype.t -> sub list -> sub list
+
+(** Well-formedness constraints for every κ of a template, binders
+    entering scope per the paper's rules. *)
+val split_wf : env -> Rtype.t -> wf list -> wf list
+
+(** {1 Embedding} *)
+
+module KMap : Map.S with type key = int
+
+type solution = Pred.t list KMap.t
+
+val sol_find : solution -> int -> Pred.t list
+
+(** Predicates denoted by a refinement with [ν := value], under a κ
+    lookup. *)
+val preds_of_refinement :
+  (Rtype.kvar -> Pred.t list) -> Pred.value -> Rtype.refinement -> Pred.t list
+
+(** Antecedent facts of an environment: (binding facts, guards).  Guards
+    are returned separately so the solver can exempt them from relevance
+    pruning. *)
+val embed_env :
+  (Rtype.kvar -> Pred.t list) -> env -> Pred.t list * Pred.t list
+
+(** {1 Printing} *)
+
+val pp_origin : Format.formatter -> origin -> unit
+val pp_rhs : Format.formatter -> rhs -> unit
+val pp_sub : Format.formatter -> sub -> unit
+val pp_wf : Format.formatter -> wf -> unit

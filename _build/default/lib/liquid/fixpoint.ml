@@ -1,0 +1,220 @@
+(** Liquid constraint solving by predicate abstraction.
+
+    This is the paper's [Solve]/[Weaken] fixpoint:
+
+    1. every κ is initialized to the set of {e all} well-sorted qualifier
+       instances over the variables in scope at its well-formedness
+       constraint (the strongest liquid refinement);
+    2. constraints with a κ right-hand side are repeatedly {e weakened}:
+       any instance not implied by the constraint's antecedent (under the
+       current assignment) is dropped, and constraints reading the changed
+       κ are re-queued;
+    3. on stabilization, constraints with {e concrete} right-hand sides
+       (assertions, primitive preconditions, user annotations) are
+       checked; failures are reported with their source origin.
+
+    Implications are discharged by {!Liquid_smt.Solver}; an "unknown"
+    verdict counts as "not valid" (sound: κs only get weaker, and concrete
+    checks only fail more). *)
+
+open Liquid_common
+open Liquid_logic
+open Liquid_smt
+
+module KMap = Map.Make (Int)
+module IMap = Map.Make (Int)
+
+type failure = {
+  f_origin : Constr.origin;
+  f_goal : Pred.t; (* the unprovable obligation, under the final solution *)
+  f_cex : (string * int) list; (* falsifying values, when available *)
+}
+
+type stats = {
+  mutable iterations : int; (* worklist pops *)
+  mutable implication_checks : int;
+  mutable initial_candidates : int;
+}
+
+type result = {
+  solution : Pred.t list KMap.t;
+  failures : failure list;
+  solver_stats : stats;
+}
+
+(* -- Initialization ---------------------------------------------------------- *)
+
+(** Initial assignment: qualifier instances per κ, intersected over all of
+    the κ's well-formedness environments. *)
+let init_assignment ?(consts = []) (quals : Qualifier.t list)
+    (wfs : Constr.wf list) : Pred.t list KMap.t =
+  List.fold_left
+    (fun acc (wf : Constr.wf) ->
+      let scope = Constr.scope_of_env wf.Constr.wf_env in
+      let insts =
+        Qualifier.instances ~consts quals ~vv_sort:wf.Constr.wf_sort ~scope
+      in
+      match KMap.find_opt wf.Constr.wf_kvar acc with
+      | None -> KMap.add wf.Constr.wf_kvar insts acc
+      | Some prev ->
+          let inter =
+            List.filter (fun p -> List.exists (Pred.equal p) insts) prev
+          in
+          KMap.add wf.Constr.wf_kvar inter acc)
+    KMap.empty wfs
+
+(* -- Dependency index ----------------------------------------------------------- *)
+
+(** κs read by a constraint: those in its environment and left-hand side. *)
+let reads (c : Constr.sub) : int list =
+  let env_ks =
+    List.concat_map (fun (_, rt) -> Rtype.kvars rt) c.Constr.sub_env.Constr.binds
+  in
+  Liquid_common.Listx.dedup_ordered ~compare:Int.compare
+    (List.map fst c.Constr.lhs.Rtype.kvars @ env_ks)
+
+let writes (c : Constr.sub) : int option =
+  match c.Constr.rhs with
+  | Constr.Rkvar (k, _) -> Some k
+  | Constr.Rconc _ -> None
+
+(* -- Checking --------------------------------------------------------------------- *)
+
+let vv_value (sort : Sort.t) : Pred.value =
+  match sort with
+  | Sort.Bool -> Pred.Pr (Pred.bvar Ident.vv)
+  | s -> Pred.Tm (Term.var Ident.vv s)
+
+(** Antecedent of a constraint under the current assignment: prunable
+    binding facts plus guards (kept verbatim by the solver so that
+    contradictory path conditions are never pruned away). *)
+let hypotheses lookup (c : Constr.sub) : Pred.t list * Pred.t list =
+  let facts, guards = Constr.embed_env lookup c.Constr.sub_env in
+  let lhs_preds =
+    Constr.preds_of_refinement lookup (vv_value c.Constr.vv_sort) c.Constr.lhs
+  in
+  (facts, lhs_preds @ guards)
+
+(* -- Solving ------------------------------------------------------------------------- *)
+
+let solve ?(quals = Qualifier.defaults) ?(consts = []) (wfs : Constr.wf list)
+    (subs : Constr.sub list) : result =
+  let stats = { iterations = 0; implication_checks = 0; initial_candidates = 0 } in
+  let assignment = ref (init_assignment ~consts quals wfs) in
+  KMap.iter
+    (fun _ ps -> stats.initial_candidates <- stats.initial_candidates + List.length ps)
+    !assignment;
+  let lookup k =
+    match KMap.find_opt k !assignment with Some ps -> ps | None -> []
+  in
+  (* Dependency index: κ -> constraints that must be re-checked when the
+     assignment of κ weakens. *)
+  let depends : Constr.sub list IMap.t =
+    List.fold_left
+      (fun acc c ->
+        if writes c = None then acc
+        else
+          List.fold_left
+            (fun acc k ->
+              IMap.update k
+                (function None -> Some [ c ] | Some cs -> Some (c :: cs))
+                acc)
+            acc (reads c))
+      IMap.empty subs
+  in
+  (* Worklist of κ-rhs constraints, deduplicated by id. *)
+  let module ISet = Set.Make (Int) in
+  let queue = Queue.create () in
+  let queued = ref ISet.empty in
+  let push c =
+    if not (ISet.mem c.Constr.sub_id !queued) then begin
+      queued := ISet.add c.Constr.sub_id !queued;
+      Queue.add c queue
+    end
+  in
+  List.iter (fun c -> if writes c <> None then push c) subs;
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    queued := ISet.remove c.Constr.sub_id !queued;
+    stats.iterations <- stats.iterations + 1;
+    match c.Constr.rhs with
+    | Constr.Rconc _ -> ()
+    | Constr.Rkvar (k, theta) ->
+        let current = lookup k in
+        if current <> [] then begin
+          let hyps, kept = hypotheses lookup c in
+          let goal_of q = Pred.subst theta q in
+          (* Fast path: if the whole conjunction is implied, keep all. *)
+          stats.implication_checks <- stats.implication_checks + 1;
+          let all_ok =
+            Solver.check_valid ~kept hyps (Pred.conj (List.map goal_of current))
+            = Solver.Valid
+          in
+          let retained =
+            if all_ok then current
+            else
+              List.filter
+                (fun q ->
+                  stats.implication_checks <- stats.implication_checks + 1;
+                  Solver.check_valid ~kept hyps (goal_of q) = Solver.Valid)
+                current
+          in
+          if List.length retained <> List.length current then begin
+            assignment := KMap.add k retained !assignment;
+            match IMap.find_opt k depends with
+            | Some cs -> List.iter push cs
+            | None -> ()
+          end
+        end
+  done;
+  (* Final pass: concrete obligations. *)
+  let failures =
+    List.filter_map
+      (fun c ->
+        match c.Constr.rhs with
+        | Constr.Rkvar _ -> None
+        | Constr.Rconc goal ->
+            if Pred.equal goal Pred.tt then None
+            else begin
+              stats.implication_checks <- stats.implication_checks + 1;
+              let hyps, kept = hypotheses lookup c in
+              Solver.last_cex := [];
+              match Solver.check_valid ~kept hyps goal with
+              | Solver.Valid -> None
+              | Solver.Invalid ->
+                  Some
+                    {
+                      f_origin = c.Constr.origin;
+                      f_goal = goal;
+                      f_cex = !Solver.last_cex;
+                    }
+              | Solver.Unknown ->
+                  Some
+                    { f_origin = c.Constr.origin; f_goal = goal; f_cex = [] }
+            end)
+      subs
+  in
+  { solution = !assignment; failures; solver_stats = stats }
+
+(* -- Applying solutions ----------------------------------------------------------------- *)
+
+(** Replace every κ in [t] by (the conjunction of) its solution. *)
+let rec apply_solution (sol : Pred.t list KMap.t) (t : Rtype.t) : Rtype.t =
+  let refinement (r : Rtype.refinement) : Rtype.refinement =
+    let solved =
+      List.concat_map
+        (fun (k, theta) ->
+          let ps = match KMap.find_opt k sol with Some ps -> ps | None -> [] in
+          List.map (Pred.subst theta) ps)
+        r.Rtype.kvars
+    in
+    Rtype.known (Pred.conj (r.Rtype.preds :: solved))
+  in
+  match t with
+  | Rtype.Base (b, r) -> Rtype.Base (b, refinement r)
+  | Rtype.Fun (x, t1, t2) ->
+      Rtype.Fun (x, apply_solution sol t1, apply_solution sol t2)
+  | Rtype.Tuple ts -> Rtype.Tuple (List.map (apply_solution sol) ts)
+  | Rtype.List (t, r) -> Rtype.List (apply_solution sol t, refinement r)
+  | Rtype.Array (t, r) -> Rtype.Array (apply_solution sol t, refinement r)
+  | Rtype.Tyvar (k, r) -> Rtype.Tyvar (k, refinement r)

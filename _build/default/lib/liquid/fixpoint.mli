@@ -1,0 +1,37 @@
+(** Liquid constraint solving by predicate abstraction: the paper's
+    [Solve]/[Weaken] fixpoint with a dependency-directed worklist,
+    followed by the final check of concrete obligations. *)
+
+open Liquid_logic
+
+module KMap : Map.S with type key = int
+
+type failure = {
+  f_origin : Constr.origin;
+  f_goal : Pred.t; (* the unprovable obligation *)
+  f_cex : (string * int) list; (* falsifying values, when available *)
+}
+
+type stats = {
+  mutable iterations : int;
+  mutable implication_checks : int;
+  mutable initial_candidates : int;
+}
+
+type result = {
+  solution : Pred.t list KMap.t;
+  failures : failure list;
+  solver_stats : stats;
+}
+
+(** Solve the constraint system.  [quals] are the qualifier patterns;
+    [consts] are mined integer literals offered to placeholders. *)
+val solve :
+  ?quals:Qualifier.t list ->
+  ?consts:int list ->
+  Constr.wf list ->
+  Constr.sub list ->
+  result
+
+(** Replace every κ by the conjunction of its solution. *)
+val apply_solution : Pred.t list KMap.t -> Rtype.t -> Rtype.t

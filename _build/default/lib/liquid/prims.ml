@@ -1,0 +1,135 @@
+(** Refined signatures of the NanoML primitives.
+
+    These dependent signatures are where the paper's array-bounds safety
+    policy lives:
+
+    - [Array.make] records the length of the new array ([len ν = n]);
+    - [Array.length] reflects [len] into the program ([ν = len a]);
+    - [Array.get]/[Array.set] demand in-bounds indices
+      ([0 <= i < len a]) — each call site becomes a subtyping constraint
+      whose failure is reported as a potential bounds violation.
+
+    Polymorphic primitives use {!Rtype.Tyvar} for their element type; each
+    call site instantiates it with a fresh template, which is how element
+    invariants flow through containers (the paper's key use of
+    polymorphism). *)
+
+open Liquid_common
+open Liquid_logic
+open Rtype
+
+let v = Ident.vv
+let vt s = Term.var v s
+let ivar x = Term.var (Ident.of_string x) Sort.Int
+let ovar x = Term.var (Ident.of_string x) Sort.Obj
+
+let known p = Rtype.known p
+let int_r p = Base (Bint, known p)
+let int_top = Base (Bint, trivial)
+let unit_t = Base (Bunit, trivial)
+let alpha = Tyvar (0, trivial)
+
+let fn x t1 t2 = Fun (Ident.of_string x, t1, t2)
+
+(** [0 <= ν && ν < len a] — the bounds-safe index type. *)
+let in_bounds_of a =
+  Pred.conj
+    [ Pred.le (Term.int 0) (vt Sort.Int); Pred.lt (vt Sort.Int) (Term.len (ovar a)) ]
+
+let signatures : (string * Rtype.t) list =
+  [
+    ( "Array.make",
+      (* n:{0 <= ν} -> x:α -> {ν:α array | len ν = n} *)
+      fn "n"
+        (int_r (Pred.le (Term.int 0) (vt Sort.Int)))
+        (fn "x" alpha
+           (Array (alpha, known (Pred.eq (Term.len (vt Sort.Obj)) (ivar "n"))))) );
+    ( "Array.length",
+      (* a:α array -> {ν:int | ν = len a && 0 <= ν} *)
+      fn "a"
+        (Array (alpha, trivial))
+        (int_r
+           (Pred.conj
+              [
+                Pred.eq (vt Sort.Int) (Term.len (ovar "a"));
+                Pred.le (Term.int 0) (vt Sort.Int);
+              ])) );
+    ( "Array.get",
+      (* a:α array -> i:{0 <= ν < len a} -> α *)
+      fn "a" (Array (alpha, trivial)) (fn "i" (int_r (in_bounds_of "a")) alpha)
+    );
+    ( "Array.set",
+      (* a:α array -> i:{0 <= ν < len a} -> x:α -> unit *)
+      fn "a"
+        (Array (alpha, trivial))
+        (fn "i" (int_r (in_bounds_of "a")) (fn "x" alpha unit_t)) );
+    ( "min",
+      fn "x" int_top
+        (fn "y" int_top
+           (int_r
+              (Pred.conj
+                 [
+                   Pred.le (vt Sort.Int) (ivar "x");
+                   Pred.le (vt Sort.Int) (ivar "y");
+                   Pred.disj
+                     [
+                       Pred.eq (vt Sort.Int) (ivar "x");
+                       Pred.eq (vt Sort.Int) (ivar "y");
+                     ];
+                 ]))) );
+    ( "max",
+      fn "x" int_top
+        (fn "y" int_top
+           (int_r
+              (Pred.conj
+                 [
+                   Pred.ge (vt Sort.Int) (ivar "x");
+                   Pred.ge (vt Sort.Int) (ivar "y");
+                   Pred.disj
+                     [
+                       Pred.eq (vt Sort.Int) (ivar "x");
+                       Pred.eq (vt Sort.Int) (ivar "y");
+                     ];
+                 ]))) );
+    ( "abs",
+      fn "x" int_top
+        (int_r
+           (Pred.conj
+              [
+                Pred.ge (vt Sort.Int) (Term.int 0);
+                Pred.disj
+                  [
+                    Pred.eq (vt Sort.Int) (ivar "x");
+                    Pred.eq (vt Sort.Int) (Term.neg (ivar "x"));
+                  ];
+              ])) );
+    ("print_int", fn "x" int_top unit_t);
+    ("print_newline", fn "u" unit_t unit_t);
+    ( "List.length",
+      (* l:α list -> {ν:int | ν = llen l && 0 <= ν} *)
+      fn "l"
+        (List (alpha, trivial))
+        (int_r
+           (Pred.conj
+              [
+                Pred.eq (vt Sort.Int) (Term.llen (ovar "l"));
+                Pred.le (Term.int 0) (vt Sort.Int);
+              ])) );
+  ]
+
+let table : (Ident.t, Rtype.t) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, rt) -> Hashtbl.add tbl (Ident.of_string name) rt)
+    signatures;
+  tbl
+
+let lookup (x : Ident.t) : Rtype.t option = Hashtbl.find_opt table x
+
+(** Human-readable reason for the refined argument of a primitive, used to
+    label constraint origins (and hence error messages). *)
+let arg_reason (x : Ident.t) : string option =
+  match Ident.to_string x with
+  | "Array.get" | "Array.set" -> Some "array index may be out of bounds"
+  | "Array.make" -> Some "array size may be negative"
+  | _ -> None

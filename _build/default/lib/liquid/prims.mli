@@ -1,0 +1,13 @@
+(** Refined signatures of the NanoML primitives — where the array-bounds
+    safety policy lives ([Array.get]/[Array.set] demand
+    [0 <= i < len a]). *)
+
+open Liquid_common
+
+val signatures : (string * Rtype.t) list
+
+val lookup : Ident.t -> Rtype.t option
+
+(** Human-readable reason for a primitive's refined argument, used to
+    label constraint origins (hence error messages). *)
+val arg_reason : Ident.t -> string option

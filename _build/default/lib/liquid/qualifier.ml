@@ -1,0 +1,236 @@
+(** Logical qualifiers and their instantiation into the candidate set Q*.
+
+    A qualifier is a named boolean pattern over the value variable [v],
+    literal constants, program variables, the measures [len]/[llen], and
+    {e placeholders} written [_] (each occurrence independent) or [_A],
+    [_B], ... (named placeholders; equal names must be instantiated
+    identically).  Following the paper, the set Q* of qualifier
+    {e instances} is obtained by substituting in-scope program variables
+    (and, with mining, program constants) for the placeholders, keeping
+    only well-sorted results.
+
+    Concrete syntax (one declaration per line):
+    {v
+      qualif Pos(v)   : 0 <= v
+      qualif UBLen(v) : v < len _
+      qualif Rel(v)   : v <= _A && _A <= len _B
+    v}
+
+    The pattern grammar is shared with refinement-type specifications;
+    see {!Qualparse}. *)
+
+open Liquid_common
+open Liquid_logic
+open Liquid_lang
+
+type rterm = Qualparse.rterm =
+  | Rint of int
+  | Rvar of string
+  | Rlen of rterm
+  | Rllen of rterm
+  | Rneg of rterm
+  | Radd of rterm * rterm
+  | Rsub of rterm * rterm
+  | Rmul of rterm * rterm
+
+type rpred = Qualparse.rpred =
+  | Rtrue
+  | Rfalse
+  | Ratom of rterm * Pred.brel * rterm
+  | Rbool of rterm
+  | Rnot of rpred
+  | Rand of rpred * rpred
+  | Ror of rpred * rpred
+  | Rimp of rpred * rpred
+  | Riff of rpred * rpred
+
+type t = { name : string; body : rpred; placeholders : string list }
+
+let is_placeholder = Qualparse.is_placeholder
+
+let make name body =
+  let vars = Qualparse.rpred_vars [] body in
+  let placeholders =
+    Listx.dedup_ordered ~compare:String.compare
+      (List.filter is_placeholder vars)
+  in
+  { name; body; placeholders }
+
+(* -- Parser -------------------------------------------------------------------- *)
+
+exception Parse_error = Qualparse.Parse_error
+
+(** Parse qualifier declarations ([qualif Name(v) : pred], one or more). *)
+let parse_string (src : string) : t list =
+  let st = Qualparse.of_string src in
+  let quals = ref [] in
+  let rec loop () =
+    match Qualparse.peek st with
+    | Token.EOF -> ()
+    | Token.IDENT "qualif" ->
+        Qualparse.advance st;
+        let name =
+          match Qualparse.peek st with
+          | Token.IDENT s ->
+              Qualparse.advance st;
+              s
+          | _ -> raise (Parse_error "expected qualifier name")
+        in
+        (* optional (v) part *)
+        if Qualparse.peek st = Token.LPAREN then begin
+          Qualparse.advance st;
+          (match Qualparse.peek st with
+          | Token.IDENT _ -> Qualparse.advance st
+          | _ -> raise (Parse_error "expected value-variable name"));
+          Qualparse.expect st Token.RPAREN "')'"
+        end;
+        Qualparse.expect st Token.COLON "':'";
+        Qualparse.reset_anon st;
+        let body = Qualparse.parse_pred st in
+        quals := make name body :: !quals;
+        loop ()
+    | t ->
+        raise (Parse_error ("expected 'qualif', found " ^ Token.to_string t))
+  in
+  loop ();
+  List.rev !quals
+
+(* -- Instantiation ---------------------------------------------------------------- *)
+
+exception Ill_sorted = Qualparse.Ill_sorted
+
+(** [instances quals ~vv_sort ~scope ~consts] computes the well-sorted
+    qualifier instances for a template position whose value variable has
+    sort [vv_sort].  Placeholders range over the (non-internal) variables
+    of [scope] and the mined integer [consts]. *)
+let instances ?(consts : int list = []) (quals : t list)
+    ~(vv_sort : Sort.t) ~(scope : (Ident.t * Sort.t) list) : Pred.t list =
+  let scope_sorts =
+    List.fold_left
+      (fun m (x, s) -> Ident.Map.add x s m)
+      Ident.Map.empty scope
+  in
+  (* Placeholders range over source-level variables only: compiler
+     temporaries are single-use aliases and would only blow up Q*. *)
+  let candidates =
+    List.filter_map
+      (fun (x, _) -> if Ident.is_internal x then None else Some x)
+      scope
+  in
+  (* Mined constants become pseudo-candidates: a placeholder assigned the
+     name "#c<n>" denotes the literal n.  They are Int-sorted. *)
+  let const_name n = Printf.sprintf "#c%d" n in
+  let const_of_name s =
+    if String.length s > 2 && s.[0] = '#' && s.[1] = 'c' then
+      int_of_string_opt (String.sub s 2 (String.length s - 2))
+    else None
+  in
+  let candidates =
+    candidates @ List.map (fun n -> Ident.of_string (const_name n)) consts
+  in
+  let result = ref [] in
+  List.iter
+    (fun q ->
+      let rec assign (ph : string list) (acc : (string * Ident.t) list) =
+        match ph with
+        | [] -> (
+            let sorts name =
+              if name = "v" then vv_sort
+              else if is_placeholder name then begin
+                let x = List.assoc name acc in
+                match const_of_name (Ident.to_string x) with
+                | Some _ -> Sort.Int
+                | None -> Ident.Map.find x scope_sorts
+              end
+              else
+                match Ident.Map.find_opt (Ident.of_string name) scope_sorts with
+                | Some s -> s
+                | None -> raise Ill_sorted
+            in
+            try
+              let p = Qualparse.pred_of_rpred sorts q.body in
+              (* Replace the placeholder names and the surface "v" by the
+                 actual value variable / program variables / constants. *)
+              let sub =
+                List.fold_left
+                  (fun m (ph, x) ->
+                    let v =
+                      match const_of_name (Ident.to_string x) with
+                      | Some n -> Pred.Tm (Term.int n)
+                      | None ->
+                          let s = Ident.Map.find x scope_sorts in
+                          if Sort.equal s Sort.Bool then Pred.Pr (Pred.bvar x)
+                          else Pred.Tm (Term.var x s)
+                    in
+                    Ident.Map.add (Ident.of_string ph) v m)
+                  Ident.Map.empty acc
+              in
+              let sub =
+                let v =
+                  if Sort.equal vv_sort Sort.Bool then
+                    Pred.Pr (Pred.bvar Ident.vv)
+                  else Pred.Tm (Term.var Ident.vv vv_sort)
+                in
+                Ident.Map.add (Ident.of_string "v") v sub
+              in
+              let p = Pred.subst sub p in
+              if not (Pred.equal p Pred.tt) then result := p :: !result
+            with Ill_sorted -> ())
+        | ph1 :: rest ->
+            List.iter (fun x -> assign rest ((ph1, x) :: acc)) candidates
+      in
+      assign q.placeholders [])
+    quals;
+  Listx.dedup_ordered ~compare:Pred.compare !result
+
+(* -- Default qualifier sets ---------------------------------------------------------- *)
+
+(** The shared default qualifiers, close to the paper's Figure 1 set. *)
+let defaults_source =
+  {|
+qualif True(v)   : v
+qualif NonNeg(v) : 0 <= v
+qualif Pos(v)    : 0 < v
+qualif NonPos(v) : v <= 0
+qualif Neg(v)    : v < 0
+qualif LeVar(v)  : v <= _
+qualif LtVar(v)  : v < _
+qualif GeVar(v)  : v >= _
+qualif GtVar(v)  : v > _
+qualif EqVar(v)  : v = _
+qualif UBLen(v)  : v < len _
+qualif LeLen(v)  : v <= len _
+qualif EqLen(v)  : len v = _
+qualif EqLenLen(v) : len v = len _
+qualif VEqLen(v) : v = len _
+qualif ImpUBLen(v) : v -> _A < len _B
+qualif ImpNonNeg(v) : v -> 0 <= _
+qualif ImpLtVar(v) : v -> _A < _B
+|}
+
+let defaults : t list = parse_string defaults_source
+
+(** Qualifiers for list-length ([llen]) reasoning.  Kept out of
+    {!defaults} so array-only programs don't pay for the extra
+    instances; enable with [dsolve --list-qualifiers] or by appending
+    [list_defaults] to the qualifier set. *)
+let list_defaults_source =
+  {|
+qualif EqLlen(v)   : v = llen _
+qualif UBLlen(v)   : v < llen _
+qualif LeLlen(v)   : v <= llen _
+qualif LlenEq(v)   : llen v = _
+qualif LlenEqL(v)  : llen v = llen _
+qualif LlenLe(v)   : llen v <= _
+qualif LlenLeL(v)  : llen v <= llen _
+qualif LlenSum(v)  : llen v = llen _A + llen _B
+|}
+
+let list_defaults : t list = parse_string list_defaults_source
+
+(* -- Printing ------------------------------------------------------------------------- *)
+
+let pp_rterm = Qualparse.pp_rterm
+let pp_rpred = Qualparse.pp_rpred
+
+let pp ppf q = Fmt.pf ppf "qualif %s(v): %a" q.name pp_rpred q.body

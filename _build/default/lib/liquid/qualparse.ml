@@ -1,0 +1,296 @@
+(** Shared surface syntax for refinement predicates.
+
+    Both qualifier declarations ({!Qualifier}) and refinement-type
+    specifications ({!Spec}) embed the same predicate language: boolean
+    combinations of comparisons over terms built from [v], literals,
+    program variables, placeholders ([_], [_A]), arithmetic, and the
+    measures [len]/[llen].  This module provides the raw (sort-agnostic)
+    AST, a token-stream parser for it, and sorted elaboration into
+    {!Liquid_logic.Pred}. *)
+
+open Liquid_common
+open Liquid_logic
+open Liquid_lang
+
+(* -- Raw AST --------------------------------------------------------------- *)
+
+type rterm =
+  | Rint of int
+  | Rvar of string (* "v", a placeholder "*k"/"*A", or a program variable *)
+  | Rlen of rterm
+  | Rllen of rterm
+  | Rneg of rterm
+  | Radd of rterm * rterm
+  | Rsub of rterm * rterm
+  | Rmul of rterm * rterm
+
+type rpred =
+  | Rtrue
+  | Rfalse
+  | Ratom of rterm * Pred.brel * rterm
+  | Rbool of rterm (* a bare term in predicate position: boolean variable *)
+  | Rnot of rpred
+  | Rand of rpred * rpred
+  | Ror of rpred * rpred
+  | Rimp of rpred * rpred
+  | Riff of rpred * rpred
+
+let is_placeholder s = String.length s > 0 && s.[0] = '*'
+
+let rec rterm_vars acc = function
+  | Rint _ -> acc
+  | Rvar x -> x :: acc
+  | Rlen t | Rllen t | Rneg t -> rterm_vars acc t
+  | Radd (a, b) | Rsub (a, b) | Rmul (a, b) -> rterm_vars (rterm_vars acc a) b
+
+let rec rpred_vars acc = function
+  | Rtrue | Rfalse -> acc
+  | Ratom (a, _, b) -> rterm_vars (rterm_vars acc a) b
+  | Rbool t -> rterm_vars acc t
+  | Rnot p -> rpred_vars acc p
+  | Rand (a, b) | Ror (a, b) | Rimp (a, b) | Riff (a, b) ->
+      rpred_vars (rpred_vars acc a) b
+
+(* -- Token streams ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type stream = {
+  lexbuf : Lexing.lexbuf;
+  mutable tok : Token.t;
+  mutable anon : int; (* numbering for anonymous placeholders *)
+}
+
+let make lexbuf =
+  let s = { lexbuf; tok = Token.EOF; anon = 0 } in
+  s.tok <- Lexer.token lexbuf;
+  s
+
+let of_string str = make (Lexing.from_string str)
+
+let peek st = st.tok
+
+let advance st = st.tok <- Lexer.token st.lexbuf
+
+let expect st t what =
+  if st.tok = t then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found '%s'" what
+            (Token.to_string st.tok)))
+
+let reset_anon st = st.anon <- 0
+
+(* -- Parsing -------------------------------------------------------------------- *)
+
+let ident_or_placeholder s =
+  if String.length s >= 2 && s.[0] = '_' then
+    (* _A style named placeholder *)
+    Rvar ("*" ^ String.sub s 1 (String.length s - 1))
+  else Rvar s
+
+(* term grammar: additive > multiplicative > atoms *)
+let rec parse_term st =
+  let t = ref (parse_mul st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match st.tok with
+    | Token.PLUS ->
+        advance st;
+        t := Radd (!t, parse_mul st)
+    | Token.MINUS ->
+        advance st;
+        t := Rsub (!t, parse_mul st)
+    | _ -> continue_ := false
+  done;
+  !t
+
+and parse_mul st =
+  let t = ref (parse_atom_term st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match st.tok with
+    | Token.STAR ->
+        advance st;
+        t := Rmul (!t, parse_atom_term st)
+    | _ -> continue_ := false
+  done;
+  !t
+
+and parse_atom_term st =
+  match st.tok with
+  | Token.INT n ->
+      advance st;
+      Rint n
+  | Token.MINUS ->
+      advance st;
+      Rneg (parse_atom_term st)
+  | Token.UNDERSCORE ->
+      advance st;
+      st.anon <- st.anon + 1;
+      Rvar (Printf.sprintf "*%d" st.anon)
+  | Token.IDENT "len" ->
+      advance st;
+      Rlen (parse_atom_term st)
+  | Token.IDENT "llen" ->
+      advance st;
+      Rllen (parse_atom_term st)
+  | Token.IDENT s ->
+      advance st;
+      ident_or_placeholder s
+  | Token.LPAREN ->
+      advance st;
+      let t = parse_term st in
+      expect st Token.RPAREN "')'";
+      t
+  | t -> raise (Parse_error ("unexpected token in term: " ^ Token.to_string t))
+
+let rec parse_pred st = parse_imp st
+
+and parse_imp st =
+  let p = parse_or st in
+  if st.tok = Token.ARROW then begin
+    advance st;
+    Rimp (p, parse_imp st)
+  end
+  else p
+
+and parse_or st =
+  let p = ref (parse_and st) in
+  while st.tok = Token.BARBAR do
+    advance st;
+    p := Ror (!p, parse_and st)
+  done;
+  !p
+
+and parse_and st =
+  let p = ref (parse_cmp st) in
+  while st.tok = Token.AMPAMP do
+    advance st;
+    p := Rand (!p, parse_cmp st)
+  done;
+  !p
+
+and parse_cmp st =
+  match st.tok with
+  | Token.TRUE ->
+      advance st;
+      Rtrue
+  | Token.FALSE ->
+      advance st;
+      Rfalse
+  | Token.NOT ->
+      advance st;
+      Rnot (parse_cmp st)
+  | Token.LPAREN -> (
+      (* a parenthesized predicate, or a parenthesized term comparison *)
+      advance st;
+      let p = parse_pred st in
+      expect st Token.RPAREN "')'";
+      match (p, st.tok) with
+      | Rbool t, (Token.EQ | Token.NE | Token.LT | Token.LE | Token.GT | Token.GE)
+        ->
+          finish_cmp st t
+      | _ -> p)
+  | _ ->
+      let t = parse_term st in
+      finish_cmp st t
+
+and finish_cmp st t =
+  let rel =
+    match st.tok with
+    | Token.EQ -> Some Pred.Eq
+    | Token.NE -> Some Pred.Ne
+    | Token.LT -> Some Pred.Lt
+    | Token.LE -> Some Pred.Le
+    | Token.GT -> Some Pred.Gt
+    | Token.GE -> Some Pred.Ge
+    | _ -> None
+  in
+  match rel with
+  | None -> Rbool t
+  | Some rel ->
+      advance st;
+      let t2 = parse_term st in
+      Ratom (t, rel, t2)
+
+(* -- Sorted elaboration -------------------------------------------------------- *)
+
+exception Ill_sorted
+
+(** Build a sorted {!Term} under a variable-sort assignment; raises
+    {!Ill_sorted} if impossible. *)
+let rec term_of_rterm (sorts : string -> Sort.t) (t : rterm) : Term.t =
+  match t with
+  | Rint n -> Term.int n
+  | Rvar x -> (
+      match sorts x with
+      | Sort.Bool -> raise Ill_sorted (* boolean vars are not terms *)
+      | s -> Term.var (Ident.of_string x) s)
+  | Rlen t ->
+      let t' = term_of_rterm sorts t in
+      if Sort.equal (Term.sort t') Sort.Obj then Term.len t' else raise Ill_sorted
+  | Rllen t ->
+      let t' = term_of_rterm sorts t in
+      if Sort.equal (Term.sort t') Sort.Obj then Term.llen t' else raise Ill_sorted
+  | Rneg t ->
+      let t' = term_of_rterm sorts t in
+      if Sort.equal (Term.sort t') Sort.Int then Term.neg t' else raise Ill_sorted
+  | Radd (a, b) -> int_binop sorts Term.add a b
+  | Rsub (a, b) -> int_binop sorts Term.sub a b
+  | Rmul (a, b) -> int_binop sorts Term.mul a b
+
+and int_binop sorts f a b =
+  let a' = term_of_rterm sorts a and b' = term_of_rterm sorts b in
+  if Sort.equal (Term.sort a') Sort.Int && Sort.equal (Term.sort b') Sort.Int
+  then f a' b'
+  else raise Ill_sorted
+
+let rec pred_of_rpred (sorts : string -> Sort.t) (p : rpred) : Pred.t =
+  match p with
+  | Rtrue -> Pred.tt
+  | Rfalse -> Pred.ff
+  | Ratom (a, rel, b) -> (
+      let a' = term_of_rterm sorts a and b' = term_of_rterm sorts b in
+      let sa = Term.sort a' and sb = Term.sort b' in
+      match rel with
+      | Pred.Eq | Pred.Ne ->
+          if Sort.equal sa sb then Pred.atom a' rel b' else raise Ill_sorted
+      | _ ->
+          if Sort.equal sa Sort.Int && Sort.equal sb Sort.Int then
+            Pred.atom a' rel b'
+          else raise Ill_sorted)
+  | Rbool (Rvar x) ->
+      if Sort.equal (sorts x) Sort.Bool then Pred.bvar (Ident.of_string x)
+      else raise Ill_sorted
+  | Rbool _ -> raise Ill_sorted
+  | Rnot p -> Pred.not_ (pred_of_rpred sorts p)
+  | Rand (a, b) -> Pred.and_ (pred_of_rpred sorts a) (pred_of_rpred sorts b)
+  | Ror (a, b) -> Pred.or_ (pred_of_rpred sorts a) (pred_of_rpred sorts b)
+  | Rimp (a, b) -> Pred.imp (pred_of_rpred sorts a) (pred_of_rpred sorts b)
+  | Riff (a, b) -> Pred.iff (pred_of_rpred sorts a) (pred_of_rpred sorts b)
+
+(* -- Printing ------------------------------------------------------------------- *)
+
+let rec pp_rterm ppf = function
+  | Rint n -> Fmt.int ppf n
+  | Rvar x -> Fmt.string ppf x
+  | Rlen t -> Fmt.pf ppf "len %a" pp_rterm t
+  | Rllen t -> Fmt.pf ppf "llen %a" pp_rterm t
+  | Rneg t -> Fmt.pf ppf "(- %a)" pp_rterm t
+  | Radd (a, b) -> Fmt.pf ppf "(%a + %a)" pp_rterm a pp_rterm b
+  | Rsub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_rterm a pp_rterm b
+  | Rmul (a, b) -> Fmt.pf ppf "(%a * %a)" pp_rterm a pp_rterm b
+
+let rec pp_rpred ppf = function
+  | Rtrue -> Fmt.string ppf "true"
+  | Rfalse -> Fmt.string ppf "false"
+  | Ratom (a, rel, b) ->
+      Fmt.pf ppf "%a %a %a" pp_rterm a Pred.pp_brel rel pp_rterm b
+  | Rbool t -> pp_rterm ppf t
+  | Rnot p -> Fmt.pf ppf "not (%a)" pp_rpred p
+  | Rand (a, b) -> Fmt.pf ppf "(%a && %a)" pp_rpred a pp_rpred b
+  | Ror (a, b) -> Fmt.pf ppf "(%a || %a)" pp_rpred a pp_rpred b
+  | Rimp (a, b) -> Fmt.pf ppf "(%a -> %a)" pp_rpred a pp_rpred b
+  | Riff (a, b) -> Fmt.pf ppf "(%a <=> %a)" pp_rpred a pp_rpred b

@@ -1,0 +1,166 @@
+(** Presentation-quality refinement types.
+
+    Solved types are correct but noisy: binders carry alpha-renaming
+    suffixes ([x#297]), type variables carry huge internal ids, and κ
+    solutions list many mutually redundant qualifier instances
+    ([v = y && v >= y && v <= y && ...]).  This module cleans a type for
+    display:
+
+    - binders are renamed back to their source names when unambiguous;
+    - type variables are renumbered 'a, 'b, ... per type;
+    - each refinement conjunction is minimized: conjuncts implied by the
+      rest (checked with the SMT solver) are dropped, greedily.
+
+    Display cleaning never changes the denotation of a type: renamings
+    are capture-free by construction and minimization only removes
+    conjuncts that are logically implied. *)
+
+open Liquid_common
+open Liquid_logic
+
+(* -- Binder renaming ------------------------------------------------------- *)
+
+let base_name (x : Ident.t) : string =
+  let s = Ident.to_string x in
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> ( match String.index_opt s '.' with
+    | Some _ when Ident.is_internal x -> "_"
+    | _ -> s)
+
+(** Collect the [Fun] binders of a type, in order. *)
+let rec binders acc = function
+  | Rtype.Fun (x, t1, t2) -> binders (binders (x :: acc) t1) t2
+  | Rtype.Tuple ts -> List.fold_left binders acc ts
+  | Rtype.List (t, _) | Rtype.Array (t, _) -> binders acc t
+  | Rtype.Base _ | Rtype.Tyvar _ -> acc
+
+(** Renaming of binders to their base names, skipping collisions.
+    Internal binders (compiler-introduced argument names) that no
+    refinement mentions display as ["_"]. *)
+let display_renaming (t : Rtype.t) : Ident.t Ident.Map.t =
+  let bs = List.rev (binders [] t) in
+  let mentioned = Rtype.free_prog_vars t in
+  let taken = Hashtbl.create 8 in
+  List.fold_left
+    (fun m x ->
+      if Ident.is_internal x && not (List.exists (Ident.equal x) mentioned)
+      then Ident.Map.add x (Ident.of_string "_") m
+      else
+        let b = base_name x in
+        if b = "_" || Hashtbl.mem taken b then m
+        else begin
+          Hashtbl.add taken b ();
+          if Ident.equal x (Ident.of_string b) then m
+          else Ident.Map.add x (Ident.of_string b) m
+        end)
+    Ident.Map.empty bs
+
+let rec rename_type (m : Ident.t Ident.Map.t) (t : Rtype.t) : Rtype.t =
+  let rename_ident x =
+    match Ident.Map.find_opt x m with Some y -> y | None -> x
+  in
+  let rename_refinement (r : Rtype.refinement) : Rtype.refinement =
+    let rename_pred p =
+      (* rename every free variable occurrence structurally *)
+      let rec go_term (t : Term.t) =
+        match t with
+        | Term.Var (x, s) -> Term.Var (rename_ident x, s)
+        | Term.Int _ -> t
+        | Term.App (f, ts) -> Term.App (f, List.map go_term ts)
+        | Term.Neg t -> Term.Neg (go_term t)
+        | Term.Add (a, b) -> Term.Add (go_term a, go_term b)
+        | Term.Sub (a, b) -> Term.Sub (go_term a, go_term b)
+        | Term.Mul (a, b) -> Term.Mul (go_term a, go_term b)
+      in
+      let rec go (p : Pred.t) =
+        match p with
+        | Pred.True | Pred.False -> p
+        | Pred.Atom (a, r, b) -> Pred.Atom (go_term a, r, go_term b)
+        | Pred.Bvar x -> Pred.Bvar (rename_ident x)
+        | Pred.Not p -> Pred.Not (go p)
+        | Pred.And ps -> Pred.And (List.map go ps)
+        | Pred.Or ps -> Pred.Or (List.map go ps)
+        | Pred.Imp (p, q) -> Pred.Imp (go p, go q)
+        | Pred.Iff (p, q) -> Pred.Iff (go p, go q)
+      in
+      go p
+    in
+    { r with Rtype.preds = rename_pred r.Rtype.preds }
+  in
+  match t with
+  | Rtype.Base (b, r) -> Rtype.Base (b, rename_refinement r)
+  | Rtype.Fun (x, t1, t2) ->
+      Rtype.Fun (rename_ident x, rename_type m t1, rename_type m t2)
+  | Rtype.Tuple ts -> Rtype.Tuple (List.map (rename_type m) ts)
+  | Rtype.List (t, r) -> Rtype.List (rename_type m t, rename_refinement r)
+  | Rtype.Array (t, r) -> Rtype.Array (rename_type m t, rename_refinement r)
+  | Rtype.Tyvar (k, r) -> Rtype.Tyvar (k, rename_refinement r)
+
+(* -- Tyvar renumbering ------------------------------------------------------- *)
+
+let renumber_tyvars (t : Rtype.t) : Rtype.t =
+  let mapping = Hashtbl.create 4 in
+  let fresh = ref 0 in
+  let renumber k =
+    match Hashtbl.find_opt mapping k with
+    | Some k' -> k'
+    | None ->
+        let k' = !fresh in
+        incr fresh;
+        Hashtbl.add mapping k k';
+        k'
+  in
+  let rec go = function
+    | Rtype.Base _ as t -> t
+    | Rtype.Fun (x, t1, t2) ->
+        let t1' = go t1 in
+        let t2' = go t2 in
+        Rtype.Fun (x, t1', t2')
+    | Rtype.Tuple ts -> Rtype.Tuple (List.map go ts)
+    | Rtype.List (t, r) -> Rtype.List (go t, r)
+    | Rtype.Array (t, r) -> Rtype.Array (go t, r)
+    | Rtype.Tyvar (k, r) -> Rtype.Tyvar (renumber k, r)
+  in
+  go t
+
+(* -- Conjunction minimization --------------------------------------------------- *)
+
+(** Drop conjuncts implied by the remaining ones (greedy, using the SMT
+    solver).  Bounded, so pathological conjunctions don't stall
+    reporting. *)
+let minimize_conjunction (p : Pred.t) : Pred.t =
+  match p with
+  | Pred.And ps when List.length ps <= 24 ->
+      let rec loop kept = function
+        | [] -> List.rev kept
+        | q :: rest ->
+            let others = List.rev_append kept rest in
+            if
+              others <> []
+              && Liquid_smt.Solver.check_valid others q = Liquid_smt.Solver.Valid
+            then loop kept rest
+            else loop (q :: kept) rest
+      in
+      Pred.conj (loop [] ps)
+  | p -> p
+
+let rec minimize_type (t : Rtype.t) : Rtype.t =
+  let refinement (r : Rtype.refinement) =
+    { r with Rtype.preds = minimize_conjunction r.Rtype.preds }
+  in
+  match t with
+  | Rtype.Base (b, r) -> Rtype.Base (b, refinement r)
+  | Rtype.Fun (x, t1, t2) -> Rtype.Fun (x, minimize_type t1, minimize_type t2)
+  | Rtype.Tuple ts -> Rtype.Tuple (List.map minimize_type ts)
+  | Rtype.List (t, r) -> Rtype.List (minimize_type t, refinement r)
+  | Rtype.Array (t, r) -> Rtype.Array (minimize_type t, refinement r)
+  | Rtype.Tyvar (k, r) -> Rtype.Tyvar (k, refinement r)
+
+(* -- Entry point ------------------------------------------------------------------ *)
+
+(** Clean a solved type for display. *)
+let display (t : Rtype.t) : Rtype.t =
+  let t = minimize_type t in
+  let t = rename_type (display_renaming t) t in
+  renumber_tyvars t

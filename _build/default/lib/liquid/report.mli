@@ -1,0 +1,9 @@
+(** Presentation-quality refinement types: rename binders back to source
+    names, renumber type variables, and drop redundant conjuncts (checked
+    with the SMT solver).  Never changes a type's denotation. *)
+
+(** Clean a solved type for display. *)
+val display : Rtype.t -> Rtype.t
+
+(** Drop conjuncts implied by the remaining ones (bounded, greedy). *)
+val minimize_conjunction : Liquid_logic.Pred.t -> Liquid_logic.Pred.t

@@ -1,0 +1,356 @@
+(** Refinement types (liquid type templates).
+
+    A refinement type decorates the ML-type shape computed by
+    {!Liquid_typing.Infer} with refinements.  A refinement is a
+    {e conjunction} of a concrete predicate over the value variable [ν]
+    and a set of liquid type variables [κ] (each under a pending
+    substitution); the fixpoint solver assigns each [κ] a conjunction of
+    qualifier instances.  Carrying both parts at once lets selfification
+    and polymorphic instantiation {e strengthen} template positions
+    without discarding their κ.
+
+    Refinable positions: integer and boolean bases, arrays (whose
+    refinement speaks about [len ν]), and {e type variables} — the latter
+    carry only concrete equalities (selfifications), which polymorphic
+    instantiation transports onto the instance type; this is how
+    [id 3 : {ν = 3}] works in the paper.  Tuples refine componentwise and
+    components are addressed in the logic through uninterpreted projection
+    symbols, so that tuple-typed environment bindings still contribute
+    facts.  Functions carry a dependent argument name; lists refine their
+    element type only (the paper has no length measures — those came with
+    the PLDI'09 follow-up). *)
+
+open Liquid_common
+open Liquid_logic
+
+type kvar = int
+
+type refinement = {
+  preds : Pred.t; (* concrete part, over ν *)
+  kvars : (kvar * Pred.subst) list; (* κs under pending substitutions *)
+}
+
+type base = Bint | Bbool | Bunit
+
+type t =
+  | Base of base * refinement
+  | Fun of Ident.t * t * t (* x:T1 -> T2, T2 may mention x *)
+  | Tuple of t list
+  | List of t * refinement (* element type, refinement on the list value *)
+  | Array of t * refinement (* element type, refinement on the array value *)
+  | Tyvar of int * refinement (* rigid ML type variable; concrete part only *)
+
+(* -- Refinement helpers -------------------------------------------------- *)
+
+let known p = { preds = p; kvars = [] }
+
+let trivial = known Pred.tt
+
+let is_trivial r = r.kvars = [] && Pred.equal r.preds Pred.tt
+
+let kvar_counter = ref 0
+
+let fresh_kvar () =
+  incr kvar_counter;
+  !kvar_counter
+
+let fresh_kvar_ref () = { preds = Pred.tt; kvars = [ (fresh_kvar (), Ident.Map.empty) ] }
+
+let reset_kvars () = kvar_counter := 0
+
+(** Conjoin a concrete predicate onto a refinement. *)
+let strengthen p r = { r with preds = Pred.and_ r.preds p }
+
+(** Conjoin two refinements. *)
+let meet r1 r2 =
+  { preds = Pred.and_ r1.preds r2.preds; kvars = r1.kvars @ r2.kvars }
+
+(** Sort of the values a type classifies, as seen by the logic. *)
+let sort_of : t -> Sort.t = function
+  | Base (Bint, _) -> Sort.Int
+  | Base (Bbool, _) -> Sort.Bool
+  | Base (Bunit, _) -> Sort.Obj
+  | Fun _ | Tuple _ | List _ | Array _ | Tyvar _ -> Sort.Obj
+
+(** Compose substitutions: [compose s1 s2] applies [s1] first, then [s2]. *)
+let compose_subst (s1 : Pred.subst) (s2 : Pred.subst) : Pred.subst =
+  let mapped =
+    Ident.Map.map
+      (function
+        | Pred.Tm t -> Pred.Tm (Term.subst (Pred.term_part s2) t)
+        | Pred.Pr p -> Pred.Pr (Pred.subst s2 p))
+      s1
+  in
+  Ident.Map.union (fun _ v1 _ -> Some v1) mapped s2
+
+let subst_refinement (s : Pred.subst) (r : refinement) : refinement =
+  {
+    preds = Pred.subst s r.preds;
+    kvars = List.map (fun (k, theta) -> (k, compose_subst theta s)) r.kvars;
+  }
+
+(** Apply a program-variable substitution throughout a type. *)
+let rec subst (s : Pred.subst) (t : t) : t =
+  match t with
+  | Base (b, r) -> Base (b, subst_refinement s r)
+  | Fun (x, t1, t2) ->
+      (* Binders are globally unique after ANF, so no capture. *)
+      let s' = Ident.Map.remove x s in
+      Fun (x, subst s t1, subst s' t2)
+  | Tuple ts -> Tuple (List.map (subst s) ts)
+  | List (t, r) -> List (subst s t, subst_refinement s r)
+  | Array (t, r) -> Array (subst s t, subst_refinement s r)
+  | Tyvar (k, r) -> Tyvar (k, subst_refinement s r)
+
+let subst1 x v t = subst (Ident.Map.singleton x v) t
+
+(* -- Shapes and templates -------------------------------------------------- *)
+
+open Liquid_typing
+
+(** Unification variables that survive resolution become rigid type
+    variables with ids disjoint from generalized ones. *)
+let tyvar_id_of_unbound id = 1_000_000 + id
+
+(** Shape with trivially-true refinements. *)
+let rec shape (ty : Mltype.t) : t =
+  match Mltype.repr ty with
+  | Mltype.Tint -> Base (Bint, trivial)
+  | Mltype.Tbool -> Base (Bbool, trivial)
+  | Mltype.Tunit -> Base (Bunit, trivial)
+  | Mltype.Tvar { contents = Mltype.Rigid k } -> Tyvar (k, trivial)
+  | Mltype.Tvar { contents = Mltype.Unbound (id, _) } ->
+      Tyvar (tyvar_id_of_unbound id, trivial)
+  | Mltype.Tvar { contents = Mltype.Link _ } -> assert false
+  | Mltype.Tarrow (a, b) -> Fun (Gensym.fresh "arg", shape a, shape b)
+  | Mltype.Ttuple ts -> Tuple (List.map shape ts)
+  | Mltype.Tlist t -> List (shape t, trivial)
+  | Mltype.Tarray t -> Array (shape t, trivial)
+
+(** Template with a fresh [κ] at every refinable position. *)
+let rec template (ty : Mltype.t) : t =
+  match Mltype.repr ty with
+  | Mltype.Tint -> Base (Bint, fresh_kvar_ref ())
+  | Mltype.Tbool -> Base (Bbool, fresh_kvar_ref ())
+  | Mltype.Tunit -> Base (Bunit, trivial)
+  | Mltype.Tvar { contents = Mltype.Rigid k } -> Tyvar (k, trivial)
+  | Mltype.Tvar { contents = Mltype.Unbound (id, _) } ->
+      Tyvar (tyvar_id_of_unbound id, trivial)
+  | Mltype.Tvar { contents = Mltype.Link _ } -> assert false
+  | Mltype.Tarrow (a, b) -> Fun (Gensym.fresh "arg", template a, template b)
+  | Mltype.Ttuple ts -> Tuple (List.map template ts)
+  | Mltype.Tlist t -> List (template t, fresh_kvar_ref ())
+  | Mltype.Tarray t -> Array (template t, fresh_kvar_ref ())
+
+(* -- Re-sorting tyvar refinements -------------------------------------------- *)
+
+(** Translate a refinement written at the generic [Obj] sort of a type
+    variable to [target] sort.  Only equality atoms between [Obj]-sorted
+    variables survive (selfifications — the only refinements placed on
+    type variables); anything else degrades to [true], which is sound. *)
+let resort_pred (target : Sort.t) (p : Pred.t) : Pred.t =
+  let resort_var (x, s) =
+    if Sort.equal s Sort.Obj then Some x else None
+  in
+  let rec go p =
+    match p with
+    | Pred.True | Pred.False -> p
+    | Pred.Atom (Term.Var (a, sa), rel, Term.Var (b, sb))
+      when (rel = Pred.Eq || rel = Pred.Ne)
+           && resort_var (a, sa) <> None
+           && resort_var (b, sb) <> None -> (
+        match target with
+        | Sort.Obj -> p
+        | Sort.Int ->
+            Pred.Atom (Term.var a Sort.Int, rel, Term.var b Sort.Int)
+        | Sort.Bool ->
+            let iff = Pred.iff (Pred.bvar a) (Pred.bvar b) in
+            if rel = Pred.Eq then iff else Pred.not_ iff)
+    | Pred.Atom _ | Pred.Bvar _ -> if Sort.equal target Sort.Obj then p else Pred.tt
+    | Pred.Not q -> Pred.not_ (go q)
+    | Pred.And ps -> Pred.conj (List.map go ps)
+    | Pred.Or _ | Pred.Imp _ | Pred.Iff _ ->
+        (* non-conjunctive structure cannot be safely degraded atomwise *)
+        if Sort.equal target Sort.Obj then p else Pred.tt
+  in
+  go p
+
+let resort_refinement (target : Sort.t) (r : refinement) : refinement =
+  if Sort.equal target Sort.Obj then r
+  else { r with preds = resort_pred target r.preds }
+
+(** Strengthen the top-level refinement of [t] with [r] (used when a
+    refined type variable is instantiated).  Positions without a
+    refinement slot drop [r]'s concrete part (sound: refinements only
+    ever shrink the denotation). *)
+let strengthen_top (r : refinement) (t : t) : t =
+  if is_trivial r then t
+  else
+    match t with
+    | Base (b, r0) ->
+        let s = match b with Bint -> Sort.Int | Bbool -> Sort.Bool | Bunit -> Sort.Obj in
+        Base (b, meet r0 (resort_refinement s r))
+    | Array (e, r0) -> Array (e, meet r0 r)
+    | List (e, r0) -> List (e, meet r0 r)
+    | Tyvar (k, r0) -> Tyvar (k, meet r0 r)
+    | Fun _ | Tuple _ -> t
+
+(** Instantiate the rtype of a polymorphic binder at a use site.
+
+    [scheme_body] is the rtype as stored for the binder (with [Tyvar]
+    nodes for generalized variables); [site_ty] is the resolved
+    monomorphic ML type recorded at the variable occurrence.  Positions
+    where the scheme has [Tyvar k] receive a fresh template of the
+    corresponding part of [site_ty] — one shared template per type
+    variable, as in the paper — strengthened by any concrete refinement
+    the scheme carried at that occurrence. *)
+let instantiate (scheme_body : t) (site_ty : Mltype.t) : t =
+  let inst_cache : (int, t) Hashtbl.t = Hashtbl.create 4 in
+  let rec go (rt : t) (ty : Mltype.t) : t =
+    match (rt, Mltype.repr ty) with
+    | Tyvar (k, r), ty ->
+        let base =
+          match Hashtbl.find_opt inst_cache k with
+          | Some t -> t
+          | None ->
+              let t = template ty in
+              Hashtbl.add inst_cache k t;
+              t
+        in
+        strengthen_top r base
+    | Base _, _ -> rt
+    | Fun (x, a, b), Mltype.Tarrow (ta, tb) -> Fun (x, go a ta, go b tb)
+    | Tuple ts, Mltype.Ttuple tys -> Tuple (List.map2 go ts tys)
+    | List (t, r), Mltype.Tlist ty -> List (go t ty, r)
+    | Array (t, r), Mltype.Tarray ty -> Array (go t ty, r)
+    | _ ->
+        invalid_arg
+          (Fmt.str "Rtype.instantiate: shape mismatch (%a)" Mltype.pp site_ty)
+  in
+  go scheme_body site_ty
+
+(* -- Selfification ---------------------------------------------------------- *)
+
+(** Uninterpreted projection symbols for tuple components. *)
+let proj_symbol i (s : Sort.t) : Symbol.t =
+  let name = Fmt.str "proj%d_%a" i Sort.pp s in
+  Symbol.declare name { Sort.args = [ Sort.Obj ]; result = s }
+
+(** The "selfified" equality [ν = x] at a given sort. *)
+let self_pred (sort : Sort.t) (x : Ident.t) : Pred.t =
+  match sort with
+  | Sort.Bool -> Pred.iff (Pred.bvar Ident.vv) (Pred.bvar x)
+  | s -> Pred.eq (Term.var Ident.vv s) (Term.var x s)
+
+(** Strengthen tuple component [i] (of sort [s]) of value [base] with
+    [ν = projᵢ(base)].  Boolean components are skipped: we have no
+    boolean-valued projection atoms in the logic. *)
+let strengthen_with_proj i (s : Sort.t) (base : Term.t) (ti : t) : t =
+  if Sort.equal s Sort.Bool then ti
+  else
+    let proj = Term.app (proj_symbol i s) [ base ] in
+    let p = Pred.eq (Term.var Ident.vv s) proj in
+    match ti with
+    | Base (b, r) -> Base (b, strengthen p r)
+    | Array (e, r) -> Array (e, strengthen p r)
+    | List (e, r) -> List (e, strengthen p r)
+    | Tyvar (k, r) -> Tyvar (k, strengthen p r)
+    | _ -> ti
+
+(** [selfify x t] strengthens the top-level refinement of [t] with
+    [ν = x], the paper's rule for variable occurrences. *)
+let selfify (x : Ident.t) (t : t) : t =
+  match t with
+  | Base (Bunit, _) -> t
+  | Base (b, r) ->
+      let sort = match b with Bint -> Sort.Int | Bbool -> Sort.Bool | Bunit -> Sort.Obj in
+      Base (b, strengthen (self_pred sort x) r)
+  | Array (elem, r) -> Array (elem, strengthen (self_pred Sort.Obj x) r)
+  | List (elem, r) -> List (elem, strengthen (self_pred Sort.Obj x) r)
+  | Tyvar (k, r) -> Tyvar (k, strengthen (self_pred Sort.Obj x) r)
+  | Tuple ts ->
+      Tuple
+        (List.mapi
+           (fun i ti ->
+             strengthen_with_proj i (sort_of ti) (Term.var x Sort.Obj) ti)
+           ts)
+  | Fun _ -> t
+
+(* -- Free kvars / vars --------------------------------------------------------- *)
+
+let rec fold_refinements f acc = function
+  | Base (_, r) -> f acc r
+  | Fun (_, t1, t2) -> fold_refinements f (fold_refinements f acc t1) t2
+  | Tuple ts -> List.fold_left (fold_refinements f) acc ts
+  | List (t, r) -> f (fold_refinements f acc t) r
+  | Array (t, r) -> f (fold_refinements f acc t) r
+  | Tyvar (_, r) -> f acc r
+
+let kvars t =
+  fold_refinements (fun acc r -> List.map fst r.kvars @ acc) [] t
+
+(** Program variables mentioned by the refinements of [t] (including the
+    ranges of pending substitutions). *)
+let free_prog_vars t =
+  let of_value acc = function
+    | Pred.Tm tm -> List.fold_left (fun acc (x, _) -> x :: acc) acc (Term.vars tm)
+    | Pred.Pr p -> List.fold_left (fun acc (x, _) -> x :: acc) acc (Pred.free_vars p)
+  in
+  fold_refinements
+    (fun acc r ->
+      let acc =
+        List.fold_left
+          (fun acc (x, _) -> if Ident.is_vv x then acc else x :: acc)
+          acc (Pred.free_vars r.preds)
+      in
+      List.fold_left
+        (fun acc (_, theta) ->
+          Ident.Map.fold (fun _ v acc -> of_value acc v) theta acc)
+        acc r.kvars)
+    [] t
+
+(* -- Printing ------------------------------------------------------------------- *)
+
+let pp_subst ppf theta =
+  Fmt.pf ppf "[%a]"
+    Fmt.(
+      list ~sep:comma (fun ppf (x, v) ->
+          match v with
+          | Pred.Tm t -> Fmt.pf ppf "%a:=%a" Ident.pp x Term.pp t
+          | Pred.Pr p -> Fmt.pf ppf "%a:=%a" Ident.pp x Pred.pp p))
+    (Ident.Map.bindings theta)
+
+let pp_refinement ppf (r : refinement) =
+  let parts =
+    (if Pred.equal r.preds Pred.tt then [] else [ Fmt.str "%a" Pred.pp r.preds ])
+    @ List.map
+        (fun (k, theta) ->
+          if Ident.Map.is_empty theta then Fmt.str "k%d" k
+          else Fmt.str "k%d%a" k pp_subst theta)
+        r.kvars
+  in
+  match parts with
+  | [] -> Fmt.string ppf "true"
+  | parts -> Fmt.string ppf (String.concat " && " parts)
+
+let base_name = function Bint -> "int" | Bbool -> "bool" | Bunit -> "unit"
+
+let rec pp ppf = function
+  | Base (b, r) when is_trivial r -> Fmt.string ppf (base_name b)
+  | Base (b, r) -> Fmt.pf ppf "{v:%s | %a}" (base_name b) pp_refinement r
+  | Fun (x, t1, t2) -> Fmt.pf ppf "%a:%a -> %a" Ident.pp x pp_atom t1 pp t2
+  | Tuple ts -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " * ") pp_atom) ts
+  | List (t, r) when is_trivial r -> Fmt.pf ppf "%a list" pp_atom t
+  | List (t, r) -> Fmt.pf ppf "{v:%a list | %a}" pp_atom t pp_refinement r
+  | Array (t, r) when is_trivial r -> Fmt.pf ppf "%a array" pp_atom t
+  | Array (t, r) -> Fmt.pf ppf "{v:%a array | %a}" pp_atom t pp_refinement r
+  | Tyvar (k, r) when is_trivial r -> Fmt.string ppf (Mltype.tyvar_name k)
+  | Tyvar (k, r) ->
+      Fmt.pf ppf "{v:%s | %a}" (Mltype.tyvar_name k) pp_refinement r
+
+and pp_atom ppf t =
+  match t with
+  | Fun _ -> Fmt.pf ppf "(%a)" pp t
+  | _ -> pp ppf t
+
+let to_string t = Fmt.str "%a" pp t

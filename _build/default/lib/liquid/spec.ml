@@ -1,0 +1,258 @@
+(** Refinement-type specifications — modular, checkable signatures for
+    top-level bindings (DSOLVE accepted an interface file the same way).
+
+    A specification file contains declarations
+
+    {v
+      val sum    : k:int -> {v:int | v >= k && 0 <= v}
+      val bsearch: key:int -> vec:int array -> {v:int | v < len vec}
+      val append : xs:'a list -> ys:'a list ->
+                   {v:'a list | llen v = llen xs + llen ys}
+    v}
+
+    The type grammar: arrows with optional argument binders
+    ([x:T -> ...], binders are in scope to the right and inside later
+    refinements), base types [int]/[bool]/[unit], type variables ['a],
+    postfix [array]/[list], tuples [(T1 * T2)], and refined positions
+    [{v:T | pred}] with the shared predicate language of {!Qualparse}.
+
+    During verification (see {!Congen.generate}), a specified binding is
+
+    - {e checked}: the inferred type must be a subtype of the
+      specification (failures are reported like any other obligation), and
+    - {e used modularly}: later bindings see the specification, not the
+      inferred type. *)
+
+open Liquid_common
+open Liquid_logic
+open Liquid_lang
+
+exception Error of string
+
+type t = (Ident.t * Rtype.t) list
+
+(* -- Parsing ------------------------------------------------------------------ *)
+
+(* Type-variable names get spec-local ids in a range disjoint from both
+   generalized (small) and residual-unification (1_000_000+) ids. *)
+let tyvar_base = 2_000_000
+
+type penv = {
+  st : Qualparse.stream;
+  mutable tyvars : (string * int) list;
+  mutable binders : (string * Sort.t) list; (* argument binders in scope *)
+}
+
+let tyvar_id env name =
+  match List.assoc_opt name env.tyvars with
+  | Some k -> k
+  | None ->
+      let k = tyvar_base + List.length env.tyvars in
+      env.tyvars <- (name, k) :: env.tyvars;
+      k
+
+let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(** Elaborate a predicate with [v] at [vv_sort] and the current binders
+    in scope. *)
+let elaborate_pred env (vv_sort : Sort.t) (p : Qualparse.rpred) : Pred.t =
+  let sorts name =
+    if name = "v" then vv_sort
+    else
+      match List.assoc_opt name env.binders with
+      | Some s -> s
+      | None -> fail "unbound name '%s' in specification refinement" name
+  in
+  try Qualparse.pred_of_rpred sorts p
+  with Qualparse.Ill_sorted -> fail "ill-sorted specification refinement"
+
+(* type grammar: arrow > (binder) postfix > atom *)
+let rec parse_type env : Rtype.t =
+  let lhs, binder = parse_arg env in
+  match Qualparse.peek env.st with
+  | Token.ARROW ->
+      Qualparse.advance env.st;
+      let x =
+        match binder with
+        | Some x -> Ident.of_string x
+        | None -> Gensym.fresh "arg"
+      in
+      (match binder with
+      | Some name -> env.binders <- (name, Rtype.sort_of lhs) :: env.binders
+      | None -> ());
+      let rhs = parse_type env in
+      Rtype.Fun (x, lhs, rhs)
+  | _ ->
+      if binder <> None then fail "argument binder without an arrow";
+      lhs
+
+(** One argument position: an optional binder followed by a type. *)
+and parse_arg env : Rtype.t * string option =
+  match Qualparse.peek env.st with
+  | Token.IDENT name
+    when name <> "int" && name <> "bool" && name <> "unit" ->
+      Qualparse.advance env.st;
+      Qualparse.expect env.st Token.COLON "':' after argument binder";
+      (parse_postfix env, Some name)
+  | _ -> (parse_postfix env, None)
+
+and parse_postfix env : Rtype.t =
+  let t = ref (parse_atom env) in
+  let continue_ = ref true in
+  while !continue_ do
+    match Qualparse.peek env.st with
+    | Token.IDENT "array" ->
+        Qualparse.advance env.st;
+        t := Rtype.Array (!t, Rtype.trivial)
+    | Token.IDENT "list" ->
+        Qualparse.advance env.st;
+        t := Rtype.List (!t, Rtype.trivial)
+    | _ -> continue_ := false
+  done;
+  !t
+
+and parse_atom env : Rtype.t =
+  match Qualparse.peek env.st with
+  | Token.IDENT "int" ->
+      Qualparse.advance env.st;
+      Rtype.Base (Rtype.Bint, Rtype.trivial)
+  | Token.IDENT "bool" ->
+      Qualparse.advance env.st;
+      Rtype.Base (Rtype.Bbool, Rtype.trivial)
+  | Token.IDENT "unit" ->
+      Qualparse.advance env.st;
+      Rtype.Base (Rtype.Bunit, Rtype.trivial)
+  | Token.TYVAR a ->
+      Qualparse.advance env.st;
+      Rtype.Tyvar (tyvar_id env a, Rtype.trivial)
+  | Token.LBRACE -> (
+      (* {v : T | pred} *)
+      Qualparse.advance env.st;
+      (match Qualparse.peek env.st with
+      | Token.IDENT "v" -> Qualparse.advance env.st
+      | t -> fail "expected the value variable 'v', found '%s'" (Token.to_string t));
+      Qualparse.expect env.st Token.COLON "':'";
+      let base = parse_postfix env in
+      Qualparse.expect env.st Token.BAR "'|'";
+      Qualparse.reset_anon env.st;
+      let rp = Qualparse.parse_pred env.st in
+      Qualparse.expect env.st Token.RBRACE "'}'";
+      let vv_sort = Rtype.sort_of base in
+      let p = elaborate_pred env vv_sort rp in
+      (* rename the surface value variable "v" to the internal one *)
+      let p =
+        let v =
+          if Sort.equal vv_sort Sort.Bool then Pred.Pr (Pred.bvar Ident.vv)
+          else Pred.Tm (Term.var Ident.vv vv_sort)
+        in
+        Pred.subst1 (Ident.of_string "v") v p
+      in
+      match base with
+      | Rtype.Base (b, r) -> Rtype.Base (b, Rtype.strengthen p r)
+      | Rtype.Array (e, r) -> Rtype.Array (e, Rtype.strengthen p r)
+      | Rtype.List (e, r) -> Rtype.List (e, Rtype.strengthen p r)
+      | Rtype.Tyvar (k, r) -> Rtype.Tyvar (k, Rtype.strengthen p r)
+      | Rtype.Fun _ | Rtype.Tuple _ ->
+          fail "refinements on function or tuple types are not supported")
+  | Token.LPAREN -> (
+      Qualparse.advance env.st;
+      let t1 = parse_type env in
+      let parts = ref [ t1 ] in
+      while Qualparse.peek env.st = Token.STAR do
+        Qualparse.advance env.st;
+        parts := parse_type env :: !parts
+      done;
+      Qualparse.expect env.st Token.RPAREN "')'";
+      match List.rev !parts with
+      | [ t ] -> t
+      | ts -> Rtype.Tuple ts)
+  | t -> fail "unexpected token '%s' in specification type" (Token.to_string t)
+
+(** Parse a specification file: a sequence of [val name : type]. *)
+let parse_string (src : string) : t =
+  let st = Qualparse.of_string src in
+  let specs = ref [] in
+  let rec loop () =
+    match Qualparse.peek st with
+    | Token.EOF -> ()
+    | Token.VAL ->
+        Qualparse.advance st;
+        let name =
+          match Qualparse.peek st with
+          | Token.IDENT s ->
+              Qualparse.advance st;
+              s
+          | t -> fail "expected a name after 'val', found '%s'" (Token.to_string t)
+        in
+        Qualparse.expect st Token.COLON "':'";
+        let env = { st; tyvars = []; binders = [] } in
+        let ty = parse_type env in
+        specs := (Ident.of_string name, ty) :: !specs;
+        loop ()
+    | t -> fail "expected 'val', found '%s'" (Token.to_string t)
+  in
+  (try loop () with Qualparse.Parse_error m -> raise (Error m));
+  List.rev !specs
+
+let lookup (specs : t) (x : Ident.t) : Rtype.t option = List.assoc_opt x specs
+
+let pp ppf (specs : t) =
+  List.iter
+    (fun (x, ty) -> Fmt.pf ppf "val %a : %a@." Ident.pp x Rtype.pp ty)
+    specs
+
+(* -- Alignment with inferred ML shapes ------------------------------------------ *)
+
+exception Misaligned of string
+
+(** Rename the specification's type variables to the ids the inferred ML
+    type uses at the same positions, so that constraint splitting sees
+    matching [Tyvar] ids.  Fails ({!Misaligned}) if the specification is
+    less general than the inferred type (a concrete type against an ML
+    type variable, or one spec variable against two distinct ML
+    variables). *)
+let align_tyvars (spec_rt : Rtype.t) (ml : Liquid_typing.Mltype.t) : Rtype.t =
+  let open Liquid_typing in
+  let mapping : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let target_id ty =
+    match Mltype.repr ty with
+    | Mltype.Tvar { contents = Mltype.Rigid k } -> Some k
+    | Mltype.Tvar { contents = Mltype.Unbound (id, _) } ->
+        Some (Rtype.tyvar_id_of_unbound id)
+    | _ -> None
+  in
+  let rec go (rt : Rtype.t) (ty : Mltype.t) : Rtype.t =
+    match (rt, Mltype.repr ty) with
+    | Rtype.Tyvar (k, r), ty' -> (
+        match target_id ty' with
+        | Some k' -> (
+            match Hashtbl.find_opt mapping k with
+            | Some prev when prev <> k' ->
+                raise
+                  (Misaligned
+                     "one specification type variable covers two distinct \
+                      inferred type variables")
+            | _ ->
+                Hashtbl.replace mapping k k';
+                Rtype.Tyvar (k', r))
+        | None ->
+            raise
+              (Misaligned
+                 "specification uses a type variable where a concrete type \
+                  was inferred"))
+    | Rtype.Base _, (Mltype.Tint | Mltype.Tbool | Mltype.Tunit) -> rt
+    | Rtype.Fun (x, a, b), Mltype.Tarrow (ta, tb) ->
+        Rtype.Fun (x, go a ta, go b tb)
+    | Rtype.Tuple ts, Mltype.Ttuple tys when List.length ts = List.length tys
+      ->
+        Rtype.Tuple (List.map2 go ts tys)
+    | Rtype.List (t, r), Mltype.Tlist ty -> Rtype.List (go t ty, r)
+    | Rtype.Array (t, r), Mltype.Tarray ty -> Rtype.Array (go t ty, r)
+    | _, ty' ->
+        raise
+          (Misaligned
+             (Fmt.str
+                "specification shape does not match the inferred type %a"
+                Mltype.pp ty'))
+  in
+  go spec_rt ml

@@ -1,0 +1,36 @@
+(** Refinement-type specifications — modular, checkable signatures for
+    top-level bindings (DSOLVE accepted an interface file the same way).
+
+    Syntax, one declaration per binding:
+
+    {v
+      val sum    : k:int -> {v:int | v >= k && 0 <= v}
+      val append : xs:'a list -> ys:'a list ->
+                   {v:'a list | llen v = llen xs + llen ys}
+    v}
+
+    A specified binding is {e checked} (inferred <: specification, with
+    failures reported as "specification check" obligations) and {e used
+    modularly} (later bindings, and the body of a specified recursive
+    function, see only the specification). *)
+
+open Liquid_common
+
+exception Error of string
+
+type t = (Ident.t * Rtype.t) list
+
+(** @raise Error on syntax or sorting problems. *)
+val parse_string : string -> t
+
+val lookup : t -> Ident.t -> Rtype.t option
+
+val pp : Format.formatter -> t -> unit
+
+exception Misaligned of string
+
+(** Rename the specification's type variables to the ids the inferred ML
+    type uses at the same positions.
+    @raise Misaligned if the specification's shape does not match or is
+    less general than the inferred type. *)
+val align_tyvars : Rtype.t -> Liquid_typing.Mltype.t -> Rtype.t

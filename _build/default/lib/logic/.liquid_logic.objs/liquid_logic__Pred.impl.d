@@ -1,0 +1,1 @@
+lib/logic/pred.ml: Fmt Hashtbl Ident Liquid_common List Listx Sort Stdlib Symbol Term

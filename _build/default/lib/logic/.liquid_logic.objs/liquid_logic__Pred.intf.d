@@ -1,0 +1,1 @@
+lib/logic/pred.mli: Format Ident Liquid_common Sort Symbol Term

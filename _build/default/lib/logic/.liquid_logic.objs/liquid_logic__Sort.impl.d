@@ -1,0 +1,1 @@
+lib/logic/sort.ml: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/logic/symbol.ml: Fmt Hashtbl List Printf Sort String

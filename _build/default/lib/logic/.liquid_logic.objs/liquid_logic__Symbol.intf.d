@@ -1,0 +1,1 @@
+lib/logic/symbol.mli: Format Sort

@@ -1,0 +1,1 @@
+lib/logic/term.ml: Fmt Ident Liquid_common List Listx Printf Sort Stdlib Symbol

@@ -1,0 +1,1 @@
+lib/logic/term.mli: Format Ident Liquid_common Sort Symbol

@@ -1,0 +1,292 @@
+(** Predicates (quantifier-free formulas) of the refinement logic.
+
+    A refinement predicate is a boolean combination of:
+    - arithmetic/equality atoms between {!Term}s,
+    - boolean program variables ([Bvar]),
+    - the constants [True]/[False].
+
+    Boolean-sorted program values never appear inside terms; equality of
+    boolean expressions is expressed with [Iff].  This keeps the term
+    language two-sorted (Int/Obj) and the SMT theory layer simple. *)
+
+open Liquid_common
+
+type brel = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Atom of Term.t * brel * Term.t
+  | Bvar of Ident.t (* boolean program variable, as a proposition *)
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Imp of t * t
+  | Iff of t * t
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let brel_compare (a : brel) (b : brel) = Stdlib.compare a b
+
+let rec compare a b =
+  match (a, b) with
+  | True, True | False, False -> 0
+  | True, _ -> -1
+  | _, True -> 1
+  | False, _ -> -1
+  | _, False -> 1
+  | Atom (t1, r, t2), Atom (u1, s, u2) ->
+      let c = Term.compare t1 u1 in
+      if c <> 0 then c
+      else
+        let c = brel_compare r s in
+        if c <> 0 then c else Term.compare t2 u2
+  | Atom _, _ -> -1
+  | _, Atom _ -> 1
+  | Bvar x, Bvar y -> Ident.compare x y
+  | Bvar _, _ -> -1
+  | _, Bvar _ -> 1
+  | Not p, Not q -> compare p q
+  | Not _, _ -> -1
+  | _, Not _ -> 1
+  | And ps, And qs | Or ps, Or qs -> List.compare compare ps qs
+  | And _, _ -> -1
+  | _, And _ -> 1
+  | Or _, _ -> -1
+  | _, Or _ -> 1
+  | Imp (p1, p2), Imp (q1, q2) | Iff (p1, p2), Iff (q1, q2) ->
+      let c = compare p1 q1 in
+      if c <> 0 then c else compare p2 q2
+  | Imp _, _ -> -1
+  | _, Imp _ -> 1
+
+let equal a b = compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tt = True
+let ff = False
+
+let atom t1 r t2 =
+  match (t1, r, t2) with
+  | Term.Int m, Eq, Term.Int n -> if m = n then True else False
+  | Term.Int m, Ne, Term.Int n -> if m <> n then True else False
+  | Term.Int m, Lt, Term.Int n -> if m < n then True else False
+  | Term.Int m, Le, Term.Int n -> if m <= n then True else False
+  | Term.Int m, Gt, Term.Int n -> if m > n then True else False
+  | Term.Int m, Ge, Term.Int n -> if m >= n then True else False
+  | _ -> if Term.equal t1 t2 then (
+      match r with Eq | Le | Ge -> True | Ne | Lt | Gt -> False)
+    else Atom (t1, r, t2)
+
+let eq a b = atom a Eq b
+let ne a b = atom a Ne b
+let lt a b = atom a Lt b
+let le a b = atom a Le b
+let gt a b = atom a Gt b
+let ge a b = atom a Ge b
+
+let bvar x = Bvar x
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not p -> p
+  | Atom (a, Eq, b) -> Atom (a, Ne, b)
+  | Atom (a, Ne, b) -> Atom (a, Eq, b)
+  | Atom (a, Lt, b) -> Atom (a, Ge, b)
+  | Atom (a, Le, b) -> Atom (a, Gt, b)
+  | Atom (a, Gt, b) -> Atom (a, Le, b)
+  | Atom (a, Ge, b) -> Atom (a, Lt, b)
+  | p -> Not p
+
+let conj ps =
+  let ps =
+    List.concat_map (function True -> [] | And qs -> qs | p -> [ p ]) ps
+  in
+  if List.exists (fun p -> p = False) ps then False
+  else
+    match Listx.dedup_ordered ~compare ps with
+    | [] -> True
+    | [ p ] -> p
+    | ps -> And ps
+
+let disj ps =
+  let ps =
+    List.concat_map (function False -> [] | Or qs -> qs | p -> [ p ]) ps
+  in
+  if List.exists (fun p -> p = True) ps then True
+  else
+    match Listx.dedup_ordered ~compare ps with
+    | [] -> False
+    | [ p ] -> p
+    | ps -> Or ps
+
+let and_ p q = conj [ p; q ]
+let or_ p q = disj [ p; q ]
+
+let imp p q =
+  match (p, q) with
+  | True, q -> q
+  | False, _ -> True
+  | _, True -> True
+  | p, False -> not_ p
+  | _ -> if equal p q then True else Imp (p, q)
+
+let iff p q =
+  match (p, q) with
+  | True, q -> q
+  | q, True -> q
+  | False, q -> not_ q
+  | q, False -> not_ q
+  | _ -> if equal p q then True else Iff (p, q)
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec fold_atoms f acc = function
+  | True | False -> acc
+  | Atom _ as a -> f acc a
+  | Bvar _ as a -> f acc a
+  | Not p -> fold_atoms f acc p
+  | And ps | Or ps -> List.fold_left (fold_atoms f) acc ps
+  | Imp (p, q) | Iff (p, q) -> fold_atoms f (fold_atoms f acc p) q
+
+let free_vars p =
+  let atom_vars acc = function
+    | Atom (a, _, b) -> Term.free_vars (Term.free_vars acc a) b
+    | Bvar x -> (x, Sort.Bool) :: acc
+    | _ -> acc
+  in
+  Listx.dedup_ordered
+    ~compare:(fun (x, _) (y, _) -> Ident.compare x y)
+    (fold_atoms atom_vars [] p)
+
+let mem_var x p = List.exists (fun (y, _) -> Ident.equal x y) (free_vars p)
+
+(** Uninterpreted symbols appearing in a predicate. *)
+let symbols p =
+  let rec term_syms acc = function
+    | Term.App (f, ts) -> List.fold_left term_syms (f :: acc) ts
+    | Term.Neg t -> term_syms acc t
+    | Term.Add (a, b) | Term.Sub (a, b) | Term.Mul (a, b) ->
+        term_syms (term_syms acc a) b
+    | Term.Int _ | Term.Var _ -> acc
+  in
+  let atom_syms acc = function
+    | Atom (a, _, b) -> term_syms (term_syms acc a) b
+    | _ -> acc
+  in
+  Listx.dedup_ordered ~compare:Symbol.compare (fold_atoms atom_syms [] p)
+
+(* ------------------------------------------------------------------ *)
+(* Substitution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Values substitutable for a variable: a term (for [Int]/[Obj]-sorted
+    variables) or a predicate (for [Bool]-sorted variables appearing as
+    [Bvar] atoms). *)
+type value = Tm of Term.t | Pr of t
+
+type subst = value Ident.Map.t
+
+let term_part (m : subst) : Term.t Ident.Map.t =
+  Ident.Map.filter_map (fun _ -> function Tm t -> Some t | Pr _ -> None) m
+
+let rec subst (m : subst) p =
+  match p with
+  | True | False -> p
+  | Atom (a, r, b) ->
+      let tm = term_part m in
+      atom (Term.subst tm a) r (Term.subst tm b)
+  | Bvar x -> (
+      match Ident.Map.find_opt x m with
+      | Some (Pr q) -> q
+      | Some (Tm (Term.Var (y, Sort.Bool))) -> Bvar y
+      | Some (Tm _) -> p (* ill-sorted substitution: ignore, keep atom *)
+      | None -> p)
+  | Not q -> not_ (subst m q)
+  | And ps -> conj (List.map (subst m) ps)
+  | Or ps -> disj (List.map (subst m) ps)
+  | Imp (q, r) -> imp (subst m q) (subst m r)
+  | Iff (q, r) -> iff (subst m q) (subst m r)
+
+let subst1 x v p = subst (Ident.Map.singleton x v) p
+
+let subst_term x t p = subst1 x (Tm t) p
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_brel ppf r =
+  Fmt.string ppf
+    (match r with
+    | Eq -> "="
+    | Ne -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Atom (a, r, b) -> Fmt.pf ppf "%a %a %a" Term.pp a pp_brel r Term.pp b
+  | Bvar x -> Ident.pp ppf x
+  | Not p -> Fmt.pf ppf "not (%a)" pp p
+  | And ps -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " && ") pp) ps
+  | Or ps -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " || ") pp) ps
+  | Imp (p, q) -> Fmt.pf ppf "(%a => %a)" pp p pp q
+  | Iff (p, q) -> Fmt.pf ppf "(%a <=> %a)" pp p pp q
+
+let to_string p = Fmt.str "%a" pp p
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation (used by property tests to cross-check the SMT solver)   *)
+(* ------------------------------------------------------------------ *)
+
+(** Ground evaluation of a term under an integer assignment.  [Obj]-sorted
+    variables and uninterpreted applications are evaluated by hashing
+    (a fixed interpretation), which is enough to refute bogus validity
+    claims in randomized tests. *)
+let rec eval_term (env : int Ident.Map.t) (t : Term.t) : int =
+  match t with
+  | Term.Int n -> n
+  | Term.Var (x, _) -> (
+      match Ident.Map.find_opt x env with
+      | Some v -> v
+      | None -> Hashtbl.hash x mod 17)
+  | Term.App (f, ts) ->
+      let args = List.map (eval_term env) ts in
+      Hashtbl.hash (Symbol.name f, args) mod 1009
+  | Term.Neg t -> -eval_term env t
+  | Term.Add (a, b) -> eval_term env a + eval_term env b
+  | Term.Sub (a, b) -> eval_term env a - eval_term env b
+  | Term.Mul (a, b) -> eval_term env a * eval_term env b
+
+let rec eval (ienv : int Ident.Map.t) (benv : bool Ident.Map.t) (p : t) : bool =
+  match p with
+  | True -> true
+  | False -> false
+  | Atom (a, r, b) -> (
+      let x = eval_term ienv a and y = eval_term ienv b in
+      match r with
+      | Eq -> x = y
+      | Ne -> x <> y
+      | Lt -> x < y
+      | Le -> x <= y
+      | Gt -> x > y
+      | Ge -> x >= y)
+  | Bvar x -> (
+      match Ident.Map.find_opt x benv with Some b -> b | None -> false)
+  | Not p -> not (eval ienv benv p)
+  | And ps -> List.for_all (eval ienv benv) ps
+  | Or ps -> List.exists (eval ienv benv) ps
+  | Imp (p, q) -> (not (eval ienv benv p)) || eval ienv benv q
+  | Iff (p, q) -> eval ienv benv p = eval ienv benv q

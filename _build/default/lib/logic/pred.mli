@@ -1,0 +1,84 @@
+(** Predicates (quantifier-free formulas) of the refinement logic:
+    boolean combinations of arithmetic/equality atoms between {!Term}s
+    and boolean program variables. *)
+
+open Liquid_common
+
+type brel = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Atom of Term.t * brel * Term.t
+  | Bvar of Ident.t (* boolean program variable, as a proposition *)
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Imp of t * t
+  | Iff of t * t
+
+val brel_compare : brel -> brel -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** {1 Smart constructors} — fold constants, flatten and deduplicate
+    connectives, push negation through atoms. *)
+
+val tt : t
+val ff : t
+val atom : Term.t -> brel -> Term.t -> t
+val eq : Term.t -> Term.t -> t
+val ne : Term.t -> Term.t -> t
+val lt : Term.t -> Term.t -> t
+val le : Term.t -> Term.t -> t
+val gt : Term.t -> Term.t -> t
+val ge : Term.t -> Term.t -> t
+val bvar : Ident.t -> t
+val not_ : t -> t
+val conj : t list -> t
+val disj : t list -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val imp : t -> t -> t
+val iff : t -> t -> t
+
+(** {1 Traversals} *)
+
+(** Fold over the atoms ([Atom]/[Bvar] leaves). *)
+val fold_atoms : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** Free variables with sorts, deduplicated ([Bvar]s are [Bool]). *)
+val free_vars : t -> (Ident.t * Sort.t) list
+
+val mem_var : Ident.t -> t -> bool
+
+(** Uninterpreted symbols appearing in the predicate. *)
+val symbols : t -> Symbol.t list
+
+(** {1 Substitution} *)
+
+(** Values substitutable for a variable: a term, or a predicate (for
+    [Bool]-sorted variables appearing as [Bvar] atoms). *)
+type value = Tm of Term.t | Pr of t
+
+type subst = value Ident.Map.t
+
+(** Term-valued part of a substitution. *)
+val term_part : subst -> Term.t Ident.Map.t
+
+val subst : subst -> t -> t
+val subst1 : Ident.t -> value -> t -> t
+val subst_term : Ident.t -> Term.t -> t -> t
+
+(** {1 Printing} *)
+
+val pp_brel : Format.formatter -> brel -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Ground evaluation} (used by property tests to cross-check the SMT
+    solver against brute force; uninterpreted entities evaluate by
+    hashing). *)
+
+val eval_term : int Ident.Map.t -> Term.t -> int
+val eval : int Ident.Map.t -> bool Ident.Map.t -> t -> bool

@@ -1,0 +1,65 @@
+(** Uninterpreted function symbols of the refinement logic.
+
+    The logic of the paper is the quantifier-free theory of equality,
+    linear arithmetic and uninterpreted functions (EUFA).  Uninterpreted
+    symbols let refinements speak about opaque properties of [Obj]-sorted
+    values.  The two symbols DSOLVE relies on are:
+
+    - [len : Obj -> Int] — the length of an array (the output type of
+      [Array.make] is refined with [len ν = n] and the array-access
+      primitives demand [0 <= i < len a]);
+    - [mul : Int * Int -> Int] — non-linear multiplication, which falls
+      outside linear arithmetic and is therefore treated as an
+      uninterpreted function (sound, incomplete).
+
+    Additional symbols (e.g. measures on user data types) can be
+    registered by extensions. *)
+
+type t = { name : string; signature : Sort.signature }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let declare name signature =
+  match Hashtbl.find_opt table name with
+  | Some existing ->
+      if existing.signature = signature then existing
+      else
+        invalid_arg
+          (Printf.sprintf "Symbol.declare: %s redeclared with a new signature"
+             name)
+  | None ->
+      let s = { name; signature } in
+      Hashtbl.add table name s;
+      s
+
+let find_opt name = Hashtbl.find_opt table name
+
+let name t = t.name
+let signature t = t.signature
+let arity t = List.length t.signature.args
+let result_sort t = t.signature.result
+
+let equal a b = String.equal a.name b.name
+let compare a b = String.compare a.name b.name
+let hash t = Hashtbl.hash t.name
+
+let pp ppf t = Fmt.string ppf t.name
+
+(* Built-in symbols. *)
+
+(** Array length. *)
+let len = declare "len" { args = [ Sort.Obj ]; result = Sort.Int }
+
+(** List length measure (the PLDI'09 follow-up extension): [Nil] has
+    [llen = 0], [Cons] adds one, and match cases learn the corresponding
+    facts about their scrutinee. *)
+let llen = declare "llen" { args = [ Sort.Obj ]; result = Sort.Int }
+
+(** Non-linear integer multiplication, left uninterpreted. *)
+let mul = declare "mul" { args = [ Sort.Int; Sort.Int ]; result = Sort.Int }
+
+(** Non-linear / non-constant integer division, left uninterpreted. *)
+let div = declare "div" { args = [ Sort.Int; Sort.Int ]; result = Sort.Int }
+
+(** Integer remainder, left uninterpreted (refined at the type level). *)
+let imod = declare "mod" { args = [ Sort.Int; Sort.Int ]; result = Sort.Int }

@@ -1,0 +1,38 @@
+(** Uninterpreted function symbols of the refinement logic (EUFA).
+
+    Symbols are interned by name; redeclaring a name with a different
+    signature is an error. *)
+
+type t
+
+(** Declare (or look up) a symbol.
+    @raise Invalid_argument on signature mismatch with a previous
+    declaration. *)
+val declare : string -> Sort.signature -> t
+
+val find_opt : string -> t option
+
+val name : t -> string
+val signature : t -> Sort.signature
+val arity : t -> int
+val result_sort : t -> Sort.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Array length: [len : Obj -> Int]. *)
+val len : t
+
+(** List length measure: [llen : Obj -> Int]. *)
+val llen : t
+
+(** Non-linear multiplication, uninterpreted: [mul : Int * Int -> Int]. *)
+val mul : t
+
+(** Non-constant division, uninterpreted. *)
+val div : t
+
+(** Remainder, uninterpreted (refined at the type level). *)
+val imod : t

@@ -1,0 +1,133 @@
+(** First-order terms of the refinement logic.
+
+    Terms are sorted ({!Sort.Int} or {!Sort.Obj}); boolean program values
+    appear at the predicate level (see {!Pred}), never as terms.  Variables
+    carry their sort so downstream passes (qualifier instantiation, the SMT
+    solver) never need a symbol table.
+
+    Multiplication is kept as a syntactic node: the SMT front end
+    linearizes products with a constant operand and purifies genuinely
+    non-linear products into the uninterpreted symbol {!Symbol.mul}. *)
+
+open Liquid_common
+
+type t =
+  | Int of int
+  | Var of Ident.t * Sort.t
+  | App of Symbol.t * t list
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+
+let rec compare a b =
+  match (a, b) with
+  | Int m, Int n -> Stdlib.compare m n
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Var (x, sx), Var (y, sy) ->
+      let c = Ident.compare x y in
+      if c <> 0 then c else Sort.compare sx sy
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | App (f, ts), App (g, us) ->
+      let c = Symbol.compare f g in
+      if c <> 0 then c else List.compare compare ts us
+  | App _, _ -> -1
+  | _, App _ -> 1
+  | Neg a, Neg b -> compare a b
+  | Neg _, _ -> -1
+  | _, Neg _ -> 1
+  | Add (a1, a2), Add (b1, b2) | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2) ->
+      let c = compare a1 b1 in
+      if c <> 0 then c else compare a2 b2
+  | Add _, _ -> -1
+  | _, Add _ -> 1
+  | Sub _, _ -> -1
+  | _, Sub _ -> 1
+
+let equal a b = compare a b = 0
+
+(** Sort of a term.  Arithmetic nodes are always [Int]; applications have
+    the result sort of their head symbol. *)
+let sort = function
+  | Int _ -> Sort.Int
+  | Var (_, s) -> s
+  | App (f, _) -> Symbol.result_sort f
+  | Neg _ | Add _ | Sub _ | Mul _ -> Sort.Int
+
+let rec free_vars acc = function
+  | Int _ -> acc
+  | Var (x, s) -> (x, s) :: acc
+  | App (_, ts) -> List.fold_left free_vars acc ts
+  | Neg t -> free_vars acc t
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> free_vars (free_vars acc a) b
+
+(** Free variables with their sorts, deduplicated. *)
+let vars t =
+  Listx.dedup_ordered
+    ~compare:(fun (x, _) (y, _) -> Ident.compare x y)
+    (free_vars [] t)
+
+let mem_var x t = List.exists (fun (y, _) -> Ident.equal x y) (vars t)
+
+(** Capture-avoiding substitution of terms for variables (the logic has no
+    binders, so "capture-avoiding" is vacuous; substitution is simultaneous). *)
+let rec subst (m : t Ident.Map.t) = function
+  | Int _ as t -> t
+  | Var (x, _) as t -> ( match Ident.Map.find_opt x m with Some u -> u | None -> t)
+  | App (f, ts) -> App (f, List.map (subst m) ts)
+  | Neg t -> Neg (subst m t)
+  | Add (a, b) -> Add (subst m a, subst m b)
+  | Sub (a, b) -> Sub (subst m a, subst m b)
+  | Mul (a, b) -> Mul (subst m a, subst m b)
+
+let subst1 x u t = subst (Ident.Map.singleton x u) t
+
+(* Smart constructors perform light constant folding; they keep terms small
+   which directly shrinks SMT queries. *)
+
+let int n = Int n
+let var x s = Var (x, s)
+let app f ts =
+  if List.length ts <> Symbol.arity f then
+    invalid_arg (Printf.sprintf "Term.app: arity mismatch for %s" (Symbol.name f));
+  App (f, ts)
+
+let add a b =
+  match (a, b) with
+  | Int 0, t | t, Int 0 -> t
+  | Int m, Int n -> Int (m + n)
+  | _ -> Add (a, b)
+
+let sub a b =
+  match (a, b) with
+  | t, Int 0 -> t
+  | Int m, Int n -> Int (m - n)
+  | _ -> Sub (a, b)
+
+let neg = function Int n -> Int (-n) | Neg t -> t | t -> Neg t
+
+let mul a b =
+  match (a, b) with
+  | Int 0, _ | _, Int 0 -> Int 0
+  | Int 1, t | t, Int 1 -> t
+  | Int m, Int n -> Int (m * n)
+  | _ -> Mul (a, b)
+
+let len a = app Symbol.len [ a ]
+
+let llen l = app Symbol.llen [ l ]
+
+let rec pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Var (x, _) -> Ident.pp ppf x
+  | App (f, ts) ->
+      Fmt.pf ppf "%a(%a)" Symbol.pp f Fmt.(list ~sep:comma pp) ts
+  | Neg t -> Fmt.pf ppf "(- %a)" pp t
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,57 @@
+(** First-order terms of the refinement logic.
+
+    Terms are sorted ({!Sort.Int} or {!Sort.Obj}); boolean program values
+    appear at the predicate level ({!Pred}), never as terms.  Variables
+    carry their sort so downstream passes never need a symbol table. *)
+
+open Liquid_common
+
+type t =
+  | Int of int
+  | Var of Ident.t * Sort.t
+  | App of Symbol.t * t list
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t (* linearized or purified to [Symbol.mul] downstream *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Sort of a term; arithmetic is [Int], applications use the head's
+    result sort. *)
+val sort : t -> Sort.t
+
+(** Free variables with sorts, in occurrence order; [free_vars] is the
+    accumulating raw version, [vars] deduplicates. *)
+val free_vars : (Ident.t * Sort.t) list -> t -> (Ident.t * Sort.t) list
+
+val vars : t -> (Ident.t * Sort.t) list
+val mem_var : Ident.t -> t -> bool
+
+(** Simultaneous substitution of terms for variables. *)
+val subst : t Ident.Map.t -> t -> t
+
+val subst1 : Ident.t -> t -> t -> t
+
+(** Smart constructors; fold constants and drop units. *)
+
+val int : int -> t
+val var : Ident.t -> Sort.t -> t
+
+(** @raise Invalid_argument on arity mismatch. *)
+val app : Symbol.t -> t list -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+(** [len a] — array length of an [Obj] term. *)
+val len : t -> t
+
+(** [llen l] — list length measure of an [Obj] term. *)
+val llen : t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/smt/cc.ml: Array Hashtbl Liquid_logic List Symbol

@@ -1,0 +1,1 @@
+lib/smt/cc.mli: Liquid_logic Symbol

@@ -1,0 +1,1 @@
+lib/smt/dpll.ml: Array Liquid_logic List Prop Theory

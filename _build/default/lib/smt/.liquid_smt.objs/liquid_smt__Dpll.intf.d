@@ -1,0 +1,1 @@
+lib/smt/dpll.mli: Liquid_logic

@@ -1,0 +1,1 @@
+lib/smt/fm.ml: Int Linexp Liquid_common List Rat Simplex

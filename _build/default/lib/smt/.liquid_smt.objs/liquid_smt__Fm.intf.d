@@ -1,0 +1,1 @@
+lib/smt/fm.mli: Linexp Rat Simplex

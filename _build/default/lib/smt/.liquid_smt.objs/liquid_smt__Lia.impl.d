@@ -1,0 +1,1 @@
+lib/smt/lia.ml: Array Fun Linexp List Rat Simplex Unix

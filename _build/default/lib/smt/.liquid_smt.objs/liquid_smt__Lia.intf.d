@@ -1,0 +1,1 @@
+lib/smt/lia.mli: Linexp Rat

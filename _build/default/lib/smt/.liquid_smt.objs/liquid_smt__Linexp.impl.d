@@ -1,0 +1,1 @@
+lib/smt/linexp.ml: Fmt Int Map Rat

@@ -1,0 +1,1 @@
+lib/smt/linexp.mli: Format Rat

@@ -1,0 +1,1 @@
+lib/smt/prop.ml: Array Hashtbl Liquid_logic List Pred Term

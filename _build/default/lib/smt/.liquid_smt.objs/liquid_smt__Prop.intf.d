@@ -1,0 +1,1 @@
+lib/smt/prop.mli: Liquid_logic Pred

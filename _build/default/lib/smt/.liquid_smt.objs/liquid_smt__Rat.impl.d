@@ -1,0 +1,1 @@
+lib/smt/rat.ml: Fmt Stdlib

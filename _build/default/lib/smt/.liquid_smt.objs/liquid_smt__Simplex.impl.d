@@ -1,0 +1,1 @@
+lib/smt/simplex.ml: Array Linexp List Rat

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Dpll Fmt Hashtbl Liquid_common Liquid_logic List Map Pred Unix

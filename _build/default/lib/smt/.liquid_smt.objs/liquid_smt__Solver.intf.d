@@ -1,0 +1,1 @@
+lib/smt/solver.mli: Format Liquid_logic Pred

@@ -1,0 +1,1 @@
+lib/smt/theory.ml: Array Buffer Cc Fmt Hashtbl Ident Int Lia Linexp Liquid_common Liquid_logic List Listx Pred Rat Sort String Symbol Term

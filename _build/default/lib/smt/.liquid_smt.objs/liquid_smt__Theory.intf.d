@@ -1,0 +1,1 @@
+lib/smt/theory.mli: Liquid_logic Pred

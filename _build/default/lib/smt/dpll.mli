@@ -1,0 +1,19 @@
+(** Lazy-SMT search: DPLL over the propositional abstraction with theory
+    checks at propositional models, unsat-core-minimized blocking
+    clauses, and a propagation-only fast path. *)
+
+type result = Sat | Unsat | Unknown
+
+(** Counterexample assignment (label -> value) of the last [Sat]
+    answer. *)
+val last_model : (string * int) list ref
+
+(** Instrumentation counters (models enumerated across all queries, the
+    maximum for a single query, the largest atom count seen). *)
+
+val models_total : int ref
+val max_models : int ref
+val max_atoms : int ref
+
+(** Satisfiability of a quantifier-free EUFLIA predicate. *)
+val check_sat : Liquid_logic.Pred.t -> result

@@ -1,0 +1,139 @@
+(** Linear integer arithmetic on top of the rational simplex.
+
+    Decides conjunctions of linear constraints over {e integer} variables:
+
+    - strict inequalities are tightened ([e < c] becomes [e <= c-1] once
+      coefficients are scaled to integers), which alone decides almost all
+      liquid-type queries;
+    - equalities get the GCD divisibility test;
+    - any remaining fractional model values are handled by bounded
+      branch-and-bound; exhausting the node budget yields [`Unknown],
+      which callers must treat as "possibly satisfiable" (sound for a
+      validity checker). *)
+
+type op = Le | Lt | Eq
+
+type cons = { exp : Linexp.t; op : op; rhs : Rat.t }
+
+type result = Sat of Rat.t array | Unsat | Unknown
+
+let default_budget = 400
+
+let ncalls = ref 0
+let nnodes_total = ref 0
+let time_in = ref 0.0
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let rec lcm_den acc le =
+  match le with
+  | [] -> acc
+  | d :: rest ->
+      let g = gcd acc d in
+      lcm_den (Rat.mul_int (acc / g) d) rest
+
+(** Scale a constraint so that all variable coefficients are integers,
+    divide through by their GCD, and tighten.  Returns [None] if the
+    constraint is detected unsatisfiable outright (GCD test). *)
+let normalize { exp; op; rhs } : cons option option =
+  (* Fold the constant term into the right-hand side. *)
+  let rhs = Rat.sub rhs (Linexp.constant exp) in
+  let exp = Linexp.sub exp (Linexp.const (Linexp.constant exp)) in
+  let dens = Linexp.fold (fun _ c acc -> Rat.den c :: acc) exp [ Rat.den rhs ] in
+  let m = lcm_den 1 dens in
+  let exp = Linexp.scale (Rat.of_int m) exp in
+  let rhs = Rat.mul (Rat.of_int m) rhs in
+  (* Now all coefficients are integers; rhs may still be fractional only if
+     m missed its denominator, which lcm prevents. *)
+  let g = Linexp.fold (fun _ c acc -> gcd acc (Rat.num c)) exp 0 in
+  if g = 0 then
+    (* No variables: decide now. *)
+    let sat =
+      match op with
+      | Le -> Rat.le Rat.zero rhs
+      | Lt -> Rat.lt Rat.zero rhs
+      | Eq -> Rat.is_zero rhs
+    in
+    if sat then Some None else None
+  else
+    let exp = Linexp.scale (Rat.make 1 g) exp in
+    let rhs = Rat.div rhs (Rat.of_int g) in
+    match op with
+    | Eq ->
+        if Rat.is_integer rhs then Some (Some { exp; op = Eq; rhs })
+        else None (* GCD test: g*e' = rhs with rhs not divisible by g *)
+    | Le | Lt ->
+        (* e' <= rhs (or <) with integer coefficients and integer-valued e':
+           tighten the bound to an integer. *)
+        let bound =
+          match (op, Rat.is_integer rhs) with
+          | Lt, true -> Rat.sub rhs Rat.one
+          | Lt, false | Le, false -> Rat.of_int (Rat.floor rhs)
+          | Le, true -> rhs
+          | Eq, _ -> assert false
+        in
+        Some (Some { exp; op = Le; rhs = bound })
+
+let to_simplex { exp; op; rhs } =
+  match op with
+  | Le -> Simplex.cons exp Simplex.Le rhs
+  | Eq -> Simplex.cons exp Simplex.Eq rhs
+  | Lt -> (* eliminated by [normalize] *) Simplex.cons exp Simplex.Le rhs
+
+(** Find a variable with a fractional value in the model. *)
+let fractional model =
+  let n = Array.length model in
+  let rec go i =
+    if i >= n then None
+    else if Rat.is_integer model.(i) then go (i + 1)
+    else Some (i, model.(i))
+  in
+  go 0
+
+let check ?(budget = default_budget) ~nvars (cs : cons list) : result =
+  incr ncalls;
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> time_in := !time_in +. (Unix.gettimeofday () -. t0)) @@ fun () ->
+  let nodes = ref 0 in
+  (* Normalize once up front; later branch constraints are already integral. *)
+  let exception Trivially_unsat in
+  try
+    let cs =
+      List.filter_map
+        (fun c ->
+          match normalize c with
+          | None -> raise Trivially_unsat
+          | Some c' -> c')
+        cs
+    in
+    let rec bb (cs : cons list) : result =
+      incr nodes;
+      incr nnodes_total;
+      if !nodes > budget then Unknown
+      else
+        match Simplex.solve ~nvars (List.map to_simplex cs) with
+        | `Unsat -> Unsat
+        | `Sat model -> (
+            match fractional model with
+            | None -> Sat model
+            | Some (v, value) -> (
+                let lo =
+                  { exp = Linexp.var v; op = Le; rhs = Rat.of_int (Rat.floor value) }
+                in
+                let hi =
+                  {
+                    exp = Linexp.neg (Linexp.var v);
+                    op = Le;
+                    rhs = Rat.of_int (-Rat.ceil value);
+                  }
+                in
+                match bb (lo :: cs) with
+                | Sat m -> Sat m
+                | Unknown -> (
+                    match bb (hi :: cs) with Sat m -> Sat m | r -> if r = Unsat then Unknown else r)
+                | Unsat -> bb (hi :: cs)))
+    in
+    bb cs
+  with
+  | Trivially_unsat -> Unsat
+  | Rat.Overflow -> Unknown

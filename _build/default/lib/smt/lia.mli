@@ -1,0 +1,22 @@
+(** Linear integer arithmetic over the rational simplex: strict-inequality
+    tightening, the GCD test on equalities, and bounded branch-and-bound.
+    [Unknown] (budget or overflow) must be treated as "possibly
+    satisfiable" — sound for a validity checker. *)
+
+type op = Le | Lt | Eq
+
+type cons = { exp : Linexp.t; op : op; rhs : Rat.t }
+
+type result = Sat of Rat.t array | Unsat | Unknown
+
+val default_budget : int
+
+(** Global counters for benchmarking. *)
+
+val ncalls : int ref
+val nnodes_total : int ref
+val time_in : float ref
+
+(** Decide a conjunction of integer constraints over variables
+    [0 .. nvars-1].  [budget] bounds branch-and-bound nodes. *)
+val check : ?budget:int -> nvars:int -> cons list -> result

@@ -1,0 +1,33 @@
+(** Linear expressions over solver variables: a finite map from variable
+    indices to non-zero rational coefficients, plus a constant. *)
+
+type t
+
+val zero : t
+val const : Rat.t -> t
+val var : ?coeff:Rat.t -> int -> t
+
+val is_const : t -> bool
+val constant : t -> Rat.t
+val coeff : int -> t -> Rat.t
+
+val add : t -> t -> t
+val scale : Rat.t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val add_term : int -> Rat.t -> t -> t
+val add_const : Rat.t -> t -> t
+
+(** Remove a variable, returning its coefficient and the remainder. *)
+val remove : int -> t -> Rat.t * t
+
+val fold : (int -> Rat.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (int -> Rat.t -> unit) -> t -> unit
+val vars : t -> int list
+val choose_var : t -> (int * Rat.t) option
+
+(** Evaluate under a total assignment. *)
+val eval : (int -> Rat.t) -> t -> Rat.t
+
+val compare : t -> t -> int
+val pp : (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit

@@ -1,0 +1,136 @@
+(** Propositional abstraction of predicates.
+
+    Maps a {!Liquid_logic.Pred} formula to CNF over propositional
+    variables via Tseitin encoding.  Theory atoms occupy the low variable
+    ids ([0 .. natoms-1]); Tseitin definition variables come after, so the
+    DPLL layer can cheaply project a propositional model onto theory
+    literals.
+
+    Atoms are canonicalized before being interned ([Gt]/[Ge] swap into
+    [Lt]/[Le]; [Ne] becomes negated [Eq]; equalities are oriented by term
+    order) so that syntactic variants share a propositional variable. *)
+
+open Liquid_logic
+
+(** A literal is [v+1] (positive) or [-(v+1)] (negative) for variable [v]. *)
+type lit = int
+
+type clause = lit list
+
+type cnf = {
+  clauses : clause list;
+  natoms : int; (* theory atoms are variables [0 .. natoms-1] *)
+  atoms : Pred.t array; (* atom of each theory variable *)
+  root : lit; (* literal representing the whole formula *)
+}
+
+type builder = {
+  mutable next : int;
+  atom_tbl : (Pred.t, int) Hashtbl.t;
+  mutable atom_list : Pred.t list; (* reversed *)
+  mutable cls : clause list;
+}
+
+let lit_of v = v + 1
+let neg_lit l = -l
+
+(** Canonicalize an atom; returns the canonical atom and a polarity flip. *)
+let canon (p : Pred.t) : Pred.t * bool =
+  match p with
+  | Pred.Atom (a, r, b) -> (
+      match r with
+      | Pred.Gt -> (Pred.Atom (b, Pred.Lt, a), true)
+      | Pred.Ge -> (Pred.Atom (b, Pred.Le, a), true)
+      | Pred.Ne ->
+          let a, b = if Term.compare a b <= 0 then (a, b) else (b, a) in
+          (Pred.Atom (a, Pred.Eq, b), false)
+      | Pred.Eq ->
+          let a, b = if Term.compare a b <= 0 then (a, b) else (b, a) in
+          (Pred.Atom (a, Pred.Eq, b), true)
+      | Pred.Lt | Pred.Le -> (p, true))
+  | _ -> (p, true)
+
+let atom_var bld p =
+  match Hashtbl.find_opt bld.atom_tbl p with
+  | Some v -> v
+  | None ->
+      let v = bld.next in
+      bld.next <- v + 1;
+      Hashtbl.add bld.atom_tbl p v;
+      bld.atom_list <- p :: bld.atom_list;
+      v
+
+(* Tseitin encoding.  [encode] returns a literal equivalent to the
+   subformula; definitional clauses are emitted into [bld.cls]. *)
+
+let fresh_var bld =
+  let v = bld.next in
+  bld.next <- v + 1;
+  (* Keep [atom_list] aligned: Tseitin vars are not theory atoms, but we
+     only allocate them after all atoms are interned (two-pass), so no
+     placeholder is needed. *)
+  v
+
+let add bld c = bld.cls <- c :: bld.cls
+
+let rec encode bld (p : Pred.t) : lit =
+  match p with
+  | Pred.True ->
+      let v = fresh_var bld in
+      add bld [ lit_of v ];
+      lit_of v
+  | Pred.False ->
+      let v = fresh_var bld in
+      add bld [ lit_of v ];
+      neg_lit (lit_of v)
+  | Pred.Atom _ | Pred.Bvar _ ->
+      let q, pos = canon p in
+      let l = lit_of (atom_var bld q) in
+      if pos then l else neg_lit l
+  | Pred.Not q -> neg_lit (encode bld q)
+  | Pred.And ps ->
+      let ls = List.map (encode bld) ps in
+      let v = lit_of (fresh_var bld) in
+      (* v -> li  and  (l1 & ... & ln) -> v *)
+      List.iter (fun l -> add bld [ neg_lit v; l ]) ls;
+      add bld (v :: List.map neg_lit ls);
+      v
+  | Pred.Or ps ->
+      let ls = List.map (encode bld) ps in
+      let v = lit_of (fresh_var bld) in
+      List.iter (fun l -> add bld [ v; neg_lit l ]) ls;
+      add bld (neg_lit v :: ls);
+      v
+  | Pred.Imp (q, r) -> encode bld (Pred.Or [ Pred.Not q; r ])
+  | Pred.Iff (q, r) ->
+      let a = encode bld q and b = encode bld r in
+      let v = lit_of (fresh_var bld) in
+      add bld [ neg_lit v; neg_lit a; b ];
+      add bld [ neg_lit v; a; neg_lit b ];
+      add bld [ v; a; b ];
+      add bld [ v; neg_lit a; neg_lit b ];
+      v
+
+(** Collect every (canonical) atom of [p] into the builder, so that atom
+    variables form a contiguous prefix. *)
+let intern_atoms bld p =
+  ignore
+    (Pred.fold_atoms
+       (fun () a ->
+         let q, _ = canon a in
+         ignore (atom_var bld q))
+       () p)
+
+let of_pred (p : Pred.t) : cnf =
+  let bld =
+    { next = 0; atom_tbl = Hashtbl.create 32; atom_list = []; cls = [] }
+  in
+  intern_atoms bld p;
+  let natoms = bld.next in
+  let root = encode bld p in
+  {
+    clauses = bld.cls;
+    natoms;
+    atoms = Array.of_list (List.rev bld.atom_list);
+    root;
+  }

@@ -1,0 +1,23 @@
+(** Propositional abstraction: Tseitin CNF over canonicalized theory
+    atoms.  Atoms occupy variable ids [0 .. natoms-1]; Tseitin definition
+    variables follow. *)
+
+open Liquid_logic
+
+(** [v+1] (positive) or [-(v+1)] (negative) for variable [v]. *)
+type lit = int
+
+type clause = lit list
+
+type cnf = {
+  clauses : clause list;
+  natoms : int;
+  atoms : Pred.t array; (* atom of each theory variable *)
+  root : lit; (* literal equivalent to the whole formula *)
+}
+
+(** Canonicalize an atom ([Gt]/[Ge] swapped, [Ne] as negated oriented
+    [Eq]); returns the canonical atom and the polarity. *)
+val canon : Pred.t -> Pred.t * bool
+
+val of_pred : Pred.t -> cnf

@@ -1,0 +1,146 @@
+(** Public SMT interface: validity of quantifier-free EUFLIA implications.
+
+    This is the module the liquid-type fixpoint talks to.  A query asks
+    whether [hyps |- goal] is valid, i.e. whether [And hyps /\ Not goal]
+    is unsatisfiable.  Results are cached (the fixpoint re-checks the same
+    implications many times as the candidate solution shrinks), and global
+    statistics are kept for the benchmark harness. *)
+
+open Liquid_logic
+
+type result = Valid | Invalid | Unknown
+
+type stats = {
+  mutable queries : int; (* total validity queries *)
+  mutable cache_hits : int;
+  mutable sat_checks : int; (* DPLL+theory invocations *)
+  mutable unknowns : int;
+  mutable time : float; (* seconds inside the solver *)
+}
+
+let stats = { queries = 0; cache_hits = 0; sat_checks = 0; unknowns = 0; time = 0.0 }
+
+let reset_stats () =
+  stats.queries <- 0;
+  stats.cache_hits <- 0;
+  stats.sat_checks <- 0;
+  stats.unknowns <- 0;
+  stats.time <- 0.0
+
+let pp_stats ppf () =
+  Fmt.pf ppf "queries=%d cache-hits=%d sat-checks=%d unknowns=%d time=%.3fs"
+    stats.queries stats.cache_hits stats.sat_checks stats.unknowns stats.time
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module PredMap = Map.Make (struct
+  type t = Pred.t
+
+  let compare = Pred.compare
+end)
+
+let cache : result PredMap.t ref = ref PredMap.empty
+
+let cache_enabled = ref true
+
+let clear_cache () = cache := PredMap.empty
+
+(* ------------------------------------------------------------------ *)
+(* Checking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Counterexample for the most recent [Invalid] answer (values the
+    query's source-level integer entities take in a falsifying model). *)
+let last_cex : (string * int) list ref = ref []
+
+let check_formula (q : Pred.t) : result =
+  stats.sat_checks <- stats.sat_checks + 1;
+  match Dpll.check_sat q with
+  | Dpll.Unsat -> Valid
+  | Dpll.Sat ->
+      last_cex := !Dpll.last_model;
+      Invalid
+  | Dpll.Unknown ->
+      stats.unknowns <- stats.unknowns + 1;
+      Unknown
+
+(* ------------------------------------------------------------------ *)
+(* Hypothesis relevance pruning                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Restrict hypotheses to those transitively sharing a variable with the
+    goal.  Dropping hypotheses can only make an implication {e harder} to
+    prove, so pruning is sound for a validity checker; the precision cost
+    (a contradiction among pruned hypotheses is no longer detected) is the
+    classic trade DSOLVE makes, and it shrinks queries dramatically:
+    liquid environments embed every in-scope binding, most of which are
+    irrelevant to any one obligation. *)
+let prune_enabled = ref true
+
+let pred_vars p = List.map fst (Pred.free_vars p)
+
+let prune_hyps (hyps : Pred.t list) (goal : Pred.t) : Pred.t list =
+  if not !prune_enabled then hyps
+  else begin
+    let tagged = List.map (fun h -> (h, pred_vars h)) hyps in
+    let relevant = ref Liquid_common.Ident.Set.empty in
+    List.iter
+      (fun (x, _) -> relevant := Liquid_common.Ident.Set.add x !relevant)
+      (Pred.free_vars goal);
+    let keep = Hashtbl.create 64 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iteri
+        (fun i (_, vars) ->
+          if not (Hashtbl.mem keep i) then
+            if List.exists (fun v -> Liquid_common.Ident.Set.mem v !relevant) vars
+            then begin
+              Hashtbl.add keep i ();
+              List.iter
+                (fun v -> relevant := Liquid_common.Ident.Set.add v !relevant)
+                vars;
+              changed := true
+            end)
+        tagged
+    done;
+    List.filteri
+      (fun i (_, vars) -> vars = [] || Hashtbl.mem keep i)
+      tagged
+    |> List.map fst
+  end
+
+(** [check_valid ~kept hyps goal] decides whether the implication
+    [kept /\ hyps => goal] holds in QF-EUFLIA.  [hyps] are subject to
+    relevance pruning; [kept] hypotheses (typically path guards, whose
+    mutual contradiction must stay detectable) are kept verbatim and seed
+    the relevance closure. *)
+let check_valid ?(kept : Pred.t list = []) (hyps : Pred.t list) (goal : Pred.t)
+    : result =
+  stats.queries <- stats.queries + 1;
+  let hyps = prune_hyps hyps (Pred.conj (goal :: kept)) @ kept in
+  let query = Pred.conj (Pred.not_ goal :: hyps) in
+  match query with
+  | Pred.False -> Valid
+  | Pred.True -> Invalid
+  | _ -> (
+      match
+        if !cache_enabled then PredMap.find_opt query !cache else None
+      with
+      | Some r ->
+          stats.cache_hits <- stats.cache_hits + 1;
+          r
+      | None ->
+          let t0 = Unix.gettimeofday () in
+          let r = check_formula query in
+          stats.time <- stats.time +. (Unix.gettimeofday () -. t0);
+          if !cache_enabled then cache := PredMap.add query r !cache;
+          r)
+
+(** Boolean view: [Unknown] conservatively counts as "not valid". *)
+let is_valid hyps goal = check_valid hyps goal = Valid
+
+(** Satisfiability of a conjunction (used by tests). *)
+let is_sat (p : Pred.t) : bool = Dpll.check_sat p <> Dpll.Unsat

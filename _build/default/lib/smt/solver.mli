@@ -1,0 +1,43 @@
+(** Public SMT interface: validity of quantifier-free EUFLIA implications,
+    with hypothesis relevance pruning, result caching, and statistics.
+    This is the module the liquid fixpoint talks to. *)
+
+open Liquid_logic
+
+type result = Valid | Invalid | Unknown
+
+type stats = {
+  mutable queries : int;
+  mutable cache_hits : int;
+  mutable sat_checks : int;
+  mutable unknowns : int;
+  mutable time : float;
+}
+
+val stats : stats
+val reset_stats : unit -> unit
+val pp_stats : Format.formatter -> unit -> unit
+
+(** Result cache (on by default). *)
+
+val cache_enabled : bool ref
+val clear_cache : unit -> unit
+
+(** Hypothesis relevance pruning (on by default): hypotheses sharing no
+    variables, transitively, with the goal are dropped.  Sound: dropping
+    hypotheses only makes implications harder. *)
+val prune_enabled : bool ref
+
+(** Counterexample (label -> value) for the most recent [Invalid]
+    answer. *)
+val last_cex : (string * int) list ref
+
+(** [check_valid ~kept hyps goal] decides [kept /\ hyps => goal].
+    [kept] hypotheses (typically path guards) are exempt from pruning. *)
+val check_valid : ?kept:Pred.t list -> Pred.t list -> Pred.t -> result
+
+(** Boolean view: [Unknown] counts as "not valid". *)
+val is_valid : Pred.t list -> Pred.t -> bool
+
+(** Satisfiability of a formula ([Unknown] counts as satisfiable). *)
+val is_sat : Pred.t -> bool

@@ -1,0 +1,22 @@
+(** Combined theory solver for QF-EUFLIA conjunctions: purification into
+    {!Lia} constraints and {!Cc} assertions, with a bounded Nelson–Oppen
+    equality exchange.  [Unknown] must be treated as "possibly
+    satisfiable". *)
+
+open Liquid_logic
+
+type result = Sat | Unsat | Unknown
+
+(** Total invocation count (for benchmarking). *)
+val ncalls : int ref
+
+(** A counterexample assignment: display label -> integer value. *)
+type model = (string * int) list
+
+(** Model of the last [Sat] answer. *)
+val last_model : model ref
+
+(** Decide the conjunction of the given signed atoms ([(p, false)]
+    asserts the negation of [p]).  Non-atomic predicates are rejected
+    with [Invalid_argument]. *)
+val check_sat : (Pred.t * bool) list -> result

@@ -1,0 +1,1 @@
+lib/suite/extended.ml: List Programs

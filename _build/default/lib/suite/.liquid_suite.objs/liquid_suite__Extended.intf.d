@@ -1,0 +1,1 @@
+lib/suite/extended.mli: Programs

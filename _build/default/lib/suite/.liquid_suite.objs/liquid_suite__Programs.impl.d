@@ -1,0 +1,1 @@
+lib/suite/programs.ml: List

@@ -1,0 +1,1 @@
+lib/suite/runner.ml: Fmt Liquid_common Liquid_driver Liquid_eval Liquid_infer Liquid_lang List Programs String Unix

@@ -1,0 +1,1 @@
+lib/suite/runner.mli: Format Liquid_driver Liquid_eval Liquid_infer Programs

@@ -1,0 +1,87 @@
+(** The paper's overview examples (its Figures 1–2 walk through these),
+    with the inferred liquid types the paper displays.  The bench harness
+    re-infers and prints them ("F1"); the test suite asserts the key
+    refinements are found. *)
+
+type example = {
+  name : string;
+  source : string;
+  (* (item, substring that must occur in its inferred type) pairs *)
+  expectations : (string * string) list;
+}
+
+(** [max]: the paper's first example — the inferred type says the result
+    is no smaller than either argument. *)
+let max_example =
+  {
+    name = "max";
+    source = {|
+let mymax x y = if x > y then x else y
+
+let use = mymax 3 7
+|};
+    expectations = [ ("mymax", "v >= x"); ("mymax", "v >= y") ];
+  }
+
+(** [sum]: recursion; result is non-negative and at least [k]. *)
+let sum_example =
+  {
+    name = "sum";
+    source =
+      {|
+let rec sum k =
+  if k < 0 then 0
+  else begin
+    let s = sum (k - 1) in
+    s + k
+  end
+
+let use = sum 12
+|};
+    expectations = [ ("sum", "0 <= v"); ("sum", "v >= k") ];
+  }
+
+(** [foldn]: higher-order bounded iteration — the accumulator invariant
+    flows through the function argument (the paper's flagship
+    higher-order example). *)
+let foldn_example =
+  {
+    name = "foldn";
+    source =
+      {|
+let foldn n b f =
+  let rec loop i c =
+    if i < n then loop (i + 1) (f i c) else c
+  in
+  loop 0 b
+
+let count = foldn 10 0 (fun i c -> c + 1)
+|};
+    expectations = [ ("foldn", "0 <= v"); ("foldn", "v < n") ];
+  }
+
+(** [arraymax]: array iteration with inferred bounds safety and a
+    non-negative result. *)
+let arraymax_example =
+  {
+    name = "arraymax";
+    source =
+      {|
+let arraymax a =
+  let rec loop i m =
+    if i < Array.length a then begin
+      let x = a.(i) in
+      let m2 = max x m in
+      loop (i + 1) m2
+    end else m
+  in
+  loop 0 0
+
+let use =
+  let a = Array.make 10 5 in
+  arraymax a
+|};
+    expectations = [ ("arraymax", "0 <= v") ];
+  }
+
+let all = [ max_example; sum_example; foldn_example; arraymax_example ]

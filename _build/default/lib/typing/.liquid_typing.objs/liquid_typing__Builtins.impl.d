@@ -1,0 +1,1 @@
+lib/typing/builtins.ml: Ident Liquid_common List Mltype

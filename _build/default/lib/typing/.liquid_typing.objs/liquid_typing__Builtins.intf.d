@@ -1,0 +1,1 @@
+lib/typing/builtins.mli: Ident Liquid_common Mltype

@@ -1,0 +1,1 @@
+lib/typing/infer.ml: Ast Builtins Fmt Hashtbl Ident Liquid_common Liquid_lang List Loc Mltype

@@ -1,0 +1,1 @@
+lib/typing/infer.mli: Ast Hashtbl Ident Liquid_common Liquid_lang Loc Mltype

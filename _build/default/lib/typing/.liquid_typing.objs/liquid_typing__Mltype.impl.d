@@ -1,0 +1,1 @@
+lib/typing/mltype.ml: Array Char Fmt Hashtbl List Printf

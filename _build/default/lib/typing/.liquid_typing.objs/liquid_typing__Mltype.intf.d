@@ -1,0 +1,1 @@
+lib/typing/mltype.mli: Format

@@ -1,0 +1,8 @@
+(** ML-level signatures of the NanoML primitives (the refinement-level
+    signatures live in [Liquid_infer.Prims]). *)
+
+open Liquid_common
+
+val signatures : (string * Mltype.scheme) list
+val env : Mltype.scheme Ident.Map.t
+val is_builtin : Ident.t -> bool

@@ -1,0 +1,229 @@
+(** Hindley–Milner type inference (Algorithm W with levels) for NanoML.
+
+    Produces the ML type of every expression node (recorded in a side
+    table keyed by {!Liquid_lang.Ast.expr} ids) and a type scheme for each
+    top-level item.  These shapes drive liquid template generation: every
+    refinement template has exactly the shape of the ML type inferred
+    here. *)
+
+open Liquid_common
+open Liquid_lang
+open Mltype
+
+exception Type_error of string * Loc.t
+
+type result = {
+  types : (int, Mltype.t) Hashtbl.t; (* expr id -> resolved ML type *)
+  item_schemes : (Ident.t * scheme) list; (* in program order *)
+}
+
+let err loc fmt = Fmt.kstr (fun s -> raise (Type_error (s, loc))) fmt
+
+let record tbl (e : Ast.expr) ty = Hashtbl.replace tbl e.id ty
+
+(* -- Patterns ------------------------------------------------------------ *)
+
+(** Type a pattern against [ty], returning bindings for its variables. *)
+let rec infer_pat level loc (p : Ast.pat) (ty : t) : (Ident.t * t) list =
+  match p with
+  | Ast.Pwild -> []
+  | Ast.Pvar x -> [ (x, ty) ]
+  | Ast.Punit ->
+      (try unify ty Tunit
+       with Unify_error _ -> err loc "pattern () used at type %a" Mltype.pp ty);
+      []
+  | Ast.Pbool _ ->
+      (try unify ty Tbool
+       with Unify_error _ ->
+         err loc "boolean pattern used at type %a" Mltype.pp ty);
+      []
+  | Ast.Pint _ ->
+      (try unify ty Tint
+       with Unify_error _ ->
+         err loc "integer pattern used at type %a" Mltype.pp ty);
+      []
+  | Ast.Ptuple ps ->
+      let tys = List.map (fun _ -> fresh_var level) ps in
+      (try unify ty (Ttuple tys)
+       with Unify_error _ -> err loc "tuple pattern used at type %a" Mltype.pp ty);
+      List.concat (List.map2 (infer_pat level loc) ps tys)
+  | Ast.Pnil ->
+      let elt = fresh_var level in
+      (try unify ty (Tlist elt)
+       with Unify_error _ -> err loc "list pattern used at type %a" Mltype.pp ty);
+      []
+  | Ast.Pcons (p1, p2) ->
+      let elt = fresh_var level in
+      (try unify ty (Tlist elt)
+       with Unify_error _ -> err loc "list pattern used at type %a" Mltype.pp ty);
+      infer_pat level loc p1 elt @ infer_pat level loc p2 (Tlist elt)
+
+(* -- Expressions ----------------------------------------------------------- *)
+
+(** Syntactic values may be generalized (the value restriction). *)
+let rec is_value (e : Ast.expr) =
+  match e.desc with
+  | Ast.Const _ | Ast.Var _ | Ast.Fun _ | Ast.Nil -> true
+  | Ast.Tuple es -> List.for_all is_value es
+  | Ast.Cons (e1, e2) -> is_value e1 && is_value e2
+  | _ -> false
+
+let rec infer tbl (env : scheme Ident.Map.t) level (e : Ast.expr) : t =
+  let ty = infer_desc tbl env level e in
+  record tbl e ty;
+  ty
+
+and infer_desc tbl env level (e : Ast.expr) : t =
+  match e.desc with
+  | Ast.Const (Ast.Cint _) -> Tint
+  | Ast.Const (Ast.Cbool _) -> Tbool
+  | Ast.Const Ast.Cunit -> Tunit
+  | Ast.Var x -> (
+      match Ident.Map.find_opt x env with
+      | Some sch -> fst (instantiate level sch)
+      | None -> err e.loc "unbound variable %a" Ident.pp x)
+  | Ast.Fun (x, body) ->
+      let targ = fresh_var level in
+      let tbody =
+        infer tbl (Ident.Map.add x (trivial_scheme targ) env) level body
+      in
+      Tarrow (targ, tbody)
+  | Ast.App (e1, e2) ->
+      let t1 = infer tbl env level e1 in
+      let t2 = infer tbl env level e2 in
+      let tres = fresh_var level in
+      (try unify t1 (Tarrow (t2, tres))
+       with Unify_error _ ->
+         err e.loc "cannot apply expression of type %a to argument of type %a"
+           Mltype.pp t1 Mltype.pp t2);
+      tres
+  | Ast.Binop (op, e1, e2) -> (
+      let t1 = infer tbl env level e1 in
+      let t2 = infer tbl env level e2 in
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+          (try
+             unify t1 Tint;
+             unify t2 Tint
+           with Unify_error _ ->
+             err e.loc "arithmetic on non-integers (%a, %a)" Mltype.pp t1
+               Mltype.pp t2);
+          Tint
+      | Ast.Eq | Ast.Ne ->
+          (try unify t1 t2
+           with Unify_error _ ->
+             err e.loc "comparison of incompatible types %a and %a" Mltype.pp
+               t1 Mltype.pp t2);
+          Tbool
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+          (try
+             unify t1 Tint;
+             unify t2 Tint
+           with Unify_error _ ->
+             err e.loc "ordering comparison on non-integers (%a, %a)"
+               Mltype.pp t1 Mltype.pp t2);
+          Tbool)
+  | Ast.Unop (Ast.Neg, e1) ->
+      (try unify (infer tbl env level e1) Tint
+       with Unify_error _ -> err e.loc "negation of a non-integer");
+      Tint
+  | Ast.Unop (Ast.Not, e1) ->
+      (try unify (infer tbl env level e1) Tbool
+       with Unify_error _ -> err e.loc "'not' of a non-boolean");
+      Tbool
+  | Ast.If (c, e1, e2) ->
+      (try unify (infer tbl env level c) Tbool
+       with Unify_error _ -> err c.loc "if condition must be boolean");
+      let t1 = infer tbl env level e1 in
+      let t2 = infer tbl env level e2 in
+      (try unify t1 t2
+       with Unify_error _ ->
+         err e.loc "branches of if have different types %a and %a" Mltype.pp
+           t1 Mltype.pp t2);
+      t1
+  | Ast.Let (Ast.Nonrec, x, e1, e2) ->
+      let t1 = infer tbl env (level + 1) e1 in
+      let sch =
+        if is_value e1 then generalize level t1 else trivial_scheme t1
+      in
+      infer tbl (Ident.Map.add x sch env) level e2
+  | Ast.Let (Ast.Rec, x, e1, e2) ->
+      let tx = fresh_var (level + 1) in
+      let env1 = Ident.Map.add x (trivial_scheme tx) env in
+      let t1 = infer tbl env1 (level + 1) e1 in
+      (try unify tx t1
+       with Unify_error _ -> err e.loc "recursive binding has inconsistent type");
+      let sch =
+        if is_value e1 then generalize level t1 else trivial_scheme t1
+      in
+      infer tbl (Ident.Map.add x sch env) level e2
+  | Ast.Tuple es -> Ttuple (List.map (infer tbl env level) es)
+  | Ast.Nil -> Tlist (fresh_var level)
+  | Ast.Cons (e1, e2) ->
+      let t1 = infer tbl env level e1 in
+      let t2 = infer tbl env level e2 in
+      (try unify t2 (Tlist t1)
+       with Unify_error _ ->
+         err e.loc "cons of %a onto %a" Mltype.pp t1 Mltype.pp t2);
+      t2
+  | Ast.Match (scrut, cases) ->
+      let tscrut = infer tbl env level scrut in
+      let tres = fresh_var level in
+      List.iter
+        (fun (p, body) ->
+          let binds = infer_pat level e.loc p tscrut in
+          let env' =
+            List.fold_left
+              (fun env (x, t) -> Ident.Map.add x (trivial_scheme t) env)
+              env binds
+          in
+          let t = infer tbl env' level body in
+          try unify tres t
+          with Unify_error _ ->
+            err body.loc "match arms have different types")
+        cases;
+      tres
+  | Ast.Assert e1 ->
+      (try unify (infer tbl env level e1) Tbool
+       with Unify_error _ -> err e1.loc "assert requires a boolean");
+      Tunit
+
+(* -- Programs ----------------------------------------------------------------- *)
+
+let infer_item tbl env (item : Ast.item) : scheme =
+  match item.rec_flag with
+  | Ast.Nonrec ->
+      let t = infer tbl env 1 item.body in
+      if is_value item.body then generalize 0 t else trivial_scheme t
+  | Ast.Rec ->
+      let tx = fresh_var 1 in
+      let env1 = Ident.Map.add item.name (trivial_scheme tx) env in
+      let t = infer tbl env1 1 item.body in
+      (try unify tx t
+       with Unify_error _ ->
+         err item.item_loc "recursive binding has inconsistent type");
+      if is_value item.body then generalize 0 t else trivial_scheme t
+
+let infer_program (prog : Ast.program) : result =
+  let tbl = Hashtbl.create 256 in
+  let _, rev_schemes =
+    List.fold_left
+      (fun (env, acc) item ->
+        let sch = infer_item tbl env item in
+        (Ident.Map.add item.name sch env, (item.name, sch) :: acc))
+      (Builtins.env, [])
+      prog
+  in
+  (* Resolve every recorded type so later phases never see [Link]s. *)
+  Hashtbl.iter (fun id t -> Hashtbl.replace tbl id (resolve t)) tbl;
+  {
+    types = tbl;
+    item_schemes =
+      List.rev_map (fun (x, s) -> (x, { s with body = resolve s.body })) rev_schemes;
+  }
+
+(** Type of an expression node, after inference. *)
+let type_of (r : result) (e : Ast.expr) : t =
+  match Hashtbl.find_opt r.types e.id with
+  | Some t -> t
+  | None -> invalid_arg "Infer.type_of: expression was not typed"

@@ -1,0 +1,1 @@
+test/test_anf.ml: Alcotest Anf Ast Fmt Liquid_anf Liquid_common Liquid_eval Liquid_lang List Parser QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Fmt Liquid_driver Liquid_lang Liquid_suite List Pipeline String

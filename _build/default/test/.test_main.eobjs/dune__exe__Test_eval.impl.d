@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Eval Fmt Liquid_common Liquid_eval Liquid_lang Parser

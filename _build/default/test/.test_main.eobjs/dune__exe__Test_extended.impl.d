@@ -1,0 +1,1 @@
+test/test_extended.ml: Alcotest Extended Fmt Liquid_driver Liquid_eval Liquid_lang Liquid_suite List Programs Runner Str

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Fmt Lexer Liquid_common Liquid_lang List Parser

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Ident Liquid_common Liquid_logic List Pred QCheck QCheck_alcotest Sort Symbol Term

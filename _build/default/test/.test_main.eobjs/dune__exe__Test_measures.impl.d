@@ -1,0 +1,1 @@
+test/test_measures.ml: Alcotest Fmt Liquid_common Liquid_driver Liquid_infer List String

@@ -1,0 +1,1 @@
+test/test_qualifier.ml: Alcotest Ident Liquid_common Liquid_infer Liquid_logic List Pred Qualifier Sort

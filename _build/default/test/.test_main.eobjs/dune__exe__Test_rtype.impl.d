@@ -1,0 +1,1 @@
+test/test_rtype.ml: Alcotest Constr Fmt Ident Liquid_common Liquid_infer Liquid_logic Liquid_smt Liquid_typing List Loc Mltype Pred QCheck QCheck_alcotest Report Rtype Sort Term

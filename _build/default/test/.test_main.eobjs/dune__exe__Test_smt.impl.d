@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Cc Fm Lia Linexp Liquid_common Liquid_logic Liquid_smt List Pred QCheck QCheck_alcotest Rat Simplex Solver Sort Symbol Term

@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Liquid_driver Liquid_eval Liquid_lang Printf QCheck QCheck_alcotest

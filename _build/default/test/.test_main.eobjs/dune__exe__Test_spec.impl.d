@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Fmt Liquid_driver Liquid_infer List Qualifier Report Rtype Spec

@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Fmt Liquid_common Liquid_driver Liquid_eval Liquid_infer Liquid_suite List Overview Programs Runner Str String

@@ -1,0 +1,1 @@
+test/test_tricky.ml: Alcotest Liquid_driver Liquid_infer

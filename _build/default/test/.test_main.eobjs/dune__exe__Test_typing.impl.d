@@ -1,0 +1,1 @@
+test/test_typing.ml: Alcotest Ast Fmt Hashtbl Infer Liquid_anf Liquid_lang Liquid_typing List Mltype Parser

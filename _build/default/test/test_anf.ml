@@ -1,0 +1,188 @@
+(* Tests for A-normalization and alpha-renaming. *)
+
+open Liquid_lang
+open Liquid_anf
+
+let check_bool = Alcotest.(check bool)
+
+let normalize src =
+  Anf.normalize_program (Parser.program_of_string src)
+
+let sources =
+  [
+    "let x = 1 + 2 * 3";
+    "let f a b = a * (b + a.(0))";
+    "let g x = if x + 1 < 2 then f (x * 2) else g (x - 1)";
+    "let rec h n = if n < 1 then 0 else n + h (n - 1)\nlet m = h (3 + 4)";
+    "let t = (1 + 2, 3 * 4, f 5)";
+    "let l = [1 + 1; 2 + 2]";
+    "let p = match f (1 + 2) with | (a, b) -> a + b";
+    "let s = assert (1 + 1 = 2); 5";
+    "let c = a.(i + 1) <- b.(j - 1) + 1";
+    "let w = (fun x -> x + 1) ((fun y -> y) 2)";
+  ]
+
+(* Parsing uses free variables (f, a, b...); give them bindings so the
+   sources are closed. *)
+let prelude =
+  "let f q = q\nlet g q = q\nlet a = Array.make 4 0\nlet b = Array.make 4 \
+   0\nlet i = 1\nlet j = 1\n"
+
+let test_is_anf () =
+  List.iter
+    (fun src ->
+      let prog = normalize (prelude ^ src) in
+      List.iter
+        (fun (item : Ast.item) ->
+          check_bool ("anf: " ^ src) true (Anf.is_anf item.Ast.body))
+        prog)
+    sources
+
+let collect_binders prog =
+  let pat_vars p = Ast.pat_vars p in
+  let binders = ref [] in
+  List.iter
+    (fun (item : Ast.item) ->
+      ignore
+        (Ast.fold
+           (fun () e ->
+             match e.Ast.desc with
+             | Ast.Let (_, x, _, _) -> binders := x :: !binders
+             | Ast.Fun (x, _) -> binders := x :: !binders
+             | Ast.Match (_, cases) ->
+                 List.iter
+                   (fun (p, _) -> binders := pat_vars p @ !binders)
+                   cases
+             | _ -> ())
+           () item.Ast.body))
+    prog;
+  !binders
+
+let test_unique_binders () =
+  let src =
+    prelude
+    ^ "let u = let x = 1 in let x = x + 1 in (fun x -> x) x\n\
+       let v = let x = 2 in match [x] with | x :: _ -> x | [] -> 0"
+  in
+  let prog = normalize src in
+  let binders = collect_binders prog in
+  let sorted = List.sort_uniq compare binders in
+  check_bool "all binders distinct" true
+    (List.length binders = List.length sorted)
+
+let test_shadowing_semantics () =
+  (* alpha-renaming must preserve the meaning of shadowed bindings *)
+  let src = "let main = let x = 1 in let x = x + 10 in x + 100" in
+  let prog = normalize src in
+  let env = Liquid_eval.Eval.run_program prog in
+  match Liquid_common.Ident.Map.find "main" env with
+  | Liquid_eval.Eval.Vint 111 -> ()
+  | v -> Alcotest.fail (Fmt.str "got %a" Liquid_eval.Eval.pp_value v)
+
+let test_evaluation_preserved () =
+  (* Normalization must not change results. *)
+  let progs =
+    [
+      ("let main = 1 + 2 * 3 - 4", 3);
+      ("let main = (if 1 < 2 then 10 else 20) + (if 2 < 1 then 1 else 2)", 12);
+      ( "let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)\n\
+         let main = fib 10",
+        55 );
+      ( "let main = let a = Array.make 3 0 in a.(0) <- 5; a.(1) <- a.(0) + 1; \
+         a.(0) * 10 + a.(1)",
+        56 );
+      ("let main = match (1 + 2, 4) with | (a, b) -> a * b", 12);
+    ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      let direct = Liquid_eval.Eval.run_program (Parser.program_of_string src) in
+      let anfed = Liquid_eval.Eval.run_program (normalize src) in
+      let get env =
+        match Liquid_common.Ident.Map.find "main" env with
+        | Liquid_eval.Eval.Vint n -> n
+        | _ -> Alcotest.fail "non-int main"
+      in
+      Alcotest.(check int) ("direct " ^ src) expected (get direct);
+      Alcotest.(check int) ("anf " ^ src) expected (get anfed))
+    progs
+
+let test_spines_preserved () =
+  (* f a b keeps its application spine (head remains visible) *)
+  let prog = normalize "let f x y = x + y\nlet main = f 1 2" in
+  let item = List.find (fun (i : Ast.item) -> i.Ast.name = "main") prog in
+  let rec head e =
+    match e.Ast.desc with
+    | Ast.App (e1, _) -> head e1
+    | Ast.Var x -> Some x
+    | Ast.Let (_, _, _, b) -> head b
+    | _ -> None
+  in
+  match head item.Ast.body with
+  | Some "f" -> ()
+  | _ -> Alcotest.fail "spine head lost"
+
+(* Property: normalizing randomly generated arithmetic expressions
+   preserves evaluation. *)
+let gen_arith_src =
+  let open QCheck.Gen in
+  let rec gen depth =
+    if depth = 0 then map string_of_int (int_range 0 9)
+    else
+      frequency
+        [
+          (1, map string_of_int (int_range 0 9));
+          ( 2,
+            map2 (fun a b -> "(" ^ a ^ " + " ^ b ^ ")") (gen (depth - 1))
+              (gen (depth - 1)) );
+          ( 2,
+            map2 (fun a b -> "(" ^ a ^ " - " ^ b ^ ")") (gen (depth - 1))
+              (gen (depth - 1)) );
+          ( 1,
+            map2
+              (fun a b -> "(if " ^ a ^ " < " ^ b ^ " then " ^ a ^ " else " ^ b ^ ")")
+              (gen (depth - 1)) (gen (depth - 1)) );
+          ( 1,
+            map2 (fun a b -> "(let z = " ^ a ^ " in z + " ^ b ^ ")")
+              (gen (depth - 1)) (gen (depth - 1)) );
+        ]
+  in
+  gen 4
+
+let prop_anf_preserves_eval =
+  QCheck.Test.make ~count:200 ~name:"A-normalization preserves evaluation"
+    (QCheck.make gen_arith_src)
+    (fun src ->
+      let src = "let main = " ^ src in
+      let get prog =
+        match
+          Liquid_common.Ident.Map.find "main" (Liquid_eval.Eval.run_program prog)
+        with
+        | Liquid_eval.Eval.Vint n -> n
+        | _ -> QCheck.Test.fail_report "non-int"
+      in
+      let direct = get (Parser.program_of_string src) in
+      let anfed = get (normalize src) in
+      direct = anfed)
+
+let prop_anf_output_is_anf =
+  QCheck.Test.make ~count:200 ~name:"normalized output satisfies is_anf"
+    (QCheck.make gen_arith_src)
+    (fun src ->
+      let prog = normalize ("let main = " ^ src) in
+      List.for_all (fun (i : Ast.item) -> Anf.is_anf i.Ast.body) prog)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_anf_preserves_eval; prop_anf_output_is_anf ]
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "output is in ANF" test_is_anf;
+    tc "binders globally unique" test_unique_binders;
+    tc "shadowing semantics preserved" test_shadowing_semantics;
+    tc "evaluation preserved" test_evaluation_preserved;
+    tc "application spines preserved" test_spines_preserved;
+  ]
+  @ qcheck_tests

@@ -1,0 +1,88 @@
+(* Tests for the driver pipeline: line counting, constant mining, error
+   paths, and report rendering. *)
+
+open Liquid_driver
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_count_lines () =
+  check_int "blank and comment lines skipped" 2
+    (Pipeline.count_lines "let x = 1\n\n(* comment *)\nlet y = 2\n");
+  check_int "empty source" 0 (Pipeline.count_lines "\n\n")
+
+let test_mine_constants () =
+  let prog =
+    Liquid_lang.Parser.program_of_string
+      "let f i = if i < 10 then i + 42 else i mod 7\n\
+       let g x = if x = 0 - 3 then 1 else 2"
+  in
+  let consts = Pipeline.mine_constants prog in
+  check_bool "comparison literal mined" true (List.mem 10 consts);
+  check_bool "arithmetic literal not mined" false (List.mem 42 consts);
+  check_bool "mod operand not mined" false (List.mem 7 consts)
+
+let test_parse_error_location () =
+  match Pipeline.verify_string "let x = (1 +" with
+  | exception Pipeline.Source_error (msg, _) ->
+      check_bool "mentions parse" true
+        (String.length msg >= 5 && String.sub msg 0 5 = "parse")
+  | _ -> Alcotest.fail "expected Source_error"
+
+let test_type_error () =
+  match Pipeline.verify_string "let x = 1 + true" with
+  | exception Pipeline.Source_error (msg, _) ->
+      check_bool "mentions type" true
+        (String.length msg >= 4 && String.sub msg 0 4 = "type")
+  | _ -> Alcotest.fail "expected Source_error"
+
+let test_unbound_variable () =
+  check_bool "unbound rejected" true
+    (match Pipeline.verify_string "let x = nope" with
+    | exception Pipeline.Source_error _ -> true
+    | _ -> false)
+
+let test_report_rendering () =
+  let r = Pipeline.verify_string "let a = Array.make 4 0\nlet x = a.(9)" in
+  let s = Fmt.str "%a" Pipeline.pp_report r in
+  let contains needle =
+    let lh = String.length s and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub s i ln = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "verdict rendered" true (contains "UNSAFE");
+  check_bool "location rendered" true (contains ":2.");
+  check_bool "counterexample rendered" true (contains "counterexample")
+
+let test_safe_rendering () =
+  let r = Pipeline.verify_string "let x = assert (1 < 2)" in
+  let s = Fmt.str "%a" Pipeline.pp_report r in
+  check_bool "SAFE rendered" true
+    (let rec go i =
+       i + 4 <= String.length s && (String.sub s i 4 = "SAFE" || go (i + 1))
+     in
+     go 0)
+
+let test_deterministic_verdicts () =
+  (* re-verification is stable (global counters advance, results don't) *)
+  let src = Liquid_suite.Programs.dotprod.Liquid_suite.Programs.source in
+  let r1 = Pipeline.verify_string src in
+  let r2 = Pipeline.verify_string src in
+  check_bool "same verdict" true
+    (r1.Pipeline.safe = r2.Pipeline.safe);
+  check_int "same error count"
+    (List.length r1.Pipeline.errors)
+    (List.length r2.Pipeline.errors)
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "count_lines" test_count_lines;
+    tc "mine_constants" test_mine_constants;
+    tc "parse errors surface" test_parse_error_location;
+    tc "type errors surface" test_type_error;
+    tc "unbound variables surface" test_unbound_variable;
+    tc "unsafe report rendering" test_report_rendering;
+    tc "safe report rendering" test_safe_rendering;
+    tc "verdicts are deterministic" test_deterministic_verdicts;
+  ]

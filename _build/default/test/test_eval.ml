@@ -1,0 +1,118 @@
+(* Tests for the reference interpreter: the runtime semantics the type
+   system is proved sound against. *)
+
+open Liquid_lang
+open Liquid_eval
+
+let run src = Eval.run_program (Parser.program_of_string src)
+
+let main_int src =
+  match Liquid_common.Ident.Map.find "main" (run src) with
+  | Eval.Vint n -> n
+  | v -> Alcotest.fail (Fmt.str "expected int, got %a" Eval.pp_value v)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_arith () =
+  check_int "precedence" 7 (main_int "let main = 1 + 2 * 3");
+  check_int "division truncates" 2 (main_int "let main = 7 / 3");
+  check_int "negative division" (-2) (main_int "let main = (0 - 7) / 3");
+  check_int "mod" 1 (main_int "let main = 7 mod 3");
+  check_int "neg mod" (-1) (main_int "let main = (0 - 7) mod 3")
+
+let test_shortcut_semantics () =
+  (* && / || desugaring must preserve shortcut behaviour: the rhs of &&
+     must not be evaluated (here it would hit a bounds error). *)
+  check_int "and shortcuts" 0
+    (main_int
+       "let a = Array.make 1 0\n\
+        let main = if false && a.(5) = 0 then 1 else 0");
+  check_int "or shortcuts" 1
+    (main_int
+       "let a = Array.make 1 0\nlet main = if true || a.(5) = 0 then 1 else 0")
+
+let test_closures () =
+  check_int "higher order" 11
+    (main_int "let apply f x = f x\nlet main = apply (fun y -> y + 1) 10");
+  check_int "capture" 30
+    (main_int "let add x = fun y -> x + y\nlet add10 = add 10\nlet main = add10 20");
+  check_int "recursion through closure" 120
+    (main_int
+       "let rec fact n = if n < 1 then 1 else n * fact (n - 1)\n\
+        let main = fact 5")
+
+let test_lists_and_match () =
+  check_int "list sum" 6
+    (main_int
+       "let rec sum l = match l with | [] -> 0 | x :: xs -> x + sum xs\n\
+        let main = sum [1; 2; 3]");
+  check_int "tuple match" 5
+    (main_int "let main = match (2, 3) with | (a, b) -> a + b");
+  check_int "nested patterns" 1
+    (main_int
+       "let main = match [(1, true)] with | (a, true) :: _ -> a | _ -> 0")
+
+let test_arrays () =
+  check_int "make/set/get" 42
+    (main_int
+       "let main = let a = Array.make 2 0 in a.(1) <- 42; a.(1)");
+  check_int "aliasing" 7
+    (main_int
+       "let a = Array.make 1 0\nlet b = a\nlet main = b.(0) <- 7; a.(0)")
+
+let test_bounds_violations () =
+  let raises src =
+    match run src with
+    | exception Eval.Bounds_violation _ -> true
+    | _ -> false
+  in
+  check_bool "get above" true (raises "let a = Array.make 2 0\nlet x = a.(2)");
+  check_bool "get below" true (raises "let a = Array.make 2 0\nlet x = a.(0-1)");
+  check_bool "set above" true (raises "let a = Array.make 2 0\nlet _ = a.(5) <- 1");
+  check_bool "negative make" true (raises "let a = Array.make (0-1) 0")
+
+let test_assertions () =
+  check_bool "assert failure" true
+    (match run "let _ = assert (1 = 2)" with
+    | exception Eval.Assertion_failure _ -> true
+    | _ -> false);
+  check_int "assert success" 1 (main_int "let main = assert (1 = 1); 1")
+
+let test_fuel () =
+  check_bool "divergence cut off" true
+    (match
+       Eval.run_program ~fuel:1000
+         (Parser.program_of_string "let rec loop x = loop x\nlet _ = loop 0")
+     with
+    | exception Eval.Out_of_fuel -> true
+    | _ -> false)
+
+let test_runtime_errors () =
+  let raises src =
+    match run src with exception Eval.Runtime_error _ -> true | _ -> false
+  in
+  check_bool "div by zero" true (raises "let main = 1 / 0");
+  check_bool "equality on closures" true
+    (raises "let main = (fun x -> x) = (fun y -> y)")
+
+let test_builtins () =
+  check_int "min" 2 (main_int "let main = min 5 2");
+  check_int "max" 5 (main_int "let main = max 5 2");
+  check_int "abs" 5 (main_int "let main = abs (0 - 5)");
+  check_int "List.length" 3 (main_int "let main = List.length [1;2;3]")
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "arithmetic" test_arith;
+    tc "&&/|| shortcut semantics" test_shortcut_semantics;
+    tc "closures" test_closures;
+    tc "lists and match" test_lists_and_match;
+    tc "arrays" test_arrays;
+    tc "bounds violations detected" test_bounds_violations;
+    tc "assertions" test_assertions;
+    tc "fuel bound" test_fuel;
+    tc "runtime errors" test_runtime_errors;
+    tc "builtins" test_builtins;
+  ]

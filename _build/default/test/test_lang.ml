@@ -1,0 +1,165 @@
+(* Tests for the NanoML front end: lexer, parser, desugarings. *)
+
+open Liquid_lang
+
+let parse s = Parser.expr_of_string s
+let parse_prog s = Parser.program_of_string s
+
+let show e = Fmt.str "%a" Ast.pp e
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let test_literals () =
+  check_str "int" "42" (show (parse "42"));
+  check_str "negative int" "(- 7)" (show (parse "-7"));
+  check_str "true" "true" (show (parse "true"));
+  check_str "unit" "()" (show (parse "()"))
+
+let test_precedence () =
+  check_str "mul binds tighter" "(1 + (2 * 3))" (show (parse "1 + 2 * 3"));
+  check_str "left assoc sub" "((10 - 3) - 2)" (show (parse "10 - 3 - 2"));
+  check_str "cmp above add" "((1 + 2) < (3 + 4))" (show (parse "1 + 2 < 3 + 4"));
+  check_str "app binds tightest" "((f 1) + (g 2))" (show (parse "f 1 + g 2"));
+  check_str "unary minus" "((- x) + y)" (show (parse "- x + y"));
+  check_str "mod" "(a mod 2)" (show (parse "a mod 2"))
+
+let test_boolean_desugaring () =
+  (* && and || become if-expressions for path sensitivity *)
+  check_str "and" "(if a then b else false)" (show (parse "a && b"));
+  check_str "or" "(if a then true else b)" (show (parse "a || b"));
+  check_str "or of and" "(if (if a then b else false) then true else c)"
+    (show (parse "a && b || c"))
+
+let test_array_sugar () =
+  check_str "get" "(((Array.get a) i) + 1)" (show (parse "a.(i) + 1"));
+  check_str "set" "(((Array.set a) i) (x + 1))" (show (parse "a.(i) <- x + 1"));
+  check_str "chained get" "((Array.get ((Array.get m) i)) j)"
+    (show (parse "m.(i).(j)"))
+
+let test_sequencing () =
+  match (parse "f x; g y").desc with
+  | Ast.Let (Ast.Nonrec, tmp, _, _) ->
+      check_bool "seq binder internal" true (Liquid_common.Ident.is_internal tmp)
+  | _ -> Alcotest.fail "expected let from sequence"
+
+let test_let_forms () =
+  check_str "let in" "let x = 1 in\n(x + 1)" (show (parse "let x = 1 in x + 1"));
+  (match (parse "let f a b = a + b in f").desc with
+  | Ast.Let (Ast.Nonrec, "f", { desc = Ast.Fun ("a", { desc = Ast.Fun ("b", _); _ }); _ }, _)
+    ->
+      ()
+  | _ -> Alcotest.fail "multi-parameter let sugar");
+  match (parse "let (u, v) = p in u").desc with
+  | Ast.Match (_, [ (Ast.Ptuple [ Ast.Pvar "u"; Ast.Pvar "v" ], _) ]) -> ()
+  | _ -> Alcotest.fail "tuple-pattern let sugar"
+
+let test_match () =
+  match (parse "match l with | [] -> 0 | x :: xs -> 1").desc with
+  | Ast.Match (_, [ (Ast.Pnil, _); (Ast.Pcons (Ast.Pvar "x", Ast.Pvar "xs"), _) ])
+    ->
+      ()
+  | _ -> Alcotest.fail "match structure"
+
+let test_list_literals () =
+  check_str "list literal" "(1 :: (2 :: (3 :: [])))" (show (parse "[1; 2; 3]"));
+  check_str "empty list" "[]" (show (parse "[]"))
+
+let test_if_fun () =
+  check_str "fun" "(fun x -> (x + 1))" (show (parse "fun x -> x + 1"));
+  check_str "if" "(if c then 1 else 2)"
+    (Fmt.str "%a" Ast.pp (parse "if c then 1 else 2"))
+
+let test_comments_and_qualified () =
+  check_str "comment skipped" "(1 + 2)" (show (parse "1 + (* nested (* ! *) *) 2"));
+  match (parse "Array.length a").desc with
+  | Ast.App ({ desc = Ast.Var "Array.length"; _ }, _) -> ()
+  | _ -> Alcotest.fail "qualified identifier"
+
+let test_program_items () =
+  let prog = parse_prog "let a = 1\nlet rec f x = f x\nlet _ = f a" in
+  check_bool "three items" true (List.length prog = 3);
+  let names = List.map (fun (i : Ast.item) -> i.Ast.name) prog in
+  check_bool "a named" true (List.mem "a" names);
+  check_bool "f named" true (List.mem "f" names);
+  check_bool "anonymous main internal" true
+    (List.exists Liquid_common.Ident.is_internal names);
+  match (List.nth prog 1).Ast.rec_flag with
+  | Ast.Rec -> ()
+  | Ast.Nonrec -> Alcotest.fail "rec flag lost"
+
+let test_parse_errors () =
+  let fails s =
+    match parse_prog s with
+    | exception Parser.Error _ -> true
+    | exception Lexer.Error _ -> true
+    | _ -> false
+  in
+  check_bool "unbalanced paren" true (fails "let x = (1 + 2");
+  check_bool "missing body" true (fails "let x =");
+  check_bool "stray token" true (fails "let x = 1 ???");
+  check_bool "bad char" true (fails "let x = 1 $ 2")
+
+let test_locations () =
+  let e = parse "let x = 1 in\n  x + boom" in
+  let find e =
+    match e.Ast.desc with
+    | Ast.Var "boom" -> Some e.Ast.loc
+    | _ ->
+        Ast.fold
+          (fun acc e' ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match e'.Ast.desc with
+                | Ast.Var "boom" -> Some e'.Ast.loc
+                | _ -> None))
+          None e
+  in
+  match find e with
+  | Some loc ->
+      check_bool "line 2" true (loc.Liquid_common.Loc.start_pos.line = 2)
+  | None -> Alcotest.fail "boom not found"
+
+(* Round-trip property: printing a parsed expression and re-parsing it
+   yields the same tree (modulo ids/locations). *)
+let reparse_sources =
+  [
+    "1 + 2 * 3";
+    "if a < b then a else b";
+    "let rec f x = if x < 1 then 0 else f (x - 1) in f 10";
+    "fun x -> fun y -> x + y";
+    "(1, 2, 3)";
+    "[1; 2]";
+    "match l with | [] -> 0 | x :: _ -> x";
+    "a.(i) <- a.(j) + 1";
+    "assert (x <= y)";
+    "not (a && b) || c";
+  ]
+
+let test_reparse () =
+  List.iter
+    (fun src ->
+      let e1 = parse src in
+      let e2 = parse (show e1) in
+      check_str ("round-trip " ^ src) (show e1) (show e2))
+    reparse_sources
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "literals" test_literals;
+    tc "precedence" test_precedence;
+    tc "&& / || desugar to if" test_boolean_desugaring;
+    tc "array access sugar" test_array_sugar;
+    tc "sequencing desugars to let" test_sequencing;
+    tc "let forms" test_let_forms;
+    tc "match" test_match;
+    tc "list literals" test_list_literals;
+    tc "if and fun" test_if_fun;
+    tc "comments and qualified names" test_comments_and_qualified;
+    tc "top-level items" test_program_items;
+    tc "parse errors" test_parse_errors;
+    tc "source locations" test_locations;
+    tc "print/parse round trip" test_reparse;
+  ]

@@ -1,0 +1,199 @@
+(* Tests for the logic layer: terms, predicates, substitution,
+   simplification. *)
+
+open Liquid_logic
+open Liquid_common
+
+let x = Term.var "x" Sort.Int
+let y = Term.var "y" Sort.Int
+let a = Term.var "a" Sort.Obj
+let i n = Term.int n
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* -- Terms ---------------------------------------------------------- *)
+
+let test_term_smart_constructors () =
+  check_bool "0 + x = x" true (Term.equal (Term.add (i 0) x) x);
+  check_bool "x - 0 = x" true (Term.equal (Term.sub x (i 0)) x);
+  check_bool "1 * x = x" true (Term.equal (Term.mul (i 1) x) x);
+  check_bool "0 * x = 0" true (Term.equal (Term.mul (i 0) x) (i 0));
+  check_bool "2 + 3 folds" true (Term.equal (Term.add (i 2) (i 3)) (i 5));
+  check_bool "neg neg x = x" true (Term.equal (Term.neg (Term.neg x)) x);
+  check_bool "neg of const folds" true (Term.equal (Term.neg (i 4)) (i (-4)))
+
+let test_term_sorts () =
+  Alcotest.(check bool) "var sort" true (Sort.equal (Term.sort x) Sort.Int);
+  Alcotest.(check bool) "len sort" true
+    (Sort.equal (Term.sort (Term.len a)) Sort.Int);
+  Alcotest.(check bool) "obj var sort" true (Sort.equal (Term.sort a) Sort.Obj);
+  Alcotest.(check bool) "add sort" true
+    (Sort.equal (Term.sort (Term.add x y)) Sort.Int)
+
+let test_term_subst () =
+  let t = Term.add x (Term.mul (i 2) y) in
+  let t' = Term.subst1 "x" (i 5) t in
+  check_bool "x gone" false (Term.mem_var "x" t');
+  check_bool "y kept" true (Term.mem_var "y" t');
+  (* simultaneous substitution: x := y, y := x swaps *)
+  let m = Ident.Map.of_seq (List.to_seq [ ("x", y); ("y", x) ]) in
+  let swapped = Term.subst m (Term.sub x y) in
+  check_bool "simultaneous swap" true (Term.equal swapped (Term.Sub (y, x)))
+
+let test_term_arity_check () =
+  check_bool "len arity enforced" true
+    (try
+       ignore (Term.app Symbol.len [ a; a ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Predicates --------------------------------------------------------- *)
+
+let test_pred_constant_folding () =
+  check_bool "3 < 5 folds" true (Pred.lt (i 3) (i 5) = Pred.True);
+  check_bool "5 < 3 folds" true (Pred.lt (i 5) (i 3) = Pred.False);
+  check_bool "x = x folds" true (Pred.eq x x = Pred.True);
+  check_bool "x < x folds" true (Pred.lt x x = Pred.False);
+  check_bool "x <= x folds" true (Pred.le x x = Pred.True)
+
+let test_pred_connective_simplification () =
+  let p = Pred.lt x y in
+  check_bool "and true" true (Pred.equal (Pred.and_ p Pred.tt) p);
+  check_bool "and false" true (Pred.and_ p Pred.ff = Pred.False);
+  check_bool "or false" true (Pred.equal (Pred.or_ p Pred.ff) p);
+  check_bool "or true" true (Pred.or_ p Pred.tt = Pred.True);
+  check_bool "imp to true" true (Pred.imp p Pred.tt = Pred.True);
+  check_bool "not not" true (Pred.equal (Pred.not_ (Pred.not_ p)) p);
+  check_bool "negated atom flips" true
+    (Pred.equal (Pred.not_ (Pred.lt x y)) (Pred.ge x y));
+  check_bool "conj dedups" true
+    (Pred.equal (Pred.conj [ p; p; Pred.tt; p ]) p);
+  check_bool "nested conj flattens" true
+    (match Pred.conj [ Pred.and_ p (Pred.le x y); Pred.ge y x ] with
+    | Pred.And l -> List.length l = 3
+    | _ -> false)
+
+let test_pred_free_vars () =
+  let p = Pred.and_ (Pred.lt x y) (Pred.bvar "b") in
+  let fv = List.map fst (Pred.free_vars p) in
+  check_bool "x free" true (List.mem "x" fv);
+  check_bool "y free" true (List.mem "y" fv);
+  check_bool "b free" true (List.mem "b" fv);
+  check_bool "b has bool sort" true
+    (List.exists
+       (fun (v, s) -> v = "b" && Sort.equal s Sort.Bool)
+       (Pred.free_vars p))
+
+let test_pred_subst_bool () =
+  (* substituting a predicate for a boolean variable *)
+  let p = Pred.imp (Pred.bvar "b") (Pred.lt x y) in
+  let p' = Pred.subst1 "b" (Pred.Pr (Pred.lt y x)) p in
+  check_str "bool substitution" "(y < x => x < y)" (Pred.to_string p');
+  (* Tm substitution into Bvar with a bool-sorted var renames it *)
+  let q = Pred.subst1 "b" (Pred.Tm (Term.var "c" Sort.Bool)) (Pred.bvar "b") in
+  check_bool "bvar renamed" true (Pred.equal q (Pred.bvar "c"))
+
+let test_pred_symbols () =
+  let p = Pred.lt (Term.len a) (Term.app Symbol.mul [ x; y ]) in
+  let syms = List.map Symbol.name (Pred.symbols p) in
+  check_bool "len found" true (List.mem "len" syms);
+  check_bool "mul found" true (List.mem "mul" syms)
+
+(* -- Property tests --------------------------------------------------------- *)
+
+let gen_small_term =
+  let open QCheck.Gen in
+  let vars = [ x; y ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then oneof [ map Term.int (int_range (-5) 5); oneofl vars ]
+      else
+        frequency
+          [
+            (2, map Term.int (int_range (-5) 5));
+            (2, oneofl vars);
+            (2, map2 Term.add (self (depth - 1)) (self (depth - 1)));
+            (2, map2 Term.sub (self (depth - 1)) (self (depth - 1)));
+          ])
+    3
+
+let prop_subst_identity =
+  QCheck.Test.make ~count:200 ~name:"substituting x for x is identity"
+    (QCheck.make gen_small_term)
+    (fun t -> Term.equal (Term.subst1 "x" x t) t)
+
+let prop_eval_subst_commute =
+  QCheck.Test.make ~count:200
+    ~name:"evaluation commutes with closing substitution"
+    (QCheck.make QCheck.Gen.(pair gen_small_term (int_range (-10) 10)))
+    (fun (t, n) ->
+      let env = Ident.Map.of_seq (List.to_seq [ ("x", n); ("y", 3) ]) in
+      let direct = Pred.eval_term env t in
+      let substituted =
+        Pred.eval_term
+          (Ident.Map.singleton "y" 3)
+          (Term.subst1 "x" (Term.int n) t)
+      in
+      direct = substituted)
+
+let prop_not_involution =
+  let gen =
+    QCheck.Gen.(
+      let* t1 = gen_small_term in
+      let* t2 = gen_small_term in
+      let* rel = oneofl Pred.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+      return (Pred.atom t1 rel t2))
+  in
+  QCheck.Test.make ~count:200 ~name:"not (not p) = p on atoms"
+    (QCheck.make gen)
+    (fun p -> Pred.equal (Pred.not_ (Pred.not_ p)) p)
+
+let prop_smart_constructors_preserve_semantics =
+  (* The smart constructors (folding, flattening) must not change the
+     truth value of formulas under any assignment. *)
+  let gen =
+    QCheck.Gen.(
+      let* t1 = gen_small_term in
+      let* t2 = gen_small_term in
+      let* t3 = gen_small_term in
+      let* r1 = oneofl Pred.[ Eq; Lt; Le ] in
+      let* r2 = oneofl Pred.[ Ne; Gt; Ge ] in
+      return (t1, t2, t3, r1, r2))
+  in
+  QCheck.Test.make ~count:300 ~name:"smart constructors preserve semantics"
+    (QCheck.make QCheck.Gen.(pair gen (pair small_signed_int small_signed_int)))
+    (fun ((t1, t2, t3, r1, r2), (vx, vy)) ->
+      let env =
+        Ident.Map.of_seq (List.to_seq [ ("x", vx mod 7); ("y", vy mod 7) ])
+      in
+      let benv = Ident.Map.empty in
+      let a1 = Pred.atom t1 r1 t2 and a2 = Pred.atom t2 r2 t3 in
+      let raw_and = Pred.And [ a1; a2 ] and smart_and = Pred.and_ a1 a2 in
+      let raw_or = Pred.Or [ a1; a2 ] and smart_or = Pred.or_ a1 a2 in
+      Pred.eval env benv raw_and = Pred.eval env benv smart_and
+      && Pred.eval env benv raw_or = Pred.eval env benv smart_or)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_subst_identity;
+      prop_eval_subst_commute;
+      prop_not_involution;
+      prop_smart_constructors_preserve_semantics;
+    ]
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "term: smart constructors" test_term_smart_constructors;
+    tc "term: sorts" test_term_sorts;
+    tc "term: substitution" test_term_subst;
+    tc "term: arity checking" test_term_arity_check;
+    tc "pred: constant folding" test_pred_constant_folding;
+    tc "pred: connective simplification" test_pred_connective_simplification;
+    tc "pred: free variables" test_pred_free_vars;
+    tc "pred: boolean substitution" test_pred_subst_bool;
+    tc "pred: symbol collection" test_pred_symbols;
+  ]
+  @ qcheck_tests

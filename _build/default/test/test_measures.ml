@@ -1,0 +1,155 @@
+(* Tests for the list-length measure extension (the paper's future-work
+   direction; PLDI'09 follow-up): llen [] = 0, llen (x :: t) = llen t + 1,
+   match-refined scrutinees, and the llen qualifier set. *)
+
+let quals =
+  Liquid_infer.Qualifier.defaults @ Liquid_infer.Qualifier.list_defaults
+
+let verify src = Liquid_driver.Pipeline.verify_string ~quals src
+
+let is_safe src = (verify src).Liquid_driver.Pipeline.safe
+
+let item_type src name =
+  let r = verify src in
+  let _, t =
+    List.find
+      (fun (x, _) -> Liquid_common.Ident.to_string x = name)
+      r.Liquid_driver.Pipeline.item_types
+  in
+  Fmt.str "%a" Liquid_infer.Rtype.pp (Liquid_infer.Report.display t)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let check_bool = Alcotest.(check bool)
+
+let length_src =
+  "let rec length l = match l with | [] -> 0 | _ :: xs -> 1 + length xs\n\
+   let u = length [1; 2]"
+
+let test_length_type () =
+  let t = item_type length_src "length" in
+  check_bool ("length returns llen: " ^ t) true (contains t "v = llen(l)")
+
+let test_append_type () =
+  let t =
+    item_type
+      "let rec append xs ys = match xs with | [] -> ys | h :: t -> h :: \
+       append t ys\nlet u = append [1] [2]"
+      "append"
+  in
+  check_bool ("append adds lengths: " ^ t) true
+    (contains t "llen(v) = (llen(xs) + llen(ys))")
+
+let test_map_preserves_length () =
+  let t =
+    item_type
+      "let rec map f l = match l with | [] -> [] | h :: t -> f h :: map f t\n\
+       let u = map (fun x -> x + 1) [1; 2]"
+      "map"
+  in
+  check_bool ("map preserves length: " ^ t) true (contains t "llen(v) = llen(l)")
+
+let test_literal_lengths () =
+  check_bool "literal list length" true
+    (is_safe "let _ = assert (List.length [1; 2; 3] = 3)");
+  check_bool "empty list length" true
+    (is_safe "let _ = assert (List.length [] = 0)");
+  check_bool "wrong literal length rejected" false
+    (is_safe "let _ = assert (List.length [1; 2] = 3)")
+
+let test_match_facts () =
+  (* cons arm: length at least one; nil arm: length zero *)
+  check_bool "cons arm llen >= 1" true
+    (is_safe
+       "let f l = match l with | [] -> 0 | _ :: _ -> List.length l\n\
+        let _ = assert (f [1] >= 0)");
+  check_bool "nil arm llen = 0" true
+    (is_safe
+       "let f l = match l with | [] -> assert (List.length l = 0) | _ :: _ \
+        -> ()\nlet _ = f [1]")
+
+let test_dead_arm () =
+  (* a cons-only consumer whose [] arm is dead given llen precondition *)
+  check_bool "provably dead [] arm" true
+    (is_safe
+       "let pick l = begin\n\
+       \  if List.length l > 0 then begin\n\
+       \    match l with\n\
+       \    | x :: _ -> x\n\
+       \    | [] -> assert (1 = 2); 0\n\
+       \  end else 0\n\
+        end\n\
+        let _ = pick [7]");
+  check_bool "arm not dead without the guard" false
+    (is_safe
+       "let pick l = begin\n\
+       \  match l with\n\
+       \  | x :: _ -> x\n\
+       \  | [] -> assert (1 = 2); 0\n\
+        end\n\
+        let _ = pick []")
+
+let test_combine () =
+  check_bool "combine on equal lengths" true
+    (is_safe
+       "let rec combine xs ys = begin\n\
+       \  match xs with\n\
+       \  | [] -> []\n\
+       \  | x :: xt -> begin\n\
+       \      match ys with\n\
+       \      | y :: yt -> (x, y) :: combine xt yt\n\
+       \      | [] -> assert (1 = 2); []\n\
+       \    end\n\
+        end\n\
+        let _ = combine [1; 2] [3; 4]");
+  check_bool "combine on unequal lengths rejected" false
+    (is_safe
+       "let rec combine xs ys = begin\n\
+       \  match xs with\n\
+       \  | [] -> []\n\
+       \  | x :: xt -> begin\n\
+       \      match ys with\n\
+       \      | y :: yt -> (x, y) :: combine xt yt\n\
+       \      | [] -> assert (1 = 2); []\n\
+       \    end\n\
+        end\n\
+        let _ = combine [1; 2] [3]")
+
+let test_take_bound () =
+  let t =
+    item_type
+      "let rec take n l = begin\n\
+       \  if n <= 0 then []\n\
+       \  else begin\n\
+       \    match l with\n\
+       \    | [] -> []\n\
+       \    | h :: t -> h :: take (n - 1) t\n\
+       \  end\n\
+       end\n\
+       let u = take 2 [1; 2; 3]"
+      "take"
+  in
+  check_bool ("take bounded by input: " ^ t) true
+    (contains t "llen(v) <= llen(l)");
+  check_bool ("take bounded by n: " ^ t) true (contains t "llen(v) <= n")
+
+let test_llen_nonnegative () =
+  check_bool "lengths are non-negative" true
+    (is_safe "let f l = assert (List.length l >= 0)\nlet _ = f [1]")
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "length : {v = llen l}" test_length_type;
+    tc "append adds lengths" test_append_type;
+    tc "map preserves length" test_map_preserves_length;
+    tc "literal list lengths" test_literal_lengths;
+    tc "match arms learn llen facts" test_match_facts;
+    tc "dead match arms" test_dead_arm;
+    tc "combine needs equal lengths" test_combine;
+    tc "take is doubly bounded" test_take_bound;
+    tc "llen non-negativity axiom" test_llen_nonnegative;
+  ]

@@ -1,0 +1,118 @@
+(* Tests for qualifier parsing and Q* instantiation. *)
+
+open Liquid_infer
+open Liquid_logic
+open Liquid_common
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let int_scope names = List.map (fun n -> (Ident.of_string n, Sort.Int)) names
+
+let instance_strings quals ~vv_sort ~scope =
+  List.map Pred.to_string (Qualifier.instances quals ~vv_sort ~scope)
+
+let test_parse_basic () =
+  let qs = Qualifier.parse_string "qualif Pos(v) : 0 <= v" in
+  check_int "one qualifier" 1 (List.length qs);
+  check_bool "name kept" true ((List.hd qs).Qualifier.name = "Pos")
+
+let test_parse_multiple () =
+  let qs =
+    Qualifier.parse_string
+      "qualif A(v) : v < _\nqualif B(v) : v <= len _\nqualif C(v) : v = _A + _B"
+  in
+  check_int "three" 3 (List.length qs);
+  let c = List.nth qs 2 in
+  check_int "two named placeholders" 2 (List.length c.Qualifier.placeholders)
+
+let test_parse_connectives () =
+  let qs =
+    Qualifier.parse_string
+      "qualif D(v) : 0 <= v && v < len _ || v = 0\nqualif E(v) : v < 0 -> v \
+       = 0 - 1"
+  in
+  check_int "parsed" 2 (List.length qs)
+
+let test_parse_errors () =
+  check_bool "garbage rejected" true
+    (match Qualifier.parse_string "qualif X(v) : <= 3" with
+    | exception Qualifier.Parse_error _ -> true
+    | _ -> false);
+  check_bool "missing colon" true
+    (match Qualifier.parse_string "qualif X(v) 0 <= v" with
+    | exception Qualifier.Parse_error _ -> true
+    | _ -> false)
+
+let test_instantiation_simple () =
+  let qs = Qualifier.parse_string "qualif Lt(v) : v < _" in
+  let insts = instance_strings qs ~vv_sort:Sort.Int ~scope:(int_scope [ "x"; "y" ]) in
+  check_bool "v < x" true (List.mem "v < x" insts);
+  check_bool "v < y" true (List.mem "v < y" insts);
+  check_int "exactly two" 2 (List.length insts)
+
+let test_instantiation_sort_filtering () =
+  let qs = Qualifier.parse_string "qualif UB(v) : v < len _" in
+  let scope = [ (Ident.of_string "x", Sort.Int); (Ident.of_string "a", Sort.Obj) ] in
+  let insts = instance_strings qs ~vv_sort:Sort.Int ~scope in
+  (* len applies only to Obj-sorted candidates *)
+  check_int "one instance" 1 (List.length insts);
+  check_bool "over the array" true (List.mem "v < len(a)" insts);
+  (* an Obj-sorted value variable cannot satisfy v < ... *)
+  let insts_obj = Qualifier.instances qs ~vv_sort:Sort.Obj ~scope in
+  check_int "ill-sorted vv filtered" 0 (List.length insts_obj)
+
+let test_instantiation_named_placeholders () =
+  (* _A appearing twice must be instantiated consistently *)
+  let qs = Qualifier.parse_string "qualif Q(v) : _A <= v && v <= _A" in
+  let insts = instance_strings qs ~vv_sort:Sort.Int ~scope:(int_scope [ "x"; "y" ]) in
+  check_int "two instances (x and y), not four" 2 (List.length insts)
+
+let test_instantiation_anonymous_independent () =
+  (* each _ instantiates independently *)
+  let qs = Qualifier.parse_string "qualif Q(v) : _ <= v && v <= _" in
+  let insts = instance_strings qs ~vv_sort:Sort.Int ~scope:(int_scope [ "x"; "y" ]) in
+  check_int "four instances" 4 (List.length insts)
+
+let test_instantiation_excludes_temporaries () =
+  let qs = Qualifier.parse_string "qualif Lt(v) : v < _" in
+  let scope =
+    [ (Ident.of_string "%tmp.1", Sort.Int); (Ident.of_string "x", Sort.Int) ]
+  in
+  let insts = instance_strings qs ~vv_sort:Sort.Int ~scope in
+  check_int "temporary excluded" 1 (List.length insts)
+
+let test_bool_qualifier () =
+  let qs = Qualifier.parse_string "qualif T(v) : v" in
+  check_int "bool vv" 1
+    (List.length (Qualifier.instances qs ~vv_sort:Sort.Bool ~scope:[]));
+  check_int "int vv filtered" 0
+    (List.length (Qualifier.instances qs ~vv_sort:Sort.Int ~scope:[]))
+
+let test_defaults_parse () =
+  check_bool "default set nonempty" true (List.length Qualifier.defaults >= 10)
+
+let test_len_of_vv () =
+  (* qualifiers over array-valued value variables: len v = x *)
+  let qs = Qualifier.parse_string "qualif EqLen(v) : len v = _" in
+  let insts =
+    instance_strings qs ~vv_sort:Sort.Obj ~scope:(int_scope [ "n" ])
+  in
+  check_bool "len v = n" true (List.mem "len(v) = n" insts)
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "parse: basic" test_parse_basic;
+    tc "parse: multiple declarations" test_parse_multiple;
+    tc "parse: connectives" test_parse_connectives;
+    tc "parse: errors" test_parse_errors;
+    tc "instantiate: simple" test_instantiation_simple;
+    tc "instantiate: sort filtering" test_instantiation_sort_filtering;
+    tc "instantiate: named placeholders" test_instantiation_named_placeholders;
+    tc "instantiate: anonymous placeholders" test_instantiation_anonymous_independent;
+    tc "instantiate: temporaries excluded" test_instantiation_excludes_temporaries;
+    tc "instantiate: boolean qualifiers" test_bool_qualifier;
+    tc "defaults parse" test_defaults_parse;
+    tc "instantiate: len of value variable" test_len_of_vv;
+  ]

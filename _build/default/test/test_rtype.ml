@@ -1,0 +1,273 @@
+(* Unit tests for refinement types and constraint machinery internals:
+   substitution, selfification, instantiation, splitting, embedding. *)
+
+open Liquid_infer
+open Liquid_logic
+open Liquid_common
+open Liquid_typing
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let vv_int = Term.var Ident.vv Sort.Int
+
+let int_r p = Rtype.Base (Rtype.Bint, Rtype.known p)
+let show t = Fmt.str "%a" Rtype.pp t
+
+(* -- Refinements ---------------------------------------------------------- *)
+
+let test_refinement_ops () =
+  let r = Rtype.known (Pred.le (Term.int 0) vv_int) in
+  check_bool "known not trivial" false (Rtype.is_trivial r);
+  check_bool "trivial is trivial" true (Rtype.is_trivial Rtype.trivial);
+  let r2 = Rtype.strengthen (Pred.lt vv_int (Term.int 9)) r in
+  check_bool "strengthen conjoins" true
+    (Pred.equal r2.Rtype.preds
+       (Pred.and_ (Pred.le (Term.int 0) vv_int) (Pred.lt vv_int (Term.int 9))));
+  let k = Rtype.fresh_kvar_ref () in
+  let m = Rtype.meet r k in
+  check_int "meet keeps kvars" 1 (List.length m.Rtype.kvars);
+  check_bool "meet keeps preds" true (Pred.equal m.Rtype.preds r.Rtype.preds)
+
+let test_subst_through_kvar () =
+  (* substitutions compose into pending substitutions *)
+  let k = Rtype.fresh_kvar_ref () in
+  let t = Rtype.Base (Rtype.Bint, k) in
+  let t' = Rtype.subst1 "x" (Pred.Tm (Term.var "y" Sort.Int)) t in
+  match t' with
+  | Rtype.Base (_, { Rtype.kvars = [ (_, theta) ]; _ }) ->
+      check_bool "x bound in theta" true (Ident.Map.mem "x" theta)
+  | _ -> Alcotest.fail "shape"
+
+let test_subst_respects_binders () =
+  (* substitution does not cross a shadowing Fun binder *)
+  let inner = int_r (Pred.eq vv_int (Term.var "x" Sort.Int)) in
+  let f = Rtype.Fun ("x", int_r Pred.tt, inner) in
+  let f' = Rtype.subst1 "x" (Pred.Tm (Term.int 5)) f in
+  check_str "binder shields body" (show f) (show f')
+
+let test_sorts () =
+  check_bool "int sort" true
+    (Sort.equal (Rtype.sort_of (int_r Pred.tt)) Sort.Int);
+  check_bool "bool sort" true
+    (Sort.equal (Rtype.sort_of (Rtype.Base (Rtype.Bbool, Rtype.trivial))) Sort.Bool);
+  check_bool "array sort" true
+    (Sort.equal
+       (Rtype.sort_of (Rtype.Array (int_r Pred.tt, Rtype.trivial)))
+       Sort.Obj)
+
+(* -- Selfification ----------------------------------------------------------- *)
+
+let test_selfify () =
+  let t = Rtype.Base (Rtype.Bint, Rtype.fresh_kvar_ref ()) in
+  match Rtype.selfify "x" t with
+  | Rtype.Base (_, r) ->
+      check_bool "kvar kept" true (List.length r.Rtype.kvars = 1);
+      check_bool "equality added" true
+        (Pred.equal r.Rtype.preds (Pred.eq vv_int (Term.var "x" Sort.Int)))
+  | _ -> Alcotest.fail "shape"
+
+let test_selfify_tuple_projections () =
+  let t = Rtype.Tuple [ int_r Pred.tt; Rtype.Array (int_r Pred.tt, Rtype.trivial) ] in
+  match Rtype.selfify "p" t with
+  | Rtype.Tuple [ Rtype.Base (_, r0); Rtype.Array (_, r1) ] ->
+      check_bool "component 0 projected" true
+        (Pred.mem_var "p" r0.Rtype.preds);
+      check_bool "component 1 projected" true
+        (Pred.mem_var "p" r1.Rtype.preds)
+  | _ -> Alcotest.fail "shape"
+
+(* -- Templates & instantiation --------------------------------------------------- *)
+
+let test_template_shapes () =
+  let ml =
+    Mltype.Tarrow (Mltype.Tint, Mltype.Tarray (Mltype.Tbool))
+  in
+  match Rtype.template ml with
+  | Rtype.Fun (_, Rtype.Base (Rtype.Bint, r1), Rtype.Array (Rtype.Base (Rtype.Bbool, r2), r3)) ->
+      check_int "kvar on arg" 1 (List.length r1.Rtype.kvars);
+      check_int "kvar on elem" 1 (List.length r2.Rtype.kvars);
+      check_int "kvar on array" 1 (List.length r3.Rtype.kvars)
+  | _ -> Alcotest.fail "template shape"
+
+let test_instantiate_shares_templates () =
+  (* one type variable -> one shared instance template *)
+  let scheme =
+    Rtype.Fun ("x", Rtype.Tyvar (0, Rtype.trivial), Rtype.Tyvar (0, Rtype.trivial))
+  in
+  let inst = Rtype.instantiate scheme (Mltype.Tarrow (Mltype.Tint, Mltype.Tint)) in
+  match inst with
+  | Rtype.Fun (_, Rtype.Base (_, r1), Rtype.Base (_, r2)) ->
+      check_bool "same kvar at both positions" true
+        (List.map fst r1.Rtype.kvars = List.map fst r2.Rtype.kvars)
+  | _ -> Alcotest.fail "shape"
+
+let test_instantiate_transports_refinement () =
+  (* {v:'a | v = x} instantiated at int keeps the (re-sorted) equality *)
+  let self = Pred.eq (Term.var Ident.vv Sort.Obj) (Term.var "x" Sort.Obj) in
+  let scheme = Rtype.Tyvar (0, Rtype.known self) in
+  match Rtype.instantiate scheme Mltype.Tint with
+  | Rtype.Base (Rtype.Bint, r) ->
+      check_bool "equality re-sorted to int" true
+        (Pred.equal
+           (Pred.conj [ r.Rtype.preds ])
+           (Pred.eq vv_int (Term.var "x" Sort.Int)))
+  | _ -> Alcotest.fail "shape"
+
+(* -- Splitting --------------------------------------------------------------------- *)
+
+let origin = { Constr.loc = Loc.dummy; reason = "test" }
+
+let test_split_base () =
+  let t1 = int_r (Pred.eq vv_int (Term.int 3)) in
+  let t2 = int_r (Pred.le (Term.int 0) vv_int) in
+  let subs = Constr.split Constr.empty_env origin t1 t2 [] in
+  check_int "one concrete sub" 1 (List.length subs);
+  match (List.hd subs).Constr.rhs with
+  | Constr.Rconc p ->
+      check_bool "rhs is the goal" true
+        (Pred.equal p (Pred.le (Term.int 0) vv_int))
+  | _ -> Alcotest.fail "rhs kind"
+
+let test_split_function_contravariance () =
+  (* (f : {>=0} -> {>=1}) <: ({=5} -> {>=0}) splits into
+     {=5} <: {>=0} (args flipped) and {>=1} <: {>=0} (results) *)
+  let ge0 = int_r (Pred.ge vv_int (Term.int 0)) in
+  let ge1 = int_r (Pred.ge vv_int (Term.int 1)) in
+  let eq5 = int_r (Pred.eq vv_int (Term.int 5)) in
+  let f1 = Rtype.Fun ("x", ge0, ge1) in
+  let f2 = Rtype.Fun ("y", eq5, ge0) in
+  let subs = Constr.split Constr.empty_env origin f1 f2 [] in
+  check_int "two subs" 2 (List.length subs);
+  (* arg constraint must have {=5} on the left *)
+  check_bool "contravariant arg" true
+    (List.exists
+       (fun (c : Constr.sub) ->
+         Pred.equal c.Constr.lhs.Rtype.preds (Pred.eq vv_int (Term.int 5)))
+       subs)
+
+let test_split_array_invariance () =
+  let e1 = int_r (Pred.ge vv_int (Term.int 0)) in
+  let e2 = int_r (Pred.ge vv_int (Term.int 1)) in
+  let a1 = Rtype.Array (e1, Rtype.trivial) in
+  let a2 = Rtype.Array (e2, Rtype.trivial) in
+  let subs = Constr.split Constr.empty_env origin a1 a2 [] in
+  (* both directions on elements (invariance) *)
+  check_int "two element subs" 2 (List.length subs)
+
+let test_split_list_covariance () =
+  let e1 = int_r (Pred.ge vv_int (Term.int 0)) in
+  let e2 = int_r (Pred.ge vv_int (Term.int 1)) in
+  let l1 = Rtype.List (e1, Rtype.trivial) in
+  let l2 = Rtype.List (e2, Rtype.trivial) in
+  let subs = Constr.split Constr.empty_env origin l1 l2 [] in
+  check_int "one element sub" 1 (List.length subs)
+
+let test_split_shape_error () =
+  check_bool "incompatible shapes rejected" true
+    (match
+       Constr.split Constr.empty_env origin (int_r Pred.tt)
+         (Rtype.Base (Rtype.Bbool, Rtype.trivial))
+         []
+     with
+    | exception Constr.Shape_error _ -> true
+    | _ -> false)
+
+(* -- Well-formedness and embedding ---------------------------------------------------- *)
+
+let test_wf_scopes () =
+  (* inner κ of a dependent function sees the binder *)
+  let t = Rtype.template (Mltype.Tarrow (Mltype.Tint, Mltype.Tint)) in
+  let wfs = Constr.split_wf Constr.empty_env t [] in
+  check_int "two wf constraints" 2 (List.length wfs);
+  let scoped =
+    List.exists
+      (fun (w : Constr.wf) ->
+        List.length (Constr.scope_of_env w.Constr.wf_env) = 1)
+      wfs
+  in
+  check_bool "result kvar sees the argument" true scoped
+
+let test_embedding () =
+  let env =
+    Constr.empty_env
+    |> Constr.bind_var "x" (int_r (Pred.ge vv_int (Term.int 2)))
+    |> Constr.bind_var "a" (Rtype.Array (int_r Pred.tt, Rtype.trivial))
+    |> Constr.guard (Pred.lt (Term.var "x" Sort.Int) (Term.int 10))
+  in
+  let facts, guards = Constr.embed_env (fun _ -> []) env in
+  check_int "one guard" 1 (List.length guards);
+  check_bool "x fact instantiated at x" true
+    (List.exists
+       (fun p -> Pred.equal p (Pred.ge (Term.var "x" Sort.Int) (Term.int 2)))
+       facts);
+  check_bool "array nonneg-length axiom" true
+    (List.exists
+       (fun p ->
+         Pred.equal p
+           (Pred.ge (Term.len (Term.var "a" Sort.Obj)) (Term.int 0)))
+       facts)
+
+(* -- Display cleanup -------------------------------------------------------------------- *)
+
+let test_report_minimization () =
+  let p =
+    Pred.conj
+      [
+        Pred.ge vv_int (Term.int 0);
+        Pred.ge vv_int (Term.int 0); (* duplicate *)
+        Pred.gt vv_int (Term.int 5); (* implies >= 0 *)
+      ]
+  in
+  let q = Report.minimize_conjunction p in
+  check_str "only the strongest conjunct remains" "v > 5" (Pred.to_string q)
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "refinement operations" test_refinement_ops;
+    tc "substitution composes into kvars" test_subst_through_kvar;
+    tc "substitution respects binders" test_subst_respects_binders;
+    tc "sorts" test_sorts;
+    tc "selfify keeps kvars" test_selfify;
+    tc "selfify projects tuples" test_selfify_tuple_projections;
+    tc "template shapes" test_template_shapes;
+    tc "instantiation shares per-tyvar templates" test_instantiate_shares_templates;
+    tc "instantiation transports refinements" test_instantiate_transports_refinement;
+    tc "split: base" test_split_base;
+    tc "split: function contravariance" test_split_function_contravariance;
+    tc "split: array invariance" test_split_array_invariance;
+    tc "split: list covariance" test_split_list_covariance;
+    tc "split: shape errors" test_split_shape_error;
+    tc "wf: binder scoping" test_wf_scopes;
+    tc "environment embedding" test_embedding;
+    tc "report minimization" test_report_minimization;
+  ]
+
+(* Property: display minimization never changes a conjunction's meaning
+   (checked by the SMT solver in both directions). *)
+let gen_conj =
+  let open QCheck.Gen in
+  let vx = Term.var "x" Sort.Int and vy = Term.var "y" Sort.Int in
+  let atom =
+    let* t1 = oneofl [ vv_int; vx; vy ] in
+    let* t2 = oneofl [ vv_int; vx; vy; Term.int 0; Term.int 3 ] in
+    let* rel = oneofl Pred.[ Eq; Lt; Le; Gt; Ge ] in
+    return (Pred.atom t1 rel t2)
+  in
+  let* n = int_range 1 5 in
+  let* atoms = list_size (return n) atom in
+  return (Pred.conj atoms)
+
+let prop_minimization_preserves_meaning =
+  QCheck.Test.make ~count:200
+    ~name:"display minimization is semantics-preserving"
+    (QCheck.make gen_conj)
+    (fun p ->
+      let q = Report.minimize_conjunction p in
+      Liquid_smt.Solver.check_valid [ p ] q = Liquid_smt.Solver.Valid
+      && Liquid_smt.Solver.check_valid [ q ] p = Liquid_smt.Solver.Valid)
+
+let tests =
+  tests @ [ QCheck_alcotest.to_alcotest prop_minimization_preserves_meaning ]

@@ -1,0 +1,448 @@
+(* Tests for the SMT substrate: rationals, simplex, LIA, congruence
+   closure, and the combined validity checker. *)
+
+open Liquid_logic
+open Liquid_smt
+
+let x = Term.var "x" Sort.Int
+let y = Term.var "y" Sort.Int
+let z = Term.var "z" Sort.Int
+let a_obj = Term.var "a" Sort.Obj
+let b_obj = Term.var "b" Sort.Obj
+let i n = Term.int n
+
+let valid hyps goal = Solver.check_valid hyps goal = Solver.Valid
+let invalid hyps goal = Solver.check_valid hyps goal = Solver.Invalid
+
+let check_bool name expected actual = Alcotest.(check bool) name expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Rationals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_rat_basic () =
+  let open Rat in
+  check_bool "1/2 + 1/3 = 5/6" true (equal (add (make 1 2) (make 1 3)) (make 5 6));
+  check_bool "2/4 normalizes" true (equal (make 2 4) (make 1 2));
+  check_bool "-1/-2 normalizes" true (equal (make (-1) (-2)) (make 1 2));
+  check_bool "floor 7/2" true (floor (make 7 2) = 3);
+  check_bool "floor -7/2" true (floor (make (-7) 2) = -4);
+  check_bool "ceil 7/2" true (ceil (make 7 2) = 4);
+  check_bool "ceil -7/2" true (ceil (make (-7) 2) = -3);
+  check_bool "compare 1/3 < 1/2" true (lt (make 1 3) (make 1 2));
+  check_bool "mul" true (equal (mul (make 2 3) (make 3 4)) (make 1 2));
+  check_bool "div" true (equal (div (make 1 2) (make 1 4)) (of_int 2))
+
+let test_rat_overflow () =
+  let big = Rat.of_int max_int in
+  check_bool "overflow raises" true
+    (try
+       ignore (Rat.mul big big);
+       false
+     with Rat.Overflow -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Simplex                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let le exp rhs = Simplex.cons exp Simplex.Le rhs
+let ge exp rhs = Simplex.cons exp Simplex.Ge rhs
+let eq exp rhs = Simplex.cons exp Simplex.Eq rhs
+
+let test_simplex_sat () =
+  (* x >= 1, y >= 1, x + y <= 3 *)
+  let v0 = Linexp.var 0 and v1 = Linexp.var 1 in
+  match
+    Simplex.solve ~nvars:2 [ ge v0 Rat.one; ge v1 Rat.one; le (Linexp.add v0 v1) (Rat.of_int 3) ]
+  with
+  | `Sat m ->
+      check_bool "x >= 1" true (Rat.le Rat.one m.(0));
+      check_bool "y >= 1" true (Rat.le Rat.one m.(1));
+      check_bool "x + y <= 3" true (Rat.le (Rat.add m.(0) m.(1)) (Rat.of_int 3))
+  | `Unsat -> Alcotest.fail "expected sat"
+
+let test_simplex_unsat () =
+  (* x >= 2, x <= 1 is unsat; also via sums *)
+  let v0 = Linexp.var 0 and v1 = Linexp.var 1 in
+  (match Simplex.solve ~nvars:1 [ ge v0 (Rat.of_int 2); le v0 Rat.one ] with
+  | `Unsat -> ()
+  | `Sat _ -> Alcotest.fail "expected unsat (bounds)");
+  (* x + y >= 4, x <= 1, y <= 2 *)
+  match
+    Simplex.solve ~nvars:2
+      [ ge (Linexp.add v0 v1) (Rat.of_int 4); le v0 Rat.one; le v1 (Rat.of_int 2) ]
+  with
+  | `Unsat -> ()
+  | `Sat _ -> Alcotest.fail "expected unsat (sum)"
+
+let test_simplex_eq_chain () =
+  (* x = y, y = z, x = 5 => model gives z = 5 *)
+  let v0 = Linexp.var 0 and v1 = Linexp.var 1 and v2 = Linexp.var 2 in
+  match
+    Simplex.solve ~nvars:3
+      [
+        eq (Linexp.sub v0 v1) Rat.zero;
+        eq (Linexp.sub v1 v2) Rat.zero;
+        eq v0 (Rat.of_int 5);
+      ]
+  with
+  | `Sat m -> check_bool "z = 5" true (Rat.equal m.(2) (Rat.of_int 5))
+  | `Unsat -> Alcotest.fail "expected sat"
+
+(* ------------------------------------------------------------------ *)
+(* LIA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lia_integrality () =
+  (* 2x = 1 is rationally sat but integrally unsat (gcd test). *)
+  let c =
+    { Lia.exp = Linexp.var ~coeff:(Rat.of_int 2) 0; op = Lia.Eq; rhs = Rat.one }
+  in
+  check_bool "2x = 1 unsat over Z" true (Lia.check ~nvars:1 [ c ] = Lia.Unsat)
+
+let test_lia_tightening () =
+  (* x < 1 and x > -1 forces x = 0 over Z; adding x != 0 via x >= 1 is unsat *)
+  let v0 = Linexp.var 0 in
+  let cs =
+    [
+      { Lia.exp = v0; op = Lia.Lt; rhs = Rat.one };
+      { Lia.exp = Linexp.neg v0; op = Lia.Lt; rhs = Rat.one };
+      { Lia.exp = Linexp.neg v0; op = Lia.Le; rhs = Rat.of_int (-1) };
+    ]
+  in
+  check_bool "-1 < x < 1 and x >= 1 unsat" true (Lia.check ~nvars:1 cs = Lia.Unsat)
+
+let test_lia_branch () =
+  (* 2x + 2y = 3 : rationally sat, integrally unsat after normalization. *)
+  let v0 = Linexp.var 0 and v1 = Linexp.var 1 in
+  let c =
+    {
+      Lia.exp = Linexp.add (Linexp.scale (Rat.of_int 2) v0) (Linexp.scale (Rat.of_int 2) v1);
+      op = Lia.Eq;
+      rhs = Rat.of_int 3;
+    }
+  in
+  check_bool "2x + 2y = 3 unsat over Z" true (Lia.check ~nvars:2 [ c ] = Lia.Unsat)
+
+(* ------------------------------------------------------------------ *)
+(* Congruence closure                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cc_congruence () =
+  let cc = Cc.create () in
+  let a = Cc.var cc 0 and b = Cc.var cc 1 in
+  let fa = Cc.app cc Symbol.len [ a ] and fb = Cc.app cc Symbol.len [ b ] in
+  check_bool "len a != len b initially" false (Cc.equal cc fa fb);
+  Cc.assert_eq cc a b;
+  check_bool "a = b => len a = len b" true (Cc.equal cc fa fb);
+  check_bool "no conflict" true (Cc.ok cc)
+
+let test_cc_transitive () =
+  let cc = Cc.create () in
+  let a = Cc.var cc 0 and b = Cc.var cc 1 and c = Cc.var cc 2 in
+  Cc.assert_eq cc a b;
+  Cc.assert_eq cc b c;
+  check_bool "a = c by transitivity" true (Cc.equal cc a c)
+
+let test_cc_conflict () =
+  let cc = Cc.create () in
+  let a = Cc.var cc 0 and b = Cc.var cc 1 in
+  Cc.assert_ne cc a b;
+  Cc.assert_eq cc a b;
+  check_bool "conflict detected" false (Cc.ok cc)
+
+let test_cc_constants () =
+  let cc = Cc.create () in
+  let c1 = Cc.const cc 1 and c2 = Cc.const cc 2 in
+  let a = Cc.var cc 0 in
+  Cc.assert_eq cc a c1;
+  Cc.assert_eq cc a c2;
+  check_bool "1 = 2 conflict" false (Cc.ok cc)
+
+let test_cc_nested () =
+  (* a = b => f(f(a)) = f(f(b)) with f = len (arity 1, any sorts ok here) *)
+  let cc = Cc.create () in
+  let a = Cc.var cc 0 and b = Cc.var cc 1 in
+  let f t = Cc.app cc Symbol.len [ t ] in
+  let ffa = f (f a) and ffb = f (f b) in
+  Cc.assert_eq cc a b;
+  check_bool "f(f(a)) = f(f(b))" true (Cc.equal cc ffa ffb)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end validity                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_valid_arith () =
+  check_bool "x <= y /\\ y <= z => x <= z" true
+    (valid [ Pred.le x y; Pred.le y z ] (Pred.le x z));
+  check_bool "x < y => x <= y - 1 (ints)" true
+    (valid [ Pred.lt x y ] (Pred.le x (Term.sub y (i 1))));
+  check_bool "x <= y does not imply x < y" true
+    (invalid [ Pred.le x y ] (Pred.lt x y));
+  check_bool "0 <= x /\\ x < n => 0 <= x+1" true
+    (valid [ Pred.le (i 0) x; Pred.lt x y ] (Pred.le (i 0) (Term.add x (i 1))));
+  check_bool "x = 2y => x != 3 (parity)" true
+    (valid [ Pred.eq x (Term.mul (i 2) y) ] (Pred.ne x (i 3)))
+
+let test_valid_bool_structure () =
+  let p = Pred.bvar "p" and q = Pred.bvar "q" in
+  check_bool "p /\\ (p => q) |= q" true (valid [ p; Pred.imp p q ] q);
+  check_bool "p \\/ q, ~p |= q" true (valid [ Pred.or_ p q; Pred.not_ p ] q);
+  check_bool "p does not imply q" true (invalid [ p ] q);
+  check_bool "iff works" true
+    (valid [ Pred.iff p (Pred.lt x y); Pred.lt x y ] p)
+
+let test_valid_euf () =
+  check_bool "a = b => len a = len b" true
+    (valid [ Pred.eq a_obj b_obj ] (Pred.eq (Term.len a_obj) (Term.len b_obj)));
+  check_bool "len a = 5 /\\ x < len a => x < 5" true
+    (valid
+       [ Pred.eq (Term.len a_obj) (i 5); Pred.lt x (Term.len a_obj) ]
+       (Pred.lt x (i 5)));
+  check_bool "len a = len b not implied by nothing" true
+    (invalid [] (Pred.eq (Term.len a_obj) (Term.len b_obj)))
+
+let test_valid_combination () =
+  (* LIA -> CC propagation: x <= y /\ y <= x => mul(x,z) = mul(y,z) *)
+  let mulxz = Term.app Symbol.mul [ x; z ] in
+  let mulyz = Term.app Symbol.mul [ y; z ] in
+  check_bool "x <= y <= x => mul(x,z) = mul(y,z)" true
+    (valid [ Pred.le x y; Pred.le y x ] (Pred.eq mulxz mulyz));
+  (* CC -> LIA: a = b /\ len a >= 4 => len b + 1 >= 5 *)
+  check_bool "a = b /\\ len a >= 4 => len b + 1 >= 5" true
+    (valid
+       [ Pred.eq a_obj b_obj; Pred.ge (Term.len a_obj) (i 4) ]
+       (Pred.ge (Term.add (Term.len b_obj) (i 1)) (i 5)))
+
+let test_array_bounds_shape () =
+  (* The exact shape of a liquid array-bounds query:
+     0 <= i /\ i < len a /\ i+1 <= len a - 1  |=  0 <= i+1 /\ i+1 < len a *)
+  let iv = Term.var "i" Sort.Int in
+  let la = Term.len a_obj in
+  check_bool "bounds obligation" true
+    (valid
+       [ Pred.le (i 0) iv; Pred.lt iv la; Pred.le (Term.add iv (i 1)) (Term.sub la (i 1)) ]
+       (Pred.conj [ Pred.le (i 0) (Term.add iv (i 1)); Pred.lt (Term.add iv (i 1)) la ]));
+  check_bool "unprovable bounds obligation rejected" true
+    (invalid [ Pred.le (i 0) iv ] (Pred.lt iv la))
+
+let test_diseq_split () =
+  (* x != y /\ x <= y => x < y (int disequality split) *)
+  check_bool "x != y /\\ x <= y => x + 1 <= y" true
+    (valid [ Pred.ne x y; Pred.le x y ] (Pred.le (Term.add x (i 1)) y));
+  (* 0 <= x <= 1, x != 0 => x = 1 *)
+  check_bool "0 <= x <= 1 /\\ x != 0 => x = 1" true
+    (valid
+       [ Pred.le (i 0) x; Pred.le x (i 1); Pred.ne x (i 0) ]
+       (Pred.eq x (i 1)))
+
+let test_cache_and_stats () =
+  Solver.clear_cache ();
+  Solver.reset_stats ();
+  let q () = valid [ Pred.le x y ] (Pred.le x (Term.add y (i 1))) in
+  check_bool "first" true (q ());
+  check_bool "second" true (q ());
+  check_bool "cache hit recorded" true (Solver.stats.cache_hits >= 1);
+  check_bool "queries recorded" true (Solver.stats.queries >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: cross-check the solver against brute-force          *)
+(* evaluation of random formulas over a small integer domain.          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_term vars =
+  let open QCheck.Gen in
+  fix
+    (fun self depth ->
+      if depth <= 0 then
+        oneof [ map Term.int (int_range (-4) 4); oneofl vars ]
+      else
+        frequency
+          [
+            (2, map Term.int (int_range (-4) 4));
+            (3, oneofl vars);
+            (2, map2 Term.add (self (depth - 1)) (self (depth - 1)));
+            (2, map2 Term.sub (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun c t -> Term.mul (Term.int c) t) (int_range (-3) 3) (self (depth - 1)));
+          ])
+    2
+
+let gen_pred vars =
+  let open QCheck.Gen in
+  let atom =
+    let* t1 = gen_term vars in
+    let* t2 = gen_term vars in
+    let* rel = oneofl Pred.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+    return (Pred.atom t1 rel t2)
+  in
+  fix
+    (fun self depth ->
+      if depth <= 0 then atom
+      else
+        frequency
+          [
+            (4, atom);
+            (2, map Pred.not_ (self (depth - 1)));
+            (2, map2 Pred.and_ (self (depth - 1)) (self (depth - 1)));
+            (2, map2 Pred.or_ (self (depth - 1)) (self (depth - 1)));
+            (1, map2 Pred.imp (self (depth - 1)) (self (depth - 1)));
+          ])
+    2
+
+(* Brute-force satisfiability over assignments in [-bound, bound]. *)
+let brute_sat vars p ~bound =
+  let names = List.map (function Term.Var (x, _) -> x | _ -> assert false) vars in
+  let rec go env = function
+    | [] -> Pred.eval env Liquid_common.Ident.Map.empty p
+    | x :: rest ->
+        let found = ref false in
+        for v = -bound to bound do
+          if not !found then
+            if go (Liquid_common.Ident.Map.add x v env) rest then found := true
+        done;
+        !found
+  in
+  go Liquid_common.Ident.Map.empty names
+
+let prop_solver_agrees_with_brute_force =
+  let vars = [ x; y; z ] in
+  QCheck.Test.make ~count:300 ~name:"solver never refutes a brute-force model"
+    (QCheck.make (gen_pred vars))
+    (fun p ->
+      (* If a small model exists, the solver must not report UNSAT.
+         (The converse direction needs unbounded search, so we only check
+         soundness of UNSAT answers — exactly what liquid inference relies
+         on.) *)
+      if brute_sat vars p ~bound:4 then Solver.is_sat p else true)
+
+let prop_valid_implications_hold =
+  let vars = [ x; y; z ] in
+  QCheck.Test.make ~count:300 ~name:"Valid answers are truly valid on small domain"
+    (QCheck.make QCheck.Gen.(pair (gen_pred vars) (gen_pred vars)))
+    (fun (h, g) ->
+      match Solver.check_valid [ h ] g with
+      | Solver.Valid ->
+          (* No assignment in the small domain may satisfy h /\ ~g. *)
+          not (brute_sat vars (Pred.and_ h (Pred.not_ g)) ~bound:4)
+      | Solver.Invalid | Solver.Unknown -> true)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_solver_agrees_with_brute_force; prop_valid_implications_hold ]
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "rat: basic arithmetic" test_rat_basic;
+    tc "rat: overflow detection" test_rat_overflow;
+    tc "simplex: satisfiable system" test_simplex_sat;
+    tc "simplex: unsatisfiable systems" test_simplex_unsat;
+    tc "simplex: equality chain" test_simplex_eq_chain;
+    tc "lia: gcd integrality" test_lia_integrality;
+    tc "lia: strict tightening" test_lia_tightening;
+    tc "lia: branch and bound" test_lia_branch;
+    tc "cc: congruence" test_cc_congruence;
+    tc "cc: transitivity" test_cc_transitive;
+    tc "cc: disequality conflict" test_cc_conflict;
+    tc "cc: distinct constants" test_cc_constants;
+    tc "cc: nested congruence" test_cc_nested;
+    tc "valid: arithmetic" test_valid_arith;
+    tc "valid: boolean structure" test_valid_bool_structure;
+    tc "valid: uninterpreted functions" test_valid_euf;
+    tc "valid: theory combination" test_valid_combination;
+    tc "valid: array-bounds query shape" test_array_bounds_shape;
+    tc "valid: disequality splitting" test_diseq_split;
+    tc "solver: cache and stats" test_cache_and_stats;
+  ]
+  @ qcheck_tests
+
+(* ------------------------------------------------------------------ *)
+(* Differential testing: Simplex vs Fourier-Motzkin on random systems  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_system =
+  let open QCheck.Gen in
+  let gen_cons =
+    let* c0 = int_range (-3) 3 in
+    let* c1 = int_range (-3) 3 in
+    let* c2 = int_range (-3) 3 in
+    let* rhs = int_range (-6) 6 in
+    let* op = oneofl [ Simplex.Le; Simplex.Ge; Simplex.Eq ] in
+    let exp =
+      Linexp.add_term 0 (Rat.of_int c0)
+        (Linexp.add_term 1 (Rat.of_int c1)
+           (Linexp.add_term 2 (Rat.of_int c2) Linexp.zero))
+    in
+    return (Simplex.cons exp op (Rat.of_int rhs))
+  in
+  let* n = int_range 1 7 in
+  list_size (return n) gen_cons
+
+let prop_simplex_agrees_with_fm =
+  QCheck.Test.make ~count:500 ~name:"simplex agrees with Fourier-Motzkin"
+    (QCheck.make gen_system)
+    (fun cs ->
+      let simplex =
+        match Simplex.solve ~nvars:3 cs with `Sat _ -> `Sat | `Unsat -> `Unsat
+      in
+      simplex = Fm.solve cs)
+
+let prop_simplex_models_check_out =
+  QCheck.Test.make ~count:500 ~name:"simplex models satisfy all constraints"
+    (QCheck.make gen_system)
+    (fun cs ->
+      match Simplex.solve ~nvars:3 cs with
+      | `Unsat -> true
+      | `Sat model ->
+          List.for_all
+            (fun (c : Simplex.cons) ->
+              let v = Linexp.eval (fun i -> model.(i)) c.Simplex.exp in
+              match c.Simplex.op with
+              | Simplex.Le -> Rat.le v c.Simplex.rhs
+              | Simplex.Ge -> Rat.le c.Simplex.rhs v
+              | Simplex.Eq -> Rat.equal v c.Simplex.rhs)
+            cs)
+
+let prop_lia_refines_rational =
+  (* Integer satisfiability implies rational satisfiability; integer
+     UNSAT must agree with FM whenever FM is also UNSAT rationally. *)
+  QCheck.Test.make ~count:500 ~name:"LIA is between rational SAT and UNSAT"
+    (QCheck.make gen_system)
+    (fun cs ->
+      let lia_cons =
+        List.map
+          (fun (c : Simplex.cons) ->
+            match c.Simplex.op with
+            | Simplex.Le -> { Lia.exp = c.Simplex.exp; op = Lia.Le; rhs = c.Simplex.rhs }
+            | Simplex.Ge ->
+                { Lia.exp = Linexp.neg c.Simplex.exp; op = Lia.Le; rhs = Rat.neg c.Simplex.rhs }
+            | Simplex.Eq -> { Lia.exp = c.Simplex.exp; op = Lia.Eq; rhs = c.Simplex.rhs })
+          cs
+      in
+      match (Lia.check ~nvars:3 lia_cons, Fm.solve cs) with
+      | Lia.Sat _, `Unsat -> false (* int-sat but rat-unsat: impossible *)
+      | Lia.Unsat, `Unsat -> true
+      | Lia.Unsat, `Sat ->
+          true (* rational-sat, integrally unsat: fine (gcd/branching) *)
+      | Lia.Sat m, `Sat ->
+          (* the integer model must be integral and satisfy everything *)
+          Array.for_all Rat.is_integer m
+          && List.for_all
+               (fun (c : Lia.cons) ->
+                 let v = Linexp.eval (fun i -> m.(i)) c.Lia.exp in
+                 match c.Lia.op with
+                 | Lia.Le -> Rat.le v c.Lia.rhs
+                 | Lia.Lt -> Rat.lt v c.Lia.rhs
+                 | Lia.Eq -> Rat.equal v c.Lia.rhs)
+               lia_cons
+      | Lia.Unknown, _ -> true)
+
+let qcheck_differential =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_simplex_agrees_with_fm;
+      prop_simplex_models_check_out;
+      prop_lia_refines_rational;
+    ]
+
+let tests = tests @ qcheck_differential

@@ -1,0 +1,134 @@
+(* Tests for refinement-type specifications: parsing, modular checking,
+   modular use, and rejection of wrong or misaligned specifications. *)
+
+open Liquid_infer
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let parse1 s =
+  match Spec.parse_string s with
+  | [ (_, t) ] -> Fmt.str "%a" Rtype.pp (Report.display t)
+  | _ -> Alcotest.fail "expected one declaration"
+
+let verify ?(quals = Qualifier.defaults) ~specs src =
+  let specs = Spec.parse_string specs in
+  Liquid_driver.Pipeline.verify_string ~quals ~specs src
+
+let is_safe ?quals ~specs src =
+  (verify ?quals ~specs src).Liquid_driver.Pipeline.safe
+
+(* -- Parsing ------------------------------------------------------------ *)
+
+let test_parse_base () =
+  check_str "plain arrow" "k:int -> int" (parse1 "val f : k:int -> int");
+  check_str "refined result" "k:int -> {v:int | v >= k}"
+    (parse1 "val f : k:int -> {v:int | v >= k}");
+  check_str "array" "a:int array -> {v:int | v < len(a)}"
+    (parse1 "val f : a:int array -> {v:int | v < len a}");
+  check_str "tyvars" "x:'a -> 'a" (parse1 "val id : x:'a -> 'a");
+  check_str "tuple" "(int * bool)" (parse1 "val p : (int * bool)");
+  check_str "list measure" "l:'a list -> {v:int | v = llen(l)}"
+    (parse1 "val len : l:'a list -> {v:int | v = llen l}")
+
+let test_parse_multiple () =
+  let specs = Spec.parse_string "val f : int -> int\nval g : bool -> bool" in
+  check_bool "two declarations" true (List.length specs = 2)
+
+let test_parse_errors () =
+  let fails s =
+    match Spec.parse_string s with exception Spec.Error _ -> true | _ -> false
+  in
+  check_bool "missing colon" true (fails "val f int");
+  check_bool "bad refinement" true (fails "val f : {v:int | }");
+  check_bool "ill-sorted refinement" true (fails "val f : {v:int | len v = 3}");
+  check_bool "unbound name in refinement" true
+    (fails "val f : int -> {v:int | v > q}");
+  check_bool "refinement on function" true
+    (fails "val f : {v:(int -> int) | true}")
+
+(* -- Checking ---------------------------------------------------------------- *)
+
+let sum_src =
+  "let rec sum k = if k < 0 then 0 else begin let s = sum (k - 1) in s + k \
+   end\nlet u = sum 3"
+
+let test_correct_spec_verifies () =
+  check_bool "sum spec holds" true
+    (is_safe ~specs:"val sum : k:int -> {v:int | v >= k && 0 <= v}" sum_src)
+
+let test_wrong_spec_rejected () =
+  let r = verify ~specs:"val sum : k:int -> {v:int | v > k}" sum_src in
+  check_bool "rejected" false r.Liquid_driver.Pipeline.safe;
+  match r.Liquid_driver.Pipeline.errors with
+  | e :: _ ->
+      check_str "reason" "specification check" e.Liquid_driver.Pipeline.err_reason
+  | [] -> Alcotest.fail "no error"
+
+let test_spec_used_modularly () =
+  (* The spec (not the stronger inferred type) is what clients see:
+     weaken the spec and a client assert relying on the stronger fact
+     must fail. *)
+  check_bool "client sees only the spec" false
+    (is_safe ~specs:"val sum : k:int -> {v:int | 0 <= v}"
+       (sum_src ^ "\nlet _ = assert (sum 5 >= 5)"));
+  check_bool "client can use the spec" true
+    (is_safe ~specs:"val sum : k:int -> {v:int | 0 <= v}"
+       (sum_src ^ "\nlet _ = assert (sum 5 >= 0)"))
+
+let test_spec_assumed_in_recursion () =
+  (* Modular recursion: the body may rely on the spec for recursive
+     calls. *)
+  check_bool "recursive calls use the spec" true
+    (is_safe
+       ~specs:"val down : n:int -> {v:int | v <= 0}"
+       "let rec down n = if n <= 0 then n else down (n - 2)\nlet _ = down 9")
+
+let test_spec_precondition_enforced_at_calls () =
+  let specs = "val half : n:{v:int | 0 <= v} -> {v:int | v <= n}" in
+  let f = "let half n = n / 2\n" in
+  check_bool "ok call" true (is_safe ~specs (f ^ "let _ = half 4"));
+  check_bool "bad call rejected" false
+    (is_safe ~specs (f ^ "let _ = half (0 - 4)"))
+
+let test_polymorphic_spec () =
+  check_bool "identity spec" true
+    (is_safe ~specs:"val id : x:'a -> {v:'a | v = x}"
+       "let id x = x\nlet _ = assert (id 3 = 3)")
+
+let test_misaligned_spec () =
+  (* spec less general than the inferred type *)
+  check_bool "monomorphizing spec rejected" true
+    (match verify ~specs:"val id : x:int -> int" "let id x = x\nlet u = id 3" with
+    | exception Liquid_driver.Pipeline.Source_error _ -> true
+    | _ -> false);
+  check_bool "shape-mismatched spec rejected" true
+    (match verify ~specs:"val f : int -> int" "let f x y = x + y\nlet u = f 1 2" with
+    | exception Liquid_driver.Pipeline.Source_error _ -> true
+    | _ -> false)
+
+let test_spec_with_measures () =
+  let quals = Qualifier.defaults @ Qualifier.list_defaults in
+  check_bool "append length spec" true
+    (is_safe ~quals
+       ~specs:
+         "val append : xs:'a list -> ys:'a list -> {v:'a list | llen v = \
+          llen xs + llen ys}"
+       "let rec append xs ys = match xs with | [] -> ys | h :: t -> h :: \
+        append t ys\nlet u = append [1] [2; 3]")
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "parse: base forms" test_parse_base;
+    tc "parse: multiple declarations" test_parse_multiple;
+    tc "parse: errors" test_parse_errors;
+    tc "correct spec verifies" test_correct_spec_verifies;
+    tc "wrong spec rejected" test_wrong_spec_rejected;
+    tc "spec used modularly" test_spec_used_modularly;
+    tc "spec assumed for recursive calls" test_spec_assumed_in_recursion;
+    tc "spec preconditions at call sites" test_spec_precondition_enforced_at_calls;
+    tc "polymorphic spec" test_polymorphic_spec;
+    tc "misaligned specs rejected" test_misaligned_spec;
+    tc "spec with list measures" test_spec_with_measures;
+  ]

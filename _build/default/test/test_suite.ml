@@ -1,0 +1,144 @@
+(* Integration tests over the paper's benchmark suite: every benchmark
+   must verify with its qualifier set, execute correctly under the
+   reference interpreter, and reject planted bugs (mutation testing). *)
+
+open Liquid_suite
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Verification: the paper's headline table                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_benchmark name =
+  let b = Programs.find name in
+  let row = Runner.verify b in
+  check_bool (name ^ " verifies safe") true
+    row.Runner.report.Liquid_driver.Pipeline.safe
+
+(* ------------------------------------------------------------------ *)
+(* Execution: verified programs run without bounds/assert failures and *)
+(* compute the right answers (soundness, in executable form)           *)
+(* ------------------------------------------------------------------ *)
+
+let exec_int name =
+  match Runner.execute (Programs.find name) with
+  | Liquid_eval.Eval.Vint n -> n
+  | v -> Alcotest.fail (Fmt.str "%s: non-int main %a" name Liquid_eval.Eval.pp_value v)
+
+let test_execution () =
+  check_int "dotprod = 16 * 12" 192 (exec_int "dotprod");
+  check_int "bcopy copies" 7 (exec_int "bcopy");
+  check_int "queens 6 has 4 solutions" 4 (exec_int "queens");
+  check_int "isort sorts (min first)" 1 (exec_int "isort");
+  check_int "tower moves all disks" 1 (exec_int "tower");
+  check_int "matmult diagonal product" 2 (exec_int "matmult");
+  check_int "heapsort sorts ascending" 77 (exec_int "heapsort");
+  check_int "fft stage sums" 16 (exec_int "fft");
+  (match Runner.execute (Programs.find "bsearch") with
+  | Liquid_eval.Eval.Vunit -> ()
+  | _ -> Alcotest.fail "bsearch main");
+  ignore (exec_int "simplex");
+  ignore (exec_int "gauss")
+
+(* ------------------------------------------------------------------ *)
+(* Mutation testing: planting an off-by-one or dropping a guard must   *)
+(* flip the verdict to unsafe.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let replace ~what ~with_ s =
+  match String.index_opt s ' ' with
+  | _ ->
+      let re = Str.regexp_string what in
+      Str.global_replace re with_ s
+
+let mutants =
+  [
+    (* benchmark, description, textual mutation *)
+    ("bcopy", "loop bound uses dst", ("i < Array.length src", "i <= Array.length src"));
+    ("isort", "insert accesses a.(j) without guard", ("if 0 < j", "if 0 <= j"));
+    ("queens", "termination test off by one", ("if r = size then 1", "if r = size + 1 then 1"));
+    ("heapsort", "second child bound check", ("if c2 < bound", "if c2 <= bound"));
+    ("matmult", "k loop overruns", ("if k < n then", "if k <= n then"));
+    ("gauss", "column sweep overruns", ("if j <= n", "if j <= n + 1"));
+    ("tower", "source height off by one", ("s.(hs - k)", "s.(hs - k + 1)"));
+    ("fft", "butterfly guard dropped", ("if i + half < n", "if i < n"));
+  ]
+
+let test_mutants () =
+  List.iter
+    (fun (name, desc, (what, with_)) ->
+      let b = Programs.find name in
+      check_bool (name ^ ": mutation applies") true
+        (Str.string_match (Str.regexp (".*" ^ Str.quote what ^ ".*"))
+           (Str.global_replace (Str.regexp "\n") " " b.Programs.source) 0);
+      let mutated = { b with Programs.source = replace ~what ~with_ b.Programs.source } in
+      let row = Runner.verify mutated in
+      check_bool
+        (Fmt.str "%s mutant rejected (%s)" name desc)
+        false row.Runner.report.Liquid_driver.Pipeline.safe)
+    mutants
+
+(* ------------------------------------------------------------------ *)
+(* Overview examples: inferred types match the paper's figures          *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_overview () =
+  List.iter
+    (fun (ex : Overview.example) ->
+      let r = Liquid_driver.Pipeline.verify_string ~name:ex.Overview.name ex.Overview.source in
+      check_bool (ex.Overview.name ^ " safe") true r.Liquid_driver.Pipeline.safe;
+      List.iter
+        (fun (item, fragment) ->
+          let _, t =
+            List.find
+              (fun (x, _) -> Liquid_common.Ident.to_string x = item)
+              r.Liquid_driver.Pipeline.item_types
+          in
+          let s = Fmt.str "%a" Liquid_infer.Rtype.pp t in
+          check_bool
+            (Fmt.str "%s: %s type contains %S (got %s)" ex.Overview.name item
+               fragment s)
+            true (contains s fragment))
+        ex.Overview.expectations)
+    Overview.all
+
+(* ------------------------------------------------------------------ *)
+(* Qualifier ablation: benchmarks that need an extra qualifier fail    *)
+(* cleanly without it (they are not vacuously safe).                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_qualifier_ablation () =
+  List.iter
+    (fun name ->
+      let b = Programs.find name in
+      if b.Programs.extra_qualifiers <> "" then begin
+        let row = Runner.verify ~quals:Liquid_infer.Qualifier.defaults b in
+        check_bool
+          (name ^ " fails without its extra qualifier")
+          false row.Runner.report.Liquid_driver.Pipeline.safe
+      end)
+    [ "tower"; "simplex"; "gauss" ]
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  List.map
+    (fun (b : Programs.benchmark) ->
+      (if List.mem b.Programs.name [ "tower"; "fft"; "simplex" ] then slow
+       else tc)
+        ("verify " ^ b.Programs.name)
+        (fun () -> test_benchmark b.Programs.name))
+    Programs.all
+  @ [
+      tc "execute all benchmarks" test_execution;
+      slow "mutants are rejected" test_mutants;
+      tc "overview examples match the paper" test_overview;
+      slow "extra qualifiers are necessary" test_qualifier_ablation;
+    ]

@@ -1,0 +1,176 @@
+(* Adversarial end-to-end cases probing soundness-critical corners:
+   refinements flowing through polymorphism and aliases, shadowing,
+   nested data, escaping closures — each paired with an unsafe variant
+   that must be rejected. *)
+
+let verify ?(quals = "") src =
+  let quals =
+    Liquid_infer.Qualifier.defaults @ Liquid_infer.Qualifier.parse_string quals
+  in
+  Liquid_driver.Pipeline.verify_string ~quals src
+
+let is_safe ?quals src = (verify ?quals src).Liquid_driver.Pipeline.safe
+
+let check_bool = Alcotest.(check bool)
+
+let test_array_length_through_identity () =
+  (* len facts survive polymorphic instantiation (CC over Obj equality) *)
+  check_bool "safe through id" true
+    (is_safe
+       "let id x = x\n\
+        let a = id (Array.make 3 0)\n\
+        let v = a.(2)");
+  check_bool "still checked through id" false
+    (is_safe
+       "let id x = x\n\
+        let a = id (Array.make 3 0)\n\
+        let v = a.(3)")
+
+let test_alias_and_shadow () =
+  check_bool "aliased array keeps its length" true
+    (is_safe
+       "let a = Array.make 5 0\nlet b = a\nlet v = b.(4)");
+  check_bool "shadowed binder uses the new length" false
+    (is_safe
+       "let a = Array.make 5 0\nlet a = Array.make 2 0\nlet v = a.(4)");
+  check_bool "shadowing with larger array is fine" true
+    (is_safe
+       "let a = Array.make 2 0\nlet a = Array.make 5 0\nlet v = a.(4)")
+
+let test_nested_tuples () =
+  check_bool "nested tuple projections" true
+    (is_safe
+       "let p = ((3, 4), 5)\n\
+        let _ = match p with | ((a, b), c) -> assert (a = 3 && c = 5)");
+  check_bool "wrong nested fact rejected" false
+    (is_safe
+       "let p = ((3, 4), 5)\n\
+        let _ = match p with | ((a, b), c) -> assert (a = 4)")
+
+let test_closure_captures_invariant () =
+  (* the closure's free variable carries its refinement at capture *)
+  check_bool "captured bound flows into closure" true
+    (is_safe
+       "let mk n = begin\n\
+       \  let a = Array.make n 0 in\n\
+       \  fun i -> if 0 <= i then begin if i < n then a.(i) else 0 end else 0\n\
+        end\n\
+        let g = mk 4\n\
+        let v = g 2");
+  (* unguarded access is still fine whole-program when every call is in
+     bounds; an out-of-range call must be rejected *)
+  check_bool "out-of-range closure call rejected" false
+    (is_safe
+       "let mk n = begin\n\
+       \  let a = Array.make n 0 in\n\
+       \  fun i -> a.(i)\n\
+        end\n\
+        let g = mk 4\n\
+        let v = g 9")
+
+let test_refinement_not_leaked_across_calls () =
+  (* two calls with different array sizes must not pollute each other *)
+  check_bool "per-call lengths kept separate" true
+    (is_safe
+       "let read a i = if 0 <= i then begin if i < Array.length a then \
+        a.(i) else 0 end else 0\n\
+        let x = read (Array.make 2 0) 1\n\
+        let y = read (Array.make 9 0) 8");
+  check_bool "one bad call caught" false
+    (is_safe
+       "let read a i = a.(i)\n\
+        let x = read (Array.make 9 0) 8\n\
+        let y = read (Array.make 2 0) 5")
+
+let test_guard_via_boolean_binding () =
+  (* path facts flow through named booleans (b <=> i < n) *)
+  check_bool "named guard" true
+    (is_safe
+       "let a = Array.make 8 0\n\
+        let f i = begin\n\
+       \  let ok = 0 <= i && i < Array.length a in\n\
+       \  if ok then a.(i) else 0\n\
+        end\n\
+        let v = f 11");
+  check_bool "negated named guard" true
+    (is_safe
+       "let f x = begin\n\
+       \  let neg = x < 0 in\n\
+       \  if neg then () else assert (x >= 0)\n\
+        end\n\
+        let _ = f 3")
+
+let test_branch_join_weakened () =
+  (* joins weaken soundly: after the if, only the common facts remain *)
+  check_bool "join keeps common bound" true
+    (is_safe
+       "let f c = begin\n\
+       \  let x = if c then 3 else 7 in\n\
+       \  assert (x >= 3)\n\
+        end\n\
+        let _ = f true");
+  (* atom-branch conditionals are exact: with only [f true] this is
+     provable; calling with both values makes the assert genuinely false *)
+  check_bool "exact conditional with a known guard" true
+    (is_safe
+       "let f c = begin\n\
+       \  let x = if c then 3 else 7 in\n\
+       \  assert (x = 3)\n\
+        end\n\
+        let _ = f true");
+  check_bool "conditional with both guards rejected" false
+    (is_safe
+       "let f c = begin\n\
+       \  let x = if c then 3 else 7 in\n\
+       \  assert (x = 3)\n\
+        end\n\
+        let _ = f true\n\
+        let _ = f false")
+
+let test_recursion_through_hof () =
+  check_bool "recursive invariants through an iterator" true
+    (is_safe
+       "let rec iter f i n = if i < n then begin f i; iter f (i + 1) n end \
+        else ()\n\
+        let a = Array.make 6 0\n\
+        let _ = iter (fun i -> if 0 <= i then begin if i < 6 then a.(i) <- i \
+        else () end else ()) 0 6")
+
+let test_unit_and_bool_results () =
+  check_bool "bool-returning function refinement" true
+    (is_safe
+       "let is_pos x = x > 0\n\
+        let f y = if is_pos y then assert (y >= 1) else ()\n\
+        let _ = f 5");
+  check_bool "bool result cannot be assumed" false
+    (is_safe
+       "let flaky x = x > 0\n\
+        let f y = begin let _ = flaky y in assert (y >= 1) end\n\
+        let _ = f 5\n\
+        let _ = f 0")
+
+let test_deep_arithmetic_chain () =
+  check_bool "long linear chain" true
+    (is_safe
+       "let f a = begin\n\
+       \  let b = a + 1 in\n\
+       \  let c = b + 2 in\n\
+       \  let d = c - 3 in\n\
+       \  assert (d = a)\n\
+        end\n\
+        let _ = f 10")
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "array length through polymorphic identity" test_array_length_through_identity;
+    tc "aliasing and shadowing" test_alias_and_shadow;
+    tc "nested tuple projections" test_nested_tuples;
+    tc "closures capture invariants" test_closure_captures_invariant;
+    tc "call-site isolation" test_refinement_not_leaked_across_calls;
+    tc "named boolean guards" test_guard_via_boolean_binding;
+    tc "branch joins weaken soundly" test_branch_join_weakened;
+    tc "recursion through higher-order iterators" test_recursion_through_hof;
+    tc "boolean results" test_unit_and_bool_results;
+    tc "linear arithmetic chains" test_deep_arithmetic_chain;
+  ]

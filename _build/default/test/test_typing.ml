@@ -1,0 +1,116 @@
+(* Tests for Hindley–Milner inference (Algorithm W with levels). *)
+
+open Liquid_lang
+open Liquid_typing
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let infer_item_type src name =
+  let prog = Parser.program_of_string src in
+  let r = Infer.infer_program prog in
+  let _, sch = List.find (fun (x, _) -> x = name) r.Infer.item_schemes in
+  Fmt.str "%a" Mltype.pp_scheme sch
+
+let test_basics () =
+  check_str "int" "int" (infer_item_type "let x = 1 + 2" "x");
+  check_str "bool" "bool" (infer_item_type "let b = 1 < 2" "b");
+  check_str "unit" "unit" (infer_item_type "let u = ()" "u");
+  check_str "tuple" "int * bool" (infer_item_type "let p = (1, true)" "p");
+  check_str "list" "int list" (infer_item_type "let l = [1; 2]" "l");
+  check_str "fun" "int -> int" (infer_item_type "let f x = x + 1" "f")
+
+let test_polymorphism () =
+  check_str "identity" "forall 'a. 'a -> 'a" (infer_item_type "let id x = x" "id");
+  check_str "const" "forall 'a 'b. 'a -> 'b -> 'a"
+    (infer_item_type "let k x y = x" "k");
+  check_str "compose" "forall 'a 'b 'c. ('a -> 'b) -> ('c -> 'a) -> 'c -> 'b"
+    (infer_item_type "let compose f g x = f (g x)" "compose");
+  (* instantiation at two different types *)
+  check_str "poly use" "int * bool"
+    (infer_item_type "let id x = x\nlet p = (id 1, id true)" "p")
+
+let test_value_restriction () =
+  (* [Array.make 1 []] must not generalize: its element type is fixed by
+     later use.  Non-value bindings get monomorphic types. *)
+  let src = "let a = Array.make 1 1" in
+  check_str "array binding monomorphic" "int array" (infer_item_type src "a");
+  (* syntactic values do generalize *)
+  check_str "nil generalizes" "forall 'a. 'a list"
+    (infer_item_type "let n = []" "n")
+
+let test_recursion () =
+  check_str "fact" "int -> int"
+    (infer_item_type "let rec fact n = if n < 1 then 1 else n * fact (n - 1)"
+       "fact");
+  check_str "poly rec map" "forall 'a 'b. ('a -> 'b) -> 'a list -> 'b list"
+    (infer_item_type
+       "let rec map f l = match l with | [] -> [] | x :: xs -> f x :: map f xs"
+       "map")
+
+let test_arrays () =
+  check_str "array get" "int"
+    (infer_item_type "let x = (Array.make 3 7).(0)" "x");
+  check_str "length" "int"
+    (infer_item_type "let n = Array.length (Array.make 3 true)" "n")
+
+let test_match_typing () =
+  check_str "list sum" "int list -> int"
+    (infer_item_type
+       "let rec sum l = match l with | [] -> 0 | x :: xs -> x + sum xs" "sum");
+  check_str "tuple pattern" "forall 'a 'b. ('a * 'b) -> 'a"
+    (infer_item_type "let fst p = match p with | (a, b) -> a" "fst")
+
+let type_errors =
+  [
+    ("add bool", "let x = 1 + true");
+    ("if branches", "let x = if true then 1 else false");
+    ("apply non-function", "let x = 1 2");
+    ("unbound", "let x = nope + 1");
+    ("occurs check", "let rec f x = f");
+    ("assert int", "let x = assert 1");
+    ("cons mismatch", "let l = 1 :: [true]");
+    ("array elem mismatch", "let _ = Array.set (Array.make 1 1) 0 true");
+  ]
+
+let test_type_errors () =
+  List.iter
+    (fun (name, src) ->
+      let prog = Parser.program_of_string src in
+      check_bool name true
+        (match Infer.infer_program prog with
+        | exception Infer.Type_error _ -> true
+        | exception Mltype.Occurs_check _ -> true
+        | _ -> false))
+    type_errors
+
+let test_every_node_typed () =
+  let src =
+    "let rec f l = match l with | [] -> 0 | x :: xs -> if x > 0 then 1 + f \
+     xs else f xs\nlet main = f [1; 2; 3]"
+  in
+  let prog = Parser.program_of_string src in
+  let prog = Liquid_anf.Anf.normalize_program prog in
+  let r = Infer.infer_program prog in
+  List.iter
+    (fun (item : Ast.item) ->
+      ignore
+        (Ast.fold
+           (fun () e ->
+             check_bool "node typed" true
+               (Hashtbl.mem r.Infer.types e.Ast.id))
+           () item.Ast.body))
+    prog
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "base types" test_basics;
+    tc "let polymorphism" test_polymorphism;
+    tc "value restriction" test_value_restriction;
+    tc "recursion" test_recursion;
+    tc "array primitives" test_arrays;
+    tc "match typing" test_match_typing;
+    tc "type errors rejected" test_type_errors;
+    tc "every ANF node is typed" test_every_node_typed;
+  ]
