@@ -1,11 +1,15 @@
 (** dsolve — liquid type inference for NanoML programs.
 
-    Usage: [dsolve [-q QUALFILE] [-Q 'qualif ...'] [--stats] FILE.ml]
+    Usage: [dsolve [-q QUALFILE] [-Q 'qualif ...'] [--lint] [--stats] FILE.ml]
 
     Verifies the given NanoML program (array-bounds safety and
     assertions), printing the inferred refinement types of its top-level
-    bindings and any failed obligations.  Exits 0 iff the program is
-    proved safe. *)
+    bindings and any failed obligations.  With [--lint], additionally
+    runs the semantic-lint pass (unreachable branches, trivial
+    conditions, unused/shadowed bindings, dead qualifiers) and prints
+    its diagnostics; [--warn-error] makes lint warnings fail the run,
+    and [--format json] emits the whole report as JSON.  Exits 0 iff the
+    program is proved safe (and lint-clean under [--warn-error]). *)
 
 open Cmdliner
 
@@ -15,7 +19,8 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run file qualfile inline_quals no_defaults list_quals specfile show_stats execute =
+let run file qualfile inline_quals no_defaults list_quals specfile show_stats
+    execute lint warn_error format =
   let quals =
     let base = if no_defaults then [] else Liquid_infer.Qualifier.defaults in
     let base =
@@ -37,18 +42,31 @@ let run file qualfile inline_quals no_defaults list_quals specfile show_stats ex
       | None -> []
       | Some path -> Liquid_infer.Spec.parse_string (read_file path)
     in
-    let report = Liquid_driver.Pipeline.verify_file ~quals ~specs file in
-    Fmt.pr "%a@." Liquid_driver.Pipeline.pp_report report;
-    if show_stats then begin
-      let s = report.Liquid_driver.Pipeline.stats in
-      Fmt.pr
-        "stats: lines=%d kvars=%d wf=%d sub=%d quals=%d candidates=%d \
-         checks=%d smt-queries=%d cache-hits=%d time=%.3fs@."
-        s.Liquid_driver.Pipeline.source_lines s.n_kvars s.n_wf_constraints
-        s.n_sub_constraints s.n_qualifiers s.n_initial_candidates
-        s.n_implication_checks s.n_smt_queries s.n_smt_cache_hits s.elapsed
-    end;
-    (if execute then begin
+    let lint = lint || warn_error in
+    let report = Liquid_driver.Pipeline.verify_file ~quals ~specs ~lint file in
+    (match format with
+    | `Json ->
+        Fmt.pr "%a@." Liquid_analysis.Json.pp
+          (Liquid_driver.Pipeline.json_of_report ~file report)
+    | `Text ->
+        Fmt.pr "%a@." Liquid_driver.Pipeline.pp_report report;
+        if show_stats then begin
+          let s = report.Liquid_driver.Pipeline.stats in
+          Fmt.pr
+            "stats: lines=%d kvars=%d wf=%d sub=%d quals=%d candidates=%d \
+             checks=%d smt-queries=%d cache-hits=%d lint-queries=%d \
+             diagnostics=%d time=%.3fs@."
+            s.Liquid_driver.Pipeline.source_lines s.n_kvars s.n_wf_constraints
+            s.n_sub_constraints s.n_qualifiers s.n_initial_candidates
+            s.n_implication_checks s.n_smt_queries s.n_smt_cache_hits
+            s.n_lint_smt_queries s.n_diagnostics s.elapsed
+        end);
+    let lint_failed =
+      warn_error
+      && Liquid_analysis.Lint.warnings report.Liquid_driver.Pipeline.lints
+         <> []
+    in
+    (if execute && format = `Text then begin
        Fmt.pr "@.--- running %s ---@." file;
        let prog = Liquid_lang.Parser.program_of_file file in
        match Liquid_eval.Eval.run_program ~quiet:false prog with
@@ -61,7 +79,7 @@ let run file qualfile inline_quals no_defaults list_quals specfile show_stats ex
        | exception Liquid_eval.Eval.Assertion_failure loc ->
            Fmt.pr "runtime assertion failure at %a@." Liquid_common.Loc.pp loc
      end;
-     if report.Liquid_driver.Pipeline.safe then 0 else 1)
+     if report.Liquid_driver.Pipeline.safe && not lint_failed then 0 else 1)
   with
   | Liquid_driver.Pipeline.Source_error (msg, loc) ->
       Fmt.epr "%a: %s@." Liquid_common.Loc.pp loc msg;
@@ -118,12 +136,36 @@ let run_arg =
         ~doc:"After verification, execute the program with the reference \
               interpreter (bounds- and assertion-checked)")
 
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:"Run the semantic-lint pass: unreachable branches (L001), \
+              always-true/false conditions (L002), unused (L003) and \
+              shadowed (L004) bindings, dead qualifiers (L005)")
+
+let warn_error_arg =
+  Arg.(
+    value & flag
+    & info [ "warn-error" ]
+        ~doc:"Treat lint warnings as errors: exit non-zero if any \
+              warning-severity diagnostic is reported (implies $(b,--lint))")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text) (default) or $(b,json) \
+              (machine-readable report with diagnostics and stats)")
+
 let cmd =
   let doc = "liquid type inference for NanoML (PLDI 2008 reproduction)" in
   Cmd.v
     (Cmd.info "dsolve" ~version:"1.0.0" ~doc)
     Term.(
       const run $ file_arg $ qualfile_arg $ inline_quals_arg $ no_defaults_arg
-      $ list_quals_arg $ spec_arg $ stats_arg $ run_arg)
+      $ list_quals_arg $ spec_arg $ stats_arg $ run_arg $ lint_arg
+      $ warn_error_arg $ format_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,90 @@
+(** Syntactic binding lints over the source (pre-ANF) AST.
+
+    Runs before alpha-renaming: ANF gives every binder a globally unique
+    name, which would erase exactly the shadowing this pass looks for,
+    and would litter the unused-binding check with compiler temporaries.
+
+    - L003 (unused binding): a [let]-bound variable that occurs neither
+      in the body nor (for [let rec]) in its own definition.  Function
+      parameters and match-pattern variables are exempt — unused
+      parameters are often required by a higher-order interface, and
+      pattern variables frequently name components only for
+      documentation.
+    - L004 (shadowed binding): any binder — [let], parameter, or pattern
+      variable — that re-uses a name already bound within the same
+      top-level item.  Re-use across top-level items is the ordinary
+      redefinition idiom and is not flagged.
+
+    Names starting with ['_'] opt out of both lints, as do
+    compiler-introduced binders (sequencing [e1; e2] parses to
+    [let %wild.N = e1 in e2]). *)
+
+open Liquid_common
+open Liquid_lang
+
+let ignorable (x : Ident.t) : bool =
+  let s = Ident.to_string x in
+  String.length s = 0 || s.[0] = '_' || Ident.is_internal x
+
+let analyze (prog : Ast.program) : Diagnostic.t list =
+  let diags = ref [] in
+  let emit code loc msg = diags := Diagnostic.make code loc msg :: !diags in
+  let shadow scope (x : Ident.t) loc =
+    if (not (ignorable x)) && Ident.Set.mem x scope then
+      emit Diagnostic.Shadowed_binding loc
+        (Fmt.str "binding of %a shadows an earlier binding of the same name"
+           Ident.pp x)
+  in
+  let rec walk (scope : Ident.Set.t) (e : Ast.expr) : unit =
+    match e.Ast.desc with
+    | Ast.Const _ | Ast.Var _ | Ast.Nil -> ()
+    | Ast.Fun (x, body) ->
+        shadow scope x e.Ast.loc;
+        walk (Ident.Set.add x scope) body
+    | Ast.App (e1, e2) | Ast.Binop (_, e1, e2) | Ast.Cons (e1, e2) ->
+        walk scope e1;
+        walk scope e2
+    | Ast.Unop (_, e1) | Ast.Assert e1 -> walk scope e1
+    | Ast.If (c, e1, e2) ->
+        walk scope c;
+        walk scope e1;
+        walk scope e2
+    | Ast.Tuple es -> List.iter (walk scope) es
+    | Ast.Let (rf, x, e1, e2) ->
+        shadow scope x e.Ast.loc;
+        let scope' = Ident.Set.add x scope in
+        (match rf with
+        | Ast.Nonrec -> walk scope e1
+        | Ast.Rec -> walk scope' e1);
+        walk scope' e2;
+        if not (ignorable x) then begin
+          let used =
+            Ident.Set.mem x (Ast.free_vars e2)
+            || (rf = Ast.Rec && Ident.Set.mem x (Ast.free_vars e1))
+          in
+          if not used then
+            emit Diagnostic.Unused_binding e.Ast.loc
+              (Fmt.str "unused binding %a" Ident.pp x)
+        end
+    | Ast.Match (s, cases) ->
+        walk scope s;
+        List.iter
+          (fun (p, body) ->
+            let vs = Ast.pat_vars p in
+            List.iter (fun x -> shadow scope x body.Ast.loc) vs;
+            let scope' =
+              List.fold_left (fun sc x -> Ident.Set.add x sc) scope vs
+            in
+            walk scope' body)
+          cases
+  in
+  List.iter
+    (fun (it : Ast.item) ->
+      let scope =
+        match it.Ast.rec_flag with
+        | Ast.Rec -> Ident.Set.singleton it.Ast.name
+        | Ast.Nonrec -> Ident.Set.empty
+      in
+      walk scope it.Ast.body)
+    prog;
+  List.rev !diags

@@ -1,0 +1,9 @@
+(** Syntactic binding lints (L003 unused, L004 shadowed) over the source
+    (pre-ANF) program. *)
+
+open Liquid_lang
+
+(** Names starting with ['_'] opt out of the binding lints. *)
+val ignorable : Liquid_common.Ident.t -> bool
+
+val analyze : Ast.program -> Diagnostic.t list

@@ -1,0 +1,49 @@
+(** Minimal JSON values and serialization.
+
+    Just enough for the machine-readable diagnostic output: construction
+    and compact printing with correct string escaping.  Kept dependency
+    free on purpose — the toolchain image carries no JSON library, and the
+    emitter is a page of code. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp ppf (v : t) =
+  match v with
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.string ppf (if b then "true" else "false")
+  | Int n -> Fmt.int ppf n
+  | Float f ->
+      (* JSON has no infinities or NaN; clamp to null *)
+      if Float.is_finite f then Fmt.pf ppf "%.6g" f else Fmt.string ppf "null"
+  | String s -> Fmt.pf ppf "\"%s\"" (escape s)
+  | List vs -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ",") pp) vs
+  | Obj fields ->
+      let field ppf (k, v) = Fmt.pf ppf "\"%s\":%a" (escape k) pp v in
+      Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ",") field) fields
+
+let to_string (v : t) : string = Fmt.str "%a" pp v

@@ -1,0 +1,15 @@
+(** Minimal JSON values and compact serialization (no external
+    dependency). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

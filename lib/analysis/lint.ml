@@ -1,0 +1,42 @@
+(** The semantic-lint pass: orchestrates the individual analyses over the
+    byproducts of liquid inference and returns diagnostics in report
+    order.
+
+    Inputs are exactly what the pipeline already computes: the parsed
+    (pre-ANF) program, the conditionals recorded by constraint
+    generation, the final κ-solution, and the solver's dead-qualifier
+    provenance. *)
+
+open Liquid_common
+open Liquid_lang
+open Liquid_infer
+
+(** L005: qualifier patterns whose every instance was pruned.  The
+    location is the pattern's declaration (dummy for programmatically
+    built qualifiers). *)
+let dead_qualifier_diags ~(quals : Qualifier.t list) (dead : string list) :
+    Diagnostic.t list =
+  List.map
+    (fun name ->
+      let loc =
+        match List.find_opt (fun q -> q.Qualifier.name = name) quals with
+        | Some q -> q.Qualifier.loc
+        | None -> Loc.dummy
+      in
+      Diagnostic.make Diagnostic.Dead_qualifier loc
+        (Fmt.str
+           "dead qualifier %s: every instance was pruned from every \
+            inferred refinement"
+           name))
+    dead
+
+let run ~(source : Ast.program) ~(branches : Congen.branch list)
+    ~(solution : Constr.solution) ~(quals : Qualifier.t list)
+    ~(dead_quals : string list) : Diagnostic.t list =
+  List.sort Diagnostic.compare
+    (Bindings.analyze source
+    @ Reachability.analyze ~solution branches
+    @ dead_qualifier_diags ~quals dead_quals)
+
+let warnings (ds : Diagnostic.t list) : Diagnostic.t list =
+  List.filter Diagnostic.is_warning ds

@@ -1,0 +1,19 @@
+(** The semantic-lint pass: run all analyses over the byproducts of
+    liquid inference, returning diagnostics in report order. *)
+
+open Liquid_lang
+open Liquid_infer
+
+val dead_qualifier_diags :
+  quals:Qualifier.t list -> string list -> Diagnostic.t list
+
+val run :
+  source:Ast.program ->
+  branches:Congen.branch list ->
+  solution:Constr.solution ->
+  quals:Qualifier.t list ->
+  dead_quals:string list ->
+  Diagnostic.t list
+
+(** Only the diagnostics that gate [--warn-error]. *)
+val warnings : Diagnostic.t list -> Diagnostic.t list

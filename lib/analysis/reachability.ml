@@ -1,0 +1,72 @@
+(** SMT-backed reachability and tautology lints.
+
+    Re-examines every conditional recorded during constraint generation
+    under the {e final} κ-solution: the environment is embedded exactly as
+    in a subtyping check ({!Liquid_infer.Constr.embed_env} with
+    {!Liquid_infer.Constr.sol_find}), and the branch condition is tested
+    against the accumulated facts with {!Liquid_smt.Solver}.
+
+    Because the inferred refinements over-approximate the reachable
+    states, both lints are sound: if the facts imply the condition (resp.
+    its negation), no execution can reach the else- (resp. then-) branch.
+    An [Unknown] solver verdict never produces a diagnostic.
+
+    Cascade suppression: a conditional nested inside a branch already
+    reported unreachable is skipped, as is any conditional whose own
+    environment is inconsistent (its unreachability belongs to an
+    enclosing construct). *)
+
+open Liquid_common
+open Liquid_logic
+open Liquid_infer
+open Liquid_smt
+
+let analyze ~(solution : Constr.solution) (branches : Congen.branch list) :
+    Diagnostic.t list =
+  let lookup = Constr.sol_find solution in
+  let dead_spans = ref [] in
+  let in_dead loc = List.exists (fun d -> Loc.contains d loc) !dead_spans in
+  let diags = ref [] in
+  List.iter
+    (fun (br : Congen.branch) ->
+      if not (in_dead br.Congen.br_loc) then begin
+        let facts, guards = Constr.embed_env lookup br.Congen.br_env in
+        let valid goal =
+          Solver.check_valid ~kept:guards facts goal = Solver.Valid
+        in
+        (* Both directions provable means the environment itself is
+           inconsistent: the whole conditional sits in dead context and
+           the report belongs to whatever made that context dead.  (An
+           explicit [valid ff] probe would not work: [ff] shares no
+           variables with anything, so relevance pruning discards the
+           facts that carry the contradiction.) *)
+        let always_true = valid br.Congen.br_cond in
+        let always_false = valid (Pred.not_ br.Congen.br_cond) in
+        if always_true && always_false then ()
+        else if always_true then begin
+          dead_spans := br.Congen.br_else_loc :: !dead_spans;
+          diags :=
+            Diagnostic.make Diagnostic.Unreachable_branch
+              br.Congen.br_else_loc
+              "unreachable else-branch: the condition is provably always \
+               true here"
+            :: Diagnostic.make Diagnostic.Trivial_condition
+                 br.Congen.br_cond_loc
+                 "condition is always true under the inferred refinements"
+            :: !diags
+        end
+        else if always_false then begin
+          dead_spans := br.Congen.br_then_loc :: !dead_spans;
+          diags :=
+            Diagnostic.make Diagnostic.Unreachable_branch
+              br.Congen.br_then_loc
+              "unreachable then-branch: the condition is provably always \
+               false here"
+            :: Diagnostic.make Diagnostic.Trivial_condition
+                 br.Congen.br_cond_loc
+                 "condition is always false under the inferred refinements"
+            :: !diags
+        end
+      end)
+    branches;
+  List.rev !diags

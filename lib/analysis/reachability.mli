@@ -1,0 +1,7 @@
+(** SMT-backed reachability (L001) and tautology (L002) lints: re-examine
+    recorded conditionals under the final κ-solution. *)
+
+open Liquid_infer
+
+val analyze :
+  solution:Constr.solution -> Congen.branch list -> Diagnostic.t list

@@ -45,7 +45,11 @@ let rec bind rho (e : expr) (k : expr -> expr) : expr =
       else
         let tmp = Gensym.fresh "tmp" in
         let body = k (mk ~loc:e.loc (Var tmp)) in
-        mk ~loc:e.loc (Let (Nonrec, tmp, e', body)))
+        (* the introduced [let] spans both the named expression and the
+           whole continuation, not just the former — downstream location
+           reasoning (e.g. the unreachable-code lint's span containment)
+           relies on child spans nesting inside their parent's *)
+        mk ~loc:(Loc.merge e.loc body.loc) (Let (Nonrec, tmp, e', body)))
 
 (** Like {!bind}, but keeps application spines in function position. *)
 and bind_fn rho (e : expr) (k : expr -> expr) : expr =

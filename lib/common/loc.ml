@@ -30,6 +30,30 @@ let merge a b =
       end_pos = (if le a.end_pos b.end_pos then b.end_pos else a.end_pos);
     }
 
+(** [contains outer inner]: does [outer] span all of [inner]?  False when
+    either location is dummy or the files differ. *)
+let contains outer inner =
+  (not (is_dummy outer))
+  && (not (is_dummy inner))
+  && outer.file = inner.file
+  &&
+  let le p q = p.line < q.line || (p.line = q.line && p.col <= q.col) in
+  le outer.start_pos inner.start_pos && le inner.end_pos outer.end_pos
+
+(** Total order: by file, then start position, then end position. *)
+let compare a b =
+  let pos_compare p q =
+    match Int.compare p.line q.line with
+    | 0 -> Int.compare p.col q.col
+    | c -> c
+  in
+  match String.compare a.file b.file with
+  | 0 -> (
+      match pos_compare a.start_pos b.start_pos with
+      | 0 -> pos_compare a.end_pos b.end_pos
+      | c -> c)
+  | c -> c
+
 let pp ppf t =
   if is_dummy t then Fmt.string ppf "<unknown>"
   else

@@ -16,5 +16,12 @@ val of_lexing : Lexing.position -> Lexing.position -> t
 (** Smallest span covering both locations (assumes the same file). *)
 val merge : t -> t -> t
 
+(** [contains outer inner]: does [outer] span all of [inner]?  False when
+    either location is dummy or the files differ. *)
+val contains : t -> t -> bool
+
+(** Total order: by file, then start position, then end position. *)
+val compare : t -> t -> int
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -29,6 +29,8 @@ type stats = {
   n_implication_checks : int;
   n_smt_queries : int;
   n_smt_cache_hits : int;
+  n_lint_smt_queries : int; (* SMT queries spent by the lint pass *)
+  n_diagnostics : int; (* lint diagnostics emitted *)
   elapsed : float; (* wall-clock seconds for the whole pipeline *)
 }
 
@@ -36,22 +38,40 @@ type report = {
   safe : bool;
   errors : error list;
   item_types : (Ident.t * Rtype.t) list; (* with the solution applied *)
-  solution : Liquid_smt.Solver.result option; (* unused placeholder *)
+  lints : Liquid_analysis.Diagnostic.t list; (* empty unless [lint] *)
   stats : stats;
 }
 
 exception Source_error of string * Loc.t
 
-(** Count non-empty, non-comment-only source lines. *)
+(** Count source lines containing code: at least one non-whitespace
+    character outside [(* ... *)] comments.  Tracks comment nesting
+    across lines, so the interior and tail lines of a multi-line comment
+    are not counted (the naive "line starts with [(*]" test over-counted
+    those). *)
 let count_lines (src : string) : int =
-  let lines = String.split_on_char '\n' src in
-  List.length
-    (List.filter
-       (fun l ->
-         let l = String.trim l in
-         String.length l > 0
-         && not (String.length l >= 2 && l.[0] = '(' && l.[1] = '*'))
-       lines)
+  let n = ref 0 and depth = ref 0 and has_code = ref false in
+  let len = String.length src in
+  let i = ref 0 in
+  while !i < len do
+    (match src.[!i] with
+    | '\n' ->
+        if !has_code then incr n;
+        has_code := false;
+        incr i
+    | '(' when !i + 1 < len && src.[!i + 1] = '*' ->
+        incr depth;
+        i := !i + 2
+    | '*' when !depth > 0 && !i + 1 < len && src.[!i + 1] = ')' ->
+        decr depth;
+        i := !i + 2
+    | c ->
+        if !depth = 0 && c <> ' ' && c <> '\t' && c <> '\r' then
+          has_code := true;
+        incr i)
+  done;
+  if !has_code then incr n;
+  !n
 
 let parse_program ~name (src : string) : Ast.program =
   try Parser.program_of_string ~file:name src with
@@ -88,11 +108,12 @@ let mine_constants (prog : Ast.program) : int list =
        (List.filter (fun n -> n <> 0) !interesting))
 
 let verify_program ?(quals = Qualifier.defaults) ?(mine = true)
-    ?(specs : Spec.t = []) (prog : Ast.program) ~(source_lines : int) :
-    report =
+    ?(specs : Spec.t = []) ?(lint = false) (prog : Ast.program)
+    ~(source_lines : int) : report =
   let t0 = Unix.gettimeofday () in
   let smt0 = Liquid_smt.Solver.stats.queries in
   let smt_hits0 = Liquid_smt.Solver.stats.cache_hits in
+  let source = prog in
   let prog = Liquid_anf.Anf.normalize_program prog in
   let info =
     try Infer.infer_program prog
@@ -127,11 +148,19 @@ let verify_program ?(quals = Qualifier.defaults) ?(mine = true)
       (Listx.dedup_ordered ~compare:Int.compare
          (List.map (fun (w : Constr.wf) -> w.Constr.wf_kvar) out.Congen.wfs))
   in
+  let lint_smt0 = Liquid_smt.Solver.stats.queries in
+  let lints =
+    if not lint then []
+    else
+      Liquid_analysis.Lint.run ~source ~branches:out.Congen.branches
+        ~solution:res.Fixpoint.solution ~quals
+        ~dead_quals:res.Fixpoint.dead_quals
+  in
   {
     safe = errors = [];
     errors;
     item_types;
-    solution = None;
+    lints;
     stats =
       {
         source_lines;
@@ -147,24 +176,26 @@ let verify_program ?(quals = Qualifier.defaults) ?(mine = true)
           res.Fixpoint.solver_stats.Fixpoint.implication_checks;
         n_smt_queries = Liquid_smt.Solver.stats.queries - smt0;
         n_smt_cache_hits = Liquid_smt.Solver.stats.cache_hits - smt_hits0;
+        n_lint_smt_queries = Liquid_smt.Solver.stats.queries - lint_smt0;
+        n_diagnostics = List.length lints;
         elapsed = Unix.gettimeofday () -. t0;
       };
   }
 
 let verify_string ?(quals = Qualifier.defaults) ?(mine = true) ?(specs = [])
-    ?(name = "<string>") (src : string) : report =
+    ?(lint = false) ?(name = "<string>") (src : string) : report =
   let prog = parse_program ~name src in
-  verify_program ~quals ~mine ~specs prog ~source_lines:(count_lines src)
+  verify_program ~quals ~mine ~specs ~lint prog ~source_lines:(count_lines src)
 
 let verify_file ?(quals = Qualifier.defaults) ?(mine = true) ?(specs = [])
-    (path : string) : report =
+    ?(lint = false) (path : string) : report =
   let ic = open_in path in
   let src =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  verify_string ~quals ~mine ~specs ~name:path src
+  verify_string ~quals ~mine ~specs ~lint ~name:path src
 
 (* -- Report printing ---------------------------------------------------------- *)
 
@@ -194,4 +225,66 @@ let pp_report ppf (r : report) =
       (List.length r.errors);
     List.iter (fun e -> Fmt.pf ppf "  %a@," pp_error e) r.errors
   end;
+  if r.lints <> [] then begin
+    Fmt.pf ppf "@,%d diagnostic%s:@," (List.length r.lints)
+      (if List.length r.lints = 1 then "" else "s");
+    List.iter
+      (fun d -> Fmt.pf ppf "  %a@," Liquid_analysis.Diagnostic.pp d)
+      r.lints
+  end;
   Fmt.pf ppf "@]"
+
+(* -- JSON rendering ----------------------------------------------------------- *)
+
+let json_of_error (e : error) : Liquid_analysis.Json.t =
+  let open Liquid_analysis in
+  Json.Obj
+    [
+      ("loc", Diagnostic.json_of_loc e.err_loc);
+      ("reason", Json.String e.err_reason);
+      ("goal", Json.String e.err_goal);
+      ( "counterexample",
+        Json.Obj (List.map (fun (x, v) -> (x, Json.Int v)) e.err_cex) );
+    ]
+
+let json_of_stats (s : stats) : Liquid_analysis.Json.t =
+  let open Liquid_analysis in
+  Json.Obj
+    [
+      ("source_lines", Json.Int s.source_lines);
+      ("ast_nodes", Json.Int s.ast_nodes);
+      ("kvars", Json.Int s.n_kvars);
+      ("wf_constraints", Json.Int s.n_wf_constraints);
+      ("sub_constraints", Json.Int s.n_sub_constraints);
+      ("qualifiers", Json.Int s.n_qualifiers);
+      ("initial_candidates", Json.Int s.n_initial_candidates);
+      ("implication_checks", Json.Int s.n_implication_checks);
+      ("smt_queries", Json.Int s.n_smt_queries);
+      ("smt_cache_hits", Json.Int s.n_smt_cache_hits);
+      ("lint_smt_queries", Json.Int s.n_lint_smt_queries);
+      ("diagnostics", Json.Int s.n_diagnostics);
+      ("elapsed", Json.Float s.elapsed);
+    ]
+
+(** Machine-readable form of a report ([dsolve --format json]). *)
+let json_of_report ?(file = "") (r : report) : Liquid_analysis.Json.t =
+  let open Liquid_analysis in
+  let user_items =
+    List.filter (fun (x, _) -> not (Ident.is_internal x)) r.item_types
+  in
+  Json.Obj
+    [
+      ("file", Json.String file);
+      ("safe", Json.Bool r.safe);
+      ("errors", Json.List (List.map json_of_error r.errors));
+      ( "types",
+        Json.Obj
+          (List.map
+             (fun (x, t) ->
+               ( Fmt.str "%a" Ident.pp x,
+                 Json.String (Fmt.str "%a" Rtype.pp (Report.display t)) ))
+             user_items) );
+      ( "diagnostics",
+        Json.List (List.map Diagnostic.to_json r.lints) );
+      ("stats", json_of_stats r.stats);
+    ]

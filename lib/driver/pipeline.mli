@@ -24,6 +24,8 @@ type stats = {
   n_implication_checks : int;
   n_smt_queries : int;
   n_smt_cache_hits : int;
+  n_lint_smt_queries : int; (* SMT queries spent by the lint pass *)
+  n_diagnostics : int; (* lint diagnostics emitted *)
   elapsed : float; (* wall-clock seconds for the whole pipeline *)
 }
 
@@ -31,14 +33,14 @@ type report = {
   safe : bool;
   errors : error list;
   item_types : (Ident.t * Rtype.t) list; (* with the solution applied *)
-  solution : Liquid_smt.Solver.result option; (* reserved *)
+  lints : Liquid_analysis.Diagnostic.t list; (* empty unless [lint] *)
   stats : stats;
 }
 
 exception Source_error of string * Loc.t
 
-(** Non-empty, non-comment source lines (the LOC column of the results
-    table). *)
+(** Lines containing code outside comments (the LOC column of the results
+    table); comment nesting is tracked across lines. *)
 val count_lines : string -> int
 
 (** @raise Source_error on lex/parse errors. *)
@@ -49,12 +51,14 @@ val mine_constants : Ast.program -> int list
 
 (** Verify a parsed program.  [quals] is the qualifier set (defaults to
     {!Liquid_infer.Qualifier.defaults}); [mine] enables constant mining
-    (default true).
+    (default true); [lint] additionally runs the semantic-lint pass
+    ({!Liquid_analysis.Lint}) and fills [report.lints] (default false).
     @raise Source_error on type errors. *)
 val verify_program :
   ?quals:Qualifier.t list ->
   ?mine:bool ->
   ?specs:Spec.t ->
+  ?lint:bool ->
   Ast.program ->
   source_lines:int ->
   report
@@ -63,14 +67,24 @@ val verify_string :
   ?quals:Qualifier.t list ->
   ?mine:bool ->
   ?specs:Spec.t ->
+  ?lint:bool ->
   ?name:string ->
   string ->
   report
 
 val verify_file :
-  ?quals:Qualifier.t list -> ?mine:bool -> ?specs:Spec.t -> string -> report
+  ?quals:Qualifier.t list ->
+  ?mine:bool ->
+  ?specs:Spec.t ->
+  ?lint:bool ->
+  string ->
+  report
 
 val pp_error : Format.formatter -> error -> unit
 
-(** Print inferred types (display-cleaned) and the verdict. *)
+(** Print inferred types (display-cleaned), the verdict, and any
+    diagnostics. *)
 val pp_report : Format.formatter -> report -> unit
+
+(** Machine-readable form of a report ([dsolve --format json]). *)
+val json_of_report : ?file:string -> report -> Liquid_analysis.Json.t

@@ -41,10 +41,25 @@ let bind_poly x rt g =
 
 let guard p g = { g with cenv = Constr.guard p g.cenv }
 
+(** A conditional recorded for post-inference analysis (the reachability
+    and tautology lints re-examine it under the final κ-solution).
+    Conditionals whose branches are boolean constants are not recorded:
+    they are the desugarings of [&&]/[||], where an always-true or
+    always-false operand is ordinary code, not a suspicious branch. *)
+type branch = {
+  br_loc : Loc.t; (* the whole conditional *)
+  br_env : Constr.env; (* environment at the conditional *)
+  br_cond : Pred.t;
+  br_cond_loc : Loc.t;
+  br_then_loc : Loc.t;
+  br_else_loc : Loc.t;
+}
+
 type ctx = {
   info : Infer.result;
   mutable subs : Constr.sub list;
   mutable wfs : Constr.wf list;
+  mutable branches : branch list;
 }
 
 let emit_sub ctx env ?(reason = "subtyping") loc t1 t2 =
@@ -389,6 +404,26 @@ let array_access_sig (h : Ident.t) (elem : Rtype.t) : Rtype.t =
 
 (* -- Main walker --------------------------------------------------------------------------- *)
 
+(** Record a conditional for the post-inference lints, unless a branch is
+    a boolean constant (the shape of desugared [&&]/[||], which would
+    otherwise lint as trivially-true/false conditions). *)
+let record_branch (ctx : ctx) (g : genv) (e : Ast.expr) (c : Ast.expr)
+    (e1 : Ast.expr) (e2 : Ast.expr) (p : Pred.t) : unit =
+  let is_bool_const (b : Ast.expr) =
+    match b.desc with Ast.Const (Ast.Cbool _) -> true | _ -> false
+  in
+  if not (is_bool_const e1 || is_bool_const e2) then
+    ctx.branches <-
+      {
+        br_loc = e.loc;
+        br_env = g.cenv;
+        br_cond = p;
+        br_cond_loc = c.loc;
+        br_then_loc = e1.loc;
+        br_else_loc = e2.loc;
+      }
+      :: ctx.branches
+
 let rec cg (ctx : ctx) (g : genv) (e : Ast.expr) : Rtype.t =
   match e.desc with
   | Ast.Const _ | Ast.Var _ -> type_of_atom ctx g e
@@ -448,6 +483,7 @@ let rec cg (ctx : ctx) (g : genv) (e : Ast.expr) : Rtype.t =
          no precision loss.  [ν = if c then a1 else a2] is encoded as
          (c ⇒ ν = a1) ∧ (¬c ⇒ ν = a2). *)
       let p = bool_pred c in
+      record_branch ctx g e c e1 e2 p;
       match sort_of_mltype (Infer.type_of ctx.info e) with
       | Sort.Int ->
           Rtype.Base
@@ -466,6 +502,7 @@ let rec cg (ctx : ctx) (g : genv) (e : Ast.expr) : Rtype.t =
   | Ast.If (c, e1, e2) ->
       let result = fresh_template ctx g.cenv (Infer.type_of ctx.info e) in
       let p = bool_pred c in
+      record_branch ctx g e c e1 e2 p;
       let g1 = guard p g in
       let t1 = cg ctx g1 e1 in
       emit_sub ctx g1.cenv ~reason:"then-branch join" e1.loc t1 result;
@@ -567,11 +604,12 @@ type output = {
   subs : Constr.sub list;
   wfs : Constr.wf list;
   item_types : (Ident.t * Rtype.t) list; (* in program order *)
+  branches : branch list; (* in program order *)
 }
 
 let generate ?(specs : Spec.t = []) (info : Infer.result)
     (prog : Ast.program) : output =
-  let ctx = { info; subs = []; wfs = [] } in
+  let ctx = { info; subs = []; wfs = []; branches = [] } in
   let spec_of (item : Ast.item) =
     match Spec.lookup specs item.name with
     | None -> None
@@ -621,4 +659,9 @@ let generate ?(specs : Spec.t = []) (info : Infer.result)
         (g', (item.name, rt) :: acc))
       (empty_genv, []) prog
   in
-  { subs = List.rev ctx.subs; wfs = List.rev ctx.wfs; item_types = List.rev items }
+  {
+    subs = List.rev ctx.subs;
+    wfs = List.rev ctx.wfs;
+    item_types = List.rev items;
+    branches = List.rev ctx.branches;
+  }

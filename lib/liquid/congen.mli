@@ -6,12 +6,27 @@ open Liquid_common
 open Liquid_lang
 open Liquid_typing
 
+open Liquid_logic
+
 exception Congen_error of string * Loc.t
+
+(** A conditional recorded for post-inference analysis (reachability and
+    tautology lints).  Desugared [&&]/[||] conditionals (a boolean-constant
+    branch) are not recorded. *)
+type branch = {
+  br_loc : Loc.t; (* the whole conditional *)
+  br_env : Constr.env; (* environment at the conditional *)
+  br_cond : Pred.t;
+  br_cond_loc : Loc.t;
+  br_then_loc : Loc.t;
+  br_else_loc : Loc.t;
+}
 
 type output = {
   subs : Constr.sub list;
   wfs : Constr.wf list;
   item_types : (Ident.t * Rtype.t) list; (* in program order *)
+  branches : branch list; (* in program order *)
 }
 
 (** Generate the constraint system.  [specs] supplies refinement-type

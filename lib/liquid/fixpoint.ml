@@ -21,8 +21,9 @@ open Liquid_common
 open Liquid_logic
 open Liquid_smt
 
-module KMap = Map.Make (Int)
+module KMap = Constr.KMap
 module IMap = Map.Make (Int)
+module SSet = Set.Make (String)
 
 type failure = {
   f_origin : Constr.origin;
@@ -40,25 +41,38 @@ type result = {
   solution : Pred.t list KMap.t;
   failures : failure list;
   solver_stats : stats;
+  dead_quals : string list;
+      (* qualifier patterns with at least one initial instance, none of
+         which survived weakening in any κ *)
 }
 
 (* -- Initialization ---------------------------------------------------------- *)
 
 (** Initial assignment: qualifier instances per κ, intersected over all of
-    the κ's well-formedness environments. *)
+    the κ's well-formedness environments.  Each instance carries the names
+    of the qualifier patterns that produced it, so the solver can report
+    patterns whose every instance gets pruned. *)
 let init_assignment ?(consts = []) (quals : Qualifier.t list)
-    (wfs : Constr.wf list) : Pred.t list KMap.t =
+    (wfs : Constr.wf list) : (Pred.t * SSet.t) list KMap.t =
   List.fold_left
     (fun acc (wf : Constr.wf) ->
       let scope = Constr.scope_of_env wf.Constr.wf_env in
       let insts =
-        Qualifier.instances ~consts quals ~vv_sort:wf.Constr.wf_sort ~scope
+        List.map
+          (fun (p, names) -> (p, SSet.of_list names))
+          (Qualifier.instances_tagged ~consts quals
+             ~vv_sort:wf.Constr.wf_sort ~scope)
       in
       match KMap.find_opt wf.Constr.wf_kvar acc with
       | None -> KMap.add wf.Constr.wf_kvar insts acc
       | Some prev ->
           let inter =
-            List.filter (fun p -> List.exists (Pred.equal p) insts) prev
+            List.filter_map
+              (fun (p, names) ->
+                match List.find_opt (fun (q, _) -> Pred.equal p q) insts with
+                | Some (_, names') -> Some (p, SSet.union names names')
+                | None -> None)
+              prev
           in
           KMap.add wf.Constr.wf_kvar inter acc)
     KMap.empty wfs
@@ -100,12 +114,15 @@ let hypotheses lookup (c : Constr.sub) : Pred.t list * Pred.t list =
 let solve ?(quals = Qualifier.defaults) ?(consts = []) (wfs : Constr.wf list)
     (subs : Constr.sub list) : result =
   let stats = { iterations = 0; implication_checks = 0; initial_candidates = 0 } in
-  let assignment = ref (init_assignment ~consts quals wfs) in
+  let initial = init_assignment ~consts quals wfs in
+  let assignment = ref initial in
   KMap.iter
     (fun _ ps -> stats.initial_candidates <- stats.initial_candidates + List.length ps)
     !assignment;
   let lookup k =
-    match KMap.find_opt k !assignment with Some ps -> ps | None -> []
+    match KMap.find_opt k !assignment with
+    | Some ps -> List.map fst ps
+    | None -> []
   in
   (* Dependency index: κ -> constraints that must be re-checked when the
      assignment of κ weakens. *)
@@ -140,10 +157,12 @@ let solve ?(quals = Qualifier.defaults) ?(consts = []) (wfs : Constr.wf list)
     match c.Constr.rhs with
     | Constr.Rconc _ -> ()
     | Constr.Rkvar (k, theta) ->
-        let current = lookup k in
+        let current =
+          match KMap.find_opt k !assignment with Some ps -> ps | None -> []
+        in
         if current <> [] then begin
           let hyps, kept = hypotheses lookup c in
-          let goal_of q = Pred.subst theta q in
+          let goal_of (q, _) = Pred.subst theta q in
           (* Fast path: if the whole conjunction is implied, keep all. *)
           stats.implication_checks <- stats.implication_checks + 1;
           let all_ok =
@@ -194,7 +213,23 @@ let solve ?(quals = Qualifier.defaults) ?(consts = []) (wfs : Constr.wf list)
             end)
       subs
   in
-  { solution = !assignment; failures; solver_stats = stats }
+  (* Dead qualifiers: patterns that contributed at least one initial
+     instance to some κ but whose every instance was pruned everywhere. *)
+  let names_of asg =
+    KMap.fold
+      (fun _ ps acc ->
+        List.fold_left (fun acc (_, ns) -> SSet.union ns acc) acc ps)
+      asg SSet.empty
+  in
+  let dead_quals =
+    SSet.elements (SSet.diff (names_of initial) (names_of !assignment))
+  in
+  {
+    solution = KMap.map (List.map fst) !assignment;
+    failures;
+    solver_stats = stats;
+    dead_quals;
+  }
 
 (* -- Applying solutions ----------------------------------------------------------------- *)
 

@@ -4,7 +4,9 @@
 
 open Liquid_logic
 
-module KMap : Map.S with type key = int
+(** Shared with {!Constr}, so a solver result is directly a
+    {!Constr.solution}. *)
+module KMap = Constr.KMap
 
 type failure = {
   f_origin : Constr.origin;
@@ -22,6 +24,9 @@ type result = {
   solution : Pred.t list KMap.t;
   failures : failure list;
   solver_stats : stats;
+  dead_quals : string list;
+      (* qualifier patterns with at least one initial instance, none of
+         which survived weakening in any κ *)
 }
 
 (** Solve the constraint system.  [quals] are the qualifier patterns;

@@ -44,30 +44,36 @@ type rpred = Qualparse.rpred =
   | Rimp of rpred * rpred
   | Riff of rpred * rpred
 
-type t = { name : string; body : rpred; placeholders : string list }
+type t = {
+  name : string;
+  body : rpred;
+  placeholders : string list;
+  loc : Loc.t; (* of the declaration; [Loc.dummy] for programmatic quals *)
+}
 
 let is_placeholder = Qualparse.is_placeholder
 
-let make name body =
+let make ?(loc = Loc.dummy) name body =
   let vars = Qualparse.rpred_vars [] body in
   let placeholders =
     Listx.dedup_ordered ~compare:String.compare
       (List.filter is_placeholder vars)
   in
-  { name; body; placeholders }
+  { name; body; placeholders; loc }
 
 (* -- Parser -------------------------------------------------------------------- *)
 
 exception Parse_error = Qualparse.Parse_error
 
 (** Parse qualifier declarations ([qualif Name(v) : pred], one or more). *)
-let parse_string (src : string) : t list =
-  let st = Qualparse.of_string src in
+let parse_string ?(file = "<qualifiers>") (src : string) : t list =
+  let st = Qualparse.of_string ~file src in
   let quals = ref [] in
   let rec loop () =
     match Qualparse.peek st with
     | Token.EOF -> ()
     | Token.IDENT "qualif" ->
+        let start = Qualparse.tok_start st in
         Qualparse.advance st;
         let name =
           match Qualparse.peek st with
@@ -87,7 +93,8 @@ let parse_string (src : string) : t list =
         Qualparse.expect st Token.COLON "':'";
         Qualparse.reset_anon st;
         let body = Qualparse.parse_pred st in
-        quals := make name body :: !quals;
+        let loc = Loc.of_lexing start (Qualparse.last_end st) in
+        quals := make ~loc name body :: !quals;
         loop ()
     | t ->
         raise (Parse_error ("expected 'qualif', found " ^ Token.to_string t))
@@ -99,12 +106,15 @@ let parse_string (src : string) : t list =
 
 exception Ill_sorted = Qualparse.Ill_sorted
 
-(** [instances quals ~vv_sort ~scope ~consts] computes the well-sorted
-    qualifier instances for a template position whose value variable has
-    sort [vv_sort].  Placeholders range over the (non-internal) variables
-    of [scope] and the mined integer [consts]. *)
-let instances ?(consts : int list = []) (quals : t list)
-    ~(vv_sort : Sort.t) ~(scope : (Ident.t * Sort.t) list) : Pred.t list =
+(** [instances_tagged quals ~vv_sort ~scope ~consts] computes the
+    well-sorted qualifier instances for a template position whose value
+    variable has sort [vv_sort], each tagged with the names of the
+    patterns that produced it (provenance for the dead-qualifier lint).
+    Placeholders range over the (non-internal) variables of [scope] and
+    the mined integer [consts]. *)
+let instances_tagged ?(consts : int list = []) (quals : t list)
+    ~(vv_sort : Sort.t) ~(scope : (Ident.t * Sort.t) list) :
+    (Pred.t * string list) list =
   let scope_sorts =
     List.fold_left
       (fun m (x, s) -> Ident.Map.add x s m)
@@ -174,14 +184,32 @@ let instances ?(consts : int list = []) (quals : t list)
                 Ident.Map.add (Ident.of_string "v") v sub
               in
               let p = Pred.subst sub p in
-              if not (Pred.equal p Pred.tt) then result := p :: !result
+              if not (Pred.equal p Pred.tt) then result := (p, q.name) :: !result
             with Ill_sorted -> ())
         | ph1 :: rest ->
             List.iter (fun x -> assign rest ((ph1, x) :: acc)) candidates
       in
       assign q.placeholders [])
     quals;
-  Listx.dedup_ordered ~compare:Pred.compare !result
+  let module PMap = Map.Make (Pred) in
+  let names =
+    List.fold_left
+      (fun m (p, n) ->
+        PMap.update p
+          (function
+            | None -> Some [ n ]
+            | Some ns -> if List.mem n ns then Some ns else Some (n :: ns))
+          m)
+      PMap.empty !result
+  in
+  let preds =
+    Listx.dedup_ordered ~compare:Pred.compare (List.map fst !result)
+  in
+  List.map (fun p -> (p, List.rev (PMap.find p names))) preds
+
+let instances ?consts (quals : t list) ~(vv_sort : Sort.t)
+    ~(scope : (Ident.t * Sort.t) list) : Pred.t list =
+  List.map fst (instances_tagged ?consts quals ~vv_sort ~scope)
 
 (* -- Default qualifier sets ---------------------------------------------------------- *)
 
@@ -208,7 +236,7 @@ qualif ImpNonNeg(v) : v -> 0 <= _
 qualif ImpLtVar(v) : v -> _A < _B
 |}
 
-let defaults : t list = parse_string defaults_source
+let defaults : t list = parse_string ~file:"<defaults>" defaults_source
 
 (** Qualifiers for list-length ([llen]) reasoning.  Kept out of
     {!defaults} so array-only programs don't pay for the extra
@@ -226,7 +254,8 @@ qualif LlenLeL(v)  : llen v <= llen _
 qualif LlenSum(v)  : llen v = llen _A + llen _B
 |}
 
-let list_defaults : t list = parse_string list_defaults_source
+let list_defaults : t list =
+  parse_string ~file:"<list-defaults>" list_defaults_source
 
 (* -- Printing ------------------------------------------------------------------------- *)
 

@@ -38,15 +38,21 @@ type rpred = Qualparse.rpred =
   | Rimp of rpred * rpred
   | Riff of rpred * rpred
 
-type t = { name : string; body : rpred; placeholders : string list }
+type t = {
+  name : string;
+  body : rpred;
+  placeholders : string list;
+  loc : Loc.t; (* of the declaration; [Loc.dummy] for programmatic quals *)
+}
 
-val make : string -> rpred -> t
+val make : ?loc:Loc.t -> string -> rpred -> t
 
 exception Parse_error of string
 
-(** Parse qualifier declarations.
+(** Parse qualifier declarations.  [file] names the source in declaration
+    locations (default ["<qualifiers>"]).
     @raise Parse_error on malformed input. *)
-val parse_string : string -> t list
+val parse_string : ?file:string -> string -> t list
 
 exception Ill_sorted
 
@@ -59,6 +65,15 @@ val instances :
   vv_sort:Sort.t ->
   scope:(Ident.t * Sort.t) list ->
   Pred.t list
+
+(** As {!instances}, with each instance tagged by the names of the
+    qualifier patterns that produced it (dead-qualifier provenance). *)
+val instances_tagged :
+  ?consts:int list ->
+  t list ->
+  vv_sort:Sort.t ->
+  scope:(Ident.t * Sort.t) list ->
+  (Pred.t * string list) list
 
 (** The shared default qualifier set (see the paper's Figure 1). *)
 val defaults : t list

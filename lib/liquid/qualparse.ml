@@ -58,19 +58,33 @@ exception Parse_error of string
 type stream = {
   lexbuf : Lexing.lexbuf;
   mutable tok : Token.t;
+  mutable prev_end : Lexing.position; (* end of the last consumed token *)
   mutable anon : int; (* numbering for anonymous placeholders *)
 }
 
 let make lexbuf =
-  let s = { lexbuf; tok = Token.EOF; anon = 0 } in
+  let s =
+    { lexbuf; tok = Token.EOF; prev_end = Lexing.dummy_pos; anon = 0 }
+  in
   s.tok <- Lexer.token lexbuf;
   s
 
-let of_string str = make (Lexing.from_string str)
+let of_string ?file str =
+  let lexbuf = Lexing.from_string str in
+  (match file with Some f -> Lexing.set_filename lexbuf f | None -> ());
+  make lexbuf
 
 let peek st = st.tok
 
-let advance st = st.tok <- Lexer.token st.lexbuf
+(** Start position of the current (peeked) token. *)
+let tok_start st = Lexing.lexeme_start_p st.lexbuf
+
+(** End position of the most recently consumed token. *)
+let last_end st = st.prev_end
+
+let advance st =
+  st.prev_end <- Lexing.lexeme_end_p st.lexbuf;
+  st.tok <- Lexer.token st.lexbuf
 
 let expect st t what =
   if st.tok = t then advance st

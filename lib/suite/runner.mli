@@ -12,9 +12,14 @@ val qualifiers_of : Programs.benchmark -> Liquid_infer.Qualifier.t list
 
 (** Verify one benchmark with its qualifier set ([quals] overrides;
     constant mining off by default — the suite supplies qualifiers
-    explicitly, as the paper's evaluation did). *)
+    explicitly, as the paper's evaluation did; [lint] additionally runs
+    the semantic-lint pass and fills [report.lints]). *)
 val verify :
-  ?quals:Liquid_infer.Qualifier.t list -> ?mine:bool -> Programs.benchmark -> row
+  ?quals:Liquid_infer.Qualifier.t list ->
+  ?mine:bool ->
+  ?lint:bool ->
+  Programs.benchmark ->
+  row
 
 val verify_all : ?benchmarks:Programs.benchmark list -> unit -> row list
 

@@ -1,0 +1,313 @@
+(* Tests for the semantic-lint pass (lib/analysis): one positive and one
+   negative program per warning code, severity/report plumbing, and the
+   assertion that the benchmark suite is lint-clean. *)
+
+open Liquid_analysis
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lints ?(quals = Liquid_infer.Qualifier.defaults) src =
+  (Liquid_driver.Pipeline.verify_string ~quals ~lint:true src)
+    .Liquid_driver.Pipeline.lints
+
+let codes diags = List.map (fun d -> Diagnostic.code_name d.Diagnostic.code) diags
+let with_code c diags = List.filter (fun d -> d.Diagnostic.code = c) diags
+
+(* Default qualifiers routinely die on tiny programs, producing L005 info
+   notes; warning-severity diagnostics are what the negative tests assert
+   against. *)
+let warns diags = Lint.warnings diags
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let pp_diags diags =
+  String.concat "; " (List.map (fun d -> Fmt.str "%a" Diagnostic.pp d) diags)
+
+(* ------------------------------------------------------------------ *)
+(* L001 unreachable branch / L002 trivial condition                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [f] is called with both signs so κ_x decides nothing about x; the
+   inner condition repeats the outer guard, so its else-branch is dead. *)
+let test_unreachable_positive () =
+  let diags =
+    lints
+      "let f x = if x > 0 then (if x > 0 then 1 else 2) else 0\n\
+       let _ = f 5\n\
+       let _ = f (0 - 5)"
+  in
+  let l1 = with_code Diagnostic.Unreachable_branch diags in
+  let l2 = with_code Diagnostic.Trivial_condition diags in
+  check_int "one unreachable branch" 1 (List.length l1);
+  check_int "one trivial condition" 1 (List.length l2);
+  check_bool "message names the else-branch" true
+    (contains (List.hd l1).Diagnostic.message "else");
+  check_bool "always-true reported" true
+    (contains (List.hd l2).Diagnostic.message "always true");
+  (* locations point into the inner conditional on line 1 *)
+  List.iter
+    (fun d ->
+      check_int "diagnostic on line 1" 1
+        d.Diagnostic.loc.Liquid_common.Loc.start_pos.Liquid_common.Loc.line)
+    (l1 @ l2)
+
+let test_contradiction_positive () =
+  let diags =
+    lints
+      "let f x = if x > 0 then (if x < 0 then 1 else 2) else 0\n\
+       let _ = f 5\n\
+       let _ = f (0 - 5)"
+  in
+  let l1 = with_code Diagnostic.Unreachable_branch diags in
+  let l2 = with_code Diagnostic.Trivial_condition diags in
+  check_int "one unreachable branch" 1 (List.length l1);
+  check_int "one trivial condition" 1 (List.length l2);
+  check_bool "then-branch is the dead one" true
+    (contains (List.hd l1).Diagnostic.message "then");
+  check_bool "always-false reported" true
+    (contains (List.hd l2).Diagnostic.message "always false")
+
+let test_reachability_negative () =
+  let diags =
+    lints "let f x = if x > 0 then 1 else 2\nlet _ = f 5\nlet _ = f (0 - 5)"
+  in
+  check_bool
+    (Fmt.str "no warnings on live branches (got: %s)" (pp_diags (warns diags)))
+    true (warns diags = [])
+
+(* Diagnostics inside an already-dead branch are suppressed: one root
+   cause, one pair of reports. *)
+let test_cascade_suppression () =
+  let diags =
+    lints
+      "let f x = if x >= 0 then (if x < 0 then (if x = 1 then 1 else 2) else \
+       3) else 0\n\
+       let _ = f 5\n\
+       let _ = f (0 - 5)"
+  in
+  check_int "single unreachable branch" 1
+    (List.length (with_code Diagnostic.Unreachable_branch diags));
+  check_int "single trivial condition" 1
+    (List.length (with_code Diagnostic.Trivial_condition diags))
+
+(* The parser desugars [&&]/[||] into conditionals with boolean-constant
+   branches; those must not be reported as trivial. *)
+let test_desugared_connectives_not_flagged () =
+  let diags =
+    lints
+      "let f x y = if x > 0 && y > 0 then x + y else 0\n\
+       let _ = f 1 2\n\
+       let _ = f (0 - 1) (0 - 2)"
+  in
+  check_bool
+    (Fmt.str "no warnings from && desugaring (got: %s)"
+       (pp_diags (warns diags)))
+    true (warns diags = [])
+
+(* ------------------------------------------------------------------ *)
+(* L003 unused binding / L004 shadowed binding                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_unused_positive () =
+  let diags = lints "let f x = let y = x + 1 in x\nlet _ = f 1" in
+  let l3 = with_code Diagnostic.Unused_binding diags in
+  check_int "one unused binding" 1 (List.length l3);
+  check_bool "names the binding" true
+    (contains (List.hd l3).Diagnostic.message "y")
+
+let test_unused_negative () =
+  check_bool "used binding is clean" true
+    (warns (lints "let f x = let y = x + 1 in y\nlet _ = f 1") = []);
+  check_bool "underscore prefix opts out" true
+    (warns (lints "let f x = let _y = x + 1 in x\nlet _ = f 1") = []);
+  check_bool "recursive use counts" true
+    (with_code Diagnostic.Unused_binding
+       (lints
+          "let f n =\n\
+          \  let rec go i = if i < n then go (i + 1) else i in\n\
+          \  go 0\n\
+           let _ = f 3")
+    = []);
+  check_bool "sequencing temporaries are exempt" true
+    (with_code Diagnostic.Unused_binding
+       (lints
+          "let a = Array.make 2 0\nlet f x = begin a.(0) <- x; a.(0) end\n\
+           let _ = f 1")
+    = [])
+
+let test_shadowed_positive () =
+  let diags = lints "let f x = let x = x + 1 in x\nlet _ = f 1" in
+  let l4 = with_code Diagnostic.Shadowed_binding diags in
+  check_int "one shadowed binding" 1 (List.length l4);
+  check_bool "names the binding" true
+    (contains (List.hd l4).Diagnostic.message "x")
+
+let test_shadowed_negative () =
+  check_bool "distinct names are clean" true
+    (warns (lints "let f x = let y = x + 1 in y\nlet _ = f 1") = []);
+  check_bool "redefinition across top-level items is not shadowing" true
+    (warns (lints "let x = 1\nlet x = 2\nlet _ = assert (x = 2)") = [])
+
+(* ------------------------------------------------------------------ *)
+(* L005 dead qualifier                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dead_qual_src =
+  "let bump n = n + 1\nlet main = let r = bump 10 in assert (r > 0)"
+
+let test_dead_qualifier_positive () =
+  let quals =
+    Liquid_infer.Qualifier.parse_string
+      "qualif Pos(v) : v > 0\nqualif Neg(v) : v < 0"
+  in
+  let diags = lints ~quals dead_qual_src in
+  let l5 = with_code Diagnostic.Dead_qualifier diags in
+  check_int "one dead qualifier" 1 (List.length l5);
+  let d = List.hd l5 in
+  check_bool "Neg is the dead one" true (contains d.Diagnostic.message "Neg");
+  check_bool "info severity" true (d.Diagnostic.severity = Diagnostic.Info);
+  check_bool "does not gate --warn-error" true (Lint.warnings diags = [])
+
+let test_dead_qualifier_negative () =
+  let quals = Liquid_infer.Qualifier.parse_string "qualif Pos(v) : v > 0" in
+  let diags = lints ~quals dead_qual_src in
+  check_bool "surviving qualifier not reported" true
+    (with_code Diagnostic.Dead_qualifier diags = [])
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_codes_and_severities () =
+  Alcotest.(check (list string))
+    "stable code names"
+    [ "L001"; "L002"; "L003"; "L004"; "L005" ]
+    (List.map Diagnostic.code_name
+       Diagnostic.
+         [
+           Unreachable_branch;
+           Trivial_condition;
+           Unused_binding;
+           Shadowed_binding;
+           Dead_qualifier;
+         ]);
+  check_bool "only L005 defaults to info" true
+    (List.map Diagnostic.default_severity
+       Diagnostic.
+         [
+           Unreachable_branch;
+           Trivial_condition;
+           Unused_binding;
+           Shadowed_binding;
+           Dead_qualifier;
+         ]
+    = Diagnostic.[ Warning; Warning; Warning; Warning; Info ])
+
+let test_report_order () =
+  (* diagnostics come out sorted by source position *)
+  let diags =
+    warns
+      (lints
+         "let f x =\n\
+         \  let u = x + 1 in\n\
+         \  let v = x + 2 in\n\
+         \  x\n\
+          let _ = f 1")
+  in
+  let lines =
+    List.map
+      (fun d -> d.Diagnostic.loc.Liquid_common.Loc.start_pos.Liquid_common.Loc.line)
+      diags
+  in
+  check_int "two unused bindings" 2 (List.length diags);
+  check_bool "sorted by position" true (lines = List.sort compare lines)
+
+let test_json_roundtrip_shape () =
+  let r = Liquid_driver.Pipeline.verify_string ~lint:true "let f x = let y = x in x\nlet _ = f 1" in
+  let s =
+    Fmt.str "%a" Json.pp (Liquid_driver.Pipeline.json_of_report ~file:"t.ml" r)
+  in
+  check_bool "mentions code" true (contains s "\"L003\"");
+  check_bool "mentions severity" true (contains s "\"warning\"");
+  check_bool "mentions file key" true (contains s "\"file\"");
+  check_bool "escapes cleanly / no newlines inside strings" true
+    (not (contains s "\n\""))
+
+let test_lint_off_by_default () =
+  let r = Liquid_driver.Pipeline.verify_string "let f x = let y = x in x" in
+  check_bool "no lints unless requested" true
+    (r.Liquid_driver.Pipeline.lints = []);
+  check_int "no diagnostics counted" 0
+    r.Liquid_driver.Pipeline.stats.Liquid_driver.Pipeline.n_diagnostics
+
+(* ------------------------------------------------------------------ *)
+(* The benchmark suite is lint-clean                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Warning-severity diagnostics expected on suite programs.  Anything
+   not listed here fails the test; programs absent from the list must be
+   fully lint-clean.  Each entry below is a {e true} positive: a
+   defensive range/sign check that the inferred refinements prove
+   redundant (e.g. gauss re-checks [p < n] although [find_pivot]'s
+   result type already carries it; queue re-checks [0 < cap] under the
+   guard [count < cap] with [count >= 0]).  The checks are kept in the
+   benchmark sources because they mirror the paper's original programs. *)
+let expected_suite_warnings : (string * string list) list =
+  [
+    ("gauss", [ "L002"; "L001" ]);
+    ("queue", [ "L002"; "L001"; "L002"; "L002"; "L001"; "L001" ]);
+    ("pascal", [ "L002"; "L001" ]);
+    ("sieve", [ "L002"; "L001" ]);
+    ("selsort", [ "L002"; "L001" ]);
+    ("fibmemo", [ "L002"; "L001"; "L002"; "L001" ]);
+  ]
+
+let check_suite_clean (b : Liquid_suite.Programs.benchmark) () =
+  let row = Liquid_suite.Runner.verify ~lint:true b in
+  let warnings =
+    Lint.warnings row.Liquid_suite.Runner.report.Liquid_driver.Pipeline.lints
+  in
+  let expected =
+    match List.assoc_opt b.Liquid_suite.Programs.name expected_suite_warnings with
+    | Some cs -> cs
+    | None -> []
+  in
+  Alcotest.(check (list string))
+    (Fmt.str "%s lint warnings (got: %s)" b.Liquid_suite.Programs.name
+       (pp_diags warnings))
+    expected (codes warnings)
+
+let suite_clean_tests =
+  List.map
+    (fun (b : Liquid_suite.Programs.benchmark) ->
+      Alcotest.test_case
+        (Fmt.str "suite %s lint-clean" b.Liquid_suite.Programs.name)
+        `Slow (check_suite_clean b))
+    (Liquid_suite.Programs.all @ Liquid_suite.Extended.all)
+
+(* ------------------------------------------------------------------ *)
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "L001/L002 tautology positive" test_unreachable_positive;
+    tc "L001/L002 contradiction positive" test_contradiction_positive;
+    tc "L001/L002 negative" test_reachability_negative;
+    tc "cascade suppression" test_cascade_suppression;
+    tc "desugared && not flagged" test_desugared_connectives_not_flagged;
+    tc "L003 positive" test_unused_positive;
+    tc "L003 negative" test_unused_negative;
+    tc "L004 positive" test_shadowed_positive;
+    tc "L004 negative" test_shadowed_negative;
+    tc "L005 positive" test_dead_qualifier_positive;
+    tc "L005 negative" test_dead_qualifier_negative;
+    tc "codes and severities" test_codes_and_severities;
+    tc "report order" test_report_order;
+    tc "json shape" test_json_roundtrip_shape;
+    tc "lint off by default" test_lint_off_by_default;
+  ]
+  @ suite_clean_tests

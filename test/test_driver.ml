@@ -9,7 +9,16 @@ let check_int = Alcotest.(check int)
 let test_count_lines () =
   check_int "blank and comment lines skipped" 2
     (Pipeline.count_lines "let x = 1\n\n(* comment *)\nlet y = 2\n");
-  check_int "empty source" 0 (Pipeline.count_lines "\n\n")
+  check_int "empty source" 0 (Pipeline.count_lines "\n\n");
+  (* lines ending (or wholly contained) inside a block comment are not
+     code; nesting is tracked across lines *)
+  check_int "multi-line comment interior skipped" 2
+    (Pipeline.count_lines "let x = 1\n(* a\n   b\n*)\nlet y = 2\n");
+  check_int "code before a comment opening still counts" 2
+    (Pipeline.count_lines "let x = 1 (* c\n*) let y = 2\n");
+  check_int "nested comments close correctly" 1
+    (Pipeline.count_lines "(* a (* b *) still comment *)\nlet z = 1\n");
+  check_int "no trailing newline" 1 (Pipeline.count_lines "let x = 1")
 
 let test_mine_constants () =
   let prog =

@@ -205,6 +205,71 @@ let test_custom_qualifier_needed () =
   in
   check_bool "verifies with guard" true (is_safe src)
 
+let test_requeue_reaches_fixpoint () =
+  (* Dependency-directed re-queueing: κ_i of [go] starts at the strongest
+     (self-contradictory) assignment, under which the recursive-call
+     constraint retains everything.  The [go 0] call-site constraint then
+     prunes κ_i, which must transitively re-enqueue the recursive-call
+     constraint (and the result constraint it feeds) until the system
+     stabilizes.  We assert (a) the worklist popped more often than the
+     number of κ-writing constraints — i.e. something was genuinely
+     re-queued — and (b) the final solution is an actual fixpoint: every
+     retained instance of every κ-rhs constraint is implied by its
+     antecedent under that same solution. *)
+  let open Liquid_infer in
+  let open Liquid_logic in
+  let src =
+    "let rec go i = if i < 10 then go (i + 1) else i\n\
+     let r = go 0\n\
+     let _ = assert (r >= 0)"
+  in
+  let prog =
+    Liquid_anf.Anf.normalize_program
+      (Liquid_lang.Parser.program_of_string src)
+  in
+  let info = Liquid_typing.Infer.infer_program prog in
+  let out = Congen.generate info prog in
+  let res =
+    Fixpoint.solve ~quals:Qualifier.defaults ~consts:[ 10 ] out.Congen.wfs
+      out.Congen.subs
+  in
+  check_bool "program safe" true (res.Fixpoint.failures = []);
+  let writers =
+    List.filter
+      (fun (c : Constr.sub) ->
+        match c.Constr.rhs with Constr.Rkvar _ -> true | Constr.Rconc _ -> false)
+      out.Congen.subs
+  in
+  check_bool "worklist re-queued at least one constraint" true
+    (res.Fixpoint.solver_stats.Fixpoint.iterations > List.length writers);
+  (* Re-verify the fixpoint property constraint by constraint. *)
+  let lookup k = Constr.sol_find res.Fixpoint.solution k in
+  let vv_value (s : Sort.t) =
+    match s with
+    | Sort.Bool -> Pred.Pr (Pred.bvar Liquid_common.Ident.vv)
+    | s -> Pred.Tm (Term.var Liquid_common.Ident.vv s)
+  in
+  List.iter
+    (fun (c : Constr.sub) ->
+      match c.Constr.rhs with
+      | Constr.Rconc _ -> ()
+      | Constr.Rkvar (k, theta) ->
+          let facts, guards = Constr.embed_env lookup c.Constr.sub_env in
+          let lhs =
+            Constr.preds_of_refinement lookup (vv_value c.Constr.vv_sort)
+              c.Constr.lhs
+          in
+          let kept = lhs @ guards in
+          List.iter
+            (fun q ->
+              check_bool
+                (Fmt.str "retained instance %a of κ%d is implied" Pred.pp q k)
+                true
+                (Liquid_smt.Solver.check_valid ~kept facts (Pred.subst theta q)
+                = Liquid_smt.Solver.Valid))
+            (lookup k))
+    out.Congen.subs
+
 let test_stats_populated () =
   let r = verify "let rec f x = if x < 1 then 0 else f (x - 1)\nlet _ = f 3" in
   let s = r.Liquid_driver.Pipeline.stats in
@@ -230,5 +295,6 @@ let tests =
     tc "dead branch vacuously safe" test_assert_in_dead_branch;
     tc "error reporting" test_error_reporting;
     tc "guarded writes" test_custom_qualifier_needed;
+    tc "requeue reaches fixpoint" test_requeue_reaches_fixpoint;
     tc "statistics populated" test_stats_populated;
   ]

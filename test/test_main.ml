@@ -16,5 +16,6 @@ let () =
       ("extended", Test_extended.tests);
       ("spec", Test_spec.tests);
       ("driver", Test_driver.tests);
+      ("analysis", Test_analysis.tests);
       ("tricky", Test_tricky.tests);
     ]
