@@ -9,13 +9,17 @@
     - [A1] — qualifier ablation: benchmarks needing a custom qualifier
       pattern fail cleanly without it (supports the paper's claim that
       the qualifier language is the entire annotation burden).
-    - [A2] — SMT cache ablation: solver query counts and time with the
-      result cache on/off (implementation ablation, ours).
+    - [A2] — solver ablations (implementation ablations, ours): query
+      counts and time with the result cache on/off, and the incremental
+      weakening engine vs the naive (seed) engine — sat-checks avoided
+      and solver time, with byte-identical verdicts and inferred types.
+    - [FIXPOINT] — per-benchmark solver counters (time, queries,
+      sat-checks, cache hits), also written to [BENCH_fixpoint.json].
     - [BECHAMEL] — one [Test.make] per T1 row, measuring the full
       inference pipeline with Bechamel's monotonic clock.
 
-    Run with [dune exec bench/main.exe]; pass [quick] to skip the
-    Bechamel section. *)
+    Run with [dune exec bench/main.exe]; pass [quick] to skip the A3 and
+    Bechamel sections (the CI mode — still writes BENCH_fixpoint.json). *)
 
 let line = String.make 72 '='
 
@@ -90,8 +94,22 @@ let a1 () =
 (* A2: SMT cache ablation                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Rendered (display-cleaned) types of a report's public bindings, used
+   to compare engines byte-for-byte. *)
+let render_types (r : Liquid_driver.Pipeline.report) =
+  String.concat "\n"
+    (List.filter_map
+       (fun (x, t) ->
+         if Liquid_common.Ident.is_internal x then None
+         else
+           Some
+             (Fmt.str "val %a : %a" Liquid_common.Ident.pp x
+                Liquid_infer.Rtype.pp
+                (Liquid_infer.Report.display t)))
+       r.Liquid_driver.Pipeline.item_types)
+
 let a2 () =
-  section "A2: SMT result-cache ablation";
+  section "A2: Solver ablations (result cache; incremental fixpoint)";
   let run_with cache =
     Liquid_smt.Solver.cache_enabled := cache;
     Liquid_smt.Solver.clear_cache ();
@@ -122,7 +140,144 @@ let a2 () =
   Liquid_smt.Solver.cache_enabled := true;
   Fmt.pr "%-10s %10s %12s %12s %8s@." "cache" "time(s)" "queries" "cache-hits" "safe";
   Fmt.pr "%-10s %10.2f %12d %12d %8b@." "on" t_on q_on h_on safe_on;
-  Fmt.pr "%-10s %10.2f %12d %12d %8b@." "off" t_off q_off h_off safe_off
+  Fmt.pr "%-10s %10.2f %12d %12d %8b@." "off" t_off q_off h_off safe_off;
+  (* -- incremental vs naive (seed) weakening engine ------------------- *)
+  Fmt.pr
+    "@.Incremental fixpoint vs the naive (seed) engine, full T1 suite.@.\
+     Both engines run with the result cache on (cleared first); verdicts@.\
+     and inferred types are compared byte-for-byte.@.@.";
+  let run_engine incremental =
+    Liquid_smt.Solver.clear_cache ();
+    Liquid_smt.Solver.reset_stats ();
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      List.map
+        (fun b -> Liquid_suite.Runner.verify ~incremental b)
+        Liquid_suite.Programs.all
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let solve_time =
+      List.fold_left
+        (fun acc (r : Liquid_suite.Runner.row) ->
+          List.fold_left
+            (fun acc (phase, t) -> if phase = "solve" then acc +. t else acc)
+            acc
+            r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.stats
+              .Liquid_driver.Pipeline.phases)
+        0.0 rows
+    in
+    ( rows,
+      Liquid_smt.Solver.stats.queries,
+      Liquid_smt.Solver.stats.sat_checks,
+      solve_time,
+      dt )
+  in
+  let fingerprint rows =
+    List.map
+      (fun (r : Liquid_suite.Runner.row) ->
+        let rep = r.Liquid_suite.Runner.report in
+        ( r.Liquid_suite.Runner.bench.Liquid_suite.Programs.name,
+          rep.Liquid_driver.Pipeline.safe,
+          List.map
+            (fun (e : Liquid_driver.Pipeline.error) ->
+              Fmt.str "%a: %s: %s" Liquid_common.Loc.pp
+                e.Liquid_driver.Pipeline.err_loc
+                e.Liquid_driver.Pipeline.err_reason
+                e.Liquid_driver.Pipeline.err_goal)
+            rep.Liquid_driver.Pipeline.errors,
+          render_types rep ))
+      rows
+  in
+  (* Counters are deterministic; wall clocks drift a few percent over the
+     life of the process (allocator ramp, CPU clocking), so measure in an
+     ABBA order — naive, incremental, incremental, naive — which cancels
+     linear drift, after one unmeasured warm-up run. *)
+  ignore (run_engine true);
+  let n1 = run_engine false in
+  let i1 = run_engine true in
+  let i2 = run_engine true in
+  let n2 = run_engine false in
+  let mean sel a b = (sel a +. sel b) /. 2.0 in
+  let rows_n, q_n, s_n, _, _ = n1 in
+  let rows_i, q_i, s_i, _, _ = i1 in
+  let solve_n = mean (fun (_, _, _, s, _) -> s) n1 n2 in
+  let solve_i = mean (fun (_, _, _, s, _) -> s) i1 i2 in
+  let t_n = mean (fun (_, _, _, _, t) -> t) n1 n2 in
+  let t_i = mean (fun (_, _, _, _, t) -> t) i1 i2 in
+  let identical = fingerprint rows_n = fingerprint rows_i in
+  Fmt.pr "%-12s %10s %12s %12s %10s@." "engine" "time(s)*" "queries"
+    "sat-checks" "solve(s)*";
+  Fmt.pr "(* mean of 2 runs in drift-cancelling ABBA order, after warm-up)@.";
+  Fmt.pr "%-12s %10.2f %12d %12d %10.2f@." "naive" t_n q_n s_n solve_n;
+  Fmt.pr "%-12s %10.2f %12d %12d %10.2f@." "incremental" t_i q_i s_i solve_i;
+  Fmt.pr "sat-checks avoided: %d (%.1f%%)   identical verdicts+types: %b@."
+    (s_n - s_i)
+    (if s_n = 0 then 0.0
+     else 100.0 *. float_of_int (s_n - s_i) /. float_of_int s_n)
+    identical;
+  if not identical then
+    List.iter2
+      (fun a b ->
+        if a <> b then
+          let name, _, _, _ = a in
+          Fmt.pr "  MISMATCH: %s@." name)
+      (fingerprint rows_n) (fingerprint rows_i);
+  identical
+
+(* ------------------------------------------------------------------ *)
+(* FIXPOINT: per-benchmark solver counters → BENCH_fixpoint.json        *)
+(* ------------------------------------------------------------------ *)
+
+let bench_fixpoint () =
+  section "FIXPOINT: per-benchmark solver counters (BENCH_fixpoint.json)";
+  Fmt.pr
+    "Per-benchmark wall-clock and solver counters for the default@.\
+     (incremental, hash-consed) engine.  The cache and counters are@.\
+     reset before each benchmark; a machine-readable copy is written@.\
+     to BENCH_fixpoint.json for CI trend tracking.@.@.";
+  Fmt.pr "%-10s %6s %8s %9s %11s %11s@." "Program" "Safe" "Time(s)" "queries"
+    "sat-checks" "cache-hits";
+  Fmt.pr "%s@." (String.make 60 '-');
+  let module J = Liquid_analysis.Json in
+  let rows_and_entries =
+    List.map
+      (fun (b : Liquid_suite.Programs.benchmark) ->
+        Liquid_smt.Solver.clear_cache ();
+        Liquid_smt.Solver.reset_stats ();
+        let row = Liquid_suite.Runner.verify b in
+        let s = Liquid_smt.Solver.stats in
+        let safe = row.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe in
+        Fmt.pr "%-10s %6s %8.2f %9d %11d %11d@." b.Liquid_suite.Programs.name
+          (if safe then "yes" else "NO")
+          row.Liquid_suite.Runner.time s.Liquid_smt.Solver.queries
+          s.Liquid_smt.Solver.sat_checks s.Liquid_smt.Solver.cache_hits;
+        ( row,
+          J.Obj
+            [
+              ("name", J.String b.Liquid_suite.Programs.name);
+              ("safe", J.Bool safe);
+              ("time_s", J.Float row.Liquid_suite.Runner.time);
+              ("queries", J.Int s.Liquid_smt.Solver.queries);
+              ("sat_checks", J.Int s.Liquid_smt.Solver.sat_checks);
+              ("cache_hits", J.Int s.Liquid_smt.Solver.cache_hits);
+            ] ))
+      Liquid_suite.Programs.all
+  in
+  let rows = List.map fst rows_and_entries in
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "bench_fixpoint/v1");
+        ("engine", J.String "incremental");
+        ("benchmarks", J.List (List.map snd rows_and_entries));
+      ]
+  in
+  let oc = open_out "BENCH_fixpoint.json" in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_fixpoint.json (%d benchmarks)@." (List.length rows);
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* E1: extended suite (ours)                                            *)
@@ -228,7 +383,8 @@ let () =
   let rows = t1 () in
   f1 ();
   a1 ();
-  a2 ();
+  let engines_agree = a2 () in
+  let fixpoint_rows = bench_fixpoint () in
   e1 ();
   if not quick then begin
     a3 ();
@@ -238,7 +394,8 @@ let () =
     List.for_all
       (fun (r : Liquid_suite.Runner.row) ->
         r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
-      rows
+      (rows @ fixpoint_rows)
+    && engines_agree
   in
   Fmt.pr "@.%s@.Overall: %s@.%s@." line
     (if all_safe then "all benchmarks verified SAFE" else "SOME BENCHMARKS FAILED")

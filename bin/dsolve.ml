@@ -59,7 +59,12 @@ let run file qualfile inline_quals no_defaults list_quals specfile show_stats
             s.Liquid_driver.Pipeline.source_lines s.n_kvars s.n_wf_constraints
             s.n_sub_constraints s.n_qualifiers s.n_initial_candidates
             s.n_implication_checks s.n_smt_queries s.n_smt_cache_hits
-            s.n_lint_smt_queries s.n_diagnostics s.elapsed
+            s.n_lint_smt_queries s.n_diagnostics s.elapsed;
+          Fmt.pr "phases:%a@."
+            Fmt.(
+              list ~sep:nop (fun ppf (name, t) ->
+                  Fmt.pf ppf " %s=%.3fs" name t))
+            s.phases
         end);
     let lint_failed =
       warn_error

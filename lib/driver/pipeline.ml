@@ -32,6 +32,9 @@ type stats = {
   n_lint_smt_queries : int; (* SMT queries spent by the lint pass *)
   n_diagnostics : int; (* lint diagnostics emitted *)
   elapsed : float; (* wall-clock seconds for the whole pipeline *)
+  phases : (string * float) list;
+      (* per-phase wall-clock seconds, in pipeline order:
+         parse, anf, hm, congen, solve, concrete_check, lint *)
 }
 
 type report = {
@@ -107,26 +110,47 @@ let mine_constants (prog : Ast.program) : int list =
     (Listx.dedup_ordered ~compare:Int.compare
        (List.filter (fun n -> n <> 0) !interesting))
 
+(** Time [f], accumulating its wall-clock cost under [name] in [phases]
+    (stored reversed; rendered in pipeline order at the end). *)
+let timed phases name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  phases := (name, Unix.gettimeofday () -. t0) :: !phases;
+  r
+
 let verify_program ?(quals = Qualifier.defaults) ?(mine = true)
-    ?(specs : Spec.t = []) ?(lint = false) (prog : Ast.program)
-    ~(source_lines : int) : report =
+    ?(specs : Spec.t = []) ?(lint = false) ?(incremental = true)
+    ?(parse_time = 0.0) (prog : Ast.program) ~(source_lines : int) : report =
   let t0 = Unix.gettimeofday () in
   let smt0 = Liquid_smt.Solver.stats.queries in
   let smt_hits0 = Liquid_smt.Solver.stats.cache_hits in
+  let phases = ref [ ("parse", parse_time) ] in
   let source = prog in
-  let prog = Liquid_anf.Anf.normalize_program prog in
+  let prog =
+    timed phases "anf" (fun () -> Liquid_anf.Anf.normalize_program prog)
+  in
   let info =
-    try Infer.infer_program prog
-    with Infer.Type_error (msg, loc) ->
-      raise (Source_error ("type error: " ^ msg, loc))
+    timed phases "hm" (fun () ->
+        try Infer.infer_program prog
+        with Infer.Type_error (msg, loc) ->
+          raise (Source_error ("type error: " ^ msg, loc)))
   in
   let out =
-    try Congen.generate ~specs info prog with
-    | Congen.Congen_error (msg, loc) -> raise (Source_error (msg, loc))
-    | Constr.Shape_error msg -> raise (Source_error (msg, Loc.dummy))
+    timed phases "congen" (fun () ->
+        try Congen.generate ~specs info prog with
+        | Congen.Congen_error (msg, loc) -> raise (Source_error (msg, loc))
+        | Constr.Shape_error msg -> raise (Source_error (msg, Loc.dummy)))
   in
-  let consts = if mine then mine_constants prog else [] in
-  let res = Fixpoint.solve ~quals ~consts out.Congen.wfs out.Congen.subs in
+  (* Mine the pre-ANF source: A-normalization hoists literals into
+     let-bindings, so mining the ANF form misses comparison operands. *)
+  let consts = if mine then mine_constants source else [] in
+  let res =
+    Fixpoint.solve ~quals ~consts ~incremental out.Congen.wfs out.Congen.subs
+  in
+  phases :=
+    ("concrete_check", res.Fixpoint.solver_stats.Fixpoint.check_time)
+    :: ("solve", res.Fixpoint.solver_stats.Fixpoint.solve_time)
+    :: !phases;
   let errors =
     List.map
       (fun (f : Fixpoint.failure) ->
@@ -148,13 +172,17 @@ let verify_program ?(quals = Qualifier.defaults) ?(mine = true)
       (Listx.dedup_ordered ~compare:Int.compare
          (List.map (fun (w : Constr.wf) -> w.Constr.wf_kvar) out.Congen.wfs))
   in
+  (* Snapshot the query counter before the lint pass so lint queries are
+     counted once (in [n_lint_smt_queries]), not also in
+     [n_smt_queries]. *)
   let lint_smt0 = Liquid_smt.Solver.stats.queries in
   let lints =
     if not lint then []
     else
-      Liquid_analysis.Lint.run ~source ~branches:out.Congen.branches
-        ~solution:res.Fixpoint.solution ~quals
-        ~dead_quals:res.Fixpoint.dead_quals
+      timed phases "lint" (fun () ->
+          Liquid_analysis.Lint.run ~source ~branches:out.Congen.branches
+            ~solution:res.Fixpoint.solution ~quals
+            ~dead_quals:res.Fixpoint.dead_quals)
   in
   {
     safe = errors = [];
@@ -174,28 +202,33 @@ let verify_program ?(quals = Qualifier.defaults) ?(mine = true)
           res.Fixpoint.solver_stats.Fixpoint.initial_candidates;
         n_implication_checks =
           res.Fixpoint.solver_stats.Fixpoint.implication_checks;
-        n_smt_queries = Liquid_smt.Solver.stats.queries - smt0;
+        n_smt_queries = lint_smt0 - smt0;
         n_smt_cache_hits = Liquid_smt.Solver.stats.cache_hits - smt_hits0;
         n_lint_smt_queries = Liquid_smt.Solver.stats.queries - lint_smt0;
         n_diagnostics = List.length lints;
         elapsed = Unix.gettimeofday () -. t0;
+        phases = List.rev !phases;
       };
   }
 
 let verify_string ?(quals = Qualifier.defaults) ?(mine = true) ?(specs = [])
-    ?(lint = false) ?(name = "<string>") (src : string) : report =
+    ?(lint = false) ?(incremental = true) ?(name = "<string>") (src : string) :
+    report =
+  let t0 = Unix.gettimeofday () in
   let prog = parse_program ~name src in
-  verify_program ~quals ~mine ~specs ~lint prog ~source_lines:(count_lines src)
+  let parse_time = Unix.gettimeofday () -. t0 in
+  verify_program ~quals ~mine ~specs ~lint ~incremental ~parse_time prog
+    ~source_lines:(count_lines src)
 
 let verify_file ?(quals = Qualifier.defaults) ?(mine = true) ?(specs = [])
-    ?(lint = false) (path : string) : report =
+    ?(lint = false) ?(incremental = true) (path : string) : report =
   let ic = open_in path in
   let src =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  verify_string ~quals ~mine ~specs ~lint ~name:path src
+  verify_string ~quals ~mine ~specs ~lint ~incremental ~name:path src
 
 (* -- Report printing ---------------------------------------------------------- *)
 
@@ -264,6 +297,8 @@ let json_of_stats (s : stats) : Liquid_analysis.Json.t =
       ("lint_smt_queries", Json.Int s.n_lint_smt_queries);
       ("diagnostics", Json.Int s.n_diagnostics);
       ("elapsed", Json.Float s.elapsed);
+      ( "phases",
+        Json.Obj (List.map (fun (name, t) -> (name, Json.Float t)) s.phases) );
     ]
 
 (** Machine-readable form of a report ([dsolve --format json]). *)

@@ -27,6 +27,9 @@ type stats = {
   n_lint_smt_queries : int; (* SMT queries spent by the lint pass *)
   n_diagnostics : int; (* lint diagnostics emitted *)
   elapsed : float; (* wall-clock seconds for the whole pipeline *)
+  phases : (string * float) list;
+      (* per-phase wall-clock seconds, in pipeline order:
+         parse, anf, hm, congen, solve, concrete_check, lint *)
 }
 
 type report = {
@@ -51,14 +54,20 @@ val mine_constants : Ast.program -> int list
 
 (** Verify a parsed program.  [quals] is the qualifier set (defaults to
     {!Liquid_infer.Qualifier.defaults}); [mine] enables constant mining
-    (default true); [lint] additionally runs the semantic-lint pass
-    ({!Liquid_analysis.Lint}) and fills [report.lints] (default false).
+    over the {e pre-ANF} source AST (default true); [lint] additionally
+    runs the semantic-lint pass ({!Liquid_analysis.Lint}) and fills
+    [report.lints] (default false); [incremental] selects the fixpoint
+    engine (default true; see {!Liquid_infer.Fixpoint.solve});
+    [parse_time] seeds the "parse" entry of [stats.phases] for callers
+    that parsed separately.
     @raise Source_error on type errors. *)
 val verify_program :
   ?quals:Qualifier.t list ->
   ?mine:bool ->
   ?specs:Spec.t ->
   ?lint:bool ->
+  ?incremental:bool ->
+  ?parse_time:float ->
   Ast.program ->
   source_lines:int ->
   report
@@ -68,6 +77,7 @@ val verify_string :
   ?mine:bool ->
   ?specs:Spec.t ->
   ?lint:bool ->
+  ?incremental:bool ->
   ?name:string ->
   string ->
   report
@@ -77,6 +87,7 @@ val verify_file :
   ?mine:bool ->
   ?specs:Spec.t ->
   ?lint:bool ->
+  ?incremental:bool ->
   string ->
   report
 

@@ -175,7 +175,7 @@ let rec spine_head (e : Ast.expr) : Ident.t option =
     linear inequalities; otherwise the quotient is the uninterpreted
     [div(a1, a2)]. *)
 let div_type (t1 : Term.t) (t2 : Term.t) : Rtype.t =
-  match t2 with
+  match Term.view t2 with
   | Term.Int k when k > 0 ->
       (* x >= 0: kν <= x < kν + k;  x < 0: kν - k < x <= kν *)
       let x = t1 and kv = Term.mul (Term.int k) vv_int in
@@ -207,7 +207,7 @@ let div_type (t1 : Term.t) (t2 : Term.t) : Rtype.t =
 (** Exact result type of [a1 mod a2]; with a positive literal divisor the
     remainder is tied to the uninterpreted quotient and bounded. *)
 let mod_type (t1 : Term.t) (t2 : Term.t) : Rtype.t =
-  match t2 with
+  match Term.view t2 with
   | Term.Int k when k > 0 ->
       let q = Term.app Symbol.div [ t1; t2 ] in
       let x = t1 and kq = Term.mul (Term.int k) q in

@@ -214,6 +214,73 @@ let embed_env (lookup : Rtype.kvar -> Pred.t list) (env : env) :
   in
   (List.filter (fun p -> not (Pred.equal p Pred.tt)) bind_facts, env.guards)
 
+(* -- Compiled embedding (incremental fixpoint) -------------------------------------- *)
+
+(** A compiled antecedent slot: either a κ-independent fact, computed once,
+    or a κ occurrence that instantiates the κ's {e current} solution preds
+    on demand.  Expanding a slot list under a solution yields exactly the
+    predicate list [embed_env]/[preds_of_refinement] would produce, but
+    the per-occurrence substitution [ν := value] ∘ θ is applied through a
+    memo table, so re-expansion after weakening only pays for solution
+    preds never seen at this occurrence before (weakening removes preds,
+    so in the steady state every instantiation is a table hit). *)
+type slot =
+  | Sstatic of Pred.t
+  | Ssite of Rtype.kvar * (Pred.t -> Pred.t) (* memoized instantiation *)
+
+let memoized_inst (value : Pred.value) (theta : Pred.subst) : Pred.t -> Pred.t
+    =
+  let memo : Pred.t Pred.Tbl.t = Pred.Tbl.create 16 in
+  fun q ->
+    match Pred.Tbl.find_opt memo q with
+    | Some p -> p
+    | None ->
+        let p = Pred.subst1 Ident.vv value (Pred.subst theta q) in
+        Pred.Tbl.add memo q p;
+        p
+
+(** Slots denoted by a refinement, mirroring {!preds_of_refinement}. *)
+let compile_refinement (value : Pred.value) (r : Rtype.refinement) : slot list
+    =
+  Sstatic (Pred.subst1 Ident.vv value r.Rtype.preds)
+  :: List.map
+       (fun (k, theta) -> Ssite (k, memoized_inst value theta))
+       r.Rtype.kvars
+
+(** Slots contributed by one binding, mirroring {!embed_binding}. *)
+let rec compile_binding (value : Pred.value) (rt : Rtype.t) : slot list =
+  match rt with
+  | Rtype.Base (Rtype.Bunit, _) -> []
+  | Rtype.Base (_, r) -> compile_refinement value r
+  | Rtype.Array (_, r) ->
+      Sstatic (nonneg_measure Symbol.len value) :: compile_refinement value r
+  | Rtype.List (_, r) ->
+      Sstatic (nonneg_measure Symbol.llen value) :: compile_refinement value r
+  | Rtype.Tyvar (_, r) -> compile_refinement value r
+  | Rtype.Tuple ts -> (
+      match value with
+      | Pred.Tm base ->
+          List.concat
+            (List.mapi
+               (fun i ti ->
+                 let s = Rtype.sort_of ti in
+                 if Sort.equal s Sort.Bool then []
+                 else
+                   let proj = Term.app (Rtype.proj_symbol i s) [ base ] in
+                   compile_binding (Pred.Tm proj) ti)
+               ts)
+      | Pred.Pr _ -> [])
+  | Rtype.Fun _ -> []
+
+(** Compiled form of {!embed_env}'s binding facts ([Sstatic tt] slots are
+    dropped here; site expansions are filtered by the caller). *)
+let compile_env (env : env) : slot list =
+  List.filter
+    (function Sstatic p -> not (Pred.equal p Pred.tt) | Ssite _ -> true)
+    (List.concat_map
+       (fun (x, rt) -> compile_binding (var_value rt x) rt)
+       env.binds)
+
 (* -- Printing ---------------------------------------------------------------------- *)
 
 let pp_origin ppf { loc; reason } = Fmt.pf ppf "%s at %a" reason Loc.pp loc

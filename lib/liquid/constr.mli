@@ -77,6 +77,27 @@ val preds_of_refinement :
 val embed_env :
   (Rtype.kvar -> Pred.t list) -> env -> Pred.t list * Pred.t list
 
+(** {1 Compiled embedding} (incremental fixpoint)
+
+    A compiled antecedent slot is either a κ-independent fact or a κ
+    occurrence whose instantiation ([ν := value] ∘ θ) is memoized per
+    solution pred.  Expanding a slot list under the current solution
+    yields exactly what {!embed_env} / {!preds_of_refinement} produce
+    (the caller drops [tt] from site expansions of environment facts),
+    but re-expansion after weakening costs table lookups only. *)
+
+type slot =
+  | Sstatic of Pred.t
+  | Ssite of Rtype.kvar * (Pred.t -> Pred.t) (* memoized instantiation *)
+
+(** Compiled binding facts of an environment (static [tt] already
+    dropped); mirrors the fact half of {!embed_env}. *)
+val compile_env : env -> slot list
+
+(** Compiled slots of a refinement with [ν := value]; mirrors
+    {!preds_of_refinement} (no [tt] filtering). *)
+val compile_refinement : Pred.value -> Rtype.refinement -> slot list
+
 (** {1 Printing} *)
 
 val pp_origin : Format.formatter -> origin -> unit

@@ -15,7 +15,26 @@
 
     Implications are discharged by {!Liquid_smt.Solver}; an "unknown"
     verdict counts as "not valid" (sound: κs only get weaker, and concrete
-    checks only fail more). *)
+    checks only fail more).
+
+    Two engines implement the weakening loop:
+
+    - the {e naive} reference re-embeds every constraint's environment on
+      each worklist pop and re-checks every candidate instance (kept for
+      the A2 ablation and as an executable specification);
+    - the {e incremental} engine (default) compiles each constraint's
+      antecedent once into static facts plus per-κ instantiation sites
+      ({!Constr.compile_env}), and records, per (constraint, instance),
+      which κs the validating query's retained hypotheses came from.  On
+      requeue, an instance is re-checked only if some κ it depends on has
+      weakened since its last validation.  This skip is {e exact}, not
+      just sound: relevance pruning is monotone, so weakening a κ outside
+      the recorded dependency set leaves the instance's pruned query —
+      and hence its verdict — byte-identical.  A second, finer skip on
+      the interned tags of the retained hypotheses catches instances
+      whose pruned query survives even though a dependency κ changed.
+      Both engines compute the same solution, in the same candidate
+      order. *)
 
 open Liquid_common
 open Liquid_logic
@@ -23,6 +42,7 @@ open Liquid_smt
 
 module KMap = Constr.KMap
 module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
 module SSet = Set.Make (String)
 
 type failure = {
@@ -35,6 +55,11 @@ type stats = {
   mutable iterations : int; (* worklist pops *)
   mutable implication_checks : int;
   mutable initial_candidates : int;
+  mutable skipped_rechecks : int;
+      (* instances retained without a solver call because no κ in their
+         recorded dependency set weakened (incremental engine only) *)
+  mutable solve_time : float; (* seconds in the weakening loop *)
+  mutable check_time : float; (* seconds checking concrete obligations *)
 }
 
 type result = {
@@ -109,16 +134,23 @@ let hypotheses lookup (c : Constr.sub) : Pred.t list * Pred.t list =
   in
   (facts, lhs_preds @ guards)
 
-(* -- Solving ------------------------------------------------------------------------- *)
+(* -- Worklist ------------------------------------------------------------------------- *)
 
-let solve ?(quals = Qualifier.defaults) ?(consts = []) (wfs : Constr.wf list)
-    (subs : Constr.sub list) : result =
-  let stats = { iterations = 0; implication_checks = 0; initial_candidates = 0 } in
-  let initial = init_assignment ~consts quals wfs in
-  let assignment = ref initial in
-  KMap.iter
-    (fun _ ps -> stats.initial_candidates <- stats.initial_candidates + List.length ps)
-    !assignment;
+(* The two engines share initialization, the dependency-directed worklist,
+   the final concrete pass, and dead-qualifier reporting; they differ only
+   in how a popped κ-rhs constraint is weakened. *)
+
+type shared = {
+  stats : stats;
+  assignment : (Pred.t * SSet.t) list KMap.t ref;
+  lookup : Rtype.kvar -> Pred.t list;
+  push_dependents : Rtype.kvar -> unit;
+}
+
+let run_worklist (subs : Constr.sub list) (stats : stats)
+    (assignment : (Pred.t * SSet.t) list KMap.t ref)
+    ~(weaken : shared -> Constr.sub -> Rtype.kvar -> Pred.subst -> unit) :
+    unit =
   let lookup k =
     match KMap.find_opt k !assignment with
     | Some ps -> List.map fst ps
@@ -140,7 +172,6 @@ let solve ?(quals = Qualifier.defaults) ?(consts = []) (wfs : Constr.wf list)
       IMap.empty subs
   in
   (* Worklist of κ-rhs constraints, deduplicated by id. *)
-  let module ISet = Set.Make (Int) in
   let queue = Queue.create () in
   let queued = ref ISet.empty in
   let push c =
@@ -149,6 +180,12 @@ let solve ?(quals = Qualifier.defaults) ?(consts = []) (wfs : Constr.wf list)
       Queue.add c queue
     end
   in
+  let push_dependents k =
+    match IMap.find_opt k depends with
+    | Some cs -> List.iter push cs
+    | None -> ()
+  in
+  let shared = { stats; assignment; lookup; push_dependents } in
   List.iter (fun c -> if writes c <> None then push c) subs;
   while not (Queue.is_empty queue) do
     let c = Queue.pop queue in
@@ -156,37 +193,289 @@ let solve ?(quals = Qualifier.defaults) ?(consts = []) (wfs : Constr.wf list)
     stats.iterations <- stats.iterations + 1;
     match c.Constr.rhs with
     | Constr.Rconc _ -> ()
-    | Constr.Rkvar (k, theta) ->
-        let current =
-          match KMap.find_opt k !assignment with Some ps -> ps | None -> []
+    | Constr.Rkvar (k, theta) -> weaken shared c k theta
+  done
+
+(* -- Naive weakening ------------------------------------------------------------------ *)
+
+let weaken_naive (sh : shared) (c : Constr.sub) (k : Rtype.kvar)
+    (theta : Pred.subst) : unit =
+  let current =
+    match KMap.find_opt k !(sh.assignment) with Some ps -> ps | None -> []
+  in
+  if current <> [] then begin
+    let hyps, kept = hypotheses sh.lookup c in
+    let goal_of (q, _) = Pred.subst theta q in
+    (* Fast path: if the whole conjunction is implied, keep all. *)
+    sh.stats.implication_checks <- sh.stats.implication_checks + 1;
+    let all_ok =
+      Solver.check_valid ~kept hyps (Pred.conj (List.map goal_of current))
+      = Solver.Valid
+    in
+    let retained =
+      if all_ok then current
+      else
+        List.filter
+          (fun q ->
+            sh.stats.implication_checks <- sh.stats.implication_checks + 1;
+            Solver.check_valid ~kept hyps (goal_of q) = Solver.Valid)
+          current
+    in
+    if List.length retained <> List.length current then begin
+      sh.assignment := KMap.add k retained !(sh.assignment);
+      sh.push_dependents k
+    end
+  end
+
+(* -- Incremental weakening ------------------------------------------------------------ *)
+
+(** Per-constraint compiled state.  [checks] maps an instance's interned
+    tag to its last validation's dependency record: the κ/version pairs
+    the verdict could depend on — the κs of hypotheses retained by
+    relevance pruning, plus every lhs κ (lhs preds are exempt from
+    pruning, so the query always contains them) — and the interned tags
+    of those retained hypotheses.  The tags give a second, finer skip:
+    hypotheses only ever shrink, so if every retained hypothesis is still
+    present (and the lhs κs are unchanged), the pruned query is
+    byte-identical to the one that validated, whatever else changed. *)
+type compiled = {
+  hyp_slots : Constr.slot list; (* environment facts; prunable *)
+  kept_slots : Constr.slot list; (* lhs preds @ guards; unpruned *)
+  lhs_ks : ISet.t;
+  checks : (int, (int * int) list * ISet.t) Hashtbl.t;
+}
+
+let compile_sub (c : Constr.sub) : compiled =
+  {
+    hyp_slots = Constr.compile_env c.Constr.sub_env;
+    kept_slots =
+      Constr.compile_refinement (vv_value c.Constr.vv_sort) c.Constr.lhs
+      @ List.map (fun g -> Constr.Sstatic g) c.Constr.sub_env.Constr.guards;
+    lhs_ks = ISet.of_list (List.map fst c.Constr.lhs.Rtype.kvars);
+    checks = Hashtbl.create 16;
+  }
+
+(** Expand environment slots under the current solution.  Returns the
+    hypothesis list (matching {!Constr.embed_env}'s facts exactly,
+    including the [tt] filter on instantiated κ preds) and, aligned with
+    it, the κ each hypothesis came from ([None] for static facts). *)
+let expand_hyps lookup (slots : Constr.slot list) :
+    Pred.t list * Rtype.kvar option array =
+  let rev = ref [] in
+  List.iter
+    (function
+      | Constr.Sstatic p -> rev := (p, None) :: !rev
+      | Constr.Ssite (k, inst) ->
+          List.iter
+            (fun q ->
+              let p = inst q in
+              if not (Pred.is_true p) then rev := (p, Some k) :: !rev)
+            (lookup k))
+    slots;
+  let items = List.rev !rev in
+  (List.map fst items, Array.of_list (List.map snd items))
+
+(** Expand kept slots (no [tt] filtering, matching the eager path). *)
+let expand_kept lookup (slots : Constr.slot list) : Pred.t list =
+  List.concat_map
+    (function
+      | Constr.Sstatic p -> [ p ]
+      | Constr.Ssite (k, inst) -> List.map inst (lookup k))
+    slots
+
+let weaken_incremental (compiled_of : Constr.sub -> compiled)
+    (version : (int, int) Hashtbl.t) (sh : shared) (c : Constr.sub)
+    (k : Rtype.kvar) (theta : Pred.subst) : unit =
+  let ver k = match Hashtbl.find_opt version k with Some v -> v | None -> 0 in
+  let current =
+    match KMap.find_opt k !(sh.assignment) with Some ps -> ps | None -> []
+  in
+  if current <> [] then begin
+    let comp = compiled_of c in
+    let goal_of (q, _) = Pred.subst theta q in
+    let up_to_date (q, _) =
+      match Hashtbl.find_opt comp.checks (Pred.tag q) with
+      | None -> false
+      | Some (deps, _) -> List.for_all (fun (k', v) -> ver k' = v) deps
+    in
+    let stale = List.filter (fun inst -> not (up_to_date inst)) current in
+    sh.stats.skipped_rechecks <-
+      sh.stats.skipped_rechecks + (List.length current - List.length stale);
+    if stale <> [] then begin
+      let hyps, origins = expand_hyps sh.lookup comp.hyp_slots in
+      let kept = expand_kept sh.lookup comp.kept_slots in
+      (* Interned tags of the current hypotheses, and every κ each tag is
+         instantiated from (hash-consing can make two sites produce the
+         same predicate, in which case it survives until both drop it).
+         Built lazily: the tables only serve the tag-identity skip below,
+         which can't fire on a first visit (no records exist yet). *)
+      let hyp_arr = Array.of_list hyps in
+      let tag_tables =
+        lazy
+          (let hyp_tags = ref ISet.empty in
+           let tag_origins : (int, ISet.t) Hashtbl.t = Hashtbl.create 64 in
+           Array.iteri
+             (fun i h ->
+               let t = Pred.tag h in
+               hyp_tags := ISet.add t !hyp_tags;
+               match origins.(i) with
+               | None -> ()
+               | Some k' ->
+                   let prev =
+                     match Hashtbl.find_opt tag_origins t with
+                     | Some s -> s
+                     | None -> ISet.empty
+                   in
+                   Hashtbl.replace tag_origins t (ISet.add k' prev))
+             hyp_arr;
+           (!hyp_tags, tag_origins))
+      in
+      (* Dependency record of a verdict: κs of pruned-in hypotheses plus
+         lhs κs (unpruned), stamped with their current versions, and the
+         tags of the pruned-in hypotheses. *)
+      let deps_of idx =
+        let tags, ks =
+          List.fold_left
+            (fun (tags, ks) i ->
+              match origins.(i) with
+              | Some k' ->
+                  (ISet.add (Pred.tag hyp_arr.(i)) tags, ISet.add k' ks)
+              | None -> (tags, ks))
+            (ISet.empty, comp.lhs_ks) idx
         in
-        if current <> [] then begin
-          let hyps, kept = hypotheses lookup c in
-          let goal_of (q, _) = Pred.subst theta q in
-          (* Fast path: if the whole conjunction is implied, keep all. *)
-          stats.implication_checks <- stats.implication_checks + 1;
-          let all_ok =
-            Solver.check_valid ~kept hyps (Pred.conj (List.map goal_of current))
-            = Solver.Valid
+        (List.map (fun k' -> (k', ver k')) (ISet.elements ks), tags)
+      in
+      let record (q, _) deps = Hashtbl.replace comp.checks (Pred.tag q) deps in
+      (* Second-chance skip: hypotheses only ever shrink, so if every
+         pruned-in hypothesis of an instance's last validating query is
+         still present — and the lhs κs (whose preds are exempt from
+         pruning) are unchanged — then relevance pruning reproduces that
+         query byte-for-byte and the instance is still Valid.  Costs a
+         tag-set check; no solver interaction at all. *)
+      let still_identical (q, _) =
+        match Hashtbl.find_opt comp.checks (Pred.tag q) with
+        | None -> false
+        | Some (deps, tags) ->
+            List.for_all
+              (fun (k', v) -> (not (ISet.mem k' comp.lhs_ks)) || ver k' = v)
+              deps
+            && ISet.subset tags (fst (Lazy.force tag_tables))
+      in
+      let revalidate (q, _) tags =
+        (* Re-stamp with current versions; origins are recomputed because
+           a surviving predicate may now be owed to different κs. *)
+        let tag_origins = snd (Lazy.force tag_tables) in
+        let ks =
+          ISet.fold
+            (fun t acc ->
+              match Hashtbl.find_opt tag_origins t with
+              | Some s -> ISet.union s acc
+              | None -> acc)
+            tags comp.lhs_ks
+        in
+        let deps = List.map (fun k' -> (k', ver k')) (ISet.elements ks) in
+        Hashtbl.replace comp.checks (Pred.tag q) (deps, tags)
+      in
+      let pending =
+        List.filter
+          (fun ((q, _) as inst) ->
+            match Hashtbl.find_opt comp.checks (Pred.tag q) with
+            | Some (_, tags) when still_identical inst ->
+                sh.stats.skipped_rechecks <- sh.stats.skipped_rechecks + 1;
+                revalidate inst tags;
+                false
+            | _ -> true)
+          stale
+      in
+      (* Fast path: one query for the conjunction of the still-undecided
+         goals.  Its pruning seed covers every individual goal, so its
+         retained-κ set is a (conservative) superset of each instance's
+         own. *)
+      let retained =
+        if pending = [] then current
+        else begin
+          sh.stats.implication_checks <- sh.stats.implication_checks + 1;
+          let conj_res, conj_idx =
+            Solver.check_valid_idx ~kept hyps
+              (Pred.conj (List.map goal_of pending))
           in
-          let retained =
-            if all_ok then current
-            else
-              List.filter
-                (fun q ->
-                  stats.implication_checks <- stats.implication_checks + 1;
-                  Solver.check_valid ~kept hyps (goal_of q) = Solver.Valid)
-                current
-          in
-          if List.length retained <> List.length current then begin
-            assignment := KMap.add k retained !assignment;
-            match IMap.find_opt k depends with
-            | Some cs -> List.iter push cs
-            | None -> ()
+          if conj_res = Solver.Valid then begin
+            let deps = deps_of conj_idx in
+            List.iter (fun inst -> record inst deps) pending;
+            current
+          end
+          else begin
+            (* Decide each pending instance on its own prepared query —
+               built once, probed against the cache, SAT-checked only on
+               a miss — then retain in candidate order. *)
+            let valid = ref ISet.empty in
+            List.iter
+              (fun ((q, _) as inst) ->
+                sh.stats.implication_checks <- sh.stats.implication_checks + 1;
+                let prep = Solver.prepare ~kept hyps (goal_of inst) in
+                if Solver.check_query prep = Solver.Valid then begin
+                  record inst (deps_of prep.Solver.pruned_idx);
+                  valid := ISet.add (Pred.tag q) !valid
+                end)
+              pending;
+            List.filter
+              (fun ((q, _) as inst) ->
+                ISet.mem (Pred.tag q) !valid || up_to_date inst)
+              current
           end
         end
-  done;
+      in
+      if List.length retained <> List.length current then begin
+        sh.assignment := KMap.add k retained !(sh.assignment);
+        Hashtbl.replace version k (ver k + 1);
+        sh.push_dependents k
+      end
+    end
+  end
+
+(* -- Solving ------------------------------------------------------------------------- *)
+
+let solve ?(quals = Qualifier.defaults) ?(consts = []) ?(incremental = true)
+    (wfs : Constr.wf list) (subs : Constr.sub list) : result =
+  let stats =
+    {
+      iterations = 0;
+      implication_checks = 0;
+      initial_candidates = 0;
+      skipped_rechecks = 0;
+      solve_time = 0.0;
+      check_time = 0.0;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let initial = init_assignment ~consts quals wfs in
+  let assignment = ref initial in
+  KMap.iter
+    (fun _ ps -> stats.initial_candidates <- stats.initial_candidates + List.length ps)
+    !assignment;
+  (if incremental then begin
+     let table : (int, compiled) Hashtbl.t = Hashtbl.create 64 in
+     let compiled_of c =
+       match Hashtbl.find_opt table c.Constr.sub_id with
+       | Some comp -> comp
+       | None ->
+           let comp = compile_sub c in
+           Hashtbl.add table c.Constr.sub_id comp;
+           comp
+     in
+     let version : (int, int) Hashtbl.t = Hashtbl.create 64 in
+     run_worklist subs stats assignment
+       ~weaken:(weaken_incremental compiled_of version)
+   end
+   else run_worklist subs stats assignment ~weaken:weaken_naive);
+  stats.solve_time <- Unix.gettimeofday () -. t0;
+  let lookup k =
+    match KMap.find_opt k !assignment with
+    | Some ps -> List.map fst ps
+    | None -> []
+  in
   (* Final pass: concrete obligations. *)
+  let t1 = Unix.gettimeofday () in
   let failures =
     List.filter_map
       (fun c ->
@@ -213,6 +502,7 @@ let solve ?(quals = Qualifier.defaults) ?(consts = []) (wfs : Constr.wf list)
             end)
       subs
   in
+  stats.check_time <- Unix.gettimeofday () -. t1;
   (* Dead qualifiers: patterns that contributed at least one initial
      instance to some κ but whose every instance was pruned everywhere. *)
   let names_of asg =

@@ -18,6 +18,11 @@ type stats = {
   mutable iterations : int;
   mutable implication_checks : int;
   mutable initial_candidates : int;
+  mutable skipped_rechecks : int;
+      (* instances retained without a solver call because no κ in their
+         recorded dependency set weakened (incremental engine only) *)
+  mutable solve_time : float; (* seconds in the weakening loop *)
+  mutable check_time : float; (* seconds checking concrete obligations *)
 }
 
 type result = {
@@ -30,10 +35,17 @@ type result = {
 }
 
 (** Solve the constraint system.  [quals] are the qualifier patterns;
-    [consts] are mined integer literals offered to placeholders. *)
+    [consts] are mined integer literals offered to placeholders.
+    [incremental] (default [true]) selects the incremental weakening
+    engine — compiled antecedents with per-κ invalidation, re-checking
+    only instances whose recorded κ-dependency set weakened; [false]
+    runs the naive reference engine, which re-embeds and re-checks
+    everything on each pop.  Both compute the same solution and
+    failures, in the same order. *)
 val solve :
   ?quals:Qualifier.t list ->
   ?consts:int list ->
+  ?incremental:bool ->
   Constr.wf list ->
   Constr.sub list ->
   result

@@ -63,26 +63,28 @@ let rec rename_type (m : Ident.t Ident.Map.t) (t : Rtype.t) : Rtype.t =
   let rename_refinement (r : Rtype.refinement) : Rtype.refinement =
     let rename_pred p =
       (* rename every free variable occurrence structurally *)
+      (* rebuilds go through the verbatim [make] constructors so the
+         displayed shape is preserved exactly (no re-simplification) *)
       let rec go_term (t : Term.t) =
-        match t with
-        | Term.Var (x, s) -> Term.Var (rename_ident x, s)
+        match Term.view t with
+        | Term.Var (x, s) -> Term.make (Term.Var (rename_ident x, s))
         | Term.Int _ -> t
-        | Term.App (f, ts) -> Term.App (f, List.map go_term ts)
-        | Term.Neg t -> Term.Neg (go_term t)
-        | Term.Add (a, b) -> Term.Add (go_term a, go_term b)
-        | Term.Sub (a, b) -> Term.Sub (go_term a, go_term b)
-        | Term.Mul (a, b) -> Term.Mul (go_term a, go_term b)
+        | Term.App (f, ts) -> Term.make (Term.App (f, List.map go_term ts))
+        | Term.Neg t -> Term.make (Term.Neg (go_term t))
+        | Term.Add (a, b) -> Term.make (Term.Add (go_term a, go_term b))
+        | Term.Sub (a, b) -> Term.make (Term.Sub (go_term a, go_term b))
+        | Term.Mul (a, b) -> Term.make (Term.Mul (go_term a, go_term b))
       in
       let rec go (p : Pred.t) =
-        match p with
+        match Pred.view p with
         | Pred.True | Pred.False -> p
-        | Pred.Atom (a, r, b) -> Pred.Atom (go_term a, r, go_term b)
-        | Pred.Bvar x -> Pred.Bvar (rename_ident x)
-        | Pred.Not p -> Pred.Not (go p)
-        | Pred.And ps -> Pred.And (List.map go ps)
-        | Pred.Or ps -> Pred.Or (List.map go ps)
-        | Pred.Imp (p, q) -> Pred.Imp (go p, go q)
-        | Pred.Iff (p, q) -> Pred.Iff (go p, go q)
+        | Pred.Atom (a, r, b) -> Pred.make (Pred.Atom (go_term a, r, go_term b))
+        | Pred.Bvar x -> Pred.make (Pred.Bvar (rename_ident x))
+        | Pred.Not p -> Pred.make (Pred.Not (go p))
+        | Pred.And ps -> Pred.make (Pred.And (List.map go ps))
+        | Pred.Or ps -> Pred.make (Pred.Or (List.map go ps))
+        | Pred.Imp (p, q) -> Pred.make (Pred.Imp (go p, go q))
+        | Pred.Iff (p, q) -> Pred.make (Pred.Iff (go p, go q))
       in
       go p
     in
@@ -130,7 +132,7 @@ let renumber_tyvars (t : Rtype.t) : Rtype.t =
     solver).  Bounded, so pathological conjunctions don't stall
     reporting. *)
 let minimize_conjunction (p : Pred.t) : Pred.t =
-  match p with
+  match Pred.view p with
   | Pred.And ps when List.length ps <= 24 ->
       let rec loop kept = function
         | [] -> List.rev kept
@@ -143,7 +145,7 @@ let minimize_conjunction (p : Pred.t) : Pred.t =
             else loop (q :: kept) rest
       in
       Pred.conj (loop [] ps)
-  | p -> p
+  | _ -> p
 
 let rec minimize_type (t : Rtype.t) : Rtype.t =
   let refinement (r : Rtype.refinement) =

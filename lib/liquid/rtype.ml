@@ -153,20 +153,24 @@ let resort_pred (target : Sort.t) (p : Pred.t) : Pred.t =
     if Sort.equal s Sort.Obj then Some x else None
   in
   let rec go p =
-    match p with
+    match Pred.view p with
     | Pred.True | Pred.False -> p
-    | Pred.Atom (Term.Var (a, sa), rel, Term.Var (b, sb))
-      when (rel = Pred.Eq || rel = Pred.Ne)
-           && resort_var (a, sa) <> None
-           && resort_var (b, sb) <> None -> (
-        match target with
-        | Sort.Obj -> p
-        | Sort.Int ->
-            Pred.Atom (Term.var a Sort.Int, rel, Term.var b Sort.Int)
-        | Sort.Bool ->
-            let iff = Pred.iff (Pred.bvar a) (Pred.bvar b) in
-            if rel = Pred.Eq then iff else Pred.not_ iff)
-    | Pred.Atom _ | Pred.Bvar _ -> if Sort.equal target Sort.Obj then p else Pred.tt
+    | Pred.Atom (ta, rel, tb) -> (
+        match (Term.view ta, Term.view tb) with
+        | Term.Var (a, sa), Term.Var (b, sb)
+          when (rel = Pred.Eq || rel = Pred.Ne)
+               && resort_var (a, sa) <> None
+               && resort_var (b, sb) <> None -> (
+            match target with
+            | Sort.Obj -> p
+            | Sort.Int ->
+                Pred.make
+                  (Pred.Atom (Term.var a Sort.Int, rel, Term.var b Sort.Int))
+            | Sort.Bool ->
+                let iff = Pred.iff (Pred.bvar a) (Pred.bvar b) in
+                if rel = Pred.Eq then iff else Pred.not_ iff)
+        | _ -> if Sort.equal target Sort.Obj then p else Pred.tt)
+    | Pred.Bvar _ -> if Sort.equal target Sort.Obj then p else Pred.tt
     | Pred.Not q -> Pred.not_ (go q)
     | Pred.And ps -> Pred.conj (List.map go ps)
     | Pred.Or _ | Pred.Imp _ | Pred.Iff _ ->

@@ -1,12 +1,26 @@
 (** Predicates (quantifier-free formulas) of the refinement logic:
     boolean combinations of arithmetic/equality atoms between {!Term}s
-    and boolean program variables. *)
+    and boolean program variables.
+
+    Predicates are {e hash-consed} (like {!Term}s): structural equality
+    is physical equality, [compare] is a constant-time id comparison,
+    and each node memoizes its hash and free-variable set.  Construct
+    with the smart constructors (which also simplify), or with {!make}
+    for a verbatim node; pattern-match through {!view} (or the [node]
+    field). *)
 
 open Liquid_common
 
 type brel = Eq | Ne | Lt | Le | Gt | Ge
 
-type t =
+type t = private {
+  node : node;
+  tag : int; (* unique interning id *)
+  hkey : int; (* memoized structural hash *)
+  mutable fvs : (Ident.t * Sort.t) list option; (* memoized free vars *)
+}
+
+and node =
   | True
   | False
   | Atom of Term.t * brel * Term.t
@@ -17,9 +31,28 @@ type t =
   | Imp of t * t
   | Iff of t * t
 
+(** Intern a node verbatim (no simplification). *)
+val make : node -> t
+
+val view : t -> node
+val tag : t -> int
+val hash : t -> int
+
+(** Number of distinct predicate nodes interned so far. *)
+val interned_count : unit -> int
+
 val brel_compare : brel -> brel -> int
+
+(** Constant-time: physical equality / interning-id order. *)
 val compare : t -> t -> int
+
 val equal : t -> t -> bool
+val is_true : t -> bool
+val is_false : t -> bool
+
+(** Hash table keyed on interned predicates (constant-time hash,
+    physical-equality buckets). *)
+module Tbl : Hashtbl.S with type key = t
 
 (** {1 Smart constructors} — fold constants, flatten and deduplicate
     connectives, push negation through atoms. *)
@@ -47,7 +80,8 @@ val iff : t -> t -> t
 (** Fold over the atoms ([Atom]/[Bvar] leaves). *)
 val fold_atoms : ('a -> t -> 'a) -> 'a -> t -> 'a
 
-(** Free variables with sorts, deduplicated ([Bvar]s are [Bool]). *)
+(** Free variables with sorts, deduplicated ([Bvar]s are [Bool]), in
+    left-to-right first-occurrence order; memoized per node. *)
 val free_vars : t -> (Ident.t * Sort.t) list
 
 val mem_var : Ident.t -> t -> bool
@@ -66,7 +100,10 @@ type subst = value Ident.Map.t
 (** Term-valued part of a substitution. *)
 val term_part : subst -> Term.t Ident.Map.t
 
+(** Simultaneous substitution; sub-formulas mentioning no substituted
+    variable are returned unchanged (preserving sharing). *)
 val subst : subst -> t -> t
+
 val subst1 : Ident.t -> value -> t -> t
 val subst_term : Ident.t -> Term.t -> t -> t
 

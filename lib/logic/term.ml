@@ -5,13 +5,29 @@
     carry their sort so downstream passes (qualifier instantiation, the SMT
     solver) never need a symbol table.
 
+    Terms are {e hash-consed}: every node is interned in a global table, so
+    structural equality coincides with physical equality, [compare] is a
+    constant-time id comparison, and each node memoizes its hash and its
+    free-variable set.  The solver re-visits the same predicates thousands
+    of times as the fixpoint shrinks candidate sets, so cheap equality and
+    memoized free variables dominate the cost of embedding and relevance
+    pruning.  The interning table is append-only: nodes are never evicted,
+    which keeps physical equality valid for the whole process lifetime.
+
     Multiplication is kept as a syntactic node: the SMT front end
     linearizes products with a constant operand and purifies genuinely
     non-linear products into the uninterpreted symbol {!Symbol.mul}. *)
 
 open Liquid_common
 
-type t =
+type t = {
+  node : node;
+  tag : int; (* unique interning id; allocation order *)
+  hkey : int; (* structural hash, memoized *)
+  mutable fvs : (Ident.t * Sort.t) list option; (* free vars, memoized *)
+}
+
+and node =
   | Int of int
   | Var of Ident.t * Sort.t
   | App of Symbol.t * t list
@@ -20,107 +36,179 @@ type t =
   | Sub of t * t
   | Mul of t * t
 
-let rec compare a b =
-  match (a, b) with
-  | Int m, Int n -> Stdlib.compare m n
-  | Int _, _ -> -1
-  | _, Int _ -> 1
-  | Var (x, sx), Var (y, sy) ->
-      let c = Ident.compare x y in
-      if c <> 0 then c else Sort.compare sx sy
-  | Var _, _ -> -1
-  | _, Var _ -> 1
-  | App (f, ts), App (g, us) ->
-      let c = Symbol.compare f g in
-      if c <> 0 then c else List.compare compare ts us
-  | App _, _ -> -1
-  | _, App _ -> 1
-  | Neg a, Neg b -> compare a b
-  | Neg _, _ -> -1
-  | _, Neg _ -> 1
-  | Add (a1, a2), Add (b1, b2) | Sub (a1, a2), Sub (b1, b2)
-  | Mul (a1, a2), Mul (b1, b2) ->
-      let c = compare a1 b1 in
-      if c <> 0 then c else compare a2 b2
-  | Add _, _ -> -1
-  | _, Add _ -> 1
-  | Sub _, _ -> -1
-  | _, Sub _ -> 1
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+(* ------------------------------------------------------------------ *)
 
-let equal a b = compare a b = 0
+(* Children of a node are already interned, so shallow physical
+   comparison of children decides structural equality of the node, and
+   child hashes combine into the node hash in O(arity). *)
+module Node = struct
+  type nonrec t = node
+
+  let equal n1 n2 =
+    match (n1, n2) with
+    | Int m, Int n -> Stdlib.Int.equal m n
+    | Var (x, sx), Var (y, sy) -> Ident.equal x y && Sort.equal sx sy
+    | App (f, ts), App (g, us) ->
+        Symbol.equal f g
+        && List.length ts = List.length us
+        && List.for_all2 (fun a b -> a == b) ts us
+    | Neg a, Neg b -> a == b
+    | Add (a1, a2), Add (b1, b2)
+    | Sub (a1, a2), Sub (b1, b2)
+    | Mul (a1, a2), Mul (b1, b2) ->
+        a1 == b1 && a2 == b2
+    | _ -> false
+
+  let mix h k = ((h * 31) + k) land max_int
+
+  let hash = function
+    | Int n -> mix 3 (Hashtbl.hash n)
+    | Var (x, s) -> mix 5 (mix (Ident.hash x) (Hashtbl.hash s))
+    | App (f, ts) ->
+        List.fold_left (fun h t -> mix h t.hkey) (mix 7 (Symbol.hash f)) ts
+    | Neg a -> mix 11 a.hkey
+    | Add (a, b) -> mix 13 (mix a.hkey b.hkey)
+    | Sub (a, b) -> mix 17 (mix a.hkey b.hkey)
+    | Mul (a, b) -> mix 19 (mix a.hkey b.hkey)
+end
+
+module H = Hashtbl.Make (Node)
+
+let table : t H.t = H.create 4096
+
+let counter = ref 0
+
+(** Intern a node verbatim (no simplification). *)
+let make (node : node) : t =
+  match H.find_opt table node with
+  | Some t -> t
+  | None ->
+      incr counter;
+      let t = { node; tag = !counter; hkey = Node.hash node; fvs = None } in
+      H.add table node t;
+      t
+
+let view t = t.node
+let tag t = t.tag
+let hash t = t.hkey
+
+(** Number of distinct live term nodes (observability). *)
+let interned_count () = !counter
+
+(* Interning makes structural equality physical and gives a constant-time
+   total order (allocation order, deterministic for a fixed run). *)
+let equal (a : t) (b : t) = a == b
+let compare (a : t) (b : t) = Stdlib.Int.compare a.tag b.tag
 
 (** Sort of a term.  Arithmetic nodes are always [Int]; applications have
     the result sort of their head symbol. *)
-let sort = function
+let sort t =
+  match t.node with
   | Int _ -> Sort.Int
   | Var (_, s) -> s
   | App (f, _) -> Symbol.result_sort f
   | Neg _ | Add _ | Sub _ | Mul _ -> Sort.Int
 
-let rec free_vars acc = function
-  | Int _ -> acc
-  | Var (x, s) -> (x, s) :: acc
-  | App (_, ts) -> List.fold_left free_vars acc ts
-  | Neg t -> free_vars acc t
-  | Add (a, b) | Sub (a, b) | Mul (a, b) -> free_vars (free_vars acc a) b
+(* ------------------------------------------------------------------ *)
+(* Free variables (memoized per node)                                  *)
+(* ------------------------------------------------------------------ *)
 
-(** Free variables with their sorts, deduplicated. *)
-let vars t =
+let dedup_vars vs =
   Listx.dedup_ordered
     ~compare:(fun (x, _) (y, _) -> Ident.compare x y)
-    (free_vars [] t)
+    vs
+
+(** Free variables with their sorts, deduplicated, in left-to-right
+    first-occurrence order.  Memoized: each distinct node computes its set
+    once, merging the (already memoized) sets of its children. *)
+let rec vars t =
+  match t.fvs with
+  | Some vs -> vs
+  | None ->
+      let vs =
+        match t.node with
+        | Int _ -> []
+        | Var (x, s) -> [ (x, s) ]
+        | App (_, ts) -> dedup_vars (List.concat_map vars ts)
+        | Neg a -> vars a
+        | Add (a, b) | Sub (a, b) | Mul (a, b) -> dedup_vars (vars a @ vars b)
+      in
+      t.fvs <- Some vs;
+      vs
+
+(** Accumulating variant kept for callers that merge several var sets
+    themselves (the result may contain duplicates across terms). *)
+let free_vars acc t = vars t @ acc
 
 let mem_var x t = List.exists (fun (y, _) -> Ident.equal x y) (vars t)
 
+(* ------------------------------------------------------------------ *)
+(* Substitution                                                        *)
+(* ------------------------------------------------------------------ *)
+
 (** Capture-avoiding substitution of terms for variables (the logic has no
-    binders, so "capture-avoiding" is vacuous; substitution is simultaneous). *)
-let rec subst (m : t Ident.Map.t) = function
-  | Int _ as t -> t
-  | Var (x, _) as t -> ( match Ident.Map.find_opt x m with Some u -> u | None -> t)
-  | App (f, ts) -> App (f, List.map (subst m) ts)
-  | Neg t -> Neg (subst m t)
-  | Add (a, b) -> Add (subst m a, subst m b)
-  | Sub (a, b) -> Sub (subst m a, subst m b)
-  | Mul (a, b) -> Mul (subst m a, subst m b)
+    binders, so "capture-avoiding" is vacuous; substitution is
+    simultaneous).  Sub-terms mentioning no substituted variable are
+    returned unchanged — with interning this preserves sharing and skips
+    whole subtrees. *)
+let rec subst (m : t Ident.Map.t) (t : t) : t =
+  if not (List.exists (fun (x, _) -> Ident.Map.mem x m) (vars t)) then t
+  else
+    match t.node with
+    | Int _ -> t
+    | Var (x, _) -> (
+        match Ident.Map.find_opt x m with Some u -> u | None -> t)
+    | App (f, ts) -> make (App (f, List.map (subst m) ts))
+    | Neg a -> make (Neg (subst m a))
+    | Add (a, b) -> make (Add (subst m a, subst m b))
+    | Sub (a, b) -> make (Sub (subst m a, subst m b))
+    | Mul (a, b) -> make (Mul (subst m a, subst m b))
 
 let subst1 x u t = subst (Ident.Map.singleton x u) t
 
 (* Smart constructors perform light constant folding; they keep terms small
    which directly shrinks SMT queries. *)
 
-let int n = Int n
-let var x s = Var (x, s)
+let int n = make (Int n)
+let var x s = make (Var (x, s))
+
 let app f ts =
   if List.length ts <> Symbol.arity f then
     invalid_arg (Printf.sprintf "Term.app: arity mismatch for %s" (Symbol.name f));
-  App (f, ts)
+  make (App (f, ts))
 
 let add a b =
-  match (a, b) with
-  | Int 0, t | t, Int 0 -> t
-  | Int m, Int n -> Int (m + n)
-  | _ -> Add (a, b)
+  match (a.node, b.node) with
+  | Int 0, _ -> b
+  | _, Int 0 -> a
+  | Int m, Int n -> int (m + n)
+  | _ -> make (Add (a, b))
 
 let sub a b =
-  match (a, b) with
-  | t, Int 0 -> t
-  | Int m, Int n -> Int (m - n)
-  | _ -> Sub (a, b)
+  match (a.node, b.node) with
+  | _, Int 0 -> a
+  | Int m, Int n -> int (m - n)
+  | _ -> make (Sub (a, b))
 
-let neg = function Int n -> Int (-n) | Neg t -> t | t -> Neg t
+let neg t =
+  match t.node with Int n -> int (-n) | Neg u -> u | _ -> make (Neg t)
 
 let mul a b =
-  match (a, b) with
-  | Int 0, _ | _, Int 0 -> Int 0
-  | Int 1, t | t, Int 1 -> t
-  | Int m, Int n -> Int (m * n)
-  | _ -> Mul (a, b)
+  match (a.node, b.node) with
+  | Int 0, _ | _, Int 0 -> int 0
+  | Int 1, _ -> b
+  | _, Int 1 -> a
+  | Int m, Int n -> int (m * n)
+  | _ -> make (Mul (a, b))
 
 let len a = app Symbol.len [ a ]
 
 let llen l = app Symbol.llen [ l ]
 
-let rec pp ppf = function
+let rec pp ppf t =
+  match t.node with
   | Int n -> Fmt.int ppf n
   | Var (x, _) -> Ident.pp ppf x
   | App (f, ts) ->

@@ -2,11 +2,24 @@
 
     Terms are sorted ({!Sort.Int} or {!Sort.Obj}); boolean program values
     appear at the predicate level ({!Pred}), never as terms.  Variables
-    carry their sort so downstream passes never need a symbol table. *)
+    carry their sort so downstream passes never need a symbol table.
+
+    Terms are {e hash-consed}: structurally equal terms are physically
+    equal, [compare] is a constant-time id comparison, and every node
+    memoizes its hash and free-variable set.  Construct terms with the
+    smart constructors (which also fold constants), or with {!make} for a
+    verbatim node; pattern-match through {!view} (or the [node] field). *)
 
 open Liquid_common
 
-type t =
+type t = private {
+  node : node;
+  tag : int; (* unique interning id *)
+  hkey : int; (* memoized structural hash *)
+  mutable fvs : (Ident.t * Sort.t) list option; (* memoized free vars *)
+}
+
+and node =
   | Int of int
   | Var of Ident.t * Sort.t
   | App of Symbol.t * t list
@@ -15,21 +28,35 @@ type t =
   | Sub of t * t
   | Mul of t * t (* linearized or purified to [Symbol.mul] downstream *)
 
+(** Intern a node verbatim (no simplification, no arity check). *)
+val make : node -> t
+
+val view : t -> node
+val tag : t -> int
+val hash : t -> int
+
+(** Number of distinct term nodes interned so far. *)
+val interned_count : unit -> int
+
+(** Constant-time: physical equality / interning-id order. *)
 val compare : t -> t -> int
+
 val equal : t -> t -> bool
 
 (** Sort of a term; arithmetic is [Int], applications use the head's
     result sort. *)
 val sort : t -> Sort.t
 
-(** Free variables with sorts, in occurrence order; [free_vars] is the
-    accumulating raw version, [vars] deduplicates. *)
+(** Free variables with sorts, deduplicated, in left-to-right
+    first-occurrence order; memoized per node.  [free_vars] is the
+    accumulating variant ([vars t @ acc]). *)
 val free_vars : (Ident.t * Sort.t) list -> t -> (Ident.t * Sort.t) list
 
 val vars : t -> (Ident.t * Sort.t) list
 val mem_var : Ident.t -> t -> bool
 
-(** Simultaneous substitution of terms for variables. *)
+(** Simultaneous substitution of terms for variables; returns the term
+    unchanged (preserving sharing) when no substituted variable occurs. *)
 val subst : t Ident.Map.t -> t -> t
 
 val subst1 : Ident.t -> t -> t -> t

@@ -26,7 +26,7 @@ type cnf = {
 
 type builder = {
   mutable next : int;
-  atom_tbl : (Pred.t, int) Hashtbl.t;
+  atom_tbl : int Pred.Tbl.t; (* keyed on interned atoms: O(1) hash/equal *)
   mutable atom_list : Pred.t list; (* reversed *)
   mutable cls : clause list;
 }
@@ -36,27 +36,27 @@ let neg_lit l = -l
 
 (** Canonicalize an atom; returns the canonical atom and a polarity flip. *)
 let canon (p : Pred.t) : Pred.t * bool =
-  match p with
+  match Pred.view p with
   | Pred.Atom (a, r, b) -> (
       match r with
-      | Pred.Gt -> (Pred.Atom (b, Pred.Lt, a), true)
-      | Pred.Ge -> (Pred.Atom (b, Pred.Le, a), true)
+      | Pred.Gt -> (Pred.make (Pred.Atom (b, Pred.Lt, a)), true)
+      | Pred.Ge -> (Pred.make (Pred.Atom (b, Pred.Le, a)), true)
       | Pred.Ne ->
           let a, b = if Term.compare a b <= 0 then (a, b) else (b, a) in
-          (Pred.Atom (a, Pred.Eq, b), false)
+          (Pred.make (Pred.Atom (a, Pred.Eq, b)), false)
       | Pred.Eq ->
           let a, b = if Term.compare a b <= 0 then (a, b) else (b, a) in
-          (Pred.Atom (a, Pred.Eq, b), true)
+          (Pred.make (Pred.Atom (a, Pred.Eq, b)), true)
       | Pred.Lt | Pred.Le -> (p, true))
   | _ -> (p, true)
 
 let atom_var bld p =
-  match Hashtbl.find_opt bld.atom_tbl p with
+  match Pred.Tbl.find_opt bld.atom_tbl p with
   | Some v -> v
   | None ->
       let v = bld.next in
       bld.next <- v + 1;
-      Hashtbl.add bld.atom_tbl p v;
+      Pred.Tbl.add bld.atom_tbl p v;
       bld.atom_list <- p :: bld.atom_list;
       v
 
@@ -74,7 +74,7 @@ let fresh_var bld =
 let add bld c = bld.cls <- c :: bld.cls
 
 let rec encode bld (p : Pred.t) : lit =
-  match p with
+  match Pred.view p with
   | Pred.True ->
       let v = fresh_var bld in
       add bld [ lit_of v ];
@@ -101,7 +101,7 @@ let rec encode bld (p : Pred.t) : lit =
       List.iter (fun l -> add bld [ v; neg_lit l ]) ls;
       add bld (neg_lit v :: ls);
       v
-  | Pred.Imp (q, r) -> encode bld (Pred.Or [ Pred.Not q; r ])
+  | Pred.Imp (q, r) -> encode bld (Pred.make (Pred.Or [ Pred.make (Pred.Not q); r ]))
   | Pred.Iff (q, r) ->
       let a = encode bld q and b = encode bld r in
       let v = lit_of (fresh_var bld) in
@@ -123,7 +123,7 @@ let intern_atoms bld p =
 
 let of_pred (p : Pred.t) : cnf =
   let bld =
-    { next = 0; atom_tbl = Hashtbl.create 32; atom_list = []; cls = [] }
+    { next = 0; atom_tbl = Pred.Tbl.create 32; atom_list = []; cls = [] }
   in
   intern_atoms bld p;
   let natoms = bld.next in

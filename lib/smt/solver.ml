@@ -4,7 +4,13 @@
     whether [hyps |- goal] is valid, i.e. whether [And hyps /\ Not goal]
     is unsatisfiable.  Results are cached (the fixpoint re-checks the same
     implications many times as the candidate solution shrinks), and global
-    statistics are kept for the benchmark harness. *)
+    statistics are kept for the benchmark harness.
+
+    With hash-consed predicates the cache is a hashtable keyed on the
+    interned query: hashing is O(1) (memoized), bucket comparison is
+    physical equality.  Each [Invalid] entry stores its falsifying model
+    so cache hits repopulate {!last_cex} — previously a hit returned
+    [Invalid] with a stale counterexample. *)
 
 open Liquid_logic
 
@@ -35,17 +41,13 @@ let pp_stats ppf () =
 (* Cache                                                               *)
 (* ------------------------------------------------------------------ *)
 
-module PredMap = Map.Make (struct
-  type t = Pred.t
-
-  let compare = Pred.compare
-end)
-
-let cache : result PredMap.t ref = ref PredMap.empty
+(* Entries keep the falsifying model of Invalid answers (empty for
+   Valid/Unknown) so hits can restore [last_cex]. *)
+let cache : (result * (string * int) list) Pred.Tbl.t = Pred.Tbl.create 4096
 
 let cache_enabled = ref true
 
-let clear_cache () = cache := PredMap.empty
+let clear_cache () = Pred.Tbl.reset cache
 
 (* ------------------------------------------------------------------ *)
 (* Checking                                                            *)
@@ -81,36 +83,85 @@ let prune_enabled = ref true
 
 let pred_vars p = List.map fst (Pred.free_vars p)
 
+(** Indices (into [hyps]) retained by relevance pruning against a seed
+    predicate.  Ground hypotheses are always retained.  Free-variable
+    sets come memoized off the hash-consed nodes, so tagging is cheap;
+    the closure itself is a breadth-first search over an inverted
+    variable → hypothesis index, linear in total variable occurrences. *)
+let prune_hyps_idx (hyps : Pred.t list) (seed : Pred.t) : int list =
+  if not !prune_enabled then List.mapi (fun i _ -> i) hyps
+  else begin
+    let vars = Array.of_list (List.map pred_vars hyps) in
+    let n = Array.length vars in
+    let var_hyps : (Liquid_common.Ident.t, int list) Hashtbl.t =
+      Hashtbl.create (2 * n)
+    in
+    Array.iteri
+      (fun i vs ->
+        List.iter
+          (fun v ->
+            Hashtbl.replace var_hyps v
+              (i :: (try Hashtbl.find var_hyps v with Not_found -> [])))
+          vs)
+      vars;
+    let keep = Array.make n false in
+    let seen : (Liquid_common.Ident.t, unit) Hashtbl.t = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    let visit v =
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        Queue.add v queue
+      end
+    in
+    List.iter (fun (x, _) -> visit x) (Pred.free_vars seed);
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      match Hashtbl.find_opt var_hyps v with
+      | None -> ()
+      | Some is ->
+          List.iter
+            (fun i ->
+              if not (keep.(i)) then begin
+                keep.(i) <- true;
+                List.iter visit vars.(i)
+              end)
+            is
+    done;
+    let kept_idx = ref [] in
+    for i = n - 1 downto 0 do
+      if vars.(i) = [] || keep.(i) then kept_idx := i :: !kept_idx
+    done;
+    !kept_idx
+  end
+
 let prune_hyps (hyps : Pred.t list) (goal : Pred.t) : Pred.t list =
   if not !prune_enabled then hyps
-  else begin
-    let tagged = List.map (fun h -> (h, pred_vars h)) hyps in
-    let relevant = ref Liquid_common.Ident.Set.empty in
-    List.iter
-      (fun (x, _) -> relevant := Liquid_common.Ident.Set.add x !relevant)
-      (Pred.free_vars goal);
-    let keep = Hashtbl.create 64 in
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      List.iteri
-        (fun i (_, vars) ->
-          if not (Hashtbl.mem keep i) then
-            if List.exists (fun v -> Liquid_common.Ident.Set.mem v !relevant) vars
-            then begin
-              Hashtbl.add keep i ();
-              List.iter
-                (fun v -> relevant := Liquid_common.Ident.Set.add v !relevant)
-                vars;
-              changed := true
-            end)
-        tagged
-    done;
-    List.filteri
-      (fun i (_, vars) -> vars = [] || Hashtbl.mem keep i)
-      tagged
-    |> List.map fst
-  end
+  else
+    let arr = Array.of_list hyps in
+    List.map (fun i -> arr.(i)) (prune_hyps_idx hyps goal)
+
+(* Decide [And hyps => goal] with [hyps] taken verbatim (no pruning). *)
+let check_pruned (hyps : Pred.t list) (goal : Pred.t) : result =
+  let query = Pred.conj (Pred.not_ goal :: hyps) in
+  match Pred.view query with
+  | Pred.False -> Valid
+  | Pred.True -> Invalid
+  | _ -> (
+      match
+        if !cache_enabled then Pred.Tbl.find_opt cache query else None
+      with
+      | Some (r, cex) ->
+          stats.cache_hits <- stats.cache_hits + 1;
+          if r = Invalid then last_cex := cex;
+          r
+      | None ->
+          let t0 = Unix.gettimeofday () in
+          let r = check_formula query in
+          stats.time <- stats.time +. (Unix.gettimeofday () -. t0);
+          if !cache_enabled then
+            Pred.Tbl.replace cache query
+              (r, if r = Invalid then !last_cex else []);
+          r)
 
 (** [check_valid ~kept hyps goal] decides whether the implication
     [kept /\ hyps => goal] holds in QF-EUFLIA.  [hyps] are subject to
@@ -121,22 +172,75 @@ let check_valid ?(kept : Pred.t list = []) (hyps : Pred.t list) (goal : Pred.t)
     : result =
   stats.queries <- stats.queries + 1;
   let hyps = prune_hyps hyps (Pred.conj (goal :: kept)) @ kept in
-  let query = Pred.conj (Pred.not_ goal :: hyps) in
-  match query with
+  check_pruned hyps goal
+
+(** Like {!check_valid}, but also returns the indices of [hyps] retained
+    by relevance pruning, so incremental callers can record which
+    hypotheses the verdict could depend on. *)
+let check_valid_idx ?(kept : Pred.t list = []) (hyps : Pred.t list)
+    (goal : Pred.t) : result * int list =
+  stats.queries <- stats.queries + 1;
+  let idx = prune_hyps_idx hyps (Pred.conj (goal :: kept)) in
+  let arr = Array.of_list hyps in
+  let hyps = List.map (fun i -> arr.(i)) idx @ kept in
+  (check_pruned hyps goal, idx)
+
+(** A pruned implication query prepared once and decided later: the
+    interned cache key plus the hypothesis indices retained by pruning.
+    Lets the incremental fixpoint probe the cache for an instance and,
+    on a miss, SAT-check the very same query without rebuilding it. *)
+type prepared = { query : Pred.t; pruned_idx : int list }
+
+let prepare ?(kept : Pred.t list = []) (hyps : Pred.t list) (goal : Pred.t)
+    : prepared =
+  let idx = prune_hyps_idx hyps (Pred.conj (goal :: kept)) in
+  let arr = Array.of_list hyps in
+  let pruned = List.map (fun i -> arr.(i)) idx @ kept in
+  { query = Pred.conj (Pred.not_ goal :: pruned); pruned_idx = idx }
+
+(** Resolve a prepared query against the result cache without ever
+    invoking the SAT solver: [None] means deciding it would need a fresh
+    SAT check.  Counts as a query (and cache hit) only when it
+    answers. *)
+let probe_query (p : prepared) : result option =
+  let hit r =
+    stats.queries <- stats.queries + 1;
+    Some r
+  in
+  match Pred.view p.query with
+  | Pred.False -> hit Valid
+  | Pred.True -> hit Invalid
+  | _ -> (
+      match
+        if !cache_enabled then Pred.Tbl.find_opt cache p.query else None
+      with
+      | Some (r, cex) ->
+          stats.cache_hits <- stats.cache_hits + 1;
+          if r = Invalid then last_cex := cex;
+          hit r
+      | None -> None)
+
+(** Decide a prepared query (cache, then SAT). *)
+let check_query (p : prepared) : result =
+  stats.queries <- stats.queries + 1;
+  match Pred.view p.query with
   | Pred.False -> Valid
   | Pred.True -> Invalid
   | _ -> (
       match
-        if !cache_enabled then PredMap.find_opt query !cache else None
+        if !cache_enabled then Pred.Tbl.find_opt cache p.query else None
       with
-      | Some r ->
+      | Some (r, cex) ->
           stats.cache_hits <- stats.cache_hits + 1;
+          if r = Invalid then last_cex := cex;
           r
       | None ->
           let t0 = Unix.gettimeofday () in
-          let r = check_formula query in
+          let r = check_formula p.query in
           stats.time <- stats.time +. (Unix.gettimeofday () -. t0);
-          if !cache_enabled then cache := PredMap.add query r !cache;
+          if !cache_enabled then
+            Pred.Tbl.replace cache p.query
+              (r, if r = Invalid then !last_cex else []);
           r)
 
 (** Boolean view: [Unknown] conservatively counts as "not valid". *)

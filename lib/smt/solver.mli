@@ -36,6 +36,29 @@ val last_cex : (string * int) list ref
     [kept] hypotheses (typically path guards) are exempt from pruning. *)
 val check_valid : ?kept:Pred.t list -> Pred.t list -> Pred.t -> result
 
+(** Like {!check_valid}, but also returns the indices of [hyps] retained
+    by relevance pruning (ground hypotheses are always retained).  A
+    verdict can only depend on retained hypotheses, which lets
+    incremental callers skip re-checks when none of them changed. *)
+val check_valid_idx :
+  ?kept:Pred.t list -> Pred.t list -> Pred.t -> result * int list
+
+(** A pruned implication query prepared once and decided later: the
+    interned cache key plus [pruned_idx], the hypothesis indices retained
+    by relevance pruning.  Lets a caller probe the cache and, on a miss,
+    SAT-check the very same query without rebuilding it. *)
+type prepared = private { query : Pred.t; pruned_idx : int list }
+
+val prepare : ?kept:Pred.t list -> Pred.t list -> Pred.t -> prepared
+
+(** Resolve a prepared query against the result cache without invoking
+    the SAT solver ([None]: a fresh SAT check would be needed).  Counts
+    as a query (and cache hit) only when it answers. *)
+val probe_query : prepared -> result option
+
+(** Decide a prepared query (cache first, then a SAT check). *)
+val check_query : prepared -> result
+
 (** Boolean view: [Unknown] counts as "not valid". *)
 val is_valid : Pred.t list -> Pred.t -> bool
 

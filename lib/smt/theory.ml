@@ -110,7 +110,7 @@ let rec node_of_linexp st (le : Linexp.t) : Cc.node =
     proxy entities; products linearize when either operand is constant and
     fall back to the uninterpreted [mul] symbol otherwise. *)
 and linexp_of_term st (t : Term.t) : Linexp.t =
-  match t with
+  match Term.view t with
   | Term.Int n -> Linexp.const (Rat.of_int n)
   | Term.Var (x, s) -> Linexp.var (ent_of_var st x s)
   | Term.App (f, args) -> Linexp.var (proxy_of_app st f args)
@@ -125,7 +125,7 @@ and linexp_of_term st (t : Term.t) : Linexp.t =
 
 (** CC node for an arbitrary term. *)
 and node_of_term st (t : Term.t) : Cc.node =
-  match t with
+  match Term.view t with
   | Term.Var (x, s) -> Cc.var st.cc (ent_of_var st x s)
   | Term.Int n -> Cc.const st.cc n
   | Term.App (f, args) ->
@@ -156,7 +156,7 @@ and proxy_of_app st f args =
   | None ->
       let p = fresh_ent st (Symbol.result_sort f) in
       Hashtbl.add st.app_proxy node p;
-      Hashtbl.replace st.labels p (Term.to_string (Term.App (f, args)));
+      Hashtbl.replace st.labels p (Term.to_string (Term.make (Term.App (f, args))));
       st.shared <- p :: st.shared;
       Cc.assert_eq st.cc (Cc.var st.cc p) node;
       p
@@ -166,7 +166,7 @@ and proxy_of_app st f args =
 (** Assert one signed atom.  [polarity = false] asserts the negation. *)
 let assert_atom st (p : Pred.t) (polarity : bool) =
   let open Pred in
-  match p with
+  match view p with
   | Bvar _ | True | False -> () (* propositional; no theory content *)
   | Atom (t1, rel, t2) -> (
       let rel =

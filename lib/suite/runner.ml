@@ -16,13 +16,13 @@ let qualifiers_of (b : Programs.benchmark) =
 (** Verify one benchmark with its qualifier set.  Constant mining is off
     by default: the paper's evaluation supplies qualifiers explicitly, and
     mining only grows the candidate sets on these programs. *)
-let verify ?quals ?(mine = false) ?(lint = false) (b : Programs.benchmark) :
-    row =
+let verify ?quals ?(mine = false) ?(lint = false) ?(incremental = true)
+    (b : Programs.benchmark) : row =
   let quals = match quals with Some q -> q | None -> qualifiers_of b in
   let t0 = Unix.gettimeofday () in
   let report =
-    Liquid_driver.Pipeline.verify_string ~quals ~mine ~lint ~name:b.name
-      b.source
+    Liquid_driver.Pipeline.verify_string ~quals ~mine ~lint ~incremental
+      ~name:b.name b.source
   in
   {
     bench = b;

@@ -18,6 +18,7 @@ val verify :
   ?quals:Liquid_infer.Qualifier.t list ->
   ?mine:bool ->
   ?lint:bool ->
+  ?incremental:bool ->
   Programs.benchmark ->
   row
 

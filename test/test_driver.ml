@@ -29,7 +29,54 @@ let test_mine_constants () =
   let consts = Pipeline.mine_constants prog in
   check_bool "comparison literal mined" true (List.mem 10 consts);
   check_bool "arithmetic literal not mined" false (List.mem 42 consts);
-  check_bool "mod operand not mined" false (List.mem 7 consts)
+  check_bool "mod operand not mined" false (List.mem 7 consts);
+  let sizes =
+    Pipeline.mine_constants
+      (Liquid_lang.Parser.program_of_string "let a = Array.make 8 0")
+  in
+  check_bool "literal array size mined" true (List.mem 8 sizes)
+
+(* Regression: constants are mined from the pre-ANF source AST, and the
+   mined qualifiers are what make this program verifiable — [count]'s
+   result type needs the upper bound [v <= 16], which only exists because
+   16 is mined from the comparison (no variable-pattern qualifier can
+   express it: the bound is out of scope at the recursive result). *)
+let test_mined_constant_enables_proof () =
+  let src =
+    "let rec count n = if n >= 16 then 16 else count (n + 1)\n\
+     let main () =\n\
+    \  let a = Array.make 17 0 in\n\
+    \  Array.get a (count 0)"
+  in
+  let mined = Pipeline.verify_string ~mine:true src in
+  let unmined = Pipeline.verify_string ~mine:false src in
+  check_bool "safe with mined constants" true mined.Pipeline.safe;
+  check_bool "unsafe without mining" false unmined.Pipeline.safe
+
+let test_phase_timings () =
+  let r = Pipeline.verify_string ~lint:true "let x = assert (1 < 2)" in
+  check_bool "phases reported in pipeline order" true
+    (List.map fst r.Pipeline.stats.Pipeline.phases
+    = [ "parse"; "anf"; "hm"; "congen"; "solve"; "concrete_check"; "lint" ]);
+  check_bool "phase times are non-negative" true
+    (List.for_all (fun (_, t) -> t >= 0.0) r.Pipeline.stats.Pipeline.phases);
+  let plain = Pipeline.verify_string "let x = assert (1 < 2)" in
+  check_bool "no lint phase without lint" true
+    (not (List.mem_assoc "lint" plain.Pipeline.stats.Pipeline.phases))
+
+(* Regression: the lint pass used to inflate [n_smt_queries]; its queries
+   must be accounted separately and excluded from the solver total. *)
+let test_lint_queries_not_double_counted () =
+  let src = Liquid_suite.Programs.dotprod.Liquid_suite.Programs.source in
+  let plain = Pipeline.verify_string src in
+  let linted = Pipeline.verify_string ~lint:true src in
+  check_int "lint pass leaves the solver query count unchanged"
+    plain.Pipeline.stats.Pipeline.n_smt_queries
+    linted.Pipeline.stats.Pipeline.n_smt_queries;
+  check_bool "lint queries counted separately" true
+    (linted.Pipeline.stats.Pipeline.n_lint_smt_queries > 0);
+  check_int "no lint queries without lint" 0
+    plain.Pipeline.stats.Pipeline.n_lint_smt_queries
 
 let test_parse_error_location () =
   match Pipeline.verify_string "let x = (1 +" with
@@ -88,6 +135,9 @@ let tests =
   [
     tc "count_lines" test_count_lines;
     tc "mine_constants" test_mine_constants;
+    tc "mined constants enable proofs" test_mined_constant_enables_proof;
+    tc "per-phase timings" test_phase_timings;
+    tc "lint queries not double-counted" test_lint_queries_not_double_counted;
     tc "parse errors surface" test_parse_error_location;
     tc "type errors surface" test_type_error;
     tc "unbound variables surface" test_unbound_variable;

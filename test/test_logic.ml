@@ -39,7 +39,8 @@ let test_term_subst () =
   (* simultaneous substitution: x := y, y := x swaps *)
   let m = Ident.Map.of_seq (List.to_seq [ ("x", y); ("y", x) ]) in
   let swapped = Term.subst m (Term.sub x y) in
-  check_bool "simultaneous swap" true (Term.equal swapped (Term.Sub (y, x)))
+  check_bool "simultaneous swap" true
+    (Term.equal swapped (Term.make (Term.Sub (y, x))))
 
 let test_term_arity_check () =
   check_bool "len arity enforced" true
@@ -51,26 +52,26 @@ let test_term_arity_check () =
 (* -- Predicates --------------------------------------------------------- *)
 
 let test_pred_constant_folding () =
-  check_bool "3 < 5 folds" true (Pred.lt (i 3) (i 5) = Pred.True);
-  check_bool "5 < 3 folds" true (Pred.lt (i 5) (i 3) = Pred.False);
-  check_bool "x = x folds" true (Pred.eq x x = Pred.True);
-  check_bool "x < x folds" true (Pred.lt x x = Pred.False);
-  check_bool "x <= x folds" true (Pred.le x x = Pred.True)
+  check_bool "3 < 5 folds" true (Pred.is_true (Pred.lt (i 3) (i 5)));
+  check_bool "5 < 3 folds" true (Pred.is_false (Pred.lt (i 5) (i 3)));
+  check_bool "x = x folds" true (Pred.is_true (Pred.eq x x));
+  check_bool "x < x folds" true (Pred.is_false (Pred.lt x x));
+  check_bool "x <= x folds" true (Pred.is_true (Pred.le x x))
 
 let test_pred_connective_simplification () =
   let p = Pred.lt x y in
   check_bool "and true" true (Pred.equal (Pred.and_ p Pred.tt) p);
-  check_bool "and false" true (Pred.and_ p Pred.ff = Pred.False);
+  check_bool "and false" true (Pred.is_false (Pred.and_ p Pred.ff));
   check_bool "or false" true (Pred.equal (Pred.or_ p Pred.ff) p);
-  check_bool "or true" true (Pred.or_ p Pred.tt = Pred.True);
-  check_bool "imp to true" true (Pred.imp p Pred.tt = Pred.True);
+  check_bool "or true" true (Pred.is_true (Pred.or_ p Pred.tt));
+  check_bool "imp to true" true (Pred.is_true (Pred.imp p Pred.tt));
   check_bool "not not" true (Pred.equal (Pred.not_ (Pred.not_ p)) p);
   check_bool "negated atom flips" true
     (Pred.equal (Pred.not_ (Pred.lt x y)) (Pred.ge x y));
   check_bool "conj dedups" true
     (Pred.equal (Pred.conj [ p; p; Pred.tt; p ]) p);
   check_bool "nested conj flattens" true
-    (match Pred.conj [ Pred.and_ p (Pred.le x y); Pred.ge y x ] with
+    (match Pred.view (Pred.conj [ Pred.and_ p (Pred.le x y); Pred.ge y x ]) with
     | Pred.And l -> List.length l = 3
     | _ -> false)
 
@@ -169,8 +170,10 @@ let prop_smart_constructors_preserve_semantics =
       in
       let benv = Ident.Map.empty in
       let a1 = Pred.atom t1 r1 t2 and a2 = Pred.atom t2 r2 t3 in
-      let raw_and = Pred.And [ a1; a2 ] and smart_and = Pred.and_ a1 a2 in
-      let raw_or = Pred.Or [ a1; a2 ] and smart_or = Pred.or_ a1 a2 in
+      let raw_and = Pred.make (Pred.And [ a1; a2 ])
+      and smart_and = Pred.and_ a1 a2 in
+      let raw_or = Pred.make (Pred.Or [ a1; a2 ])
+      and smart_or = Pred.or_ a1 a2 in
       Pred.eval env benv raw_and = Pred.eval env benv smart_and
       && Pred.eval env benv raw_or = Pred.eval env benv smart_or)
 

@@ -245,6 +245,41 @@ let test_cache_and_stats () =
   check_bool "cache hit recorded" true (Solver.stats.cache_hits >= 1);
   check_bool "queries recorded" true (Solver.stats.queries >= 2)
 
+(* Regression: a cache hit on an [Invalid] entry must repopulate
+   [last_cex] with the falsifying model stored at miss time — it used to
+   leave whatever counterexample the previous (unrelated) query set. *)
+let test_cached_invalid_cex () =
+  Solver.clear_cache ();
+  Solver.reset_stats ();
+  let hyps = [ Pred.le (i 0) x ] and goal = Pred.le x (i 5) in
+  check_bool "query is invalid" true (invalid hyps goal);
+  check_bool "fresh check yields a counterexample" true (!Solver.last_cex <> []);
+  let hits0 = Solver.stats.cache_hits in
+  Solver.last_cex := [];
+  check_bool "still invalid from the cache" true (invalid hyps goal);
+  check_bool "second check was a cache hit" true (Solver.stats.cache_hits > hits0);
+  check_bool "cache hit repopulates the counterexample" true
+    (!Solver.last_cex <> [])
+
+(* The prepared-query interface must agree with [check_valid] and answer
+   from the cache on a second probe. *)
+let test_prepared_queries () =
+  Solver.clear_cache ();
+  Solver.reset_stats ();
+  let hyps = [ Pred.le x y; Pred.le y z ] and goal = Pred.le x z in
+  let p = Solver.prepare hyps goal in
+  check_bool "cold probe misses" true (Solver.probe_query p = None);
+  check_bool "check decides" true (Solver.check_query p = Solver.Valid);
+  check_bool "warm probe answers" true (Solver.probe_query p = Some Solver.Valid);
+  check_bool "agrees with check_valid" true (valid hyps goal);
+  (* invalid prepared queries restore the counterexample on a warm probe *)
+  let bad = Solver.prepare hyps (Pred.lt z x) in
+  check_bool "bad goal invalid" true (Solver.check_query bad = Solver.Invalid);
+  Solver.last_cex := [];
+  check_bool "warm probe invalid" true
+    (Solver.probe_query bad = Some Solver.Invalid);
+  check_bool "warm probe restores cex" true (!Solver.last_cex <> [])
+
 (* ------------------------------------------------------------------ *)
 (* Property tests: cross-check the solver against brute-force          *)
 (* evaluation of random formulas over a small integer domain.          *)
@@ -291,7 +326,12 @@ let gen_pred vars =
 
 (* Brute-force satisfiability over assignments in [-bound, bound]. *)
 let brute_sat vars p ~bound =
-  let names = List.map (function Term.Var (x, _) -> x | _ -> assert false) vars in
+  let names =
+    List.map
+      (fun v ->
+        match Term.view v with Term.Var (x, _) -> x | _ -> assert false)
+      vars
+  in
   let rec go env = function
     | [] -> Pred.eval env Liquid_common.Ident.Map.empty p
     | x :: rest ->
@@ -353,6 +393,8 @@ let tests =
     tc "valid: array-bounds query shape" test_array_bounds_shape;
     tc "valid: disequality splitting" test_diseq_split;
     tc "solver: cache and stats" test_cache_and_stats;
+    tc "solver: cached Invalid restores counterexample" test_cached_invalid_cex;
+    tc "solver: prepared queries" test_prepared_queries;
   ]
   @ qcheck_tests
 

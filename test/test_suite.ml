@@ -43,6 +43,44 @@ let test_execution () =
   ignore (exec_int "gauss")
 
 (* ------------------------------------------------------------------ *)
+(* Engine equivalence: the incremental fixpoint must compute exactly   *)
+(* the naive (reference) engine's result on the whole suite — same     *)
+(* verdicts, same failures, same inferred types.                       *)
+(* ------------------------------------------------------------------ *)
+
+let engine_fingerprint incremental =
+  List.map
+    (fun (b : Programs.benchmark) ->
+      let row = Runner.verify ~incremental b in
+      let rep = row.Runner.report in
+      ( b.Programs.name,
+        rep.Liquid_driver.Pipeline.safe,
+        List.map
+          (fun (e : Liquid_driver.Pipeline.error) ->
+            Fmt.str "%a: %s: %s" Liquid_common.Loc.pp
+              e.Liquid_driver.Pipeline.err_loc e.Liquid_driver.Pipeline.err_reason
+              e.Liquid_driver.Pipeline.err_goal)
+          rep.Liquid_driver.Pipeline.errors,
+        List.map
+          (fun (x, t) ->
+            (* display form: alpha-renaming counters are session-global,
+               so raw types differ in binder suffixes across runs *)
+            Fmt.str "%a : %a" Liquid_common.Ident.pp x Liquid_infer.Rtype.pp
+              (Liquid_infer.Report.display t))
+          rep.Liquid_driver.Pipeline.item_types ))
+    Programs.all
+
+let test_engine_equivalence () =
+  let naive = engine_fingerprint false in
+  let incr = engine_fingerprint true in
+  List.iter2
+    (fun (name, safe_n, errs_n, types_n) (_, safe_i, errs_i, types_i) ->
+      check_bool (name ^ ": same verdict") true (safe_n = safe_i);
+      check_bool (name ^ ": same failures") true (errs_n = errs_i);
+      check_bool (name ^ ": same inferred types") true (types_n = types_i))
+    naive incr
+
+(* ------------------------------------------------------------------ *)
 (* Mutation testing: planting an off-by-one or dropping a guard must   *)
 (* flip the verdict to unsafe.                                         *)
 (* ------------------------------------------------------------------ *)
@@ -138,6 +176,7 @@ let tests =
     Programs.all
   @ [
       tc "execute all benchmarks" test_execution;
+      slow "incremental engine matches naive engine" test_engine_equivalence;
       slow "mutants are rejected" test_mutants;
       tc "overview examples match the paper" test_overview;
       slow "extra qualifiers are necessary" test_qualifier_ablation;
