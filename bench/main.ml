@@ -108,6 +108,25 @@ let render_types (r : Liquid_driver.Pipeline.report) =
                 (Liquid_infer.Report.display t)))
        r.Liquid_driver.Pipeline.item_types)
 
+(* Verdict fingerprint of a suite run: per benchmark, the verdict, the
+   rendered error list, and the rendered public types — everything that
+   must be invariant across engines and worker counts. *)
+let fingerprint rows =
+  List.map
+    (fun (r : Liquid_suite.Runner.row) ->
+      let rep = r.Liquid_suite.Runner.report in
+      ( r.Liquid_suite.Runner.bench.Liquid_suite.Programs.name,
+        rep.Liquid_driver.Pipeline.safe,
+        List.map
+          (fun (e : Liquid_driver.Pipeline.error) ->
+            Fmt.str "%a: %s: %s" Liquid_common.Loc.pp
+              e.Liquid_driver.Pipeline.err_loc
+              e.Liquid_driver.Pipeline.err_reason
+              e.Liquid_driver.Pipeline.err_goal)
+          rep.Liquid_driver.Pipeline.errors,
+        render_types rep ))
+    rows
+
 let a2 () =
   section "A2: Solver ablations (result cache; incremental fixpoint)";
   let run_with cache =
@@ -172,22 +191,6 @@ let a2 () =
       solve_time,
       dt )
   in
-  let fingerprint rows =
-    List.map
-      (fun (r : Liquid_suite.Runner.row) ->
-        let rep = r.Liquid_suite.Runner.report in
-        ( r.Liquid_suite.Runner.bench.Liquid_suite.Programs.name,
-          rep.Liquid_driver.Pipeline.safe,
-          List.map
-            (fun (e : Liquid_driver.Pipeline.error) ->
-              Fmt.str "%a: %s: %s" Liquid_common.Loc.pp
-                e.Liquid_driver.Pipeline.err_loc
-                e.Liquid_driver.Pipeline.err_reason
-                e.Liquid_driver.Pipeline.err_goal)
-            rep.Liquid_driver.Pipeline.errors,
-          render_types rep ))
-      rows
-  in
   (* Counters are deterministic; wall clocks drift a few percent over the
      life of the process (allocator ramp, CPU clocking), so measure in an
      ABBA order — naive, incremental, incremental, naive — which cancels
@@ -225,10 +228,111 @@ let a2 () =
   identical
 
 (* ------------------------------------------------------------------ *)
+(* PARTITION: κ-dependency sharding and the parallel scheduler          *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs the suite at jobs=1 and jobs=4 in drift-cancelling ABBA order,
+   compares verdict fingerprints, and reports per-benchmark plan shape
+   (partitions, critical path) with per-arm times.  Returns whether the
+   two arms agree plus a JSON fragment for BENCH_fixpoint.json. *)
+let partition_bench () =
+  section "PARTITION: constraint sharding (jobs=1 vs jobs=4)";
+  Fmt.pr
+    "The κ-dependency graph of each benchmark is condensed into@.\
+     topologically ordered solve units; with --jobs N, ready units run@.\
+     in concurrent worker processes.  The liquid fixpoint is unique, so@.\
+     verdicts, errors and inferred types must be identical at any job@.\
+     count (compared byte-for-byte below).@.@.";
+  let run_jobs jobs =
+    Liquid_smt.Solver.clear_cache ();
+    Liquid_smt.Solver.reset_stats ();
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      List.map
+        (fun b -> Liquid_suite.Runner.verify ~jobs b)
+        Liquid_suite.Programs.all
+    in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  ignore (run_jobs 1);
+  (* warm-up *)
+  let s1a = run_jobs 1 in
+  let s4a = run_jobs 4 in
+  let s4b = run_jobs 4 in
+  let s1b = run_jobs 1 in
+  let rows1, rows4 = (fst s1a, fst s4a) in
+  let t1 = (snd s1a +. snd s1b) /. 2.0 in
+  let t4 = (snd s4a +. snd s4b) /. 2.0 in
+  let agree = fingerprint rows1 = fingerprint rows4 in
+  let time_of rows =
+    List.map (fun (r : Liquid_suite.Runner.row) -> r.Liquid_suite.Runner.time) rows
+  in
+  let times1 =
+    List.map2 (fun a b -> (a +. b) /. 2.0) (time_of rows1) (time_of (fst s1b))
+  in
+  let times4 =
+    List.map2 (fun a b -> (a +. b) /. 2.0) (time_of rows4) (time_of (fst s4b))
+  in
+  Fmt.pr "%-10s %6s %6s %6s %10s %10s@." "Program" "parts" "crit" "degr"
+    "jobs=1(s)*" "jobs=4(s)*";
+  Fmt.pr "(* mean of 2 runs in drift-cancelling ABBA order, after warm-up)@.";
+  Fmt.pr "%s@." (String.make 56 '-');
+  let entries =
+    List.map2
+      (fun ((r1 : Liquid_suite.Runner.row), ta)
+           ((r4 : Liquid_suite.Runner.row), tb) ->
+        let s1 = r1.Liquid_suite.Runner.report.Liquid_driver.Pipeline.stats in
+        let s4 = r4.Liquid_suite.Runner.report.Liquid_driver.Pipeline.stats in
+        let degraded =
+          List.exists
+            (fun (p : Liquid_driver.Pipeline.part_stat) ->
+              p.Liquid_driver.Pipeline.pt_degraded)
+            s4.Liquid_driver.Pipeline.partitions
+        in
+        let name = r1.Liquid_suite.Runner.bench.Liquid_suite.Programs.name in
+        Fmt.pr "%-10s %6d %6d %6s %10.2f %10.2f@." name
+          s1.Liquid_driver.Pipeline.n_partitions
+          s1.Liquid_driver.Pipeline.critical_path
+          (if degraded then "YES" else "-")
+          ta tb;
+        let module J = Liquid_analysis.Json in
+        J.Obj
+          [
+            ("name", J.String name);
+            ("partitions", J.Int s1.Liquid_driver.Pipeline.n_partitions);
+            ("critical_path", J.Int s1.Liquid_driver.Pipeline.critical_path);
+            ("jobs1_s", J.Float ta);
+            ("jobs4_s", J.Float tb);
+            ("degraded", J.Bool degraded);
+          ])
+      (List.combine rows1 times1)
+      (List.combine rows4 times4)
+  in
+  Fmt.pr "%s@." (String.make 56 '-');
+  Fmt.pr "%-10s %6s %6s %6s %10.2f %10.2f@." "Total" "" "" "" t1 t4;
+  Fmt.pr "@.identical verdicts+errors+types at jobs=1 and jobs=4: %b@." agree;
+  if not agree then
+    List.iter2
+      (fun a b ->
+        if a <> b then
+          let name, _, _, _ = a in
+          Fmt.pr "  MISMATCH: %s@." name)
+      (fingerprint rows1) (fingerprint rows4);
+  let module J = Liquid_analysis.Json in
+  ( agree,
+    J.Obj
+      [
+        ("jobs_agree", J.Bool agree);
+        ("jobs1_s", J.Float t1);
+        ("jobs4_s", J.Float t4);
+        ("benchmarks", J.List entries);
+      ] )
+
+(* ------------------------------------------------------------------ *)
 (* FIXPOINT: per-benchmark solver counters → BENCH_fixpoint.json        *)
 (* ------------------------------------------------------------------ *)
 
-let bench_fixpoint () =
+let bench_fixpoint ~partition_json () =
   section "FIXPOINT: per-benchmark solver counters (BENCH_fixpoint.json)";
   Fmt.pr
     "Per-benchmark wall-clock and solver counters for the default@.\
@@ -246,6 +350,7 @@ let bench_fixpoint () =
         Liquid_smt.Solver.reset_stats ();
         let row = Liquid_suite.Runner.verify b in
         let s = Liquid_smt.Solver.stats in
+        let ps = row.Liquid_suite.Runner.report.Liquid_driver.Pipeline.stats in
         let safe = row.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe in
         Fmt.pr "%-10s %6s %8.2f %9d %11d %11d@." b.Liquid_suite.Programs.name
           (if safe then "yes" else "NO")
@@ -260,6 +365,9 @@ let bench_fixpoint () =
               ("queries", J.Int s.Liquid_smt.Solver.queries);
               ("sat_checks", J.Int s.Liquid_smt.Solver.sat_checks);
               ("cache_hits", J.Int s.Liquid_smt.Solver.cache_hits);
+              ("partitions", J.Int ps.Liquid_driver.Pipeline.n_partitions);
+              ( "critical_path",
+                J.Int ps.Liquid_driver.Pipeline.critical_path );
             ] ))
       Liquid_suite.Programs.all
   in
@@ -267,9 +375,10 @@ let bench_fixpoint () =
   let json =
     J.Obj
       [
-        ("schema", J.String "bench_fixpoint/v1");
+        ("schema", J.String "bench_fixpoint/v2");
         ("engine", J.String "incremental");
         ("benchmarks", J.List (List.map snd rows_and_entries));
+        ("partition", partition_json);
       ]
   in
   let oc = open_out "BENCH_fixpoint.json" in
@@ -313,7 +422,11 @@ let a3 () =
 let main = assert (f 0 = 10)"
   in
   let verdict mine =
-    let r = Liquid_driver.Pipeline.verify_string ~mine ~name:"probe" probe in
+    let r =
+      Liquid_driver.Pipeline.verify_string
+        ~options:{ Liquid_driver.Pipeline.default with Liquid_driver.Pipeline.mine }
+        ~name:"probe" probe
+    in
     if r.Liquid_driver.Pipeline.safe then "safe" else "UNSAFE"
   in
   Fmt.pr "constant-bound probe:  mining on: %s   mining off: %s@."
@@ -384,7 +497,8 @@ let () =
   f1 ();
   a1 ();
   let engines_agree = a2 () in
-  let fixpoint_rows = bench_fixpoint () in
+  let jobs_agree, partition_json = partition_bench () in
+  let fixpoint_rows = bench_fixpoint ~partition_json () in
   e1 ();
   if not quick then begin
     a3 ();
@@ -395,9 +509,10 @@ let () =
       (fun (r : Liquid_suite.Runner.row) ->
         r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
       (rows @ fixpoint_rows)
-    && engines_agree
+    && engines_agree && jobs_agree
   in
   Fmt.pr "@.%s@.Overall: %s@.%s@." line
-    (if all_safe then "all benchmarks verified SAFE" else "SOME BENCHMARKS FAILED")
+    (if all_safe then "all benchmarks verified SAFE"
+     else "SOME BENCHMARKS FAILED (or job counts diverged)")
     line;
   exit (if all_safe then 0 else 1)

@@ -1,6 +1,7 @@
 (** dsolve — liquid type inference for NanoML programs.
 
-    Usage: [dsolve [-q QUALFILE] [-Q 'qualif ...'] [--lint] [--stats] FILE.ml]
+    Usage: [dsolve [-q QUALFILE] [-Q 'qualif ...'] [--lint] [--stats]
+    [--jobs N] FILE.ml]
 
     Verifies the given NanoML program (array-bounds safety and
     assertions), printing the inferred refinement types of its top-level
@@ -8,7 +9,10 @@
     runs the semantic-lint pass (unreachable branches, trivial
     conditions, unused/shadowed bindings, dead qualifiers) and prints
     its diagnostics; [--warn-error] makes lint warnings fail the run,
-    and [--format json] emits the whole report as JSON.  Exits 0 iff the
+    and [--format json] emits the whole report as JSON.  [--jobs N]
+    solves independent constraint partitions in N concurrent worker
+    processes ([--partition-timeout] bounds each one; an exceeded
+    partition degrades to ⊤ with a P001 diagnostic).  Exits 0 iff the
     program is proved safe (and lint-clean under [--warn-error]). *)
 
 open Cmdliner
@@ -20,7 +24,7 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let run file qualfile inline_quals no_defaults list_quals specfile show_stats
-    execute lint warn_error format =
+    execute lint warn_error format jobs partition_timeout =
   let quals =
     let base = if no_defaults then [] else Liquid_infer.Qualifier.defaults in
     let base =
@@ -43,7 +47,18 @@ let run file qualfile inline_quals no_defaults list_quals specfile show_stats
       | Some path -> Liquid_infer.Spec.parse_string (read_file path)
     in
     let lint = lint || warn_error in
-    let report = Liquid_driver.Pipeline.verify_file ~quals ~specs ~lint file in
+    let options =
+      {
+        Liquid_driver.Pipeline.default with
+        Liquid_driver.Pipeline.quals;
+        specs;
+        lint;
+        jobs;
+        partition_timeout =
+          (if partition_timeout <= 0.0 then None else Some partition_timeout);
+      }
+    in
+    let report = Liquid_driver.Pipeline.verify_file ~options file in
     (match format with
     | `Json ->
         Fmt.pr "%a@." Liquid_analysis.Json.pp
@@ -55,11 +70,23 @@ let run file qualfile inline_quals no_defaults list_quals specfile show_stats
           Fmt.pr
             "stats: lines=%d kvars=%d wf=%d sub=%d quals=%d candidates=%d \
              checks=%d smt-queries=%d cache-hits=%d lint-queries=%d \
-             diagnostics=%d time=%.3fs@."
+             diagnostics=%d partitions=%d critical-path=%d time=%.3fs@."
             s.Liquid_driver.Pipeline.source_lines s.n_kvars s.n_wf_constraints
             s.n_sub_constraints s.n_qualifiers s.n_initial_candidates
             s.n_implication_checks s.n_smt_queries s.n_smt_cache_hits
-            s.n_lint_smt_queries s.n_diagnostics s.elapsed;
+            s.n_lint_smt_queries s.n_diagnostics s.n_partitions
+            s.critical_path s.elapsed;
+          List.iter
+            (fun (p : Liquid_driver.Pipeline.part_stat) ->
+              if jobs > 1 then
+                Fmt.pr "partition %d: kvars=%d subs=%d time=%.3fs%s@."
+                  p.Liquid_driver.Pipeline.pt_id
+                  p.Liquid_driver.Pipeline.pt_kvars
+                  p.Liquid_driver.Pipeline.pt_subs
+                  p.Liquid_driver.Pipeline.pt_time
+                  (if p.Liquid_driver.Pipeline.pt_degraded then " DEGRADED"
+                   else ""))
+            s.partitions;
           Fmt.pr "phases:%a@."
             Fmt.(
               list ~sep:nop (fun ppf (name, t) ->
@@ -156,6 +183,24 @@ let warn_error_arg =
         ~doc:"Treat lint warnings as errors: exit non-zero if any \
               warning-severity diagnostic is reported (implies $(b,--lint))")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Solve independent constraint partitions in $(docv) concurrent \
+              worker processes (default 1: sequential in-process solving; \
+              results are identical either way)")
+
+let partition_timeout_arg =
+  Arg.(
+    value
+    & opt float 60.0
+    & info [ "partition-timeout" ] ~docv:"SECONDS"
+        ~doc:"Per-partition wall-clock budget under $(b,--jobs) > 1; an \
+              exceeded partition is retried once, then its refinements \
+              degrade to true with a P001 diagnostic.  0 disables the \
+              timeout")
+
 let format_arg =
   Arg.(
     value
@@ -171,6 +216,6 @@ let cmd =
     Term.(
       const run $ file_arg $ qualfile_arg $ inline_quals_arg $ no_defaults_arg
       $ list_quals_arg $ spec_arg $ stats_arg $ run_arg $ lint_arg
-      $ warn_error_arg $ format_arg)
+      $ warn_error_arg $ format_arg $ jobs_arg $ partition_timeout_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -44,7 +44,14 @@ let quals =
 let () =
   Fmt.pr "=== dsolve --lint: semantic diagnostics after inference ===@.";
   let report =
-    Liquid_driver.Pipeline.verify_string ~quals ~lint:true ~name:"clamp.ml"
+    Liquid_driver.Pipeline.verify_string
+      ~options:
+        {
+          Liquid_driver.Pipeline.default with
+          Liquid_driver.Pipeline.quals;
+          lint = true;
+        }
+      ~name:"clamp.ml"
       source
   in
   Fmt.pr "%a@." Liquid_driver.Pipeline.pp_report report;

@@ -60,7 +60,9 @@ let () =
   in
   Fmt.pr "=== list measures: verification ===@.";
   let report =
-    Liquid_driver.Pipeline.verify_string ~quals ~name:"lists.ml" source
+    Liquid_driver.Pipeline.verify_string
+      ~options:{ Liquid_driver.Pipeline.default with Liquid_driver.Pipeline.quals }
+      ~name:"lists.ml" source
   in
   Fmt.pr "%a@." Liquid_driver.Pipeline.pp_report report;
   Fmt.pr

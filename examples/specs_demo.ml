@@ -42,7 +42,9 @@ let () =
   let specs = Liquid_infer.Spec.parse_string specs in
   Fmt.pr "=== verification (checked AND assumed modularly) ===@.";
   let report =
-    Liquid_driver.Pipeline.verify_string ~specs ~name:"specs.ml" program
+    Liquid_driver.Pipeline.verify_string
+      ~options:{ Liquid_driver.Pipeline.default with Liquid_driver.Pipeline.specs }
+      ~name:"specs.ml" program
   in
   Fmt.pr "%a@." Liquid_driver.Pipeline.pp_report report;
   Fmt.pr
@@ -54,7 +56,9 @@ let () =
   (* A client cannot rely on more than the spec says. *)
   Fmt.pr "@.=== a client overstepping the specification ===@.";
   let report =
-    Liquid_driver.Pipeline.verify_string ~specs ~name:"specs.ml"
+    Liquid_driver.Pipeline.verify_string
+      ~options:{ Liquid_driver.Pipeline.default with Liquid_driver.Pipeline.specs }
+      ~name:"specs.ml"
       (program ^ "\nlet oops = assert (gcd 48 18 = 6)")
   in
   Fmt.pr "verdict: %s@."

@@ -13,6 +13,7 @@ type code =
   | Unused_binding (* L003 *)
   | Shadowed_binding (* L004 *)
   | Dead_qualifier (* L005: every instance pruned from every κ *)
+  | Partition_timeout (* P001: solve partition degraded to ⊤ (timeout/crash) *)
 
 type severity = Info | Warning
 
@@ -24,6 +25,7 @@ let code_name = function
   | Unused_binding -> "L003"
   | Shadowed_binding -> "L004"
   | Dead_qualifier -> "L005"
+  | Partition_timeout -> "P001"
 
 let severity_name = function Info -> "info" | Warning -> "warning"
 
@@ -35,6 +37,7 @@ let default_severity = function
   | Shadowed_binding ->
       Warning
   | Dead_qualifier -> Info
+  | Partition_timeout -> Warning
 
 let make ?severity code loc message =
   let severity =
@@ -50,6 +53,7 @@ let code_rank = function
   | Unused_binding -> 3
   | Shadowed_binding -> 4
   | Dead_qualifier -> 5
+  | Partition_timeout -> 6
 
 (** Report order: source position, then code, then message. *)
 let compare a b =

@@ -18,6 +18,18 @@ type error = {
   err_cex : (string * int) list; (* falsifying values, when available *)
 }
 
+(** Shape and per-unit cost of the solve plan (see
+    {!Constr.partition_plan}).  [pt_time]/[pt_degraded] are only
+    meaningful under sharded execution ([jobs > 1]); sequential runs
+    report the plan's shape with zero times. *)
+type part_stat = {
+  pt_id : int;
+  pt_kvars : int; (* κs owned by the partition *)
+  pt_subs : int; (* constraints solved there *)
+  pt_time : float; (* wall-clock seconds (sharded runs only) *)
+  pt_degraded : bool; (* κs pinned to ⊤ after timeout/crash *)
+}
+
 type stats = {
   source_lines : int;
   ast_nodes : int;
@@ -31,10 +43,14 @@ type stats = {
   n_smt_cache_hits : int;
   n_lint_smt_queries : int; (* SMT queries spent by the lint pass *)
   n_diagnostics : int; (* lint diagnostics emitted *)
-  elapsed : float; (* wall-clock seconds for the whole pipeline *)
+  n_partitions : int; (* solve units in the partition plan *)
+  critical_path : int; (* longest dependency chain, in partitions *)
+  partitions : part_stat list; (* by partition id *)
+  elapsed : float; (* sum of the phase times below *)
   phases : (string * float) list;
       (* per-phase wall-clock seconds, in pipeline order:
-         parse, anf, hm, congen, solve, concrete_check, lint *)
+         parse, anf, hm, congen, partition, solve, concrete_check,
+         merge, lint.  [elapsed] is exactly their sum. *)
 }
 
 type report = {
@@ -46,6 +62,30 @@ type report = {
 }
 
 exception Source_error of string * Loc.t
+
+(** Everything that tunes a verification run; callers override fields of
+    {!default} ([{ Pipeline.default with jobs = 4 }]) instead of
+    threading a growing row of optional arguments. *)
+type options = {
+  quals : Qualifier.t list; (* qualifier patterns *)
+  mine : bool; (* mine comparison literals from the source *)
+  specs : Spec.t; (* external function signatures *)
+  lint : bool; (* run the semantic-lint pass *)
+  incremental : bool; (* incremental fixpoint engine *)
+  jobs : int; (* concurrent solve workers; 1 = in-process *)
+  partition_timeout : float option; (* per-partition wall-clock budget *)
+}
+
+let default =
+  {
+    quals = Qualifier.defaults;
+    mine = true;
+    specs = [];
+    lint = false;
+    incremental = true;
+    jobs = 1;
+    partition_timeout = Some 60.0;
+  }
 
 (** Count source lines containing code: at least one non-whitespace
     character outside [(* ... *)] comments.  Tracks comment nesting
@@ -118,10 +158,11 @@ let timed phases name f =
   phases := (name, Unix.gettimeofday () -. t0) :: !phases;
   r
 
-let verify_program ?(quals = Qualifier.defaults) ?(mine = true)
-    ?(specs : Spec.t = []) ?(lint = false) ?(incremental = true)
-    ?(parse_time = 0.0) (prog : Ast.program) ~(source_lines : int) : report =
-  let t0 = Unix.gettimeofday () in
+let verify_program ?(options = default) ?(parse_time = 0.0)
+    (prog : Ast.program) ~(source_lines : int) : report =
+  let { quals; mine; specs; lint; incremental; jobs; partition_timeout } =
+    options
+  in
   let smt0 = Liquid_smt.Solver.stats.queries in
   let smt_hits0 = Liquid_smt.Solver.stats.cache_hits in
   let phases = ref [ ("parse", parse_time) ] in
@@ -135,22 +176,79 @@ let verify_program ?(quals = Qualifier.defaults) ?(mine = true)
         with Infer.Type_error (msg, loc) ->
           raise (Source_error ("type error: " ^ msg, loc)))
   in
-  let out =
+  (* Mining reads the pre-ANF source: A-normalization hoists literals
+     into let-bindings, so mining the ANF form misses comparison
+     operands.  It is costed under "congen" (qualifier material). *)
+  let out, consts =
     timed phases "congen" (fun () ->
-        try Congen.generate ~specs info prog with
-        | Congen.Congen_error (msg, loc) -> raise (Source_error (msg, loc))
-        | Constr.Shape_error msg -> raise (Source_error (msg, Loc.dummy)))
+        let out =
+          try Congen.generate ~specs info prog with
+          | Congen.Congen_error (msg, loc) -> raise (Source_error (msg, loc))
+          | Constr.Shape_error msg -> raise (Source_error (msg, Loc.dummy))
+        in
+        (out, if mine then mine_constants source else []))
   in
-  (* Mine the pre-ANF source: A-normalization hoists literals into
-     let-bindings, so mining the ANF form misses comparison operands. *)
-  let consts = if mine then mine_constants source else [] in
-  let res =
-    Fixpoint.solve ~quals ~consts ~incremental out.Congen.wfs out.Congen.subs
+  let plan =
+    timed phases "partition" (fun () ->
+        Constr.partition_plan out.Congen.wfs out.Congen.subs)
   in
-  phases :=
-    ("concrete_check", res.Fixpoint.solver_stats.Fixpoint.check_time)
-    :: ("solve", res.Fixpoint.solver_stats.Fixpoint.solve_time)
-    :: !phases;
+  let n_parts = Array.length plan.Constr.parts in
+  let sharded = jobs > 1 && n_parts > 1 in
+  let res, part_stats, degraded_parts =
+    if sharded then begin
+      let t0 = Unix.gettimeofday () in
+      let o =
+        Liquid_engine.Psolve.solve ~incremental ?timeout:partition_timeout
+          ~jobs ~quals ~consts out.Congen.wfs out.Congen.subs plan
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      (* Workers overlap, so per-unit solve/check CPU times don't sum to
+         a wall-clock phase; report scheduler wall minus parent-side
+         merge cost as "solve" and the merge cost itself as "merge". *)
+      phases :=
+        ("merge", o.Liquid_engine.Psolve.ps_merge_time)
+        :: ("concrete_check", 0.0)
+        :: ("solve", max 0.0 (wall -. o.Liquid_engine.Psolve.ps_merge_time))
+        :: !phases;
+      ( o.Liquid_engine.Psolve.ps_result,
+        List.map
+          (fun (i : Liquid_engine.Psolve.part_info) ->
+            {
+              pt_id = i.Liquid_engine.Psolve.pi_id;
+              pt_kvars = i.Liquid_engine.Psolve.pi_kvars;
+              pt_subs = i.Liquid_engine.Psolve.pi_subs;
+              pt_time = i.Liquid_engine.Psolve.pi_time;
+              pt_degraded = i.Liquid_engine.Psolve.pi_degraded;
+            })
+          o.Liquid_engine.Psolve.ps_parts,
+        List.filter
+          (fun (i : Liquid_engine.Psolve.part_info) ->
+            i.Liquid_engine.Psolve.pi_degraded)
+          o.Liquid_engine.Psolve.ps_parts )
+    end
+    else begin
+      let res =
+        Fixpoint.solve ~quals ~consts ~incremental out.Congen.wfs
+          out.Congen.subs
+      in
+      phases :=
+        ("merge", 0.0)
+        :: ("concrete_check", res.Fixpoint.solver_stats.Fixpoint.check_time)
+        :: ("solve", res.Fixpoint.solver_stats.Fixpoint.solve_time)
+        :: !phases;
+      ( res,
+        Array.to_list plan.Constr.parts
+        |> List.map (fun (p : Constr.partition) ->
+               {
+                 pt_id = p.Constr.part_id;
+                 pt_kvars = List.length p.Constr.part_kvars;
+                 pt_subs = List.length p.Constr.part_subs;
+                 pt_time = 0.0;
+                 pt_degraded = false;
+               }),
+        [] )
+    end
+  in
   let errors =
     List.map
       (fun (f : Fixpoint.failure) ->
@@ -184,6 +282,24 @@ let verify_program ?(quals = Qualifier.defaults) ?(mine = true)
             ~solution:res.Fixpoint.solution ~quals
             ~dead_quals:res.Fixpoint.dead_quals)
   in
+  (* Degraded partitions surface unconditionally — a pinned κ weakens the
+     verdict, which the user must see even with linting off. *)
+  let lints =
+    List.map
+      (fun (i : Liquid_engine.Psolve.part_info) ->
+        Liquid_analysis.Diagnostic.make
+          Liquid_analysis.Diagnostic.Partition_timeout Loc.dummy
+          (Fmt.str
+             "solve partition %d (%d κs, %d constraints) %s; its \
+              refinements were degraded to true"
+             i.Liquid_engine.Psolve.pi_id i.Liquid_engine.Psolve.pi_kvars
+             i.Liquid_engine.Psolve.pi_subs
+             (Option.value ~default:"failed"
+                i.Liquid_engine.Psolve.pi_detail)))
+      degraded_parts
+    @ lints
+  in
+  let phases = List.rev !phases in
   {
     safe = errors = [];
     errors;
@@ -206,29 +322,29 @@ let verify_program ?(quals = Qualifier.defaults) ?(mine = true)
         n_smt_cache_hits = Liquid_smt.Solver.stats.cache_hits - smt_hits0;
         n_lint_smt_queries = Liquid_smt.Solver.stats.queries - lint_smt0;
         n_diagnostics = List.length lints;
-        elapsed = Unix.gettimeofday () -. t0;
-        phases = List.rev !phases;
+        n_partitions = n_parts;
+        critical_path = plan.Constr.critical_path;
+        partitions = part_stats;
+        elapsed = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 phases;
+        phases;
       };
   }
 
-let verify_string ?(quals = Qualifier.defaults) ?(mine = true) ?(specs = [])
-    ?(lint = false) ?(incremental = true) ?(name = "<string>") (src : string) :
+let verify_string ?(options = default) ?(name = "<string>") (src : string) :
     report =
   let t0 = Unix.gettimeofday () in
   let prog = parse_program ~name src in
   let parse_time = Unix.gettimeofday () -. t0 in
-  verify_program ~quals ~mine ~specs ~lint ~incremental ~parse_time prog
-    ~source_lines:(count_lines src)
+  verify_program ~options ~parse_time prog ~source_lines:(count_lines src)
 
-let verify_file ?(quals = Qualifier.defaults) ?(mine = true) ?(specs = [])
-    ?(lint = false) ?(incremental = true) (path : string) : report =
+let verify_file ?(options = default) (path : string) : report =
   let ic = open_in path in
   let src =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  verify_string ~quals ~mine ~specs ~lint ~incremental ~name:path src
+  verify_string ~options ~name:path src
 
 (* -- Report printing ---------------------------------------------------------- *)
 
@@ -296,6 +412,21 @@ let json_of_stats (s : stats) : Liquid_analysis.Json.t =
       ("smt_cache_hits", Json.Int s.n_smt_cache_hits);
       ("lint_smt_queries", Json.Int s.n_lint_smt_queries);
       ("diagnostics", Json.Int s.n_diagnostics);
+      ("partitions", Json.Int s.n_partitions);
+      ("critical_path", Json.Int s.critical_path);
+      ( "partition",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.Obj
+                 [
+                   ("id", Json.Int p.pt_id);
+                   ("kvars", Json.Int p.pt_kvars);
+                   ("subs", Json.Int p.pt_subs);
+                   ("time", Json.Float p.pt_time);
+                   ("degraded", Json.Bool p.pt_degraded);
+                 ])
+             s.partitions) );
       ("elapsed", Json.Float s.elapsed);
       ( "phases",
         Json.Obj (List.map (fun (name, t) -> (name, Json.Float t)) s.phases) );

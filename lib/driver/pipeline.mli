@@ -13,6 +13,18 @@ type error = {
   err_cex : (string * int) list; (* falsifying values, when available *)
 }
 
+(** Shape and per-unit cost of the solve plan (see
+    {!Liquid_infer.Constr.partition_plan}).  [pt_time]/[pt_degraded] are
+    only meaningful under sharded execution ([jobs > 1]); sequential
+    runs report the plan's shape with zero times. *)
+type part_stat = {
+  pt_id : int;
+  pt_kvars : int; (* κs owned by the partition *)
+  pt_subs : int; (* constraints solved there *)
+  pt_time : float; (* wall-clock seconds (sharded runs only) *)
+  pt_degraded : bool; (* κs pinned to ⊤ after timeout/crash *)
+}
+
 type stats = {
   source_lines : int;
   ast_nodes : int;
@@ -26,10 +38,18 @@ type stats = {
   n_smt_cache_hits : int;
   n_lint_smt_queries : int; (* SMT queries spent by the lint pass *)
   n_diagnostics : int; (* lint diagnostics emitted *)
-  elapsed : float; (* wall-clock seconds for the whole pipeline *)
+  n_partitions : int; (* solve units in the partition plan *)
+  critical_path : int; (* longest dependency chain, in partitions *)
+  partitions : part_stat list; (* by partition id *)
+  elapsed : float; (* sum of the phase times below *)
   phases : (string * float) list;
       (* per-phase wall-clock seconds, in pipeline order:
-         parse, anf, hm, congen, solve, concrete_check, lint *)
+         parse, anf, hm, congen, partition, solve, concrete_check,
+         merge, lint.  [elapsed] is exactly their sum.  Sequential runs
+         put fixpoint time under "solve"/"concrete_check" with a zero
+         "merge"; sharded runs put scheduler wall time under "solve"
+         (workers interleave their own concrete checks, reported as
+         zero) and parent-side folding under "merge". *)
 }
 
 type report = {
@@ -52,44 +72,45 @@ val parse_program : name:string -> string -> Ast.program
 (** Integer literals the program compares against (qualifier mining). *)
 val mine_constants : Ast.program -> int list
 
-(** Verify a parsed program.  [quals] is the qualifier set (defaults to
-    {!Liquid_infer.Qualifier.defaults}); [mine] enables constant mining
-    over the {e pre-ANF} source AST (default true); [lint] additionally
-    runs the semantic-lint pass ({!Liquid_analysis.Lint}) and fills
-    [report.lints] (default false); [incremental] selects the fixpoint
-    engine (default true; see {!Liquid_infer.Fixpoint.solve});
-    [parse_time] seeds the "parse" entry of [stats.phases] for callers
-    that parsed separately.
+(** Everything that tunes a verification run; override fields of
+    {!default} ([{ Pipeline.default with jobs = 4 }]).
+
+    [quals] is the qualifier set; [mine] enables constant mining over
+    the {e pre-ANF} source AST; [specs] supplies external signatures;
+    [lint] runs the semantic-lint pass ({!Liquid_analysis.Lint}) and
+    fills [report.lints]; [incremental] selects the fixpoint engine
+    (see {!Liquid_infer.Fixpoint.solve}); [jobs] > 1 solves independent
+    constraint partitions in concurrent worker processes (verdicts,
+    errors, and inferred types are identical to [jobs = 1]: the liquid
+    fixpoint is unique); [partition_timeout] is the per-partition
+    wall-clock budget under sharded execution — an exceeded partition is
+    retried once, then degraded to ⊤ with a [P001] diagnostic. *)
+type options = {
+  quals : Qualifier.t list;
+  mine : bool;
+  specs : Spec.t;
+  lint : bool;
+  incremental : bool;
+  jobs : int;
+  partition_timeout : float option;
+}
+
+(** Defaults: {!Liquid_infer.Qualifier.defaults}, mining on, no specs,
+    lint off, incremental engine, [jobs = 1], 60 s partition timeout. *)
+val default : options
+
+(** Verify a parsed program.  [parse_time] seeds the "parse" entry of
+    [stats.phases] for callers that parsed separately.
     @raise Source_error on type errors. *)
 val verify_program :
-  ?quals:Qualifier.t list ->
-  ?mine:bool ->
-  ?specs:Spec.t ->
-  ?lint:bool ->
-  ?incremental:bool ->
+  ?options:options ->
   ?parse_time:float ->
   Ast.program ->
   source_lines:int ->
   report
 
-val verify_string :
-  ?quals:Qualifier.t list ->
-  ?mine:bool ->
-  ?specs:Spec.t ->
-  ?lint:bool ->
-  ?incremental:bool ->
-  ?name:string ->
-  string ->
-  report
-
-val verify_file :
-  ?quals:Qualifier.t list ->
-  ?mine:bool ->
-  ?specs:Spec.t ->
-  ?lint:bool ->
-  ?incremental:bool ->
-  string ->
-  report
+val verify_string : ?options:options -> ?name:string -> string -> report
+val verify_file : ?options:options -> string -> report
 
 val pp_error : Format.formatter -> error -> unit
 

@@ -1,0 +1,164 @@
+(** Partitioned liquid-constraint solving: execute a
+    {!Constr.partition_plan} over the {!Scheduler}, merging per-unit
+    {!Fixpoint.partial}s into one {!Fixpoint.result}.
+
+    Each partition solves in a forked worker ({!Fixpoint.solve_unit}
+    with the merged upstream solutions as its base); its marshalled
+    partial is re-interned on arrival ({!Fixpoint.rehash_partial}) and
+    folded into the running solution, failure list, and counters.  A
+    partition whose worker times out or crashes (after one retry)
+    degrades conservatively: its κs are pinned to the empty refinement
+    (⊤ — sound, weakest), downstream partitions proceed against that,
+    and the failure is surfaced as a {!part_info} for diagnostics. *)
+
+open Liquid_smt
+open Liquid_infer
+module KMap = Constr.KMap
+
+type part_info = {
+  pi_id : int;
+  pi_kvars : int; (* κs owned *)
+  pi_subs : int; (* constraints solved *)
+  pi_time : float; (* wall-clock, across attempts *)
+  pi_degraded : bool;
+  pi_timed_out : bool;
+  pi_detail : string option; (* failure detail when degraded *)
+}
+
+type outcome = {
+  ps_result : Fixpoint.result;
+  ps_parts : part_info list; (* by part_id *)
+  ps_merge_time : float; (* seconds re-interning + folding results *)
+  ps_degraded : int list; (* part_ids pinned to ⊤ *)
+}
+
+let solve ?(incremental = true) ?timeout ~(jobs : int)
+    ~(quals : Qualifier.t list) ~(consts : int list) (wfs : Constr.wf list)
+    (subs : Constr.sub list) (plan : Constr.plan) : outcome =
+  let parts = plan.Constr.parts in
+  let n = Array.length parts in
+  let initial = Fixpoint.init_assignment ~consts quals wfs in
+  (* Initial assignment restricted to each partition's own κs. *)
+  let init_of = Array.map
+      (fun (p : Constr.partition) ->
+        List.fold_left
+          (fun acc k ->
+            match KMap.find_opt k initial with
+            | Some ps -> KMap.add k ps acc
+            | None -> acc)
+          KMap.empty p.Constr.part_kvars)
+      parts
+  in
+  (* Parent-side accumulators.  Workers fork at dispatch, after all
+     their dependencies merged, so they see [merged_sol] via inherited
+     memory; only their own partial crosses the process boundary. *)
+  let merged_sol : Constr.solution ref = ref KMap.empty in
+  let merged_cands = ref KMap.empty in
+  let failures = ref [] in
+  let stats = ref (Fixpoint.fresh_stats ()) in
+  let infos = Array.make n None in
+  let degraded = ref [] in
+  let merge_time = ref 0.0 in
+  let work u =
+    Fixpoint.solve_unit ~incremental ~base:!merged_sol
+      ~init:init_of.(u) parts.(u).Constr.part_subs
+  in
+  let merge u outcome elapsed =
+    let t0 = Unix.gettimeofday () in
+    let p = parts.(u) in
+    let mk ?(degraded = false) ?(timed_out = false) ?detail () =
+      {
+        pi_id = u;
+        pi_kvars = List.length p.Constr.part_kvars;
+        pi_subs = List.length p.Constr.part_subs;
+        pi_time = elapsed;
+        pi_degraded = degraded;
+        pi_timed_out = timed_out;
+        pi_detail = detail;
+      }
+    in
+    (match outcome with
+    | Scheduler.Done partial ->
+        (* Re-intern: the partial was unmarshalled, so every predicate
+           in it is physically foreign to this process's tables. *)
+        let partial = Fixpoint.rehash_partial partial in
+        merged_cands :=
+          Fixpoint.merge_solutions !merged_cands partial.Fixpoint.pr_solution;
+        merged_sol :=
+          KMap.fold
+            (fun k ps acc -> KMap.add k (List.map fst ps) acc)
+            partial.Fixpoint.pr_solution !merged_sol;
+        failures := List.rev_append partial.Fixpoint.pr_failures !failures;
+        stats := Fixpoint.merge_stats !stats partial.Fixpoint.pr_stats;
+        (* The worker's global SMT counters died with it; replay its
+           movement into the parent's. *)
+        let d = partial.Fixpoint.pr_smt in
+        Solver.stats.Solver.queries <-
+          Solver.stats.Solver.queries + d.Fixpoint.d_queries;
+        Solver.stats.Solver.cache_hits <-
+          Solver.stats.Solver.cache_hits + d.Fixpoint.d_cache_hits;
+        Solver.stats.Solver.sat_checks <-
+          Solver.stats.Solver.sat_checks + d.Fixpoint.d_sat_checks;
+        Solver.stats.Solver.unknowns <-
+          Solver.stats.Solver.unknowns + d.Fixpoint.d_unknowns;
+        infos.(u) <- Some (mk ())
+    | Scheduler.Failed { timed_out; attempts = _; detail } ->
+        (* Conservative degradation: pin this partition's κs to the
+           empty refinement (⊤).  Sound — downstream constraints read a
+           weaker hypothesis, so verdicts can only fail more, never
+           falsely pass. *)
+        List.iter
+          (fun k ->
+            merged_sol := KMap.add k [] !merged_sol;
+            merged_cands := KMap.add k [] !merged_cands)
+          p.Constr.part_kvars;
+        degraded := u :: !degraded;
+        infos.(u) <- Some (mk ~degraded:true ~timed_out ~detail ()));
+    merge_time := !merge_time +. (Unix.gettimeofday () -. t0)
+  in
+  Scheduler.run ?timeout ~jobs ~n_units:n
+    ~deps:(fun u -> parts.(u).Constr.part_deps)
+    ~work ~merge ();
+  let t0 = Unix.gettimeofday () in
+  (* Failures in original-constraint order, independent of scheduling. *)
+  let rank = Hashtbl.create (List.length subs) in
+  List.iteri (fun i (c : Constr.sub) -> Hashtbl.add rank c.Constr.sub_id i) subs;
+  let failures =
+    List.sort
+      (fun (a, _) (b, _) ->
+        compare (Hashtbl.find rank a) (Hashtbl.find rank b))
+      !failures
+    |> List.map snd
+  in
+  (* Dead qualifiers, excluding κs of degraded partitions (their
+     instances were pinned away, not pruned by the solver). *)
+  let live_initial =
+    if !degraded = [] then initial
+    else
+      List.fold_left
+        (fun acc u ->
+          List.fold_left
+            (fun acc k -> KMap.remove k acc)
+            acc parts.(u).Constr.part_kvars)
+        initial !degraded
+  in
+  let dead_quals =
+    Fixpoint.dead_qualifiers ~initial:live_initial ~final:!merged_cands
+  in
+  merge_time := !merge_time +. (Unix.gettimeofday () -. t0);
+  {
+    ps_result =
+      {
+        Fixpoint.solution = !merged_sol;
+        failures;
+        solver_stats = !stats;
+        dead_quals;
+      };
+    ps_parts =
+      Array.to_list infos
+      |> List.map (function
+           | Some i -> i
+           | None -> assert false (* scheduler merges every unit *));
+    ps_merge_time = !merge_time;
+    ps_degraded = List.rev !degraded;
+  }

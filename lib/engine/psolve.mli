@@ -1,0 +1,41 @@
+(** Partitioned liquid-constraint solving: execute a
+    {!Constr.partition_plan} over the {!Scheduler} and merge the
+    per-partition results into one {!Fixpoint.result}.  Partitions whose
+    workers time out or crash (after one retry) degrade conservatively —
+    their κs are pinned to ⊤ — and are reported in [ps_degraded]. *)
+
+open Liquid_infer
+
+type part_info = {
+  pi_id : int;
+  pi_kvars : int; (* κs owned *)
+  pi_subs : int; (* constraints solved *)
+  pi_time : float; (* wall-clock, across attempts *)
+  pi_degraded : bool;
+  pi_timed_out : bool;
+  pi_detail : string option; (* failure detail when degraded *)
+}
+
+type outcome = {
+  ps_result : Fixpoint.result;
+  ps_parts : part_info list; (* by part_id *)
+  ps_merge_time : float; (* seconds re-interning + folding results *)
+  ps_degraded : int list; (* part_ids pinned to ⊤ *)
+}
+
+(** [solve ?incremental ?timeout ~jobs ~quals ~consts wfs subs plan]
+    solves the system described by [plan] (built from [wfs]/[subs])
+    with up to [jobs] concurrent workers.  Failures are returned in
+    original-constraint order regardless of scheduling; verdicts and
+    inferred refinements are scheduling-independent (the fixpoint is
+    unique).  [subs] must be the same list [plan] was built from. *)
+val solve :
+  ?incremental:bool ->
+  ?timeout:float ->
+  jobs:int ->
+  quals:Qualifier.t list ->
+  consts:int list ->
+  Constr.wf list ->
+  Constr.sub list ->
+  Constr.plan ->
+  outcome

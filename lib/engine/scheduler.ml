@@ -1,0 +1,192 @@
+(** Generic parallel scheduler over a topologically ordered DAG of work
+    units.
+
+    Units are numbered [0 .. n_units-1] with every dependency id smaller
+    than the dependent's id.  A unit is {e ready} once all of its
+    dependencies have been merged; ready units run concurrently in
+    forked worker processes (up to [jobs] at a time), each returning its
+    result to the parent over a pipe via [Marshal].  Workers are forked
+    {e at dispatch time}, after the parent has merged every dependency,
+    so a worker sees all upstream results through inherited memory and
+    only its own result crosses the process boundary.
+
+    Fault isolation: each attempt has an optional wall-clock [timeout];
+    a worker that exceeds it is killed ([SIGKILL]) and the unit retried
+    once, likewise for a worker that crashes (non-zero exit, signal, or
+    a truncated/unreadable payload).  A unit whose second attempt also
+    fails is surfaced to [merge] as {!Failed} — the scheduler never
+    wedges and never aborts the run. *)
+
+(** Test-only fault injection, applied in the worker immediately after
+    the fork: [Hang] loops forever (exercising the timeout path),
+    [Crash] exits abruptly without writing a payload. *)
+type fault = Hang | Crash
+
+let fault_hook : (int -> fault option) ref = ref (fun _ -> None)
+
+type 'r outcome =
+  | Done of 'r
+  | Failed of { timed_out : bool; attempts : int; detail : string }
+
+type running = {
+  run_unit : int;
+  pid : int;
+  fd : Unix.file_descr;
+  deadline : float option; (* absolute, for the current attempt *)
+  attempt : int; (* 1 or 2 *)
+}
+
+let rec select_eintr fds t =
+  try Unix.select fds [] [] t
+  with Unix.Unix_error (Unix.EINTR, _, _) -> select_eintr fds t
+
+let rec waitpid_eintr pid =
+  try snd (Unix.waitpid [] pid)
+  with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_eintr pid
+
+let status_detail = function
+  | Unix.WEXITED 0 -> "truncated result"
+  | Unix.WEXITED n -> Printf.sprintf "worker exited with code %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "worker killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "worker stopped by signal %d" n
+
+(** Fork one attempt at [u].  The child runs [work u] and marshals
+    [Ok result] (or [Error exn_string]) back; it exits with [_exit] so
+    inherited output buffers are never flushed twice. *)
+let spawn ?timeout ~(work : int -> 'r) (u : int) (attempt : int) : running =
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      (match !fault_hook u with
+      | Some Hang ->
+          while true do
+            ignore (select_eintr [] 3600.0)
+          done
+      | Some Crash -> Unix._exit 70
+      | None -> ());
+      let payload =
+        match work u with
+        | r -> Ok r
+        | exception e -> Error (Printexc.to_string e)
+      in
+      let oc = Unix.out_channel_of_descr wr in
+      (try
+         Marshal.to_channel oc payload [];
+         flush oc
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close wr;
+      let deadline =
+        Option.map (fun t -> Unix.gettimeofday () +. t) timeout
+      in
+      { run_unit = u; pid; fd = rd; deadline; attempt }
+
+(** Read a worker's payload.  Returns [Ok result] or [Error detail];
+    always reaps the child and closes the pipe. *)
+let collect (r : running) : ('r, string) Result.t =
+  let ic = Unix.in_channel_of_descr r.fd in
+  let payload =
+    match (Marshal.from_channel ic : ('r, string) Result.t) with
+    | p -> Some p
+    | exception _ -> None
+  in
+  close_in_noerr ic;
+  let status = waitpid_eintr r.pid in
+  match payload with
+  | Some (Ok res) -> Ok res
+  | Some (Error msg) -> Error ("worker raised: " ^ msg)
+  | None -> Error (status_detail status)
+
+let kill_collect (r : running) : unit =
+  (try Unix.kill r.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (waitpid_eintr r.pid);
+  (try Unix.close r.fd with Unix.Unix_error _ -> ())
+
+(** Run the DAG.  [deps u] lists the units [u] reads (all [< u]);
+    [work u] computes unit [u]'s result (in a worker process); [merge u
+    outcome elapsed] folds it into parent state and is called exactly
+    once per unit, only after all of [u]'s dependencies have merged.
+    [elapsed] is the unit's wall-clock time across its attempts. *)
+let run ?timeout ~(jobs : int) ~(n_units : int) ~(deps : int -> int list)
+    ~(work : int -> 'r) ~(merge : int -> 'r outcome -> float -> unit) () :
+    unit =
+  let jobs = max 1 jobs in
+  let merged = Array.make n_units false in
+  let dispatched = Array.make n_units false in
+  let first_start = Array.make n_units 0.0 in
+  let running : running list ref = ref [] in
+  let n_merged = ref 0 in
+  let finish u outcome =
+    merge u outcome (Unix.gettimeofday () -. first_start.(u));
+    merged.(u) <- true;
+    incr n_merged
+  in
+  let ready () =
+    let rec scan u acc =
+      if u >= n_units then List.rev acc
+      else if
+        (not dispatched.(u)) && List.for_all (fun d -> merged.(d)) (deps u)
+      then scan (u + 1) (u :: acc)
+      else scan (u + 1) acc
+    in
+    scan 0 []
+  in
+  let dispatch () =
+    List.iter
+      (fun u ->
+        if List.length !running < jobs then begin
+          dispatched.(u) <- true;
+          first_start.(u) <- Unix.gettimeofday ();
+          running := spawn ?timeout ~work u 1 :: !running
+        end)
+      (ready ())
+  in
+  let retry_or_fail (r : running) ~timed_out detail =
+    if r.attempt >= 2 then
+      finish r.run_unit (Failed { timed_out; attempts = r.attempt; detail })
+    else
+      running := spawn ?timeout ~work r.run_unit (r.attempt + 1) :: !running
+  in
+  while !n_merged < n_units do
+    dispatch ();
+    (* Topological numbering guarantees progress: if nothing is merged
+       yet, unit 0 has no deps and is always dispatchable. *)
+    assert (!running <> []);
+    let now = Unix.gettimeofday () in
+    let wait =
+      List.fold_left
+        (fun acc r ->
+          match r.deadline with
+          | None -> acc
+          | Some d ->
+              let left = max 0.0 (d -. now) in
+              if acc < 0.0 then left else min acc left)
+        (-1.0) !running
+    in
+    let readable, _, _ = select_eintr (List.map (fun r -> r.fd) !running) wait in
+    let done_now, rest =
+      List.partition (fun r -> List.memq r.fd readable) !running
+    in
+    running := rest;
+    List.iter
+      (fun r ->
+        match collect r with
+        | Ok res -> finish r.run_unit (Done res)
+        | Error detail -> retry_or_fail r ~timed_out:false detail)
+      done_now;
+    let now = Unix.gettimeofday () in
+    let expired, alive =
+      List.partition
+        (fun r -> match r.deadline with Some d -> d <= now | None -> false)
+        !running
+    in
+    running := alive;
+    List.iter
+      (fun r ->
+        kill_collect r;
+        retry_or_fail r ~timed_out:true
+          (Printf.sprintf "timed out after %.1fs" (Option.get timeout)))
+      expired
+  done

@@ -1,0 +1,36 @@
+(** Generic parallel scheduler over a topologically ordered DAG of work
+    units, with forked workers, per-unit wall-clock timeouts, one retry,
+    and graceful failure surfacing.  See {!run}. *)
+
+(** Test-only fault injection, applied in the worker immediately after
+    the fork: [Hang] loops forever (exercising the timeout/kill path),
+    [Crash] exits abruptly without writing a payload.  Reset to
+    [(fun _ -> None)] after use. *)
+type fault = Hang | Crash
+
+val fault_hook : (int -> fault option) ref
+
+type 'r outcome =
+  | Done of 'r
+  | Failed of { timed_out : bool; attempts : int; detail : string }
+
+(** [run ?timeout ~jobs ~n_units ~deps ~work ~merge ()] executes units
+    [0 .. n_units-1], where every id in [deps u] is [< u].  A unit is
+    dispatched once all of its dependencies have merged, so a forked
+    worker sees every upstream result through inherited memory; [work u]
+    runs in the worker and its result is marshalled back (it must not
+    contain closures; hash-consed values need re-interning on the parent
+    side).  [merge u outcome elapsed] runs in the parent, exactly once
+    per unit.  At most [jobs] workers run concurrently.  A worker
+    exceeding [timeout] seconds is killed and the unit retried once;
+    crashes likewise.  A second failure yields [Failed] — the scheduler
+    never wedges and never aborts the run. *)
+val run :
+  ?timeout:float ->
+  jobs:int ->
+  n_units:int ->
+  deps:(int -> int list) ->
+  work:(int -> 'r) ->
+  merge:(int -> 'r outcome -> float -> unit) ->
+  unit ->
+  unit

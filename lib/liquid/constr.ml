@@ -281,6 +281,187 @@ let compile_env (env : env) : slot list =
        (fun (x, rt) -> compile_binding (var_value rt x) rt)
        env.binds)
 
+(* -- Dependency structure ----------------------------------------------------------- *)
+
+(** κs read by a constraint: those in its environment and left-hand side.
+    Weakening the constraint's right-hand κ must be reconsidered whenever
+    any of these weakens. *)
+let reads (c : sub) : int list =
+  let env_ks =
+    List.concat_map (fun (_, rt) -> Rtype.kvars rt) c.sub_env.binds
+  in
+  Listx.dedup_ordered ~compare:Int.compare
+    (List.map fst c.lhs.Rtype.kvars @ env_ks)
+
+(** The κ a constraint weakens, if any ([None]: a concrete obligation). *)
+let writes (c : sub) : int option =
+  match c.rhs with Rkvar (k, _) -> Some k | Rconc _ -> None
+
+(* -- Partitioning ------------------------------------------------------------------- *)
+
+(* The κ→κ dependency graph has an edge k → k' for every simple
+   constraint that reads k and writes k': weakening k can oblige k' to
+   weaken.  Real programs decompose into many independent components of
+   this graph (one per top-level function, roughly, with call edges
+   between them), so the fixpoint can be solved per strongly-connected
+   component, in topological order, each component seeing only the final
+   solutions of the components it reads.  The condensation below is the
+   solve-unit plan executed by the engine scheduler. *)
+
+module ISet = Set.Make (Int)
+
+type partition = {
+  part_id : int; (* topological index: every dependency has a smaller id *)
+  part_kvars : int list; (* κs owned (weakened) by this unit, sorted *)
+  part_subs : sub list; (* constraints solved here, in original order *)
+  part_deps : int list; (* part_ids whose final solutions this unit reads *)
+}
+
+type plan = {
+  parts : partition array; (* topologically ordered *)
+  plan_kvars : int; (* κs in the dependency graph *)
+  critical_path : int; (* longest dependency chain, in partitions *)
+}
+
+(** Tarjan's strongly-connected components over an adjacency map.
+    Components are emitted in reverse topological order (a component is
+    finished only after everything it reaches), so reversing the result
+    lists dependencies first. *)
+let scc_condense (nodes : int list) (succs : int -> int list) : int list list
+    =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let comps = ref [] in
+  let rec visit v =
+    Hashtbl.replace index v !next;
+    Hashtbl.replace lowlink v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        match Hashtbl.find_opt index w with
+        | None ->
+            visit w;
+            Hashtbl.replace lowlink v
+              (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        | Some wi ->
+            if Hashtbl.mem on_stack w then
+              Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) wi))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      (* v is the root of a component: pop the stack down to it *)
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then visit v) nodes;
+  (* [comps] accumulated reversed-of-emission = topological order *)
+  !comps
+
+(** Build the solve-unit plan for a constraint system: κ→κ edges from
+    the simple constraints, SCC condensation in topological order,
+    κ-weakening constraints attached to the unit owning their κ, and
+    concrete obligations attached to the {e latest} unit among the κs
+    they read (with explicit dependency edges on the others, so every κ
+    a concrete check reads is final when the check runs). *)
+let partition_plan (wfs : wf list) (subs : sub list) : plan =
+  (* κ universe: wf κs plus everything read or written. *)
+  let kvars =
+    Listx.dedup_ordered ~compare:Int.compare
+      (List.map (fun w -> w.wf_kvar) wfs
+      @ List.concat_map
+          (fun c -> match writes c with Some k -> k :: reads c | None -> reads c)
+          subs)
+  in
+  (* Adjacency: k -> κs written by constraints reading k. *)
+  let succs_tbl : (int, ISet.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      match writes c with
+      | None -> ()
+      | Some kw ->
+          List.iter
+            (fun kr ->
+              if kr <> kw then
+                let prev =
+                  Option.value ~default:ISet.empty
+                    (Hashtbl.find_opt succs_tbl kr)
+                in
+                Hashtbl.replace succs_tbl kr (ISet.add kw prev))
+            (reads c))
+    subs;
+  let succs k =
+    match Hashtbl.find_opt succs_tbl k with
+    | Some s -> ISet.elements s
+    | None -> []
+  in
+  let comps = scc_condense kvars succs in
+  (* Degenerate system with no κs: one catch-all unit for the checks. *)
+  let comps = if comps = [] then [ [] ] else comps in
+  let n = List.length comps in
+  let comp_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun i ks -> List.iter (fun k -> Hashtbl.replace comp_of k i) ks)
+    comps;
+  let part_of_kvar k =
+    match Hashtbl.find_opt comp_of k with Some i -> i | None -> 0
+  in
+  (* Assign constraints: subs buckets keep original order; deps collect
+     every foreign unit a constraint reads. *)
+  let bucket_subs = Array.make n [] in
+  let deps = Array.make n ISet.empty in
+  List.iter
+    (fun c ->
+      let home =
+        match writes c with
+        | Some kw -> part_of_kvar kw
+        | None ->
+            (* latest unit among the κs read; unit 0 for κ-free checks *)
+            List.fold_left (fun acc k -> max acc (part_of_kvar k)) 0 (reads c)
+      in
+      bucket_subs.(home) <- c :: bucket_subs.(home);
+      List.iter
+        (fun kr ->
+          let p = part_of_kvar kr in
+          if p <> home then deps.(home) <- ISet.add p deps.(home))
+        (reads c))
+    subs;
+  let parts =
+    Array.of_list
+      (List.mapi
+         (fun i ks ->
+           {
+             part_id = i;
+             part_kvars = List.sort Int.compare ks;
+             part_subs = List.rev bucket_subs.(i);
+             part_deps = ISet.elements deps.(i);
+           })
+         comps)
+  in
+  (* Longest dependency chain (in units), by DP over the topo order. *)
+  let depth = Array.make n 0 in
+  Array.iter
+    (fun p ->
+      depth.(p.part_id) <-
+        1 + List.fold_left (fun acc d -> max acc depth.(d)) 0 p.part_deps)
+    parts;
+  {
+    parts;
+    plan_kvars = List.length kvars;
+    critical_path = Array.fold_left max 0 depth;
+  }
+
 (* -- Printing ---------------------------------------------------------------------- *)
 
 let pp_origin ppf { loc; reason } = Fmt.pf ppf "%s at %a" reason Loc.pp loc

@@ -58,6 +58,41 @@ val split : env -> origin -> Rtype.t -> Rtype.t -> sub list -> sub list
     entering scope per the paper's rules. *)
 val split_wf : env -> Rtype.t -> wf list -> wf list
 
+(** {1 Dependency structure and partitioning} *)
+
+(** κs read by a constraint (environment and left-hand side): weakening
+    any of them can weaken the constraint's right-hand κ. *)
+val reads : sub -> int list
+
+(** The κ a constraint weakens ([None]: a concrete obligation). *)
+val writes : sub -> int option
+
+(** A {e solve unit}: one strongly-connected component of the κ→κ
+    dependency graph, owning the constraints that weaken its κs plus the
+    concrete obligations attached to it.  Units are numbered in
+    topological order — every [part_deps] entry is a smaller id — so a
+    scheduler may run any unit whose dependencies have completed, and
+    sequential execution in id order is always legal. *)
+type partition = {
+  part_id : int; (* topological index: every dependency has a smaller id *)
+  part_kvars : int list; (* κs owned (weakened) by this unit, sorted *)
+  part_subs : sub list; (* constraints solved here, in original order *)
+  part_deps : int list; (* part_ids whose final solutions this unit reads *)
+}
+
+type plan = {
+  parts : partition array; (* topologically ordered *)
+  plan_kvars : int; (* κs in the dependency graph *)
+  critical_path : int; (* longest dependency chain, in partitions *)
+}
+
+(** Condense the κ→κ dependency graph of a constraint system into the
+    solve-unit plan: SCC condensation in topological order, κ-weakening
+    constraints attached to the unit owning their κ, concrete
+    obligations attached to the latest unit among the κs they read (with
+    dependency edges on the others). *)
+val partition_plan : wf list -> sub list -> plan
+
 (** {1 Embedding} *)
 
 module KMap : Map.S with type key = int

@@ -34,7 +34,17 @@
       the interned tags of the retained hypotheses catches instances
       whose pruned query survives even though a dependency κ changed.
       Both engines compute the same solution, in the same candidate
-      order. *)
+      order.
+
+    The engine itself is organized around {e solve units}
+    ({!Constr.partition}): all mutable state — worklist, assignment
+    fragment, compiled constraints, κ versions, counters — lives in a
+    per-unit record created by {!solve_unit}, never in module globals.
+    {!solve} runs the whole system as a single unit (the reference,
+    byte-identical to the pre-partitioned engine); the parallel
+    scheduler ({!Liquid_engine.Psolve}) runs one unit per κ-SCC in
+    topological order, merging the resulting {!partial}s with the pure
+    helpers below. *)
 
 open Liquid_common
 open Liquid_logic
@@ -104,18 +114,10 @@ let init_assignment ?(consts = []) (quals : Qualifier.t list)
 
 (* -- Dependency index ----------------------------------------------------------- *)
 
-(** κs read by a constraint: those in its environment and left-hand side. *)
-let reads (c : Constr.sub) : int list =
-  let env_ks =
-    List.concat_map (fun (_, rt) -> Rtype.kvars rt) c.Constr.sub_env.Constr.binds
-  in
-  Liquid_common.Listx.dedup_ordered ~compare:Int.compare
-    (List.map fst c.Constr.lhs.Rtype.kvars @ env_ks)
-
-let writes (c : Constr.sub) : int option =
-  match c.Constr.rhs with
-  | Constr.Rkvar (k, _) -> Some k
-  | Constr.Rconc _ -> None
+(* The κs a constraint reads/writes live in {!Constr} ([Constr.reads],
+   [Constr.writes]), shared with the partition planner. *)
+let reads = Constr.reads
+let writes = Constr.writes
 
 (* -- Checking --------------------------------------------------------------------- *)
 
@@ -149,12 +151,16 @@ type shared = {
 
 let run_worklist (subs : Constr.sub list) (stats : stats)
     (assignment : (Pred.t * SSet.t) list KMap.t ref)
+    ~(base : Constr.solution)
     ~(weaken : shared -> Constr.sub -> Rtype.kvar -> Pred.subst -> unit) :
     unit =
+  (* Owned κs resolve through the unit's own (mutable) assignment;
+     anything else is an upstream κ, final for the lifetime of this
+     unit, resolved through the read-only [base]. *)
   let lookup k =
     match KMap.find_opt k !assignment with
     | Some ps -> List.map fst ps
-    | None -> []
+    | None -> Constr.sol_find base k
   in
   (* Dependency index: κ -> constraints that must be re-checked when the
      assignment of κ weakens. *)
@@ -433,23 +439,57 @@ let weaken_incremental (compiled_of : Constr.sub -> compiled)
     end
   end
 
-(* -- Solving ------------------------------------------------------------------------- *)
+(* -- Solving one unit --------------------------------------------------------------- *)
 
-let solve ?(quals = Qualifier.defaults) ?(consts = []) ?(incremental = true)
-    (wfs : Constr.wf list) (subs : Constr.sub list) : result =
-  let stats =
-    {
-      iterations = 0;
-      implication_checks = 0;
-      initial_candidates = 0;
-      skipped_rechecks = 0;
-      solve_time = 0.0;
-      check_time = 0.0;
-    }
+(** Candidate assignment: per κ, the surviving qualifier instances, each
+    carrying the names of the patterns that produced it. *)
+type candidates = (Pred.t * SSet.t) list KMap.t
+
+(** Global SMT-counter movement during a unit's solve, so a parent
+    process can fold a worker's solver activity into its own counters
+    (the worker's {!Solver.stats} die with the worker). *)
+type smt_delta = {
+  d_queries : int;
+  d_cache_hits : int;
+  d_sat_checks : int;
+  d_unknowns : int;
+}
+
+(** Result of solving one unit: the final assignment of its κs, its
+    concrete-check failures keyed by [sub_id] (for deterministic
+    cross-unit ordering), its counters, and its SMT-counter delta. *)
+type partial = {
+  pr_solution : candidates;
+  pr_failures : (int * failure) list;
+  pr_stats : stats;
+  pr_smt : smt_delta;
+}
+
+let fresh_stats () =
+  {
+    iterations = 0;
+    implication_checks = 0;
+    initial_candidates = 0;
+    skipped_rechecks = 0;
+    solve_time = 0.0;
+    check_time = 0.0;
+  }
+
+(** Solve one unit to fixpoint and check its concrete obligations.
+    [init] is the initial (strongest) assignment of the unit's own κs;
+    [base] holds the final solutions of every upstream κ the unit's
+    constraints read.  All engine state is local to this call. *)
+let solve_unit ?(incremental = true) ~(base : Constr.solution)
+    ~(init : candidates) (subs : Constr.sub list) : partial =
+  let stats = fresh_stats () in
+  let smt0 =
+    ( Solver.stats.Solver.queries,
+      Solver.stats.Solver.cache_hits,
+      Solver.stats.Solver.sat_checks,
+      Solver.stats.Solver.unknowns )
   in
   let t0 = Unix.gettimeofday () in
-  let initial = init_assignment ~consts quals wfs in
-  let assignment = ref initial in
+  let assignment = ref init in
   KMap.iter
     (fun _ ps -> stats.initial_candidates <- stats.initial_candidates + List.length ps)
     !assignment;
@@ -464,17 +504,17 @@ let solve ?(quals = Qualifier.defaults) ?(consts = []) ?(incremental = true)
            comp
      in
      let version : (int, int) Hashtbl.t = Hashtbl.create 64 in
-     run_worklist subs stats assignment
+     run_worklist subs stats assignment ~base
        ~weaken:(weaken_incremental compiled_of version)
    end
-   else run_worklist subs stats assignment ~weaken:weaken_naive);
+   else run_worklist subs stats assignment ~base ~weaken:weaken_naive);
   stats.solve_time <- Unix.gettimeofday () -. t0;
   let lookup k =
     match KMap.find_opt k !assignment with
     | Some ps -> List.map fst ps
-    | None -> []
+    | None -> Constr.sol_find base k
   in
-  (* Final pass: concrete obligations. *)
+  (* Final pass: concrete obligations, in original constraint order. *)
   let t1 = Unix.gettimeofday () in
   let failures =
     List.filter_map
@@ -491,34 +531,95 @@ let solve ?(quals = Qualifier.defaults) ?(consts = []) ?(incremental = true)
               | Solver.Valid -> None
               | Solver.Invalid ->
                   Some
-                    {
-                      f_origin = c.Constr.origin;
-                      f_goal = goal;
-                      f_cex = !Solver.last_cex;
-                    }
+                    ( c.Constr.sub_id,
+                      {
+                        f_origin = c.Constr.origin;
+                        f_goal = goal;
+                        f_cex = !Solver.last_cex;
+                      } )
               | Solver.Unknown ->
                   Some
-                    { f_origin = c.Constr.origin; f_goal = goal; f_cex = [] }
+                    ( c.Constr.sub_id,
+                      { f_origin = c.Constr.origin; f_goal = goal; f_cex = [] }
+                    )
             end)
       subs
   in
   stats.check_time <- Unix.gettimeofday () -. t1;
-  (* Dead qualifiers: patterns that contributed at least one initial
-     instance to some κ but whose every instance was pruned everywhere. *)
+  let q0, h0, s0, u0 = smt0 in
+  {
+    pr_solution = !assignment;
+    pr_failures = failures;
+    pr_stats = stats;
+    pr_smt =
+      {
+        d_queries = Solver.stats.Solver.queries - q0;
+        d_cache_hits = Solver.stats.Solver.cache_hits - h0;
+        d_sat_checks = Solver.stats.Solver.sat_checks - s0;
+        d_unknowns = Solver.stats.Solver.unknowns - u0;
+      };
+  }
+
+(* -- Merging ------------------------------------------------------------------------ *)
+
+(** Pure sum of per-unit counters ([initial_candidates] included: units
+    own disjoint κ sets, so per-unit counts partition the global one). *)
+let merge_stats (a : stats) (b : stats) : stats =
+  {
+    iterations = a.iterations + b.iterations;
+    implication_checks = a.implication_checks + b.implication_checks;
+    initial_candidates = a.initial_candidates + b.initial_candidates;
+    skipped_rechecks = a.skipped_rechecks + b.skipped_rechecks;
+    solve_time = a.solve_time +. b.solve_time;
+    check_time = a.check_time +. b.check_time;
+  }
+
+(** Pure union of unit solutions (unit κ sets are disjoint by
+    construction, so the merge direction is immaterial). *)
+let merge_solutions (a : candidates) (b : candidates) : candidates =
+  KMap.union (fun _ ps _ -> Some ps) a b
+
+(** Dead qualifiers of a merged run: patterns with an initial instance
+    in some κ of [initial], none of which survived into [final]. *)
+let dead_qualifiers ~(initial : candidates) ~(final : candidates) :
+    string list =
   let names_of asg =
     KMap.fold
       (fun _ ps acc ->
         List.fold_left (fun acc (_, ns) -> SSet.union ns acc) acc ps)
       asg SSet.empty
   in
-  let dead_quals =
-    SSet.elements (SSet.diff (names_of initial) (names_of !assignment))
+  SSet.elements (SSet.diff (names_of initial) (names_of final))
+
+(** Re-intern a partial that crossed a process boundary: every predicate
+    in it is physically foreign after unmarshalling and must be mapped
+    to this process's canonical nodes before it can meet native
+    predicates (see {!Pred.rehasher}). *)
+let rehash_partial (p : partial) : partial =
+  let go = Pred.rehasher () in
+  {
+    p with
+    pr_solution =
+      KMap.map (List.map (fun (q, ns) -> (go q, ns))) p.pr_solution;
+    pr_failures =
+      List.map
+        (fun (id, f) -> (id, { f with f_goal = go f.f_goal }))
+        p.pr_failures;
+  }
+
+(* -- Solving ------------------------------------------------------------------------- *)
+
+let solve ?(quals = Qualifier.defaults) ?(consts = []) ?(incremental = true)
+    (wfs : Constr.wf list) (subs : Constr.sub list) : result =
+  let initial = init_assignment ~consts quals wfs in
+  let partial =
+    solve_unit ~incremental ~base:KMap.empty ~init:initial subs
   in
   {
-    solution = KMap.map (List.map fst) !assignment;
-    failures;
-    solver_stats = stats;
-    dead_quals;
+    solution = KMap.map (List.map fst) partial.pr_solution;
+    failures = List.map snd partial.pr_failures;
+    solver_stats = partial.pr_stats;
+    dead_quals = dead_qualifiers ~initial ~final:partial.pr_solution;
   }
 
 (* -- Applying solutions ----------------------------------------------------------------- *)

@@ -8,6 +8,8 @@ open Liquid_logic
     {!Constr.solution}. *)
 module KMap = Constr.KMap
 
+module SSet : Set.S with type elt = string
+
 type failure = {
   f_origin : Constr.origin;
   f_goal : Pred.t; (* the unprovable obligation *)
@@ -34,14 +36,84 @@ type result = {
          which survived weakening in any κ *)
 }
 
-(** Solve the constraint system.  [quals] are the qualifier patterns;
-    [consts] are mined integer literals offered to placeholders.
-    [incremental] (default [true]) selects the incremental weakening
-    engine — compiled antecedents with per-κ invalidation, re-checking
-    only instances whose recorded κ-dependency set weakened; [false]
-    runs the naive reference engine, which re-embeds and re-checks
-    everything on each pop.  Both compute the same solution and
-    failures, in the same order. *)
+(** {1 Solve units}
+
+    The engine solves {e units} — subsets of the constraint system whose
+    κs are closed under mutual dependency (see {!Constr.partition_plan}).
+    All engine state (worklist, assignment, compiled-constraint cache,
+    counters) is local to one {!solve_unit} call; a multi-unit run merges
+    the resulting {!partial}s with the pure functions below.  A
+    whole-system run is the special case of a single unit with an empty
+    base, which is exactly what {!solve} does. *)
+
+(** Candidate assignment: per κ, the surviving qualifier instances, each
+    tagged with the qualifier-pattern names that produced it. *)
+type candidates = (Pred.t * SSet.t) list KMap.t
+
+(** All-zero counters, for accumulating merged stats. *)
+val fresh_stats : unit -> stats
+
+(** Initial (strongest) assignment from the well-formedness constraints:
+    all qualifier instances scoping correctly per κ, intersected over
+    the κ's wf environments. *)
+val init_assignment :
+  ?consts:int list -> Qualifier.t list -> Constr.wf list -> candidates
+
+(** Movement of the global {!Solver.stats} counters during one
+    {!solve_unit} call, so a parent process can fold a worker's solver
+    activity into its own counters. *)
+type smt_delta = {
+  d_queries : int;
+  d_cache_hits : int;
+  d_sat_checks : int;
+  d_unknowns : int;
+}
+
+(** Result of solving one unit: final assignment of its κs, concrete
+    failures keyed by [sub_id] (for deterministic cross-unit ordering),
+    per-unit counters, and the SMT-counter delta. *)
+type partial = {
+  pr_solution : candidates;
+  pr_failures : (int * failure) list;
+  pr_stats : stats;
+  pr_smt : smt_delta;
+}
+
+(** Solve one unit to fixpoint and check its concrete obligations.
+    [base] holds the final solutions of every upstream κ read but not
+    owned by this unit; [init] is the initial assignment of the unit's
+    own κs. *)
+val solve_unit :
+  ?incremental:bool ->
+  base:Constr.solution ->
+  init:candidates ->
+  Constr.sub list ->
+  partial
+
+(** {1 Merging} — pure; units own disjoint κ sets. *)
+
+val merge_stats : stats -> stats -> stats
+val merge_solutions : candidates -> candidates -> candidates
+
+(** Qualifier patterns with an initial instance in some κ of [initial],
+    none of which survived into [final]. *)
+val dead_qualifiers : initial:candidates -> final:candidates -> string list
+
+(** Re-intern a partial that crossed a process boundary (unmarshalled
+    values are physically foreign to the local hash-cons tables; see
+    {!Pred.rehasher}). *)
+val rehash_partial : partial -> partial
+
+(** {1 Whole-system solving} *)
+
+(** Solve the constraint system as one unit.  [quals] are the qualifier
+    patterns; [consts] are mined integer literals offered to
+    placeholders.  [incremental] (default [true]) selects the
+    incremental weakening engine — compiled antecedents with per-κ
+    invalidation, re-checking only instances whose recorded κ-dependency
+    set weakened; [false] runs the naive reference engine, which
+    re-embeds and re-checks everything on each pop.  Both compute the
+    same solution and failures, in the same order. *)
 val solve :
   ?quals:Qualifier.t list ->
   ?consts:int list ->

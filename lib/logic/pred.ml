@@ -100,6 +100,36 @@ let interned_count () = !counter
 let equal (a : t) (b : t) = a == b
 let compare (a : t) (b : t) = Stdlib.Int.compare a.tag b.tag
 
+(** Re-interning for predicates built in another heap (unmarshalled from
+    a worker process); see {!Term.rehasher} for the contract.  Nodes are
+    rebuilt verbatim through {!make} — not the smart constructors — so
+    the local predicate is byte-identical in structure to the foreign
+    one. *)
+let rehasher () : t -> t =
+  let tgo = Term.rehasher () in
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 256 in
+  let rec go p =
+    match Hashtbl.find_opt memo p.tag with
+    | Some q -> q
+    | None ->
+        let node =
+          match p.node with
+          | True -> True
+          | False -> False
+          | Atom (a, r, b) -> Atom (tgo a, r, tgo b)
+          | Bvar x -> Bvar x
+          | Not q -> Not (go q)
+          | And qs -> And (List.map go qs)
+          | Or qs -> Or (List.map go qs)
+          | Imp (a, b) -> Imp (go a, go b)
+          | Iff (a, b) -> Iff (go a, go b)
+        in
+        let q = make node in
+        Hashtbl.add memo p.tag q;
+        q
+  in
+  go
+
 (** Hash table keyed on interned predicates: constant-time hashing and
     physical-equality buckets.  This is what the SMT result cache and the
     propositional atom table use. *)

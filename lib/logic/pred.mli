@@ -47,6 +47,13 @@ val brel_compare : brel -> brel -> int
 val compare : t -> t -> int
 
 val equal : t -> t -> bool
+
+(** [rehasher ()] is a memoized re-interner for predicates unmarshalled
+    from another process (see {!Term.rehasher}): it maps a physically
+    foreign predicate to the canonical local node, restoring physical
+    equality and tag-keyed table behaviour.  One rehasher per marshalled
+    payload. *)
+val rehasher : unit -> t -> t
 val is_true : t -> bool
 val is_false : t -> bool
 

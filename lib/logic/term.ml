@@ -102,6 +102,40 @@ let interned_count () = !counter
 let equal (a : t) (b : t) = a == b
 let compare (a : t) (b : t) = Stdlib.Int.compare a.tag b.tag
 
+(** Re-interning for terms built in {e another} heap — typically
+    unmarshalled from a worker process.  Such terms are structurally
+    well-formed but physically foreign: none of their nodes live in this
+    process's interning table, so [equal]/[compare] (and every table
+    keyed on tags) would silently misbehave on them.  A rehasher walks
+    the foreign DAG bottom-up through {!make}, producing the canonical
+    local node for every sub-term.  The memo table is keyed on the
+    foreign tags, which are internally consistent within one marshalled
+    payload — one rehasher must therefore be used per payload, never
+    shared across payloads from different workers. *)
+let rehasher () : t -> t =
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 256 in
+  let rec go t =
+    match Hashtbl.find_opt memo t.tag with
+    | Some t' -> t'
+    | None ->
+        let node =
+          match t.node with
+          | Int _ | Var _ -> t.node
+          | App (f, ts) ->
+              (* re-canonicalize the symbol through the local registry *)
+              App (Symbol.declare (Symbol.name f) (Symbol.signature f),
+                   List.map go ts)
+          | Neg a -> Neg (go a)
+          | Add (a, b) -> Add (go a, go b)
+          | Sub (a, b) -> Sub (go a, go b)
+          | Mul (a, b) -> Mul (go a, go b)
+        in
+        let t' = make node in
+        Hashtbl.add memo t.tag t';
+        t'
+  in
+  go
+
 (** Sort of a term.  Arithmetic nodes are always [Int]; applications have
     the result sort of their head symbol. *)
 let sort t =

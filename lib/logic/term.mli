@@ -43,6 +43,13 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+(** [rehasher ()] is a memoized re-interner for terms unmarshalled from
+    another process: it maps a physically foreign (but structurally
+    valid) term to the canonical local node, so physical equality and
+    tag-keyed tables work again.  Use one rehasher per marshalled
+    payload (the memo is keyed on the payload's own tags). *)
+val rehasher : unit -> t -> t
+
 (** Sort of a term; arithmetic is [Int], applications use the head's
     result sort. *)
 val sort : t -> Sort.t

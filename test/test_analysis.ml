@@ -8,7 +8,14 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let lints ?(quals = Liquid_infer.Qualifier.defaults) src =
-  (Liquid_driver.Pipeline.verify_string ~quals ~lint:true src)
+  (Liquid_driver.Pipeline.verify_string
+     ~options:
+       {
+         Liquid_driver.Pipeline.default with
+         Liquid_driver.Pipeline.quals;
+         lint = true;
+       }
+     src)
     .Liquid_driver.Pipeline.lints
 
 let codes diags = List.map (fun d -> Diagnostic.code_name d.Diagnostic.code) diags
@@ -227,7 +234,12 @@ let test_report_order () =
   check_bool "sorted by position" true (lines = List.sort compare lines)
 
 let test_json_roundtrip_shape () =
-  let r = Liquid_driver.Pipeline.verify_string ~lint:true "let f x = let y = x in x\nlet _ = f 1" in
+  let r =
+    Liquid_driver.Pipeline.verify_string
+      ~options:
+        { Liquid_driver.Pipeline.default with Liquid_driver.Pipeline.lint = true }
+      "let f x = let y = x in x\nlet _ = f 1"
+  in
   let s =
     Fmt.str "%a" Json.pp (Liquid_driver.Pipeline.json_of_report ~file:"t.ml" r)
   in

@@ -48,28 +48,66 @@ let test_mined_constant_enables_proof () =
     \  let a = Array.make 17 0 in\n\
     \  Array.get a (count 0)"
   in
-  let mined = Pipeline.verify_string ~mine:true src in
-  let unmined = Pipeline.verify_string ~mine:false src in
+  let mined =
+    Pipeline.verify_string
+      ~options:{ Pipeline.default with Pipeline.mine = true }
+      src
+  in
+  let unmined =
+    Pipeline.verify_string
+      ~options:{ Pipeline.default with Pipeline.mine = false }
+      src
+  in
   check_bool "safe with mined constants" true mined.Pipeline.safe;
   check_bool "unsafe without mining" false unmined.Pipeline.safe
 
 let test_phase_timings () =
-  let r = Pipeline.verify_string ~lint:true "let x = assert (1 < 2)" in
+  let r =
+    Pipeline.verify_string
+      ~options:{ Pipeline.default with Pipeline.lint = true }
+      "let x = assert (1 < 2)"
+  in
   check_bool "phases reported in pipeline order" true
     (List.map fst r.Pipeline.stats.Pipeline.phases
-    = [ "parse"; "anf"; "hm"; "congen"; "solve"; "concrete_check"; "lint" ]);
+    = [
+        "parse";
+        "anf";
+        "hm";
+        "congen";
+        "partition";
+        "solve";
+        "concrete_check";
+        "merge";
+        "lint";
+      ]);
   check_bool "phase times are non-negative" true
     (List.for_all (fun (_, t) -> t >= 0.0) r.Pipeline.stats.Pipeline.phases);
+  let sum =
+    List.fold_left (fun acc (_, t) -> acc +. t) 0.0
+      r.Pipeline.stats.Pipeline.phases
+  in
+  check_bool "elapsed is the sum of the phases" true
+    (Float.abs (r.Pipeline.stats.Pipeline.elapsed -. sum) < 1e-9);
   let plain = Pipeline.verify_string "let x = assert (1 < 2)" in
   check_bool "no lint phase without lint" true
-    (not (List.mem_assoc "lint" plain.Pipeline.stats.Pipeline.phases))
+    (not (List.mem_assoc "lint" plain.Pipeline.stats.Pipeline.phases));
+  let sum_plain =
+    List.fold_left (fun acc (_, t) -> acc +. t) 0.0
+      plain.Pipeline.stats.Pipeline.phases
+  in
+  check_bool "elapsed is the sum of the phases (no lint)" true
+    (Float.abs (plain.Pipeline.stats.Pipeline.elapsed -. sum_plain) < 1e-9)
 
 (* Regression: the lint pass used to inflate [n_smt_queries]; its queries
    must be accounted separately and excluded from the solver total. *)
 let test_lint_queries_not_double_counted () =
   let src = Liquid_suite.Programs.dotprod.Liquid_suite.Programs.source in
   let plain = Pipeline.verify_string src in
-  let linted = Pipeline.verify_string ~lint:true src in
+  let linted =
+    Pipeline.verify_string
+      ~options:{ Pipeline.default with Pipeline.lint = true }
+      src
+  in
   check_int "lint pass leaves the solver query count unchanged"
     plain.Pipeline.stats.Pipeline.n_smt_queries
     linted.Pipeline.stats.Pipeline.n_smt_queries;

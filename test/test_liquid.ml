@@ -6,7 +6,9 @@ let verify ?(quals = "") src =
   let quals =
     Liquid_infer.Qualifier.defaults @ Liquid_infer.Qualifier.parse_string quals
   in
-  Liquid_driver.Pipeline.verify_string ~quals src
+  Liquid_driver.Pipeline.verify_string
+    ~options:{ Liquid_driver.Pipeline.default with Liquid_driver.Pipeline.quals }
+    src
 
 let is_safe ?quals src = (verify ?quals src).Liquid_driver.Pipeline.safe
 

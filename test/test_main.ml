@@ -18,4 +18,5 @@ let () =
       ("driver", Test_driver.tests);
       ("analysis", Test_analysis.tests);
       ("tricky", Test_tricky.tests);
+      ("partition", Test_partition.tests);
     ]

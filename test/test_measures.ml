@@ -5,7 +5,10 @@
 let quals =
   Liquid_infer.Qualifier.defaults @ Liquid_infer.Qualifier.list_defaults
 
-let verify src = Liquid_driver.Pipeline.verify_string ~quals src
+let verify src =
+  Liquid_driver.Pipeline.verify_string
+    ~options:{ Liquid_driver.Pipeline.default with Liquid_driver.Pipeline.quals }
+    src
 
 let is_safe src = (verify src).Liquid_driver.Pipeline.safe
 

@@ -13,7 +13,14 @@ let parse1 s =
 
 let verify ?(quals = Qualifier.defaults) ~specs src =
   let specs = Spec.parse_string specs in
-  Liquid_driver.Pipeline.verify_string ~quals ~specs src
+  Liquid_driver.Pipeline.verify_string
+    ~options:
+      {
+        Liquid_driver.Pipeline.default with
+        Liquid_driver.Pipeline.quals;
+        specs;
+      }
+    src
 
 let is_safe ?quals ~specs src =
   (verify ?quals ~specs src).Liquid_driver.Pipeline.safe
