@@ -329,10 +329,170 @@ let partition_bench () =
       ] )
 
 (* ------------------------------------------------------------------ *)
+(* SERVER: the verification daemon, cold vs warm                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs the whole T1 suite through a daemon twice — a cold pass into an
+   empty persistent cache, then (after a daemon restart, so the
+   in-memory table is gone) a warm pass served from disk — and compares
+   both against direct in-process verification byte-for-byte.  Returns
+   whether all three agree plus a JSON fragment for
+   BENCH_fixpoint.json. *)
+let server_bench () =
+  section "SERVER: verification daemon (cold vs warm, persistent cache)";
+  Fmt.pr
+    "A resident daemon (dsolve --serve) keeps hash-cons tables and@.\
+     solver caches warm and persists verdicts in an on-disk store@.\
+     keyed by (source, qualifiers, options, build).  The warm pass@.\
+     re-verifies the unchanged suite after a daemon restart: every@.\
+     program must be served from the persistent cache, byte-identical@.\
+     to direct in-process verification.@.@.";
+  let module Server = Liquid_server.Server in
+  let module Client = Liquid_server.Client in
+  let module Protocol = Liquid_server.Protocol in
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dsolve-bench-server-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf base;
+  Unix.mkdir base 0o755;
+  let sock = Filename.concat base "d.sock" in
+  let cache = Filename.concat base "cache" in
+  let start_daemon () =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (try
+           Server.serve
+             {
+               Server.sock;
+               cache_dir = Some cache;
+               jobs = 1;
+               request_timeout = None;
+               quiet = true;
+             }
+         with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  let stop_daemon pid =
+    (try Client.with_connection sock Client.shutdown with _ -> ());
+    ignore (Unix.waitpid [] pid)
+  in
+  let batch =
+    List.map
+      (fun (b : Liquid_suite.Programs.benchmark) ->
+        Protocol.request ~qual_text:b.Liquid_suite.Programs.extra_qualifiers
+          ~mine:false ~name:b.Liquid_suite.Programs.name
+          b.Liquid_suite.Programs.source)
+      Liquid_suite.Programs.all
+  in
+  (* Shape replies like [fingerprint] rows so passes compare directly. *)
+  let of_replies replies =
+    List.map2
+      (fun (b : Liquid_suite.Programs.benchmark) reply ->
+        match reply with
+        | Protocol.Verified (rep : Liquid_driver.Pipeline.report) ->
+            ( b.Liquid_suite.Programs.name,
+              rep.Liquid_driver.Pipeline.safe,
+              List.map
+                (fun (e : Liquid_driver.Pipeline.error) ->
+                  Fmt.str "%a: %s: %s" Liquid_common.Loc.pp
+                    e.Liquid_driver.Pipeline.err_loc
+                    e.Liquid_driver.Pipeline.err_reason
+                    e.Liquid_driver.Pipeline.err_goal)
+                rep.Liquid_driver.Pipeline.errors,
+              render_types rep )
+        | Protocol.Rejected e ->
+            ( b.Liquid_suite.Programs.name,
+              false,
+              [ Fmt.str "[%s] %s" e.Protocol.ve_code e.Protocol.ve_message ],
+              "" ))
+      Liquid_suite.Programs.all replies
+  in
+  let run_pass () =
+    let pid = start_daemon () in
+    Fun.protect
+      ~finally:(fun () -> stop_daemon pid)
+      (fun () ->
+        let c = Client.connect_retry sock in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let replies = Client.verify c batch in
+            let dt = Unix.gettimeofday () -. t0 in
+            (of_replies replies, dt, Client.stats c)))
+  in
+  let reference =
+    fingerprint
+      (List.map
+         (fun b -> Liquid_suite.Runner.verify ~jobs:1 b)
+         Liquid_suite.Programs.all)
+  in
+  let cold, t_cold, s_cold = run_pass () in
+  let warm, t_warm, s_warm = run_pass () in
+  rm_rf base;
+  let n = List.length batch in
+  let hit_rate =
+    if s_warm.Protocol.sv_programs = 0 then 0.0
+    else
+      float_of_int s_warm.Protocol.sv_disk_hits
+      /. float_of_int s_warm.Protocol.sv_programs
+  in
+  let cold_agrees = cold = reference in
+  let warm_agrees = warm = reference in
+  let agree = cold_agrees && warm_agrees && hit_rate > 0.0 in
+  Fmt.pr "%-6s %10s %8s %10s %10s %8s@." "pass" "time(s)" "cold" "disk-hits"
+    "hit-rate" "agrees";
+  Fmt.pr "%-6s %10.2f %8d %10d %10.2f %8b@." "cold" t_cold
+    s_cold.Protocol.sv_cold s_cold.Protocol.sv_disk_hits
+    (if s_cold.Protocol.sv_programs = 0 then 0.0
+     else
+       float_of_int s_cold.Protocol.sv_disk_hits
+       /. float_of_int s_cold.Protocol.sv_programs)
+    cold_agrees;
+  Fmt.pr "%-6s %10.2f %8d %10d %10.2f %8b@." "warm" t_warm
+    s_warm.Protocol.sv_cold s_warm.Protocol.sv_disk_hits hit_rate warm_agrees;
+  Fmt.pr
+    "@.cold/warm speedup: %.1fx   all verdicts identical to direct runs: %b@."
+    (if t_warm > 0.0 then t_cold /. t_warm else 0.0)
+    (cold_agrees && warm_agrees);
+  if not agree then
+    List.iter2
+      (fun a b ->
+        if a <> b then
+          let name, _, _, _ = a in
+          Fmt.pr "  MISMATCH: %s@." name)
+      reference warm;
+  let module J = Liquid_analysis.Json in
+  ( agree,
+    J.Obj
+      [
+        ("programs", J.Int n);
+        ("cold_s", J.Float t_cold);
+        ("warm_s", J.Float t_warm);
+        ("warm_disk_hits", J.Int s_warm.Protocol.sv_disk_hits);
+        ("warm_hit_rate", J.Float hit_rate);
+        ("cold_agrees", J.Bool cold_agrees);
+        ("warm_agrees", J.Bool warm_agrees);
+      ] )
+
+(* ------------------------------------------------------------------ *)
 (* FIXPOINT: per-benchmark solver counters → BENCH_fixpoint.json        *)
 (* ------------------------------------------------------------------ *)
 
-let bench_fixpoint ~partition_json () =
+let bench_fixpoint ~partition_json ~server_json () =
   section "FIXPOINT: per-benchmark solver counters (BENCH_fixpoint.json)";
   Fmt.pr
     "Per-benchmark wall-clock and solver counters for the default@.\
@@ -375,10 +535,11 @@ let bench_fixpoint ~partition_json () =
   let json =
     J.Obj
       [
-        ("schema", J.String "bench_fixpoint/v2");
+        ("schema", J.String "bench_fixpoint/v3");
         ("engine", J.String "incremental");
         ("benchmarks", J.List (List.map snd rows_and_entries));
         ("partition", partition_json);
+        ("server", server_json);
       ]
   in
   let oc = open_out "BENCH_fixpoint.json" in
@@ -493,12 +654,25 @@ let run_bechamel () =
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  (* [server] mode runs only the daemon section — the CI step that
+     gates warm-vs-cold verdict equality and a non-zero persistent
+     cache hit rate without paying for the full harness. *)
+  if Array.exists (fun a -> a = "server") Sys.argv then begin
+    let server_agree, _ = server_bench () in
+    Fmt.pr "@.%s@.Server: %s@.%s@." line
+      (if server_agree then
+         "warm daemon verdicts identical, persistent cache hit"
+       else "DAEMON VERDICTS DIVERGED (or cache never hit)")
+      line;
+    exit (if server_agree then 0 else 1)
+  end;
   let rows = t1 () in
   f1 ();
   a1 ();
   let engines_agree = a2 () in
   let jobs_agree, partition_json = partition_bench () in
-  let fixpoint_rows = bench_fixpoint ~partition_json () in
+  let server_agree, server_json = server_bench () in
+  let fixpoint_rows = bench_fixpoint ~partition_json ~server_json () in
   e1 ();
   if not quick then begin
     a3 ();
@@ -509,7 +683,7 @@ let () =
       (fun (r : Liquid_suite.Runner.row) ->
         r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
       (rows @ fixpoint_rows)
-    && engines_agree && jobs_agree
+    && engines_agree && jobs_agree && server_agree
   in
   Fmt.pr "@.%s@.Overall: %s@.%s@." line
     (if all_safe then "all benchmarks verified SAFE"

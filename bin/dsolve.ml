@@ -12,10 +12,19 @@
     and [--format json] emits the whole report as JSON.  [--jobs N]
     solves independent constraint partitions in N concurrent worker
     processes ([--partition-timeout] bounds each one; an exceeded
-    partition degrades to ⊤ with a P001 diagnostic).  Exits 0 iff the
-    program is proved safe (and lint-clean under [--warn-error]). *)
+    partition degrades to ⊤ with a P001 diagnostic).  [--cache DIR]
+    persists verification results on disk so an unchanged program is
+    re-verified for the cost of a digest.  Exits 0 iff the program is
+    proved safe (and lint-clean under [--warn-error]).
+
+    Server mode: [dsolve --serve SOCK] starts a resident verification
+    daemon on a Unix-domain socket; [dsolve --connect SOCK FILE...]
+    verifies files through it ([--server-stats] and [--server-shutdown]
+    query and stop a running daemon). *)
 
 open Cmdliner
+module Pipeline = Liquid_driver.Pipeline
+module Json = Liquid_analysis.Json
 
 let read_file path =
   let ic = open_in path in
@@ -23,108 +32,242 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run file qualfile inline_quals no_defaults list_quals specfile show_stats
-    execute lint warn_error format jobs partition_timeout =
-  let quals =
-    let base = if no_defaults then [] else Liquid_infer.Qualifier.defaults in
-    let base =
-      if list_quals then base @ Liquid_infer.Qualifier.list_defaults else base
-    in
-    let from_file =
-      match qualfile with
-      | None -> []
-      | Some path -> Liquid_infer.Qualifier.parse_string (read_file path)
-    in
-    let inline =
-      List.concat_map Liquid_infer.Qualifier.parse_string inline_quals
-    in
-    base @ from_file @ inline
+let print_stats ~jobs (s : Pipeline.stats) =
+  Fmt.pr
+    "stats: lines=%d kvars=%d wf=%d sub=%d quals=%d candidates=%d checks=%d \
+     smt-queries=%d cache-hits=%d lint-queries=%d diagnostics=%d \
+     partitions=%d critical-path=%d pcache-lookups=%d pcache-hits=%d \
+     time=%.3fs@."
+    s.Pipeline.source_lines s.n_kvars s.n_wf_constraints s.n_sub_constraints
+    s.n_qualifiers s.n_initial_candidates s.n_implication_checks
+    s.n_smt_queries s.n_smt_cache_hits s.n_lint_smt_queries s.n_diagnostics
+    s.n_partitions s.critical_path s.n_pcache_lookups s.n_pcache_hits
+    s.elapsed;
+  List.iter
+    (fun (p : Pipeline.part_stat) ->
+      if jobs > 1 then
+        Fmt.pr "partition %d: kvars=%d subs=%d time=%.3fs%s@."
+          p.Pipeline.pt_id p.Pipeline.pt_kvars p.Pipeline.pt_subs
+          p.Pipeline.pt_time
+          (if p.Pipeline.pt_degraded then " DEGRADED" else ""))
+    s.partitions;
+  Fmt.pr "phases:%a@."
+    Fmt.(list ~sep:nop (fun ppf (name, t) -> Fmt.pf ppf " %s=%.3fs" name t))
+    s.phases
+
+(* Exit codes, everywhere: 0 safe, 1 unsafe or lint failure, 2 errors. *)
+let code_of_report ~warn_error (report : Pipeline.report) =
+  let lint_failed =
+    warn_error && Liquid_analysis.Lint.warnings report.Pipeline.lints <> []
+  in
+  if report.Pipeline.safe && not lint_failed then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* One-shot mode                                                       *)
+
+let run_oneshot file ~quals ~specfile ~show_stats ~execute ~lint ~warn_error
+    ~format ~jobs ~partition_timeout ~cache_dir =
+  let specs =
+    match specfile with
+    | None -> []
+    | Some path -> Liquid_infer.Spec.parse_string (read_file path)
+  in
+  let options =
+    {
+      Pipeline.default with
+      Pipeline.quals;
+      specs;
+      lint;
+      jobs;
+      partition_timeout;
+      cache_dir;
+    }
+  in
+  let report = Pipeline.verify_file ~options file in
+  (match format with
+  | `Json -> Fmt.pr "%a@." Json.pp (Pipeline.json_of_report ~file report)
+  | `Text ->
+      Fmt.pr "%a@." Pipeline.pp_report report;
+      if show_stats then print_stats ~jobs report.Pipeline.stats);
+  if execute && format = `Text then begin
+    Fmt.pr "@.--- running %s ---@." file;
+    let prog = Liquid_lang.Parser.program_of_file file in
+    match Liquid_eval.Eval.run_program ~quiet:false prog with
+    | env -> (
+        match Liquid_common.Ident.Map.find_opt "main" env with
+        | Some v -> Fmt.pr "main = %a@." Liquid_eval.Eval.pp_value v
+        | None -> ())
+    | exception Liquid_eval.Eval.Bounds_violation msg ->
+        Fmt.pr "runtime bounds violation: %s@." msg
+    | exception Liquid_eval.Eval.Assertion_failure loc ->
+        Fmt.pr "runtime assertion failure at %a@." Liquid_common.Loc.pp loc
+  end;
+  code_of_report ~warn_error report
+
+(* ------------------------------------------------------------------ *)
+(* Client mode                                                         *)
+
+let run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
+    ~show_stats ~lint ~warn_error ~format ~server_stats ~server_shutdown =
+  Liquid_server.Client.with_connection sock (fun c ->
+      let code = ref 0 in
+      if files <> [] then begin
+        let batch =
+          List.map
+            (fun file ->
+              Liquid_server.Protocol.request ~qual_text
+                ~use_defaults:(not no_defaults) ~list_quals
+                ~spec_text ~lint:(lint || warn_error) ~name:file
+                (read_file file))
+            files
+        in
+        let replies = Liquid_server.Client.verify c batch in
+        List.iter2
+          (fun file reply ->
+            match reply with
+            | Liquid_server.Protocol.Verified report -> (
+                code := max !code (code_of_report ~warn_error report);
+                match format with
+                | `Json ->
+                    Fmt.pr "%a@." Json.pp (Pipeline.json_of_report ~file report)
+                | `Text ->
+                    if List.length files > 1 then Fmt.pr "=== %s ===@." file;
+                    Fmt.pr "%a@." Pipeline.pp_report report;
+                    if show_stats then print_stats ~jobs:1 report.Pipeline.stats)
+            | Liquid_server.Protocol.Rejected e -> (
+                code := 2;
+                match format with
+                | `Json ->
+                    Fmt.pr "%a@." Json.pp
+                      (Json.Obj
+                         [
+                           ("file", Json.String file);
+                           ( "error",
+                             Json.Obj
+                               [
+                                 ("code", Json.String e.ve_code);
+                                 ("message", Json.String e.ve_message);
+                               ] );
+                         ])
+                | `Text -> Fmt.epr "%s: [%s] %s@." file e.ve_code e.ve_message))
+          files replies
+      end;
+      if server_stats then begin
+        let s = Liquid_server.Client.stats c in
+        Fmt.pr
+          "server: requests=%d programs=%d mem-hits=%d disk-hits=%d cold=%d \
+           failures=%d uptime=%.1fs@."
+          s.sv_requests s.sv_programs s.sv_mem_hits s.sv_disk_hits s.sv_cold
+          s.sv_failures s.sv_uptime;
+        match s.sv_cache with
+        | None -> Fmt.pr "server cache: disabled@."
+        | Some cs -> Fmt.pr "server cache: %a@." Liquid_cache.Store.pp_stats cs
+      end;
+      if server_shutdown then Liquid_server.Client.shutdown c;
+      !code)
+
+(* ------------------------------------------------------------------ *)
+
+let run files qualfile inline_quals no_defaults list_quals specfile show_stats
+    execute lint warn_error format jobs partition_timeout cache_dir serve
+    connect request_timeout server_stats server_shutdown =
+  let qual_text =
+    String.concat "\n"
+      ((match qualfile with None -> [] | Some path -> [ read_file path ])
+      @ inline_quals)
+  in
+  let partition_timeout =
+    if partition_timeout <= 0.0 then None else Some partition_timeout
+  in
+  let request_timeout =
+    if request_timeout <= 0.0 then None else Some request_timeout
   in
   try
-    let specs =
-      match specfile with
-      | None -> []
-      | Some path -> Liquid_infer.Spec.parse_string (read_file path)
-    in
-    let lint = lint || warn_error in
-    let options =
-      {
-        Liquid_driver.Pipeline.default with
-        Liquid_driver.Pipeline.quals;
-        specs;
-        lint;
-        jobs;
-        partition_timeout =
-          (if partition_timeout <= 0.0 then None else Some partition_timeout);
-      }
-    in
-    let report = Liquid_driver.Pipeline.verify_file ~options file in
-    (match format with
-    | `Json ->
-        Fmt.pr "%a@." Liquid_analysis.Json.pp
-          (Liquid_driver.Pipeline.json_of_report ~file report)
-    | `Text ->
-        Fmt.pr "%a@." Liquid_driver.Pipeline.pp_report report;
-        if show_stats then begin
-          let s = report.Liquid_driver.Pipeline.stats in
-          Fmt.pr
-            "stats: lines=%d kvars=%d wf=%d sub=%d quals=%d candidates=%d \
-             checks=%d smt-queries=%d cache-hits=%d lint-queries=%d \
-             diagnostics=%d partitions=%d critical-path=%d time=%.3fs@."
-            s.Liquid_driver.Pipeline.source_lines s.n_kvars s.n_wf_constraints
-            s.n_sub_constraints s.n_qualifiers s.n_initial_candidates
-            s.n_implication_checks s.n_smt_queries s.n_smt_cache_hits
-            s.n_lint_smt_queries s.n_diagnostics s.n_partitions
-            s.critical_path s.elapsed;
-          List.iter
-            (fun (p : Liquid_driver.Pipeline.part_stat) ->
-              if jobs > 1 then
-                Fmt.pr "partition %d: kvars=%d subs=%d time=%.3fs%s@."
-                  p.Liquid_driver.Pipeline.pt_id
-                  p.Liquid_driver.Pipeline.pt_kvars
-                  p.Liquid_driver.Pipeline.pt_subs
-                  p.Liquid_driver.Pipeline.pt_time
-                  (if p.Liquid_driver.Pipeline.pt_degraded then " DEGRADED"
-                   else ""))
-            s.partitions;
-          Fmt.pr "phases:%a@."
-            Fmt.(
-              list ~sep:nop (fun ppf (name, t) ->
-                  Fmt.pf ppf " %s=%.3fs" name t))
-            s.phases
-        end);
-    let lint_failed =
-      warn_error
-      && Liquid_analysis.Lint.warnings report.Liquid_driver.Pipeline.lints
-         <> []
-    in
-    (if execute && format = `Text then begin
-       Fmt.pr "@.--- running %s ---@." file;
-       let prog = Liquid_lang.Parser.program_of_file file in
-       match Liquid_eval.Eval.run_program ~quiet:false prog with
-       | env -> (
-           match Liquid_common.Ident.Map.find_opt "main" env with
-           | Some v -> Fmt.pr "main = %a@." Liquid_eval.Eval.pp_value v
-           | None -> ())
-       | exception Liquid_eval.Eval.Bounds_violation msg ->
-           Fmt.pr "runtime bounds violation: %s@." msg
-       | exception Liquid_eval.Eval.Assertion_failure loc ->
-           Fmt.pr "runtime assertion failure at %a@." Liquid_common.Loc.pp loc
-     end;
-     if report.Liquid_driver.Pipeline.safe && not lint_failed then 0 else 1)
+    match (serve, connect) with
+    | Some _, Some _ ->
+        Fmt.epr "error: --serve and --connect are mutually exclusive@.";
+        2
+    | Some sock, None ->
+        if files <> [] then begin
+          Fmt.epr "error: --serve takes no FILE arguments@.";
+          2
+        end
+        else begin
+          Liquid_server.Server.serve
+            {
+              Liquid_server.Server.sock;
+              cache_dir;
+              jobs;
+              request_timeout;
+              quiet = false;
+            };
+          0
+        end
+    | None, Some sock ->
+        if files = [] && (not server_stats) && not server_shutdown then begin
+          Fmt.epr "error: --connect needs FILE arguments (or --server-stats / \
+                   --server-shutdown)@.";
+          2
+        end
+        else begin
+          let spec_text =
+            match specfile with None -> "" | Some path -> read_file path
+          in
+          run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
+            ~show_stats ~lint ~warn_error ~format ~server_stats
+            ~server_shutdown
+        end
+    | None, None -> (
+        match files with
+        | [ file ] ->
+            let quals =
+              let base =
+                if no_defaults then [] else Liquid_infer.Qualifier.defaults
+              in
+              let base =
+                if list_quals then
+                  base @ Liquid_infer.Qualifier.list_defaults
+                else base
+              in
+              base @ Liquid_infer.Qualifier.parse_string qual_text
+            in
+            run_oneshot file ~quals ~specfile ~show_stats ~execute
+              ~lint:(lint || warn_error) ~warn_error ~format ~jobs
+              ~partition_timeout ~cache_dir
+        | [] ->
+            Fmt.epr "error: a FILE argument is required@.";
+            2
+        | _ ->
+            Fmt.epr
+              "error: multiple FILE arguments need --connect (server mode)@.";
+            2)
   with
   | Liquid_driver.Pipeline.Source_error (msg, loc) ->
       Fmt.epr "%a: %s@." Liquid_common.Loc.pp loc msg;
       2
+  | Liquid_infer.Qualifier.Parse_error msg ->
+      Fmt.epr "qualifier error: %s@." msg;
+      2
   | Liquid_infer.Spec.Error msg ->
       Fmt.epr "specification error: %s@." msg;
+      2
+  | Failure msg ->
+      Fmt.epr "error: %s@." msg;
+      2
+  | Unix.Unix_error (err, _, _) ->
+      Fmt.epr "error: %s@." (Unix.error_message err);
       2
   | Sys_error msg ->
       Fmt.epr "error: %s@." msg;
       2
 
-let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"NanoML source file")
+let files_arg =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "NanoML source file (exactly one, except under $(b,--connect) \
+           which accepts several)")
 
 let qualfile_arg =
   Arg.(
@@ -189,7 +332,8 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Solve independent constraint partitions in $(docv) concurrent \
               worker processes (default 1: sequential in-process solving; \
-              results are identical either way)")
+              results are identical either way).  Under $(b,--serve), the \
+              number of concurrent solve workers per request batch")
 
 let partition_timeout_arg =
   Arg.(
@@ -209,13 +353,64 @@ let format_arg =
         ~doc:"Output format: $(b,text) (default) or $(b,json) \
               (machine-readable report with diagnostics and stats)")
 
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:"Persist verification results under $(docv): re-verifying an \
+              unchanged program (same source, qualifiers, and options, same \
+              dsolve build) is served from disk.  Stale or corrupt entries \
+              fall back silently to a cold run")
+
+let serve_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve" ] ~docv:"SOCK"
+        ~doc:"Run as a verification daemon on the Unix-domain socket \
+              $(docv), keeping solver state warm across requests; combine \
+              with $(b,--cache) for a persistent result cache")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCK"
+        ~doc:"Verify the given files through the daemon listening on \
+              $(docv) instead of solving in-process")
+
+let request_timeout_arg =
+  Arg.(
+    value
+    & opt float 300.0
+    & info [ "request-timeout" ] ~docv:"SECONDS"
+        ~doc:"Under $(b,--serve): wall-clock budget per program; an \
+              exceeded solve is retried once, then rejected with E_TIMEOUT. \
+              0 disables the timeout")
+
+let server_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "server-stats" ]
+        ~doc:"Under $(b,--connect): print the daemon's lifetime counters \
+              (requests, cache hits, failures)")
+
+let server_shutdown_arg =
+  Arg.(
+    value & flag
+    & info [ "server-shutdown" ]
+        ~doc:"Under $(b,--connect): ask the daemon to exit")
+
 let cmd =
   let doc = "liquid type inference for NanoML (PLDI 2008 reproduction)" in
   Cmd.v
     (Cmd.info "dsolve" ~version:"1.0.0" ~doc)
     Term.(
-      const run $ file_arg $ qualfile_arg $ inline_quals_arg $ no_defaults_arg
+      const run $ files_arg $ qualfile_arg $ inline_quals_arg $ no_defaults_arg
       $ list_quals_arg $ spec_arg $ stats_arg $ run_arg $ lint_arg
-      $ warn_error_arg $ format_arg $ jobs_arg $ partition_timeout_arg)
+      $ warn_error_arg $ format_arg $ jobs_arg $ partition_timeout_arg
+      $ cache_arg $ serve_arg $ connect_arg $ request_timeout_arg
+      $ server_stats_arg $ server_shutdown_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,179 @@
+(** Content-addressed, on-disk persistent store.  See the interface for
+    the contract; the layout of an entry file is:
+
+    {v
+      DSOLVE-CACHE/1\n
+      <stamp>\n
+      <md5 hex of the fingerprint>\n
+      <md5 hex of the payload>\n
+      <payload length, decimal>\n
+      <payload bytes>
+    v}
+
+    where the payload is [Marshal.to_string value].  The payload is
+    unmarshalled only after its digest verifies, so no corruption of the
+    file can crash the reader — Marshal on arbitrary bytes is unsafe,
+    Marshal on bytes we wrote is not. *)
+
+let magic = "DSOLVE-CACHE/1"
+
+type stats = {
+  mutable lookups : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable rejected : int;
+  mutable writes : int;
+  mutable write_errors : int;
+}
+
+type t = { dir : string; stamp : string; stats : stats }
+
+let fresh_stats () =
+  {
+    lookups = 0;
+    hits = 0;
+    misses = 0;
+    rejected = 0;
+    writes = 0;
+    write_errors = 0;
+  }
+
+(* The executable's own MD5: entries written by one build are invisible
+   to every other build, so a layout change in a marshalled type can
+   never be mis-read.  Computed once, at module initialisation. *)
+let default_stamp =
+  match Digest.to_hex (Digest.file Sys.executable_name) with
+  | d -> "exe-" ^ d
+  | exception _ -> "ocaml-" ^ Sys.ocaml_version
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "" && p <> "/" && p <> "." && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+(* One handle (hence one stats record) per (dir, stamp) in a process, so
+   a resident daemon reports cumulative cache traffic. *)
+let registry : (string * string, t) Hashtbl.t = Hashtbl.create 4
+
+let open_store ?(stamp = default_stamp) ~dir () =
+  match Hashtbl.find_opt registry (dir, stamp) with
+  | Some t -> t
+  | None ->
+      (try mkdir_p dir with _ -> ());
+      let t = { dir; stamp; stats = fresh_stats () } in
+      Hashtbl.replace registry (dir, stamp) t;
+      t
+
+let dir t = t.dir
+let stamp t = t.stamp
+
+let key t parts =
+  Digest.to_hex (Digest.string (String.concat "\x00" (t.stamp :: parts)))
+
+(* Two-level fanout, as git does, to keep directories small. *)
+let path_of t k =
+  let sub = if String.length k >= 2 then String.sub k 0 2 else "xx" in
+  Filename.concat (Filename.concat t.dir sub) (k ^ ".bin")
+
+let input_line_opt ic = try Some (input_line ic) with End_of_file -> None
+let hex_digest s = Digest.to_hex (Digest.string s)
+
+(* Read and validate an entry's payload; any deviation yields [None]. *)
+let read_payload (t : t) ~fingerprint (path : string) : string option =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match
+        ( input_line_opt ic,
+          input_line_opt ic,
+          input_line_opt ic,
+          input_line_opt ic,
+          input_line_opt ic )
+      with
+      | Some m, Some s, Some fp_digest, Some digest, Some len_line
+        when m = magic && s = t.stamp && fp_digest = hex_digest fingerprint
+        -> (
+          match int_of_string_opt len_line with
+          | Some len when len >= 0 && len <= 1 lsl 30 -> (
+              match really_input_string ic len with
+              | payload when hex_digest payload = digest -> Some payload
+              | _ -> None
+              | exception End_of_file -> None)
+          | _ -> None)
+      | _ -> None)
+
+let find (type a) t ~key ~fingerprint : a option =
+  t.stats.lookups <- t.stats.lookups + 1;
+  let path = path_of t key in
+  if not (Sys.file_exists path) then begin
+    t.stats.misses <- t.stats.misses + 1;
+    None
+  end
+  else
+    match (try read_payload t ~fingerprint path with _ -> None) with
+    | Some payload ->
+        (* Digest verified: these are bytes a same-build process
+           marshalled, so unmarshalling is safe. *)
+        t.stats.hits <- t.stats.hits + 1;
+        Some (Marshal.from_string payload 0 : a)
+    | None ->
+        (* Stale or corrupt: drop it so the rewrite is clean. *)
+        t.stats.rejected <- t.stats.rejected + 1;
+        (try Sys.remove path with _ -> ());
+        None
+
+let tmp_counter = ref 0
+
+let store t ~key ~fingerprint v =
+  try
+    let path = path_of t key in
+    mkdir_p (Filename.dirname path);
+    let payload = Marshal.to_string v [] in
+    incr tmp_counter;
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) !tmp_counter
+    in
+    let oc = open_out_bin tmp in
+    (try
+       Printf.fprintf oc "%s\n%s\n%s\n%s\n%d\n" magic t.stamp
+         (hex_digest fingerprint) (hex_digest payload) (String.length payload);
+       output_string oc payload;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with _ -> ());
+       raise e);
+    Sys.rename tmp path;
+    t.stats.writes <- t.stats.writes + 1
+  with _ -> t.stats.write_errors <- t.stats.write_errors + 1
+
+let stats t = t.stats
+
+let stats_snapshot t =
+  {
+    lookups = t.stats.lookups;
+    hits = t.stats.hits;
+    misses = t.stats.misses;
+    rejected = t.stats.rejected;
+    writes = t.stats.writes;
+    write_errors = t.stats.write_errors;
+  }
+
+let reset_stats t =
+  let s = t.stats in
+  s.lookups <- 0;
+  s.hits <- 0;
+  s.misses <- 0;
+  s.rejected <- 0;
+  s.writes <- 0;
+  s.write_errors <- 0
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "lookups=%d hits=%d misses=%d rejected=%d writes=%d write-errors=%d"
+    s.lookups s.hits s.misses s.rejected s.writes s.write_errors

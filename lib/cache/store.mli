@@ -1,0 +1,69 @@
+(** Content-addressed, on-disk persistent store for verification
+    results.
+
+    Entries are written under a directory, one file per key, where the
+    key is a digest of the inputs that determine the result (source
+    text, qualifier set, pipeline options — see
+    {!Liquid_driver.Pipeline}).  Each entry embeds the build stamp of
+    the writing binary, an options fingerprint, and an integrity digest
+    of its payload; a stale, mismatched, truncated, or corrupt entry is
+    silently rejected (and removed) so callers always fall back to a
+    cold computation.  Writes are atomic (temp file + rename) and write
+    failures are swallowed: the cache can only ever make a run faster,
+    never wrong and never failing. *)
+
+(** Counters for one store handle (cumulative over the process; handles
+    are memoized per directory, so a long-lived daemon accumulates). *)
+type stats = {
+  mutable lookups : int; (* find calls *)
+  mutable hits : int; (* entries served *)
+  mutable misses : int; (* no entry on disk *)
+  mutable rejected : int; (* stale stamp/fingerprint, corrupt, truncated *)
+  mutable writes : int; (* entries persisted *)
+  mutable write_errors : int; (* failed writes, swallowed *)
+}
+
+type t
+
+(** The writing binary's identity: an MD5 of the executable image, so a
+    rebuilt dsolve never trusts entries marshalled by a different build
+    (value layouts may have changed).  Falls back to a version string if
+    the executable cannot be read. *)
+val default_stamp : string
+
+(** [open_store ?stamp ~dir ()] opens (creating if needed) the store
+    rooted at [dir].  Handles are memoized per [(dir, stamp)], so
+    repeated opens share one stats record.  [stamp] defaults to
+    {!default_stamp}; tests override it to simulate builds that must not
+    share entries.  Directory-creation failures are deferred: the handle
+    is returned and every [find]/[store] just misses/swallows. *)
+val open_store : ?stamp:string -> dir:string -> unit -> t
+
+val dir : t -> string
+val stamp : t -> string
+
+(** Digest the given parts (together with the store's stamp) into a
+    cache key. *)
+val key : t -> string list -> string
+
+(** [find store ~key ~fingerprint] returns the stored value, or [None]
+    if the entry is absent, carries a different stamp or fingerprint, or
+    fails its integrity check (such entries are removed).  The payload
+    is only unmarshalled after its digest verifies, so a corrupt file
+    can never crash the reader.  The ['a] is trusted: callers must
+    encode the value's type in the fingerprint. *)
+val find : t -> key:string -> fingerprint:string -> 'a option
+
+(** [store st ~key ~fingerprint v] persists [v] atomically.  Any
+    failure (permissions, disk full, unwritable dir) is swallowed and
+    counted in [write_errors]. *)
+val store : t -> key:string -> fingerprint:string -> 'a -> unit
+
+(** Live counters of the handle (shared across memoized opens). *)
+val stats : t -> stats
+
+(** A detached copy (for marshalling across processes). *)
+val stats_snapshot : t -> stats
+
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

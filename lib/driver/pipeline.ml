@@ -46,6 +46,8 @@ type stats = {
   n_partitions : int; (* solve units in the partition plan *)
   critical_path : int; (* longest dependency chain, in partitions *)
   partitions : part_stat list; (* by partition id *)
+  n_pcache_lookups : int; (* persistent-cache probes for this run (0/1) *)
+  n_pcache_hits : int; (* runs served from the persistent cache (0/1) *)
   elapsed : float; (* sum of the phase times below *)
   phases : (string * float) list;
       (* per-phase wall-clock seconds, in pipeline order:
@@ -74,6 +76,7 @@ type options = {
   incremental : bool; (* incremental fixpoint engine *)
   jobs : int; (* concurrent solve workers; 1 = in-process *)
   partition_timeout : float option; (* per-partition wall-clock budget *)
+  cache_dir : string option; (* persistent result cache root; None = off *)
 }
 
 let default =
@@ -85,6 +88,7 @@ let default =
     incremental = true;
     jobs = 1;
     partition_timeout = Some 60.0;
+    cache_dir = None;
   }
 
 (** Count source lines containing code: at least one non-whitespace
@@ -160,9 +164,21 @@ let timed phases name f =
 
 let verify_program ?(options = default) ?(parse_time = 0.0)
     (prog : Ast.program) ~(source_lines : int) : report =
-  let { quals; mine; specs; lint; incremental; jobs; partition_timeout } =
+  let {
+    quals;
+    mine;
+    specs;
+    lint;
+    incremental;
+    jobs;
+    partition_timeout;
+    cache_dir = _;
+  } =
     options
   in
+  (* A warm process (daemon, repeated library calls) must never leak a
+     counterexample or per-run counter from a previous run. *)
+  Liquid_smt.Solver.reset_run_state ();
   let smt0 = Liquid_smt.Solver.stats.queries in
   let smt_hits0 = Liquid_smt.Solver.stats.cache_hits in
   let phases = ref [ ("parse", parse_time) ] in
@@ -325,17 +341,89 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
         n_partitions = n_parts;
         critical_path = plan.Constr.critical_path;
         partitions = part_stats;
+        n_pcache_lookups = 0;
+        n_pcache_hits = 0;
         elapsed = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 phases;
         phases;
       };
   }
 
+(* -- Persistent result cache ------------------------------------------------- *)
+
+(* Canonical rendering of everything in [options] that determines the
+   report, beyond the source text: the qualifier set, external specs,
+   and the engine switches.  [jobs]/[partition_timeout] are deliberately
+   excluded — verdicts and types are scheduling-invariant (the liquid
+   fixpoint is unique), and reports that were degraded by a partition
+   timeout are never cached — so a cache warmed at one worker count
+   serves every other.  The leading tag versions the marshalled payload
+   type. *)
+let options_fingerprint (o : options) : string =
+  Fmt.str "pipeline-report/v1|mine=%b|lint=%b|incremental=%b|quals=[%a]|specs=[%a]"
+    o.mine o.lint o.incremental
+    Fmt.(list ~sep:(any " ;; ") Qualifier.pp)
+    o.quals Spec.pp o.specs
+
+let cache_key ~(options : options) ~(name : string) (src : string)
+    (store : Liquid_cache.Store.t) : string =
+  Liquid_cache.Store.key store [ name; src; options_fingerprint options ]
+
+(* A report is cacheable unless a partition was degraded to ⊤ by a
+   timeout or crash: degradation is a property of that run's scheduling,
+   not of the program, and must not be replayed from disk. *)
+let cacheable (r : report) : bool =
+  List.for_all (fun p -> not p.pt_degraded) r.stats.partitions
+
+(** Re-intern a report that crossed a process boundary (disk cache,
+    scheduler pipe, daemon socket): unmarshalled predicates are
+    physically foreign to the local hash-cons tables, which breaks the
+    physical-equality tricks downstream (e.g. the printer eliding [true]
+    refinements).  Everything else in a report is plain data. *)
+let rehash_report (r : report) : report =
+  let go = Rtype.rehash () in
+  { r with item_types = List.map (fun (x, t) -> (x, go t)) r.item_types }
+
+(** Probe the persistent cache for a finished report ([None] when
+    [options.cache_dir] is unset or the entry is absent/stale).  The
+    verification daemon calls this parent-side so a warm request never
+    pays a worker fork. *)
+let cache_lookup ~(options : options) ~(name : string) (src : string) :
+    report option =
+  match options.cache_dir with
+  | None -> None
+  | Some dir ->
+      let store = Liquid_cache.Store.open_store ~dir () in
+      let fingerprint = options_fingerprint options in
+      let key = cache_key ~options ~name src store in
+      Option.map
+        (fun (r : report) ->
+          {
+            (rehash_report r) with
+            stats = { r.stats with n_pcache_lookups = 1; n_pcache_hits = 1 };
+          })
+        (Liquid_cache.Store.find store ~key ~fingerprint)
+
 let verify_string ?(options = default) ?(name = "<string>") (src : string) :
     report =
-  let t0 = Unix.gettimeofday () in
-  let prog = parse_program ~name src in
-  let parse_time = Unix.gettimeofday () -. t0 in
-  verify_program ~options ~parse_time prog ~source_lines:(count_lines src)
+  let verify_cold () =
+    let t0 = Unix.gettimeofday () in
+    let prog = parse_program ~name src in
+    let parse_time = Unix.gettimeofday () -. t0 in
+    verify_program ~options ~parse_time prog ~source_lines:(count_lines src)
+  in
+  match options.cache_dir with
+  | None -> verify_cold ()
+  | Some dir -> (
+      match cache_lookup ~options ~name src with
+      | Some r -> r
+      | None ->
+          let r = verify_cold () in
+          let store = Liquid_cache.Store.open_store ~dir () in
+          if cacheable r then
+            Liquid_cache.Store.store store
+              ~key:(cache_key ~options ~name src store)
+              ~fingerprint:(options_fingerprint options) r;
+          { r with stats = { r.stats with n_pcache_lookups = 1 } })
 
 let verify_file ?(options = default) (path : string) : report =
   let ic = open_in path in
@@ -427,6 +515,8 @@ let json_of_stats (s : stats) : Liquid_analysis.Json.t =
                    ("degraded", Json.Bool p.pt_degraded);
                  ])
              s.partitions) );
+      ("pcache_lookups", Json.Int s.n_pcache_lookups);
+      ("pcache_hits", Json.Int s.n_pcache_hits);
       ("elapsed", Json.Float s.elapsed);
       ( "phases",
         Json.Obj (List.map (fun (name, t) -> (name, Json.Float t)) s.phases) );

@@ -41,6 +41,12 @@ type stats = {
   n_partitions : int; (* solve units in the partition plan *)
   critical_path : int; (* longest dependency chain, in partitions *)
   partitions : part_stat list; (* by partition id *)
+  n_pcache_lookups : int;
+      (* persistent-cache probes for this run: 1 when [cache_dir] is
+         set, else 0 *)
+  n_pcache_hits : int;
+      (* 1 iff this report was served from the persistent cache; its
+         other counters then describe the original (cold) run *)
   elapsed : float; (* sum of the phase times below *)
   phases : (string * float) list;
       (* per-phase wall-clock seconds, in pipeline order:
@@ -84,7 +90,14 @@ val mine_constants : Ast.program -> int list
     errors, and inferred types are identical to [jobs = 1]: the liquid
     fixpoint is unique); [partition_timeout] is the per-partition
     wall-clock budget under sharded execution — an exceeded partition is
-    retried once, then degraded to ⊤ with a [P001] diagnostic. *)
+    retried once, then degraded to ⊤ with a [P001] diagnostic;
+    [cache_dir], when set, roots a persistent on-disk result cache
+    ({!Liquid_cache.Store}): {!verify_string}/{!verify_file} first probe
+    it for a finished report keyed on (name, source text, options
+    fingerprint) and store their result on a miss, so re-verifying an
+    unchanged program — even across processes and daemon restarts —
+    costs one digest and one file read.  Stale or corrupt entries fall
+    back silently to a cold run. *)
 type options = {
   quals : Qualifier.t list;
   mine : bool;
@@ -93,11 +106,32 @@ type options = {
   incremental : bool;
   jobs : int;
   partition_timeout : float option;
+  cache_dir : string option;
 }
 
 (** Defaults: {!Liquid_infer.Qualifier.defaults}, mining on, no specs,
-    lint off, incremental engine, [jobs = 1], 60 s partition timeout. *)
+    lint off, incremental engine, [jobs = 1], 60 s partition timeout,
+    no persistent cache. *)
 val default : options
+
+(** Canonical rendering of the report-determining option fields
+    (qualifier set, specs, engine switches; [jobs] and
+    [partition_timeout] are excluded — verdicts are
+    scheduling-invariant and degraded reports are never cached).  Part
+    of the persistent cache key, and embedded in every entry. *)
+val options_fingerprint : options -> string
+
+(** Re-intern a report that crossed a process boundary (disk cache,
+    scheduler pipe, daemon socket): maps its unmarshalled — physically
+    foreign — predicates back to the canonical hash-consed nodes, so the
+    report prints and compares exactly like a natively computed one. *)
+val rehash_report : report -> report
+
+(** Probe the persistent cache for a finished report of [src] under
+    [options] ([None] when [options.cache_dir] is unset, or on a miss).
+    Reports served from the cache have [stats.n_pcache_hits = 1] and are
+    re-interned ({!rehash_report}) before being returned. *)
+val cache_lookup : options:options -> name:string -> string -> report option
 
 (** Verify a parsed program.  [parse_time] seeds the "parse" entry of
     [stats.phases] for callers that parsed separately.

@@ -313,6 +313,35 @@ let free_prog_vars t =
         acc r.kvars)
     [] t
 
+(** Re-intern a type that crossed a process boundary: every predicate
+    and term in it (refinements, and the ranges of pending
+    substitutions) is physically foreign after unmarshalling and must be
+    mapped to this process's canonical nodes before physical-equality
+    tricks (e.g. eliding [true] refinements in printing) work again.
+    One rehasher per marshalled payload, as with {!Pred.rehasher}. *)
+let rehash () : t -> t =
+  let pgo = Pred.rehasher () in
+  let tgo = Term.rehasher () in
+  let value = function
+    | Pred.Tm tm -> Pred.Tm (tgo tm)
+    | Pred.Pr p -> Pred.Pr (pgo p)
+  in
+  let refinement r =
+    {
+      preds = pgo r.preds;
+      kvars = List.map (fun (k, theta) -> (k, Ident.Map.map value theta)) r.kvars;
+    }
+  in
+  let rec go = function
+    | Base (b, r) -> Base (b, refinement r)
+    | Fun (x, t1, t2) -> Fun (x, go t1, go t2)
+    | Tuple ts -> Tuple (List.map go ts)
+    | List (t, r) -> List (go t, refinement r)
+    | Array (t, r) -> Array (go t, refinement r)
+    | Tyvar (i, r) -> Tyvar (i, refinement r)
+  in
+  go
+
 (* -- Printing ------------------------------------------------------------------- *)
 
 let pp_subst ppf theta =

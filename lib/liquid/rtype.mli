@@ -99,6 +99,12 @@ val kvars : t -> kvar list
     substitution ranges). *)
 val free_prog_vars : t -> Ident.t list
 
+(** [rehash ()] is a memoized re-interner for types unmarshalled from
+    another process (see {!Liquid_logic.Pred.rehasher}): it maps every
+    foreign predicate and term in the type to the canonical local node.
+    One rehasher per marshalled payload. *)
+val rehash : unit -> t -> t
+
 (** {1 Printing} *)
 
 val pp_subst : Format.formatter -> Pred.subst -> unit

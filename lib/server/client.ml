@@ -1,0 +1,74 @@
+type t = { ic : in_channel; oc : out_channel }
+
+let close c =
+  (* The two channels share one descriptor; closing the output channel
+     closes it, so the input side is only cleaned up shallowly. *)
+  close_out_noerr c.oc
+
+let connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX sock)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let c = { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd } in
+  Protocol.send_request c.oc
+    (Hello { version = Protocol.version; stamp = Protocol.build_stamp });
+  match Protocol.recv_reply c.ic with
+  | Hello_ok _ -> c
+  | Protocol_error msg ->
+      close c;
+      failwith ("server refused connection: " ^ msg)
+  | _ ->
+      close c;
+      failwith "server sent an unexpected handshake reply"
+  | exception e ->
+      close c;
+      raise e
+
+let connect_retry ?(attempts = 50) ?(delay = 0.1) sock =
+  let rec go n =
+    match connect sock with
+    | c -> c
+    | exception (Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) as e) ->
+        if n <= 1 then raise e
+        else begin
+          Unix.sleepf delay;
+          go (n - 1)
+        end
+  in
+  go (max 1 attempts)
+
+let roundtrip c q =
+  Protocol.send_request c.oc q;
+  Protocol.recv_reply c.ic
+
+let verify c batch =
+  match roundtrip c (Protocol.Verify batch) with
+  | Results rs ->
+      (* Replies were marshalled by the daemon; re-intern each report so
+         it prints and compares exactly like a local verification. *)
+      List.map
+        (function
+          | Protocol.Verified r ->
+              Protocol.Verified (Liquid_driver.Pipeline.rehash_report r)
+          | Protocol.Rejected _ as r -> r)
+        rs
+  | Protocol_error msg -> failwith ("server error: " ^ msg)
+  | _ -> failwith "server sent an unexpected reply to Verify"
+
+let stats c =
+  match roundtrip c Protocol.Stats with
+  | Stats_reply s -> s
+  | Protocol_error msg -> failwith ("server error: " ^ msg)
+  | _ -> failwith "server sent an unexpected reply to Stats"
+
+let shutdown c =
+  match roundtrip c Protocol.Shutdown with
+  | Bye -> ()
+  | Protocol_error msg -> failwith ("server error: " ^ msg)
+  | _ -> failwith "server sent an unexpected reply to Shutdown"
+
+let with_connection sock f =
+  let c = connect sock in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)

@@ -1,0 +1,27 @@
+(** Client side of the verification daemon ([dsolve --connect SOCK]). *)
+
+type t
+
+(** Connect and complete the {!Protocol.Hello} handshake.
+    @raise Failure on a protocol-version or build-stamp mismatch
+    @raise Unix.Unix_error when nothing is listening on [sock]. *)
+val connect : string -> t
+
+(** As {!connect}, retrying while the daemon is still starting up
+    (default: 50 attempts, 0.1 s apart). *)
+val connect_retry : ?attempts:int -> ?delay:float -> string -> t
+
+(** Verify a batch; replies come back in request order.
+    @raise Failure if the server answers with a protocol error. *)
+val verify : t -> Protocol.verify_request list -> Protocol.verify_reply list
+
+val stats : t -> Protocol.server_stats
+
+(** Ask the daemon to exit (it finishes this reply first). *)
+val shutdown : t -> unit
+
+val close : t -> unit
+
+(** [with_connection sock f] runs [f] on a fresh connection and closes
+    it afterwards, also on exceptions. *)
+val with_connection : string -> (t -> 'a) -> 'a

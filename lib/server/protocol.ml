@@ -1,0 +1,90 @@
+let version = 1
+let build_stamp = Liquid_cache.Store.default_stamp
+
+type verify_request = {
+  vq_name : string;
+  vq_source : string;
+  vq_qual_text : string;
+  vq_use_defaults : bool;
+  vq_list_quals : bool;
+  vq_spec_text : string;
+  vq_mine : bool;
+  vq_lint : bool;
+  vq_incremental : bool;
+}
+
+let request ?(qual_text = "") ?(use_defaults = true) ?(list_quals = false)
+    ?(spec_text = "") ?(mine = true) ?(lint = false) ?(incremental = true)
+    ~name source =
+  {
+    vq_name = name;
+    vq_source = source;
+    vq_qual_text = qual_text;
+    vq_use_defaults = use_defaults;
+    vq_list_quals = list_quals;
+    vq_spec_text = spec_text;
+    vq_mine = mine;
+    vq_lint = lint;
+    vq_incremental = incremental;
+  }
+
+type verify_error = { ve_code : string; ve_message : string }
+
+type verify_reply =
+  | Verified of Liquid_driver.Pipeline.report
+  | Rejected of verify_error
+
+type server_stats = {
+  sv_requests : int;
+  sv_programs : int;
+  sv_mem_hits : int;
+  sv_disk_hits : int;
+  sv_cold : int;
+  sv_failures : int;
+  sv_uptime : float;
+  sv_cache : Liquid_cache.Store.stats option;
+}
+
+type request =
+  | Hello of { version : int; stamp : string }
+  | Verify of verify_request list
+  | Stats
+  | Shutdown
+
+type reply =
+  | Hello_ok of { version : int; stamp : string }
+  | Results of verify_reply list
+  | Stats_reply of server_stats
+  | Bye
+  | Protocol_error of string
+
+(* Framing: a 4-byte big-endian length followed by that many bytes of
+   Marshal output.  The cap bounds what a confused or malicious peer can
+   make us allocate; real batches are far below it. *)
+
+let max_frame = 256 * 1024 * 1024
+
+let send_frame oc (s : string) =
+  output_binary_int oc (String.length s);
+  output_string oc s;
+  flush oc
+
+let recv_frame ic =
+  let n = input_binary_int ic in
+  if n < 0 || n > max_frame then
+    failwith (Printf.sprintf "protocol: bad frame length %d" n);
+  really_input_string ic n
+
+let send_request oc (q : request) = send_frame oc (Marshal.to_string q [])
+
+let recv_request ic : request =
+  match Marshal.from_string (recv_frame ic) 0 with
+  | q -> q
+  | exception Failure _ -> failwith "protocol: malformed request frame"
+
+let send_reply oc (r : reply) = send_frame oc (Marshal.to_string r [])
+
+let recv_reply ic : reply =
+  match Marshal.from_string (recv_frame ic) 0 with
+  | r -> r
+  | exception Failure _ -> failwith "protocol: malformed reply frame"

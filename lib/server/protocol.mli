@@ -1,0 +1,92 @@
+(** Wire protocol of the verification daemon: length-prefixed Marshal
+    frames over a Unix-domain stream socket.
+
+    Every connection opens with a {!Hello} handshake carrying the
+    protocol version and the client's build stamp; the server refuses
+    mismatches, so two different dsolve builds can never exchange
+    marshalled values (whose layouts may differ).  After the handshake
+    the client sends any number of {!Verify} batches (and {!Stats} /
+    {!Shutdown}), each answered by exactly one reply. *)
+
+val version : int
+
+(** Build identity shared with the persistent cache
+    ({!Liquid_cache.Store.default_stamp}): an MD5 of the executable
+    image. *)
+val build_stamp : string
+
+(** One program to verify.  Qualifiers and specifications travel as
+    {e source text} and are parsed server-side: sending parsed
+    (hash-consed) values across the boundary would require re-interning
+    on every hop, and the parse is a trivial fraction of a solve. *)
+type verify_request = {
+  vq_name : string; (* file name, for locations and reporting *)
+  vq_source : string; (* NanoML source text *)
+  vq_qual_text : string; (* extra qualifier declarations, may be "" *)
+  vq_use_defaults : bool; (* include the built-in default qualifiers *)
+  vq_list_quals : bool; (* include the list-length qualifier set *)
+  vq_spec_text : string; (* external specifications, may be "" *)
+  vq_mine : bool;
+  vq_lint : bool;
+  vq_incremental : bool;
+}
+
+(** Build a request; defaults mirror {!Liquid_driver.Pipeline.default}
+    (defaults on, no list qualifiers, mining on, lint off, incremental
+    engine). *)
+val request :
+  ?qual_text:string ->
+  ?use_defaults:bool ->
+  ?list_quals:bool ->
+  ?spec_text:string ->
+  ?mine:bool ->
+  ?lint:bool ->
+  ?incremental:bool ->
+  name:string ->
+  string ->
+  verify_request
+
+(** Structured failure for one program; the daemon survives all of
+    them.  Codes: [E_QUALIFIER] / [E_SPEC] (malformed request inputs),
+    [E_SOURCE] (lex/parse/type error in the program), [E_CRASH] (the
+    solve worker died, after one retry), [E_TIMEOUT] (the solve worker
+    exceeded the request timeout, after one retry). *)
+type verify_error = { ve_code : string; ve_message : string }
+
+type verify_reply =
+  | Verified of Liquid_driver.Pipeline.report
+  | Rejected of verify_error
+
+(** Daemon-lifetime counters ([sv_programs] =
+    [sv_mem_hits + sv_disk_hits + sv_cold + sv_failures]). *)
+type server_stats = {
+  sv_requests : int; (* Verify batches served *)
+  sv_programs : int; (* programs across all batches *)
+  sv_mem_hits : int; (* served from the in-memory result table *)
+  sv_disk_hits : int; (* served from the persistent cache *)
+  sv_cold : int; (* solved by a worker *)
+  sv_failures : int; (* Rejected replies *)
+  sv_uptime : float; (* seconds since the daemon started *)
+  sv_cache : Liquid_cache.Store.stats option; (* persistent-cache counters *)
+}
+
+type request =
+  | Hello of { version : int; stamp : string }
+  | Verify of verify_request list
+  | Stats
+  | Shutdown
+
+type reply =
+  | Hello_ok of { version : int; stamp : string }
+  | Results of verify_reply list
+  | Stats_reply of server_stats
+  | Bye
+  | Protocol_error of string
+
+(** Framed send/receive.  [recv_*] raise [End_of_file] on a closed
+    peer and [Failure] on an oversized or malformed frame. *)
+
+val send_request : out_channel -> request -> unit
+val recv_request : in_channel -> request
+val send_reply : out_channel -> reply -> unit
+val recv_reply : in_channel -> reply

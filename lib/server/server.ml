@@ -1,0 +1,317 @@
+open Liquid_infer
+module Pipeline = Liquid_driver.Pipeline
+module Scheduler = Liquid_engine.Scheduler
+
+type config = {
+  sock : string;
+  cache_dir : string option;
+  jobs : int;
+  request_timeout : float option;
+  quiet : bool;
+}
+
+let default_config ~sock =
+  {
+    sock;
+    cache_dir = None;
+    jobs = 1;
+    request_timeout = Some 300.;
+    quiet = false;
+  }
+
+let fault_for : (string -> Scheduler.fault option) ref = ref (fun _ -> None)
+
+let log cfg fmt =
+  if cfg.quiet then Format.ifprintf Format.err_formatter fmt
+  else Fmt.epr ("dsolve-server: " ^^ fmt ^^ "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+
+(* Translate one wire request into pipeline options; qualifier and
+   specification text is parsed here, in the parent, so a malformed
+   request is rejected without ever reaching a worker. *)
+let options_of cfg (q : Protocol.verify_request) :
+    (Pipeline.options, Protocol.verify_error) result =
+  match
+    let extra = Qualifier.parse_string ~file:q.vq_name q.vq_qual_text in
+    let quals =
+      (if q.vq_use_defaults then Qualifier.defaults else [])
+      @ (if q.vq_list_quals then Qualifier.list_defaults else [])
+      @ extra
+    in
+    let specs = Spec.parse_string q.vq_spec_text in
+    {
+      Pipeline.default with
+      quals;
+      specs;
+      mine = q.vq_mine;
+      lint = q.vq_lint;
+      incremental = q.vq_incremental;
+      jobs = 1 (* each program is already one worker *);
+      cache_dir = cfg.cache_dir;
+    }
+  with
+  | o -> Ok o
+  | exception Qualifier.Parse_error msg ->
+      Error { Protocol.ve_code = "E_QUALIFIER"; ve_message = msg }
+  | exception Spec.Error msg ->
+      Error { Protocol.ve_code = "E_SPEC"; ve_message = msg }
+
+(* What a solve worker sends back over the scheduler's pipe.  Source
+   errors are ordinary (deterministic) results, not worker faults. *)
+type work_result =
+  | W_ok of Pipeline.report
+  | W_bad of Protocol.verify_error
+
+let solve_one ~options (q : Protocol.verify_request) : work_result =
+  match Pipeline.verify_string ~options ~name:q.vq_name q.vq_source with
+  | r -> W_ok r
+  | exception Pipeline.Source_error (msg, loc) ->
+      W_bad
+        {
+          Protocol.ve_code = "E_SOURCE";
+          ve_message = Fmt.str "%a: %s" Liquid_common.Loc.pp loc msg;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Daemon state                                                        *)
+
+type state = {
+  cfg : config;
+  started : float;
+  mutable requests : int;
+  mutable programs : int;
+  mutable mem_hits : int;
+  mutable disk_hits : int;
+  mutable cold : int;
+  mutable failures : int;
+  (* Finished reports of this daemon's lifetime, keyed by a digest of
+     the whole request record; bounded, cleared wholesale when full. *)
+  memo : (string, Pipeline.report) Hashtbl.t;
+  mutable running : bool;
+}
+
+let memo_cap = 512
+let memo_key (q : Protocol.verify_request) = Digest.string (Marshal.to_string q [])
+
+let memo_add st key report =
+  if Hashtbl.length st.memo >= memo_cap then Hashtbl.reset st.memo;
+  Hashtbl.replace st.memo key report
+
+let stats_of st : Protocol.server_stats =
+  {
+    sv_requests = st.requests;
+    sv_programs = st.programs;
+    sv_mem_hits = st.mem_hits;
+    sv_disk_hits = st.disk_hits;
+    sv_cold = st.cold;
+    sv_failures = st.failures;
+    sv_uptime = Unix.gettimeofday () -. st.started;
+    sv_cache =
+      Option.map
+        (fun dir ->
+          Liquid_cache.Store.stats_snapshot
+            (Liquid_cache.Store.open_store ~dir ()))
+        st.cfg.cache_dir;
+  }
+
+(* Answer one batch.  Warm answers (memo, disk) are taken in the parent;
+   the rest fan out through the scheduler so a crash or hang in any
+   single solve is confined to its worker. *)
+let handle_batch st (batch : Protocol.verify_request list) :
+    Protocol.verify_reply list =
+  st.requests <- st.requests + 1;
+  st.programs <- st.programs + List.length batch;
+  let n = List.length batch in
+  let replies = Array.make n None in
+  (* id, request, options of each program that needs a worker *)
+  let cold = ref [] in
+  List.iteri
+    (fun i q ->
+      match options_of st.cfg q with
+      | Error e ->
+          st.failures <- st.failures + 1;
+          replies.(i) <- Some (Protocol.Rejected e)
+      | Ok options -> (
+          let key = memo_key q in
+          match Hashtbl.find_opt st.memo key with
+          | Some r ->
+              st.mem_hits <- st.mem_hits + 1;
+              replies.(i) <- Some (Protocol.Verified r)
+          | None -> (
+              match
+                Pipeline.cache_lookup ~options ~name:q.Protocol.vq_name
+                  q.Protocol.vq_source
+              with
+              | Some r ->
+                  st.disk_hits <- st.disk_hits + 1;
+                  memo_add st key r;
+                  replies.(i) <- Some (Protocol.Verified r)
+              | None -> cold := (i, q, options) :: !cold)))
+    batch;
+  (let units = Array.of_list (List.rev !cold) in
+   if Array.length units > 0 then begin
+     let saved = !Scheduler.fault_hook in
+     Fun.protect
+       ~finally:(fun () -> Scheduler.fault_hook := saved)
+       (fun () ->
+         (Scheduler.fault_hook :=
+            fun u ->
+              let _, q, _ = units.(u) in
+              !fault_for q.Protocol.vq_name);
+         Scheduler.run ?timeout:st.cfg.request_timeout
+           ~jobs:(max 1 st.cfg.jobs) ~n_units:(Array.length units)
+           ~deps:(fun _ -> [])
+           ~work:(fun u ->
+             let _, q, options = units.(u) in
+             solve_one ~options q)
+           ~merge:(fun u outcome _elapsed ->
+             let i, q, _ = units.(u) in
+             let reply =
+               match outcome with
+               | Scheduler.Done (W_ok r) ->
+                   (* The report crossed the worker's pipe: re-intern
+                      before it mixes with native values. *)
+                   let r = Pipeline.rehash_report r in
+                   st.cold <- st.cold + 1;
+                   memo_add st (memo_key q) r;
+                   Protocol.Verified r
+               | Scheduler.Done (W_bad e) ->
+                   st.failures <- st.failures + 1;
+                   Protocol.Rejected e
+               | Scheduler.Failed { timed_out; attempts; detail } ->
+                   st.failures <- st.failures + 1;
+                   let code = if timed_out then "E_TIMEOUT" else "E_CRASH" in
+                   Protocol.Rejected
+                     {
+                       Protocol.ve_code = code;
+                       ve_message =
+                         Fmt.str "solve worker %s after %d attempt%s: %s"
+                           (if timed_out then "timed out" else "crashed")
+                           attempts
+                           (if attempts = 1 then "" else "s")
+                           detail;
+                     }
+             in
+             replies.(i) <- Some reply)
+           ())
+   end);
+  Array.to_list replies
+  |> List.map (function
+       | Some r -> r
+       | None ->
+           (* Unreachable: every index is filled above. *)
+           Protocol.Rejected
+             { Protocol.ve_code = "E_CRASH"; ve_message = "no reply produced" })
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+
+(* One client, until it disconnects or asks for shutdown.  Any protocol
+   or I/O trouble here closes this connection only. *)
+let handle_connection st fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let finished = ref false in
+  (try
+     (match Protocol.recv_request ic with
+     | Hello { version; stamp } ->
+         if version <> Protocol.version then begin
+           Protocol.send_reply oc
+             (Protocol_error
+                (Fmt.str "protocol version mismatch: server %d, client %d"
+                   Protocol.version version));
+           finished := true
+         end
+         else if stamp <> Protocol.build_stamp then begin
+           Protocol.send_reply oc
+             (Protocol_error
+                "build mismatch: client and server are different dsolve \
+                 binaries");
+           finished := true
+         end
+         else
+           Protocol.send_reply oc
+             (Hello_ok { version = Protocol.version; stamp = Protocol.build_stamp })
+     | _ ->
+         Protocol.send_reply oc (Protocol_error "expected Hello");
+         finished := true);
+     while not !finished do
+       match Protocol.recv_request ic with
+       | Hello _ ->
+           Protocol.send_reply oc (Protocol_error "duplicate Hello")
+       | Verify batch ->
+           let replies =
+             try handle_batch st batch
+             with exn ->
+               (* A bug in batch handling must not kill the daemon:
+                  reject the whole batch and keep serving. *)
+               st.failures <- st.failures + List.length batch;
+               let e =
+                 {
+                   Protocol.ve_code = "E_CRASH";
+                   ve_message = "internal error: " ^ Printexc.to_string exn;
+                 }
+               in
+               List.map (fun _ -> Protocol.Rejected e) batch
+           in
+           Protocol.send_reply oc (Results replies)
+       | Stats -> Protocol.send_reply oc (Stats_reply (stats_of st))
+       | Shutdown ->
+           st.running <- false;
+           Protocol.send_reply oc Bye;
+           finished := true
+     done
+   with
+  | End_of_file -> ()
+  | Failure msg ->
+      (try Protocol.send_reply oc (Protocol_error msg) with _ -> ())
+  | Sys_error _ | Unix.Unix_error _ -> ());
+  try close_out_noerr oc with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+(* Force the lazy corners of the pipeline (primitive environments,
+   default-qualifier parsing, hash-cons tables) so the first real
+   request doesn't pay for them. *)
+let warm_up () =
+  ignore
+    (Pipeline.verify_string ~name:"<warm-up>" "let warm = 1 + 1" : Pipeline.report)
+
+let serve cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let st =
+    {
+      cfg;
+      started = Unix.gettimeofday ();
+      requests = 0;
+      programs = 0;
+      mem_hits = 0;
+      disk_hits = 0;
+      cold = 0;
+      failures = 0;
+      memo = Hashtbl.create 64;
+      running = true;
+    }
+  in
+  warm_up ();
+  (try Unix.unlink cfg.sock with Unix.Unix_error _ -> ());
+  let sock_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink cfg.sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock_fd (Unix.ADDR_UNIX cfg.sock);
+      Unix.listen sock_fd 64;
+      log cfg "listening on %s (jobs=%d, cache=%s)" cfg.sock cfg.jobs
+        (Option.value ~default:"<none>" cfg.cache_dir);
+      while st.running do
+        match Unix.accept sock_fd with
+        | fd, _ -> handle_connection st fd
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      log cfg "shutting down after %d request(s), %d program(s)" st.requests
+        st.programs)

@@ -1,0 +1,32 @@
+(** The verification daemon ([dsolve --serve SOCK]).
+
+    One process stays resident with warm hash-cons tables, primitive
+    environments, and SMT caches, and serves {!Protocol.Verify} batches
+    over a Unix-domain socket.  Each program in a batch is answered from
+    (in order): an in-memory table of reports this daemon already
+    produced, the persistent on-disk cache ({!Liquid_cache.Store}, when
+    [cache_dir] is set), or a cold solve dispatched through the
+    {!Liquid_engine.Scheduler} worker pool — so a crashing or hanging
+    solve is confined to its forked worker and comes back as a
+    structured [Rejected] reply, never as a dead daemon. *)
+
+type config = {
+  sock : string; (* path of the Unix-domain socket *)
+  cache_dir : string option; (* persistent result cache root *)
+  jobs : int; (* concurrent solve workers per batch *)
+  request_timeout : float option; (* wall-clock budget per program *)
+  quiet : bool; (* suppress the stderr lifecycle log *)
+}
+
+(** [jobs = 1], no cache, 300 s per-program timeout, not quiet. *)
+val default_config : sock:string -> config
+
+(** Test-only fault injection, keyed by request name ([vq_name]) and
+    mapped onto {!Liquid_engine.Scheduler.fault_hook} for the cold
+    programs of each batch.  Reset to [(fun _ -> None)] after use. *)
+val fault_for : (string -> Liquid_engine.Scheduler.fault option) ref
+
+(** Run the accept loop; blocks until a client sends
+    {!Protocol.Shutdown}.  The socket is created fresh (any stale file
+    at [config.sock] is unlinked) and removed on exit. *)
+val serve : config -> unit

@@ -57,6 +57,32 @@ let clear_cache () = Pred.Tbl.reset cache
     query's source-level integer entities take in a falsifying model). *)
 let last_cex : (string * int) list ref = ref []
 
+(** Clear every module-level ref that carries {e answers} (or per-query
+    diagnostics) from one verification run into the next, across the
+    whole SMT stack: the counterexample refs of this module, {!Dpll} and
+    {!Theory}, and the per-run instrumentation counters of {!Dpll},
+    {!Theory} and {!Lia}.  A resident verification daemon calls this per
+    request so it can never report a stale counterexample from a
+    previous program; the pipeline calls it at the start of every run.
+
+    Deliberately untouched: the result cache (its entries are keyed on
+    interned queries and valid forever — clearing it is what
+    {!clear_cache} is for) and the cumulative {!stats} counters, which
+    every consumer (pipeline, benches) reads as before/after deltas and
+    which must stay monotone while partition workers replay their
+    movements into a parent process. *)
+let reset_run_state () =
+  last_cex := [];
+  Dpll.last_model := [];
+  Theory.last_model := [];
+  Dpll.models_total := 0;
+  Dpll.max_models := 0;
+  Dpll.max_atoms := 0;
+  Theory.ncalls := 0;
+  Lia.ncalls := 0;
+  Lia.nnodes_total := 0;
+  Lia.time_in := 0.0
+
 let check_formula (q : Pred.t) : result =
   stats.sat_checks <- stats.sat_checks + 1;
   match Dpll.check_sat q with

@@ -32,6 +32,15 @@ val prune_enabled : bool ref
     answer. *)
 val last_cex : (string * int) list ref
 
+(** Clear all answer-bearing module-level state across the SMT stack —
+    {!last_cex}, {!Dpll.last_model}, {!Theory.last_model}, and the
+    per-run instrumentation counters of {!Dpll}/{!Theory}/{!Lia} — so a
+    warm process (the verification daemon, or repeated in-process
+    pipeline runs) can never report stale results from a previous run.
+    Does {e not} clear the result cache ({!clear_cache}) or the
+    cumulative {!stats}, which consumers read as before/after deltas. *)
+val reset_run_state : unit -> unit
+
 (** [check_valid ~kept hyps goal] decides [kept /\ hyps => goal].
     [kept] hypotheses (typically path guards) are exempt from pruning. *)
 val check_valid : ?kept:Pred.t list -> Pred.t list -> Pred.t -> result

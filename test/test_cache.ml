@@ -1,0 +1,312 @@
+(* Tests for the persistent result cache: store round-trips, hygiene
+   (stale stamps, wrong fingerprints, corrupt and truncated entries all
+   fall back to a cold run), pipeline integration, and the per-run
+   solver-state reset that keeps warm processes honest. *)
+
+module Store = Liquid_cache.Store
+module Pipeline = Liquid_driver.Pipeline
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let dir_counter = ref 0
+
+(* A fresh directory per test: store handles (and their counters) are
+   memoized per directory, so reuse would leak state across tests. *)
+let fresh_dir () =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dsolve-cache-test-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> try rm_rf dir with _ -> ()) (fun () -> f dir)
+
+(* All regular files under [dir] (entry files of the store). *)
+let rec files_under dir =
+  List.concat_map
+    (fun f ->
+      let p = Filename.concat dir f in
+      if Sys.is_directory p then files_under p else [ p ])
+    (Array.to_list (Sys.readdir dir))
+
+(* ------------------------------------------------------------------ *)
+(* Store basics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_round_trip () =
+  with_dir (fun dir ->
+      let st = Store.open_store ~dir () in
+      let key = Store.key st [ "prog"; "source text" ] in
+      let fingerprint = "opts/v1" in
+      check_bool "empty store misses" true
+        (Store.find st ~key ~fingerprint = (None : string option));
+      Store.store st ~key ~fingerprint "the result";
+      (match Store.find st ~key ~fingerprint with
+      | Some v -> check_string "round-trips the value" "the result" v
+      | None -> Alcotest.fail "stored entry should be found");
+      let s = Store.stats st in
+      check_int "two lookups" 2 s.Store.lookups;
+      check_int "one hit" 1 s.Store.hits;
+      check_int "one miss" 1 s.Store.misses;
+      check_int "one write" 1 s.Store.writes;
+      check_int "nothing rejected" 0 s.Store.rejected)
+
+let test_structured_value () =
+  with_dir (fun dir ->
+      let st = Store.open_store ~dir () in
+      let key = Store.key st [ "structured" ] in
+      let v = [ (1, "one", [| true; false |]); (2, "two", [| false |]) ] in
+      Store.store st ~key ~fingerprint:"f" v;
+      check_bool "structured value round-trips" true
+        (Store.find st ~key ~fingerprint:"f" = Some v))
+
+let test_fingerprint_mismatch () =
+  with_dir (fun dir ->
+      let st = Store.open_store ~dir () in
+      let key = Store.key st [ "prog" ] in
+      Store.store st ~key ~fingerprint:"options/v1" 42;
+      check_bool "wrong fingerprint misses" true
+        (Store.find st ~key ~fingerprint:"options/v2" = (None : int option));
+      check_int "mismatch counted as rejected" 1 (Store.stats st).Store.rejected;
+      (* The stale entry is dropped, so even the right fingerprint now
+         misses — the caller re-solves and rewrites. *)
+      check_bool "stale entry was removed" true
+        (Store.find st ~key ~fingerprint:"options/v1" = (None : int option)))
+
+let test_stamp_mismatch () =
+  with_dir (fun dir ->
+      let writer = Store.open_store ~stamp:"build-A" ~dir () in
+      let key = Store.key writer [ "prog" ] in
+      Store.store writer ~key ~fingerprint:"f" 42;
+      (* A different build must not see the entry (and, since keys are
+         salted with the stamp, normally computes a different key; probe
+         the same file deliberately). *)
+      let reader = Store.open_store ~stamp:"build-B" ~dir () in
+      check_bool "other build rejects the entry" true
+        (Store.find reader ~key ~fingerprint:"f" = (None : int option));
+      check_int "stamp mismatch counted as rejected" 1
+        (Store.stats reader).Store.rejected;
+      check_bool "keys are salted with the stamp" true
+        (Store.key writer [ "prog" ] <> Store.key reader [ "prog" ]))
+
+let corrupt_last_byte path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  let b = Bytes.of_string content in
+  Bytes.set b (n - 1) (Char.chr (Char.code (Bytes.get b (n - 1)) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_corruption_and_truncation () =
+  with_dir (fun dir ->
+      let st = Store.open_store ~dir () in
+      let key = Store.key st [ "prog" ] in
+      let entry () =
+        match files_under dir with
+        | [ p ] -> p
+        | files ->
+            Alcotest.failf "expected exactly one entry file, found %d"
+              (List.length files)
+      in
+      (* Flipped payload byte: digest check rejects, reader survives. *)
+      Store.store st ~key ~fingerprint:"f" (Some [ 1; 2; 3 ]);
+      corrupt_last_byte (entry ());
+      check_bool "corrupt entry rejected" true
+        (Store.find st ~key ~fingerprint:"f" = (None : int list option option));
+      (* Truncated file: ditto. *)
+      Store.store st ~key ~fingerprint:"f" (Some [ 1; 2; 3 ]);
+      let p = entry () in
+      let oc = open_out_gen [ Open_wronly ] 0o644 p in
+      Unix.ftruncate (Unix.descr_of_out_channel oc) 20;
+      close_out oc;
+      check_bool "truncated entry rejected" true
+        (Store.find st ~key ~fingerprint:"f" = (None : int list option option));
+      (* Garbage from scratch: not even a header. *)
+      Store.store st ~key ~fingerprint:"f" (Some [ 1; 2; 3 ]);
+      let oc = open_out_bin (entry ()) in
+      output_string oc "this is not a cache entry";
+      close_out oc;
+      check_bool "garbage entry rejected" true
+        (Store.find st ~key ~fingerprint:"f" = (None : int list option option));
+      check_int "all three rejections counted" 3
+        (Store.stats st).Store.rejected;
+      (* After a rewrite the entry serves again. *)
+      Store.store st ~key ~fingerprint:"f" (Some [ 1; 2; 3 ]);
+      check_bool "rewritten entry serves" true
+        (Store.find st ~key ~fingerprint:"f" = Some (Some [ 1; 2; 3 ])))
+
+let test_unwritable_dir () =
+  (* Writes into an impossible root are swallowed; lookups miss. *)
+  let st =
+    Store.open_store ~dir:"/dev/null/not-a-directory/cache" ()
+  in
+  let key = Store.key st [ "prog" ] in
+  Store.store st ~key ~fingerprint:"f" 42;
+  check_bool "write failure swallowed" true
+    ((Store.stats st).Store.write_errors > 0);
+  check_bool "lookup just misses" true
+    (Store.find st ~key ~fingerprint:"f" = (None : int option))
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let src_safe =
+  "let rec sum k =\n\
+  \  if k < 0 then 0\n\
+  \  else begin\n\
+  \    let s = sum (k - 1) in\n\
+  \    s + k\n\
+  \  end"
+
+(* All items are named: anonymous items get gensym'd names, whose
+   stamps drift across repeated in-process runs and would spoil the
+   byte-for-byte report comparisons below. *)
+let src_unsafe = "let a = Array.make 5 0\nlet bad = a.(7)"
+
+let report_fingerprint (r : Pipeline.report) =
+  Fmt.str "safe=%b errors=[%a] types=[%a]" r.Pipeline.safe
+    Fmt.(list ~sep:(any ";") Pipeline.pp_error)
+    r.Pipeline.errors
+    Fmt.(
+      list ~sep:(any ";") (fun ppf (x, t) ->
+          Fmt.pf ppf "%a : %a" Liquid_common.Ident.pp x Liquid_infer.Rtype.pp
+            (Liquid_infer.Report.display t)))
+    r.Pipeline.item_types
+
+let test_pipeline_cold_then_hit () =
+  with_dir (fun dir ->
+      let options = { Pipeline.default with Pipeline.cache_dir = Some dir } in
+      let cold = Pipeline.verify_string ~options ~name:"sum.ml" src_safe in
+      check_int "cold run probes the cache" 1
+        cold.Pipeline.stats.Pipeline.n_pcache_lookups;
+      check_int "cold run misses" 0 cold.Pipeline.stats.Pipeline.n_pcache_hits;
+      let warm = Pipeline.verify_string ~options ~name:"sum.ml" src_safe in
+      check_int "warm run hits" 1 warm.Pipeline.stats.Pipeline.n_pcache_hits;
+      check_string "warm report identical to cold" (report_fingerprint cold)
+        (report_fingerprint warm);
+      (* A different program in the same store is a separate entry. *)
+      let other = Pipeline.verify_string ~options ~name:"bad.ml" src_unsafe in
+      check_int "different source misses" 0
+        other.Pipeline.stats.Pipeline.n_pcache_hits;
+      check_bool "and is genuinely re-verified" false other.Pipeline.safe)
+
+let test_pipeline_key_sensitivity () =
+  with_dir (fun dir ->
+      let options = { Pipeline.default with Pipeline.cache_dir = Some dir } in
+      ignore (Pipeline.verify_string ~options ~name:"a.ml" src_safe);
+      (* Same source under a different name: the entry must not be
+         shared — cached error locations embed the file name. *)
+      let renamed = Pipeline.verify_string ~options ~name:"b.ml" src_safe in
+      check_int "different name misses" 0
+        renamed.Pipeline.stats.Pipeline.n_pcache_hits;
+      (* Same source under different qualifiers: fingerprint differs. *)
+      let opts' =
+        {
+          options with
+          Pipeline.quals =
+            Liquid_infer.Qualifier.defaults
+            @ Liquid_infer.Qualifier.parse_string "qualif Neg(v) : v < 0";
+        }
+      in
+      check_bool "fingerprints differ across qualifier sets" true
+        (Pipeline.options_fingerprint options
+        <> Pipeline.options_fingerprint opts');
+      let requalified = Pipeline.verify_string ~options:opts' ~name:"a.ml" src_safe in
+      check_int "different qualifiers miss" 0
+        requalified.Pipeline.stats.Pipeline.n_pcache_hits)
+
+(* The satellite bugfix scenario end to end: a cache entry corrupted on
+   disk is ignored and rewritten, and the verdict matches a cold run
+   exactly. *)
+let test_pipeline_corrupt_entry_recovers () =
+  with_dir (fun dir ->
+      let options = { Pipeline.default with Pipeline.cache_dir = Some dir } in
+      let cold = Pipeline.verify_string ~options ~name:"bad.ml" src_unsafe in
+      check_bool "program is unsafe" false cold.Pipeline.safe;
+      let entry =
+        match files_under dir with
+        | [ p ] -> p
+        | files ->
+            Alcotest.failf "expected exactly one entry file, found %d"
+              (List.length files)
+      in
+      corrupt_last_byte entry;
+      let recovered = Pipeline.verify_string ~options ~name:"bad.ml" src_unsafe in
+      check_int "corrupt entry does not hit" 0
+        recovered.Pipeline.stats.Pipeline.n_pcache_hits;
+      check_string "verdict identical to the cold run"
+        (report_fingerprint cold)
+        (report_fingerprint recovered);
+      (* The recovery rewrote the entry: next lookup hits again. *)
+      let warm = Pipeline.verify_string ~options ~name:"bad.ml" src_unsafe in
+      check_int "rewritten entry hits" 1
+        warm.Pipeline.stats.Pipeline.n_pcache_hits;
+      check_string "served verdict still identical"
+        (report_fingerprint cold)
+        (report_fingerprint warm))
+
+let test_no_cache_dir_no_probes () =
+  let r = Pipeline.verify_string ~name:"sum.ml" src_safe in
+  check_int "no cache dir, no lookups" 0
+    r.Pipeline.stats.Pipeline.n_pcache_lookups;
+  check_int "no cache dir, no hits" 0 r.Pipeline.stats.Pipeline.n_pcache_hits
+
+(* ------------------------------------------------------------------ *)
+(* Per-run solver-state reset                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_reset_run_state () =
+  Liquid_smt.Solver.last_cex := [ ("stale", 99) ];
+  Liquid_smt.Dpll.last_model := [ ("stale", 1) ];
+  Liquid_smt.Dpll.models_total := 123;
+  Liquid_smt.Solver.reset_run_state ();
+  check_bool "counterexample cleared" true (!Liquid_smt.Solver.last_cex = []);
+  check_bool "DPLL model cleared" true (!Liquid_smt.Dpll.last_model = []);
+  check_int "DPLL counters cleared" 0 !Liquid_smt.Dpll.models_total
+
+(* An unsafe run leaves a counterexample behind; a subsequent pipeline
+   run must start clean (the daemon scenario, in-process). *)
+let test_pipeline_resets_cex () =
+  let bad = Pipeline.verify_string ~name:"bad.ml" src_unsafe in
+  check_bool "unsafe run produced errors" true (bad.Pipeline.errors <> []);
+  let good = Pipeline.verify_string ~name:"sum.ml" src_safe in
+  check_bool "clean run reports no errors" true (good.Pipeline.errors = []);
+  check_bool "no stale counterexample survives the next run" true
+    (!Liquid_smt.Solver.last_cex = [])
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "store round-trips a value" test_round_trip;
+    tc "store round-trips structured values" test_structured_value;
+    tc "wrong fingerprint rejects and removes" test_fingerprint_mismatch;
+    tc "wrong build stamp rejects" test_stamp_mismatch;
+    tc "corrupt and truncated entries reject safely"
+      test_corruption_and_truncation;
+    tc "unwritable store degrades to a no-op" test_unwritable_dir;
+    tc "pipeline: cold run then cache hit" test_pipeline_cold_then_hit;
+    tc "pipeline: key covers name and qualifiers" test_pipeline_key_sensitivity;
+    tc "pipeline: corrupt entry falls back and rewrites"
+      test_pipeline_corrupt_entry_recovers;
+    tc "pipeline: no cache dir means no probes" test_no_cache_dir_no_probes;
+    tc "reset_run_state clears answer state" test_reset_run_state;
+    tc "pipeline runs start with clean solver state" test_pipeline_resets_cex;
+  ]

@@ -19,4 +19,6 @@ let () =
       ("analysis", Test_analysis.tests);
       ("tricky", Test_tricky.tests);
       ("partition", Test_partition.tests);
+      ("cache", Test_cache.tests);
+      ("server", Test_server.tests);
     ]
