@@ -13,6 +13,10 @@
       counts and time with the result cache on/off, and the incremental
       weakening engine vs the naive (seed) engine — sat-checks avoided
       and solver time, with byte-identical verdicts and inferred types.
+    - [EXPLAIN] — explanation overhead and determinism: the ablation
+      subset re-verified without its custom qualifiers (so it fails),
+      with the explain phase's cost gated under 15% of the rest of the
+      run and its JSON output required byte-identical across runs.
     - [FIXPOINT] — per-benchmark solver counters (time, queries,
       sat-checks, cache hits), also written to [BENCH_fixpoint.json].
     - [BECHAMEL] — one [Test.make] per T1 row, measuring the full
@@ -489,10 +493,122 @@ let server_bench () =
       ] )
 
 (* ------------------------------------------------------------------ *)
+(* EXPLAIN: explanation overhead and determinism on failing runs        *)
+(* ------------------------------------------------------------------ *)
+
+(* The ablation subset re-verified without its custom qualifiers fails;
+   that is exactly the population [--explain] serves.  The gate holds
+   the aggregate explain-phase time under 15% of the rest of the
+   pipeline on the same runs, and re-runs each explanation to pin down
+   byte-level determinism of the JSON output. *)
+let explain_bench () =
+  section "EXPLAIN: explanation overhead on failing runs";
+  Fmt.pr
+    "Each ablated benchmark (custom qualifier withheld) fails its@.\
+     obligations; --explain then derives minimal cores, blame paths,@.\
+     witnesses and repair hints for them.  Overhead compares the@.\
+     explain phase against the rest of the same run (gate: aggregate@.\
+     under 15%%); determinism re-renders the JSON explanations on a@.\
+     second run and demands byte equality.@.@.";
+  let module J = Liquid_analysis.Json in
+  let subset = [ "tower"; "simplex"; "gauss"; "bcopy" ] in
+  let run name explain =
+    let b = Liquid_suite.Programs.find name in
+    let options =
+      {
+        Liquid_driver.Pipeline.default with
+        Liquid_driver.Pipeline.quals = Liquid_infer.Qualifier.defaults;
+        mine = false;
+        explain;
+      }
+    in
+    Liquid_driver.Pipeline.verify_string ~options ~name:(name ^ ".ml")
+      b.Liquid_suite.Programs.source
+  in
+  let explanations_json (r : Liquid_driver.Pipeline.report) =
+    J.to_string
+      (J.List
+         (List.map Liquid_driver.Pipeline.json_of_explanation
+            r.Liquid_driver.Pipeline.explanations))
+  in
+  Fmt.pr "%-10s %8s %9s %9s %9s %8s %6s %6s@." "Program" "fails" "rest(s)"
+    "expl(s)" "overhead" "queries" "hints" "det";
+  Fmt.pr "%s@." (String.make 72 '-');
+  let rows =
+    List.map
+      (fun name ->
+        let r = run name true in
+        let r2 = run name true in
+        let stats = r.Liquid_driver.Pipeline.stats in
+        let explain_t =
+          try List.assoc "explain" stats.Liquid_driver.Pipeline.phases
+          with Not_found -> 0.0
+        in
+        let rest_t = stats.Liquid_driver.Pipeline.elapsed -. explain_t in
+        let overhead = if rest_t > 0.0 then explain_t /. rest_t else 0.0 in
+        let deterministic = explanations_json r = explanations_json r2 in
+        let hints =
+          List.length
+            (List.filter
+               (fun (ex : Liquid_explain.Explain.explanation) ->
+                 ex.Liquid_explain.Explain.ex_repair <> None)
+               r.Liquid_driver.Pipeline.explanations)
+        in
+        let failing = not r.Liquid_driver.Pipeline.safe in
+        let explained =
+          r.Liquid_driver.Pipeline.explanations <> []
+          && List.for_all
+               (fun (ex : Liquid_explain.Explain.explanation) ->
+                 ex.Liquid_explain.Explain.ex_unexplained = None)
+               r.Liquid_driver.Pipeline.explanations
+        in
+        Fmt.pr "%-10s %8b %9.2f %9.2f %8.1f%% %8d %6d %6b@." name failing
+          rest_t explain_t (100.0 *. overhead)
+          stats.Liquid_driver.Pipeline.n_explain_smt_queries hints
+          deterministic;
+        ( (failing && explained, deterministic, explain_t, rest_t),
+          J.Obj
+            [
+              ("name", J.String name);
+              ("rest_s", J.Float rest_t);
+              ("explain_s", J.Float explain_t);
+              ("overhead", J.Float overhead);
+              ( "explain_queries",
+                J.Int stats.Liquid_driver.Pipeline.n_explain_smt_queries );
+              ( "explanations",
+                J.Int (List.length r.Liquid_driver.Pipeline.explanations) );
+              ("repair_hints", J.Int hints);
+              ("deterministic", J.Bool deterministic);
+            ] ))
+      subset
+  in
+  let explain_total =
+    List.fold_left (fun a ((_, _, e, _), _) -> a +. e) 0.0 rows
+  in
+  let rest_total = List.fold_left (fun a ((_, _, _, r), _) -> a +. r) 0.0 rows in
+  let aggregate = if rest_total > 0.0 then explain_total /. rest_total else 0.0 in
+  let all_explained = List.for_all (fun ((ok, _, _, _), _) -> ok) rows in
+  let all_deterministic = List.for_all (fun ((_, d, _, _), _) -> d) rows in
+  let gate_ok = aggregate < 0.15 && all_explained && all_deterministic in
+  Fmt.pr
+    "@.aggregate overhead: %.1f%% (gate: < 15%%)   all failures explained: \
+     %b   JSON byte-deterministic: %b@."
+    (100.0 *. aggregate) all_explained all_deterministic;
+  ( gate_ok,
+    J.Obj
+      [
+        ("overhead", J.Float aggregate);
+        ("gate", J.Float 0.15);
+        ("gate_ok", J.Bool gate_ok);
+        ("deterministic", J.Bool all_deterministic);
+        ("benchmarks", J.List (List.map snd rows));
+      ] )
+
+(* ------------------------------------------------------------------ *)
 (* FIXPOINT: per-benchmark solver counters → BENCH_fixpoint.json        *)
 (* ------------------------------------------------------------------ *)
 
-let bench_fixpoint ~partition_json ~server_json () =
+let bench_fixpoint ~partition_json ~server_json ~explain_json () =
   section "FIXPOINT: per-benchmark solver counters (BENCH_fixpoint.json)";
   Fmt.pr
     "Per-benchmark wall-clock and solver counters for the default@.\
@@ -535,11 +651,12 @@ let bench_fixpoint ~partition_json ~server_json () =
   let json =
     J.Obj
       [
-        ("schema", J.String "bench_fixpoint/v3");
+        ("schema", J.String "bench_fixpoint/v4");
         ("engine", J.String "incremental");
         ("benchmarks", J.List (List.map snd rows_and_entries));
         ("partition", partition_json);
         ("server", server_json);
+        ("explain", explain_json);
       ]
   in
   let oc = open_out "BENCH_fixpoint.json" in
@@ -672,7 +789,10 @@ let () =
   let engines_agree = a2 () in
   let jobs_agree, partition_json = partition_bench () in
   let server_agree, server_json = server_bench () in
-  let fixpoint_rows = bench_fixpoint ~partition_json ~server_json () in
+  let explain_ok, explain_json = explain_bench () in
+  let fixpoint_rows =
+    bench_fixpoint ~partition_json ~server_json ~explain_json ()
+  in
   e1 ();
   if not quick then begin
     a3 ();
@@ -683,10 +803,12 @@ let () =
       (fun (r : Liquid_suite.Runner.row) ->
         r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
       (rows @ fixpoint_rows)
-    && engines_agree && jobs_agree && server_agree
+    && engines_agree && jobs_agree && server_agree && explain_ok
   in
   Fmt.pr "@.%s@.Overall: %s@.%s@." line
     (if all_safe then "all benchmarks verified SAFE"
-     else "SOME BENCHMARKS FAILED (or job counts diverged)")
+     else
+       "SOME BENCHMARKS FAILED (or job counts diverged, or the explain \
+        gate broke)")
     line;
   exit (if all_safe then 0 else 1)

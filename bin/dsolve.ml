@@ -14,7 +14,9 @@
     processes ([--partition-timeout] bounds each one; an exceeded
     partition degrades to ⊤ with a P001 diagnostic).  [--cache DIR]
     persists verification results on disk so an unchanged program is
-    re-verified for the cost of a digest.  Exits 0 iff the program is
+    re-verified for the cost of a digest.  [--explain] explains each
+    failed obligation (minimal core, blame path, witness, repair hint;
+    [--explain-limit N] caps how many).  Exits 0 iff the program is
     proved safe (and lint-clean under [--warn-error]).
 
     Server mode: [dsolve --serve SOCK] starts a resident verification
@@ -35,14 +37,14 @@ let read_file path =
 let print_stats ~jobs (s : Pipeline.stats) =
   Fmt.pr
     "stats: lines=%d kvars=%d wf=%d sub=%d quals=%d candidates=%d checks=%d \
-     smt-queries=%d cache-hits=%d lint-queries=%d diagnostics=%d \
-     partitions=%d critical-path=%d pcache-lookups=%d pcache-hits=%d \
-     time=%.3fs@."
+     smt-queries=%d cache-hits=%d lint-queries=%d explain-queries=%d \
+     diagnostics=%d partitions=%d critical-path=%d pcache-lookups=%d \
+     pcache-hits=%d time=%.3fs@."
     s.Pipeline.source_lines s.n_kvars s.n_wf_constraints s.n_sub_constraints
     s.n_qualifiers s.n_initial_candidates s.n_implication_checks
-    s.n_smt_queries s.n_smt_cache_hits s.n_lint_smt_queries s.n_diagnostics
-    s.n_partitions s.critical_path s.n_pcache_lookups s.n_pcache_hits
-    s.elapsed;
+    s.n_smt_queries s.n_smt_cache_hits s.n_lint_smt_queries
+    s.n_explain_smt_queries s.n_diagnostics s.n_partitions s.critical_path
+    s.n_pcache_lookups s.n_pcache_hits s.elapsed;
   List.iter
     (fun (p : Pipeline.part_stat) ->
       if jobs > 1 then
@@ -66,7 +68,7 @@ let code_of_report ~warn_error (report : Pipeline.report) =
 (* One-shot mode                                                       *)
 
 let run_oneshot file ~quals ~specfile ~show_stats ~execute ~lint ~warn_error
-    ~format ~jobs ~partition_timeout ~cache_dir =
+    ~format ~jobs ~partition_timeout ~cache_dir ~explain ~explain_limit =
   let specs =
     match specfile with
     | None -> []
@@ -81,6 +83,8 @@ let run_oneshot file ~quals ~specfile ~show_stats ~execute ~lint ~warn_error
       jobs;
       partition_timeout;
       cache_dir;
+      explain;
+      explain_limit;
     }
   in
   let report = Pipeline.verify_file ~options file in
@@ -108,7 +112,8 @@ let run_oneshot file ~quals ~specfile ~show_stats ~execute ~lint ~warn_error
 (* Client mode                                                         *)
 
 let run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
-    ~show_stats ~lint ~warn_error ~format ~server_stats ~server_shutdown =
+    ~show_stats ~lint ~warn_error ~format ~explain ~explain_limit
+    ~server_stats ~server_shutdown =
   Liquid_server.Client.with_connection sock (fun c ->
       let code = ref 0 in
       if files <> [] then begin
@@ -117,7 +122,8 @@ let run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
             (fun file ->
               Liquid_server.Protocol.request ~qual_text
                 ~use_defaults:(not no_defaults) ~list_quals
-                ~spec_text ~lint:(lint || warn_error) ~name:file
+                ~spec_text ~lint:(lint || warn_error) ~explain
+                ~explain_limit ~name:file
                 (read_file file))
             files
         in
@@ -169,8 +175,8 @@ let run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
 (* ------------------------------------------------------------------ *)
 
 let run files qualfile inline_quals no_defaults list_quals specfile show_stats
-    execute lint warn_error format jobs partition_timeout cache_dir serve
-    connect request_timeout server_stats server_shutdown =
+    execute lint warn_error format jobs partition_timeout cache_dir explain
+    explain_limit serve connect request_timeout server_stats server_shutdown =
   let qual_text =
     String.concat "\n"
       ((match qualfile with None -> [] | Some path -> [ read_file path ])
@@ -214,8 +220,8 @@ let run files qualfile inline_quals no_defaults list_quals specfile show_stats
             match specfile with None -> "" | Some path -> read_file path
           in
           run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
-            ~show_stats ~lint ~warn_error ~format ~server_stats
-            ~server_shutdown
+            ~show_stats ~lint ~warn_error ~format ~explain ~explain_limit
+            ~server_stats ~server_shutdown
         end
     | None, None -> (
         match files with
@@ -233,7 +239,7 @@ let run files qualfile inline_quals no_defaults list_quals specfile show_stats
             in
             run_oneshot file ~quals ~specfile ~show_stats ~execute
               ~lint:(lint || warn_error) ~warn_error ~format ~jobs
-              ~partition_timeout ~cache_dir
+              ~partition_timeout ~cache_dir ~explain ~explain_limit
         | [] ->
             Fmt.epr "error: a FILE argument is required@.";
             2
@@ -363,6 +369,23 @@ let cache_arg =
               dsolve build) is served from disk.  Stale or corrupt entries \
               fall back silently to a cold run")
 
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"Explain each failed obligation after the fixpoint: the \
+              minimal hypothesis core, the blame path through the inferred \
+              refinements to its source origins, a concrete counterexample \
+              witness, and — when the bounded search finds one — a repair \
+              hint naming a qualifier that would make the obligation verify")
+
+let explain_limit_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "explain-limit" ] ~docv:"N"
+        ~doc:"Explain at most $(docv) failures per run (default 5); \
+              further failures are counted but not explained")
+
 let serve_arg =
   Arg.(
     value
@@ -410,7 +433,7 @@ let cmd =
       const run $ files_arg $ qualfile_arg $ inline_quals_arg $ no_defaults_arg
       $ list_quals_arg $ spec_arg $ stats_arg $ run_arg $ lint_arg
       $ warn_error_arg $ format_arg $ jobs_arg $ partition_timeout_arg
-      $ cache_arg $ serve_arg $ connect_arg $ request_timeout_arg
-      $ server_stats_arg $ server_shutdown_arg)
+      $ cache_arg $ explain_arg $ explain_limit_arg $ serve_arg $ connect_arg
+      $ request_timeout_arg $ server_stats_arg $ server_shutdown_arg)
 
 let () = exit (Cmd.eval' cmd)

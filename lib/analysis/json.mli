@@ -13,3 +13,10 @@ type t =
 val escape : string -> string
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+exception Parse_error of string
+
+(** Parse the fragment {!pp} emits (used by round-trip tests and report
+    tooling).  Whole-input: trailing non-whitespace is an error.
+    @raise Parse_error on malformed input. *)
+val of_string : string -> t

@@ -15,7 +15,9 @@ type error = {
   err_loc : Loc.t;
   err_reason : string;
   err_goal : string;
-  err_cex : (string * int) list; (* falsifying values, when available *)
+  err_count : int; (* identical failures folded into this one *)
+  err_cex : (string * Liquid_smt.Solver.cex_value) list;
+      (* falsifying values, when available *)
 }
 
 (** Shape and per-unit cost of the solve plan (see
@@ -42,6 +44,7 @@ type stats = {
   n_smt_queries : int;
   n_smt_cache_hits : int;
   n_lint_smt_queries : int; (* SMT queries spent by the lint pass *)
+  n_explain_smt_queries : int; (* SMT queries spent by the explain pass *)
   n_diagnostics : int; (* lint diagnostics emitted *)
   n_partitions : int; (* solve units in the partition plan *)
   critical_path : int; (* longest dependency chain, in partitions *)
@@ -52,7 +55,8 @@ type stats = {
   phases : (string * float) list;
       (* per-phase wall-clock seconds, in pipeline order:
          parse, anf, hm, congen, partition, solve, concrete_check,
-         merge, lint.  [elapsed] is exactly their sum. *)
+         merge, explain (when enabled), lint.  [elapsed] is exactly
+         their sum. *)
 }
 
 type report = {
@@ -60,6 +64,9 @@ type report = {
   errors : error list;
   item_types : (Ident.t * Rtype.t) list; (* with the solution applied *)
   lints : Liquid_analysis.Diagnostic.t list; (* empty unless [lint] *)
+  explanations : Liquid_explain.Explain.explanation list;
+      (* empty unless [explain] and the program failed *)
+  explain_skipped : int; (* failures beyond [explain_limit] *)
   stats : stats;
 }
 
@@ -77,6 +84,8 @@ type options = {
   jobs : int; (* concurrent solve workers; 1 = in-process *)
   partition_timeout : float option; (* per-partition wall-clock budget *)
   cache_dir : string option; (* persistent result cache root; None = off *)
+  explain : bool; (* explain failed obligations post-fixpoint *)
+  explain_limit : int; (* failures explained per run (rest counted) *)
 }
 
 let default =
@@ -89,6 +98,8 @@ let default =
     jobs = 1;
     partition_timeout = Some 60.0;
     cache_dir = None;
+    explain = false;
+    explain_limit = 5;
   }
 
 (** Count source lines containing code: at least one non-whitespace
@@ -121,6 +132,15 @@ let count_lines (src : string) : int =
   !n
 
 let parse_program ~name (src : string) : Ast.program =
+  (* Fresh-name counters restart per program, so every generated name
+     (parser desugaring, ANF temporaries, α-renamed binders) is a
+     function of the source alone and reports — witness bindings and
+     core hypotheses in particular — are byte-identical no matter what
+     the process verified before.  Safe because generated names never
+     escape a run: the only pre-pipeline generator is the spec parser,
+     whose binders use the distinct ["spec_arg"] base. *)
+  Liquid_common.Gensym.reset ();
+  Liquid_anf.Anf.reset ();
   try Parser.program_of_string ~file:name src with
   | Parser.Error (msg, loc) -> raise (Source_error ("parse error: " ^ msg, loc))
   | Lexer.Error (msg, pos) ->
@@ -173,6 +193,8 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
     jobs;
     partition_timeout;
     cache_dir = _;
+    explain;
+    explain_limit;
   } =
     options
   in
@@ -197,6 +219,11 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
      operands.  It is costed under "congen" (qualifier material). *)
   let out, consts =
     timed phases "congen" (fun () ->
+        (* κ numbering restarts per run: κs never outlive a constraint
+           system, and stable names keep reports — blame paths in
+           particular — byte-identical no matter what the process
+           verified before (one-shot, warm daemon, test harness). *)
+        Rtype.reset_kvars ();
         let out =
           try Congen.generate ~specs info prog with
           | Congen.Congen_error (msg, loc) -> raise (Source_error (msg, loc))
@@ -265,16 +292,65 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
         [] )
     end
   in
+  (* Deduplicate identical failures (same origin span, same reason, same
+     goal) before reporting and explanation, keeping a count: one bad κ
+     read by many constraints must not flood the report. *)
+  let failures =
+    let seen : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+    let key (f : Fixpoint.failure) =
+      Fmt.str "%a|%s|%d" Loc.pp f.Fixpoint.f_origin.Constr.loc
+        f.Fixpoint.f_origin.Constr.reason
+        (Liquid_logic.Pred.tag f.Fixpoint.f_goal)
+    in
+    List.iter
+      (fun f ->
+        let k = key f in
+        match Hashtbl.find_opt seen k with
+        | Some n -> incr n
+        | None -> Hashtbl.add seen k (ref 1))
+      res.Fixpoint.failures;
+    let emitted : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    List.filter_map
+      (fun f ->
+        let k = key f in
+        if Hashtbl.mem emitted k then None
+        else begin
+          Hashtbl.add emitted k ();
+          Some (f, !(Hashtbl.find seen k))
+        end)
+      res.Fixpoint.failures
+  in
   let errors =
     List.map
-      (fun (f : Fixpoint.failure) ->
+      (fun ((f : Fixpoint.failure), count) ->
         {
           err_loc = f.Fixpoint.f_origin.Constr.loc;
           err_reason = f.Fixpoint.f_origin.Constr.reason;
           err_goal = Fmt.str "%a" Liquid_logic.Pred.pp f.Fixpoint.f_goal;
+          err_count = count;
           err_cex = f.Fixpoint.f_cex;
         })
-      res.Fixpoint.failures
+      failures
+  in
+  (* Snapshot the query counter before the explain pass so its queries
+     are counted once (in [n_explain_smt_queries]), not in
+     [n_smt_queries]. *)
+  let explain_smt0 = Liquid_smt.Solver.stats.queries in
+  let explanation =
+    if (not explain) || failures = [] then
+      { Liquid_explain.Explain.exs = []; skipped = 0 }
+    else
+      timed phases "explain" (fun () ->
+          let degraded_kvars =
+            List.concat_map
+              (fun (i : Liquid_engine.Psolve.part_info) ->
+                plan.Constr.parts.(i.Liquid_engine.Psolve.pi_id)
+                  .Constr.part_kvars)
+              degraded_parts
+          in
+          Liquid_explain.Explain.explain ~limit:explain_limit ~degraded_kvars
+            ~wfs:out.Congen.wfs ~subs:out.Congen.subs
+            ~solution:res.Fixpoint.solution ~quals ~consts failures)
   in
   let item_types =
     List.map
@@ -321,6 +397,8 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
     errors;
     item_types;
     lints;
+    explanations = explanation.Liquid_explain.Explain.exs;
+    explain_skipped = explanation.Liquid_explain.Explain.skipped;
     stats =
       {
         source_lines;
@@ -334,8 +412,9 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
           res.Fixpoint.solver_stats.Fixpoint.initial_candidates;
         n_implication_checks =
           res.Fixpoint.solver_stats.Fixpoint.implication_checks;
-        n_smt_queries = lint_smt0 - smt0;
+        n_smt_queries = explain_smt0 - smt0;
         n_smt_cache_hits = Liquid_smt.Solver.stats.cache_hits - smt_hits0;
+        n_explain_smt_queries = lint_smt0 - explain_smt0;
         n_lint_smt_queries = Liquid_smt.Solver.stats.queries - lint_smt0;
         n_diagnostics = List.length lints;
         n_partitions = n_parts;
@@ -359,8 +438,9 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
    serves every other.  The leading tag versions the marshalled payload
    type. *)
 let options_fingerprint (o : options) : string =
-  Fmt.str "pipeline-report/v1|mine=%b|lint=%b|incremental=%b|quals=[%a]|specs=[%a]"
-    o.mine o.lint o.incremental
+  Fmt.str
+    "pipeline-report/v2|mine=%b|lint=%b|incremental=%b|explain=%b|explain_limit=%d|quals=[%a]|specs=[%a]"
+    o.mine o.lint o.incremental o.explain o.explain_limit
     Fmt.(list ~sep:(any " ;; ") Qualifier.pp)
     o.quals Spec.pp o.specs
 
@@ -381,7 +461,18 @@ let cacheable (r : report) : bool =
     refinements).  Everything else in a report is plain data. *)
 let rehash_report (r : report) : report =
   let go = Rtype.rehash () in
-  { r with item_types = List.map (fun (x, t) -> (x, go t)) r.item_types }
+  let ex =
+    Liquid_explain.Explain.rehash
+      {
+        Liquid_explain.Explain.exs = r.explanations;
+        skipped = r.explain_skipped;
+      }
+  in
+  {
+    r with
+    item_types = List.map (fun (x, t) -> (x, go t)) r.item_types;
+    explanations = ex.Liquid_explain.Explain.exs;
+  }
 
 (** Probe the persistent cache for a finished report ([None] when
     [options.cache_dir] is unset or the entry is absent/stale).  The
@@ -437,14 +528,16 @@ let verify_file ?(options = default) (path : string) : report =
 (* -- Report printing ---------------------------------------------------------- *)
 
 let pp_error ppf (e : error) =
-  Fmt.pf ppf "%a: %s@,  unprovable obligation: %s" Loc.pp e.err_loc
-    e.err_reason e.err_goal;
+  Fmt.pf ppf "%a: %s" Loc.pp e.err_loc e.err_reason;
+  if e.err_count > 1 then Fmt.pf ppf " (×%d)" e.err_count;
+  Fmt.pf ppf "@,  unprovable obligation: %s" e.err_goal;
   match e.err_cex with
   | [] -> ()
   | cex ->
       Fmt.pf ppf "@,  possible counterexample: %a"
         Fmt.(
-          list ~sep:(any ", ") (fun ppf (x, v) -> Fmt.pf ppf "%s = %d" x v))
+          list ~sep:(any ", ") (fun ppf (x, v) ->
+              Fmt.pf ppf "%s = %a" x Liquid_smt.Solver.pp_cex_value v))
         (Liquid_common.Listx.take 6 cex)
 
 let pp_report ppf (r : report) =
@@ -462,6 +555,17 @@ let pp_report ppf (r : report) =
       (List.length r.errors);
     List.iter (fun e -> Fmt.pf ppf "  %a@," pp_error e) r.errors
   end;
+  if r.explanations <> [] then begin
+    Fmt.pf ppf "@,explanations:@,";
+    List.iter
+      (fun ex -> Fmt.pf ppf "  %a@," Liquid_explain.Explain.pp_explanation ex)
+      r.explanations;
+    if r.explain_skipped > 0 then
+      Fmt.pf ppf "  %d further failure%s not explained (raise with \
+                  --explain-limit)@,"
+        r.explain_skipped
+        (if r.explain_skipped = 1 then "" else "s")
+  end;
   if r.lints <> [] then begin
     Fmt.pf ppf "@,%d diagnostic%s:@," (List.length r.lints)
       (if List.length r.lints = 1 then "" else "s");
@@ -473,6 +577,11 @@ let pp_report ppf (r : report) =
 
 (* -- JSON rendering ----------------------------------------------------------- *)
 
+let json_of_cex_value : Liquid_smt.Solver.cex_value -> Liquid_analysis.Json.t
+    = function
+  | Liquid_smt.Solver.Vint n -> Liquid_analysis.Json.Int n
+  | Liquid_smt.Solver.Vbool b -> Liquid_analysis.Json.Bool b
+
 let json_of_error (e : error) : Liquid_analysis.Json.t =
   let open Liquid_analysis in
   Json.Obj
@@ -480,8 +589,80 @@ let json_of_error (e : error) : Liquid_analysis.Json.t =
       ("loc", Diagnostic.json_of_loc e.err_loc);
       ("reason", Json.String e.err_reason);
       ("goal", Json.String e.err_goal);
+      ("count", Json.Int e.err_count);
       ( "counterexample",
-        Json.Obj (List.map (fun (x, v) -> (x, Json.Int v)) e.err_cex) );
+        Json.Obj (List.map (fun (x, v) -> (x, json_of_cex_value v)) e.err_cex)
+      );
+    ]
+
+let json_of_explanation (ex : Liquid_explain.Explain.explanation) :
+    Liquid_analysis.Json.t =
+  let open Liquid_analysis in
+  let open Liquid_explain.Explain in
+  let pred_str p = Fmt.str "%a" Liquid_logic.Pred.pp p in
+  Json.Obj
+    [
+      ("loc", Diagnostic.json_of_loc ex.ex_origin.Liquid_infer.Constr.loc);
+      ("reason", Json.String ex.ex_origin.Liquid_infer.Constr.reason);
+      ("goal", Json.String (pred_str ex.ex_goal));
+      ("count", Json.Int ex.ex_count);
+      ("refuted", Json.Bool ex.ex_refuted);
+      ( "witness",
+        Json.Obj
+          (List.map (fun (x, v) -> (x, json_of_cex_value v)) ex.ex_witness) );
+      ( "core",
+        Json.List
+          (List.map
+             (fun (h : core_hyp) ->
+               Json.Obj
+                 [
+                   ("pred", Json.String (pred_str h.ch_pred));
+                   ( "binder",
+                     match h.ch_binder with
+                     | Some x -> Json.String (Fmt.str "%a" Ident.pp x)
+                     | None -> Json.Null );
+                   ( "kvar",
+                     match h.ch_kvar with
+                     | Some k -> Json.Int k
+                     | None -> Json.Null );
+                 ])
+             ex.ex_core) );
+      ( "blame",
+        Json.List
+          (List.map
+             (fun (s : blame_step) ->
+               Json.Obj
+                 [
+                   ("kvar", Json.Int s.bs_kvar);
+                   ( "origins",
+                     Json.List
+                       (List.map
+                          (fun (o : Liquid_infer.Constr.origin) ->
+                            Json.Obj
+                              [
+                                ( "loc",
+                                  Diagnostic.json_of_loc
+                                    o.Liquid_infer.Constr.loc );
+                                ( "reason",
+                                  Json.String o.Liquid_infer.Constr.reason );
+                              ])
+                          s.bs_origins) );
+                 ])
+             ex.ex_blame) );
+      ( "repair",
+        match ex.ex_repair with
+        | None -> Json.Null
+        | Some rp ->
+            Json.Obj
+              [
+                ("kvar", Json.Int rp.rp_kvar);
+                ("pred", Json.String (pred_str rp.rp_pred));
+                ("loc", Diagnostic.json_of_loc rp.rp_loc);
+              ] );
+      ( "unexplained",
+        match ex.ex_unexplained with
+        | None -> Json.Null
+        | Some why -> Json.String why );
     ]
 
 let json_of_stats (s : stats) : Liquid_analysis.Json.t =
@@ -499,6 +680,7 @@ let json_of_stats (s : stats) : Liquid_analysis.Json.t =
       ("smt_queries", Json.Int s.n_smt_queries);
       ("smt_cache_hits", Json.Int s.n_smt_cache_hits);
       ("lint_smt_queries", Json.Int s.n_lint_smt_queries);
+      ("explain_smt_queries", Json.Int s.n_explain_smt_queries);
       ("diagnostics", Json.Int s.n_diagnostics);
       ("partitions", Json.Int s.n_partitions);
       ("critical_path", Json.Int s.critical_path);
@@ -533,6 +715,8 @@ let json_of_report ?(file = "") (r : report) : Liquid_analysis.Json.t =
       ("file", Json.String file);
       ("safe", Json.Bool r.safe);
       ("errors", Json.List (List.map json_of_error r.errors));
+      ("explanations", Json.List (List.map json_of_explanation r.explanations));
+      ("explain_skipped", Json.Int r.explain_skipped);
       ( "types",
         Json.Obj
           (List.map

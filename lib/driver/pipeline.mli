@@ -10,7 +10,9 @@ type error = {
   err_loc : Loc.t;
   err_reason : string;
   err_goal : string;
-  err_cex : (string * int) list; (* falsifying values, when available *)
+  err_count : int; (* identical failures folded into this one *)
+  err_cex : (string * Liquid_smt.Solver.cex_value) list;
+      (* falsifying values, when available *)
 }
 
 (** Shape and per-unit cost of the solve plan (see
@@ -37,6 +39,7 @@ type stats = {
   n_smt_queries : int;
   n_smt_cache_hits : int;
   n_lint_smt_queries : int; (* SMT queries spent by the lint pass *)
+  n_explain_smt_queries : int; (* SMT queries spent by the explain pass *)
   n_diagnostics : int; (* lint diagnostics emitted *)
   n_partitions : int; (* solve units in the partition plan *)
   critical_path : int; (* longest dependency chain, in partitions *)
@@ -51,11 +54,12 @@ type stats = {
   phases : (string * float) list;
       (* per-phase wall-clock seconds, in pipeline order:
          parse, anf, hm, congen, partition, solve, concrete_check,
-         merge, lint.  [elapsed] is exactly their sum.  Sequential runs
-         put fixpoint time under "solve"/"concrete_check" with a zero
-         "merge"; sharded runs put scheduler wall time under "solve"
-         (workers interleave their own concrete checks, reported as
-         zero) and parent-side folding under "merge". *)
+         merge, explain (when enabled), lint.  [elapsed] is exactly
+         their sum.  Sequential runs put fixpoint time under
+         "solve"/"concrete_check" with a zero "merge"; sharded runs put
+         scheduler wall time under "solve" (workers interleave their own
+         concrete checks, reported as zero) and parent-side folding
+         under "merge". *)
 }
 
 type report = {
@@ -63,6 +67,9 @@ type report = {
   errors : error list;
   item_types : (Ident.t * Rtype.t) list; (* with the solution applied *)
   lints : Liquid_analysis.Diagnostic.t list; (* empty unless [lint] *)
+  explanations : Liquid_explain.Explain.explanation list;
+      (* one per explained failure; empty unless [explain] *)
+  explain_skipped : int; (* failures beyond [explain_limit] *)
   stats : stats;
 }
 
@@ -107,11 +114,15 @@ type options = {
   jobs : int;
   partition_timeout : float option;
   cache_dir : string option;
+  explain : bool;
+      (* explain failed obligations after the fixpoint: minimal cores,
+         blame paths, witnesses, repair hints ({!Liquid_explain.Explain}) *)
+  explain_limit : int; (* failures explained per run; the rest counted *)
 }
 
 (** Defaults: {!Liquid_infer.Qualifier.defaults}, mining on, no specs,
     lint off, incremental engine, [jobs = 1], 60 s partition timeout,
-    no persistent cache. *)
+    no persistent cache, explanation off with a limit of 5. *)
 val default : options
 
 (** Canonical rendering of the report-determining option fields
@@ -154,3 +165,8 @@ val pp_report : Format.formatter -> report -> unit
 
 (** Machine-readable form of a report ([dsolve --format json]). *)
 val json_of_report : ?file:string -> report -> Liquid_analysis.Json.t
+
+(** Machine-readable form of one explanation (an element of the
+    report's ["explanations"] array). *)
+val json_of_explanation :
+  Liquid_explain.Explain.explanation -> Liquid_analysis.Json.t

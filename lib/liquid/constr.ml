@@ -214,6 +214,71 @@ let embed_env (lookup : Rtype.kvar -> Pred.t list) (env : env) :
   in
   (List.filter (fun p -> not (Pred.equal p Pred.tt)) bind_facts, env.guards)
 
+(* -- Traced embedding (explanation engine) ------------------------------------------ *)
+
+(** Where an antecedent fact came from: the environment binder that
+    contributed it (or [None] for a guard/lhs fact) and the κ whose
+    solution instance it is (or [None] for a static refinement part or a
+    measure axiom).  The explanation engine uses this to translate a
+    minimized hypothesis core back to program bindings and blamed κs. *)
+type fact_origin = { fo_binder : Ident.t option; fo_kvar : Rtype.kvar option }
+
+(** {!preds_of_refinement} with the κ each fact instantiates. *)
+let preds_of_refinement_traced (lookup : Rtype.kvar -> Pred.t list)
+    (value : Pred.value) (r : Rtype.refinement) :
+    (Pred.t * Rtype.kvar option) list =
+  let inst p = Pred.subst1 Ident.vv value p in
+  (inst r.Rtype.preds, None)
+  :: List.concat_map
+       (fun (k, theta) ->
+         List.map (fun q -> (inst (Pred.subst theta q), Some k)) (lookup k))
+       r.Rtype.kvars
+
+(** {!embed_binding} with per-fact κ provenance. *)
+let rec embed_binding_traced lookup (value : Pred.value) (rt : Rtype.t) :
+    (Pred.t * Rtype.kvar option) list =
+  match rt with
+  | Rtype.Base (Rtype.Bunit, _) -> []
+  | Rtype.Base (_, r) -> preds_of_refinement_traced lookup value r
+  | Rtype.Array (_, r) ->
+      (nonneg_measure Symbol.len value, None)
+      :: preds_of_refinement_traced lookup value r
+  | Rtype.List (_, r) ->
+      (nonneg_measure Symbol.llen value, None)
+      :: preds_of_refinement_traced lookup value r
+  | Rtype.Tyvar (_, r) -> preds_of_refinement_traced lookup value r
+  | Rtype.Tuple ts -> (
+      match value with
+      | Pred.Tm base ->
+          List.concat
+            (List.mapi
+               (fun i ti ->
+                 let s = Rtype.sort_of ti in
+                 if Sort.equal s Sort.Bool then []
+                 else
+                   let proj = Term.app (Rtype.proj_symbol i s) [ base ] in
+                   embed_binding_traced lookup (Pred.Tm proj) ti)
+               ts)
+      | Pred.Pr _ -> [])
+  | Rtype.Fun _ -> []
+
+(** {!embed_env} with per-fact provenance: same facts, in the same order,
+    under the same [tt] filter, so index [i] of the traced facts is fact
+    [i] of [embed_env] — the correspondence the explanation engine's use
+    of {!Liquid_smt.Solver.check_valid_idx} indices depends on. *)
+let embed_env_trace (lookup : Rtype.kvar -> Pred.t list) (env : env) :
+    (Pred.t * fact_origin) list * Pred.t list =
+  let bind_facts =
+    List.concat_map
+      (fun (x, rt) ->
+        List.map
+          (fun (p, k) -> (p, { fo_binder = Some x; fo_kvar = k }))
+          (embed_binding_traced lookup (var_value rt x) rt))
+      env.binds
+  in
+  ( List.filter (fun (p, _) -> not (Pred.equal p Pred.tt)) bind_facts,
+    env.guards )
+
 (* -- Compiled embedding (incremental fixpoint) -------------------------------------- *)
 
 (** A compiled antecedent slot: either a κ-independent fact, computed once,

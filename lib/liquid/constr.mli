@@ -112,6 +112,29 @@ val preds_of_refinement :
 val embed_env :
   (Rtype.kvar -> Pred.t list) -> env -> Pred.t list * Pred.t list
 
+(** {1 Traced embedding} (explanation engine) *)
+
+(** Provenance of one antecedent fact: the environment binder that
+    contributed it ([None] for guards) and the κ whose solution instance
+    it is ([None] for static refinement parts and measure axioms). *)
+type fact_origin = { fo_binder : Ident.t option; fo_kvar : Rtype.kvar option }
+
+(** {!preds_of_refinement} with the κ each fact instantiates ([None]:
+    the refinement's static part). *)
+val preds_of_refinement_traced :
+  (Rtype.kvar -> Pred.t list) ->
+  Pred.value ->
+  Rtype.refinement ->
+  (Pred.t * Rtype.kvar option) list
+
+(** {!embed_env} with per-fact provenance: the same facts, in the same
+    order, under the same [tt] filter, so fact [i] here is hypothesis
+    [i] of {!embed_env} — the correspondence that lets
+    {!Liquid_smt.Solver.check_valid_idx} indices be mapped back to
+    binders and κs. *)
+val embed_env_trace :
+  (Rtype.kvar -> Pred.t list) -> env -> (Pred.t * fact_origin) list * Pred.t list
+
 (** {1 Compiled embedding} (incremental fixpoint)
 
     A compiled antecedent slot is either a κ-independent fact or a κ

@@ -56,9 +56,11 @@ module ISet = Set.Make (Int)
 module SSet = Set.Make (String)
 
 type failure = {
+  f_sub_id : int; (* the failing constraint, for explanation lookups *)
   f_origin : Constr.origin;
   f_goal : Pred.t; (* the unprovable obligation, under the final solution *)
-  f_cex : (string * int) list; (* falsifying values, when available *)
+  f_cex : (string * Solver.cex_value) list;
+      (* falsifying values, when available *)
 }
 
 type stats = {
@@ -533,6 +535,7 @@ let solve_unit ?(incremental = true) ~(base : Constr.solution)
                   Some
                     ( c.Constr.sub_id,
                       {
+                        f_sub_id = c.Constr.sub_id;
                         f_origin = c.Constr.origin;
                         f_goal = goal;
                         f_cex = !Solver.last_cex;
@@ -540,8 +543,12 @@ let solve_unit ?(incremental = true) ~(base : Constr.solution)
               | Solver.Unknown ->
                   Some
                     ( c.Constr.sub_id,
-                      { f_origin = c.Constr.origin; f_goal = goal; f_cex = [] }
-                    )
+                      {
+                        f_sub_id = c.Constr.sub_id;
+                        f_origin = c.Constr.origin;
+                        f_goal = goal;
+                        f_cex = [];
+                      } )
             end)
       subs
   in

@@ -11,9 +11,11 @@ module KMap = Constr.KMap
 module SSet : Set.S with type elt = string
 
 type failure = {
+  f_sub_id : int; (* the failing constraint, for explanation lookups *)
   f_origin : Constr.origin;
   f_goal : Pred.t; (* the unprovable obligation *)
-  f_cex : (string * int) list; (* falsifying values, when available *)
+  f_cex : (string * Liquid_smt.Solver.cex_value) list;
+      (* falsifying values, when available *)
 }
 
 type stats = {
@@ -124,3 +126,16 @@ val solve :
 
 (** Replace every κ by the conjunction of its solution. *)
 val apply_solution : Pred.t list KMap.t -> Rtype.t -> Rtype.t
+
+(** {1 Explanation hooks} — the exact ingredients of the final concrete
+    pass, exported so the explanation engine can rebuild (and minimize)
+    a failing obligation's query under the final solution. *)
+
+(** Logical value standing for [ν] at a given sort. *)
+val vv_value : Sort.t -> Pred.value
+
+(** Antecedent of a constraint under [lookup]: (prunable binding facts,
+    verbatim-kept lhs preds @ guards) — precisely the [(hyps, kept)]
+    pair the concrete pass hands to {!Liquid_smt.Solver.check_valid}. *)
+val hypotheses :
+  (Rtype.kvar -> Pred.t list) -> Constr.sub -> Pred.t list * Pred.t list

@@ -75,7 +75,10 @@ let rec parse_type env : Rtype.t =
       let x =
         match binder with
         | Some x -> Ident.of_string x
-        | None -> Gensym.fresh "arg"
+        (* Not "arg": that base belongs to in-run template binders, and
+           spec names must stay disjoint from every generated name even
+           though the pipeline resets the gensym counter per program. *)
+        | None -> Gensym.fresh "spec_arg"
       in
       (match binder with
       | Some name -> env.binders <- (name, Rtype.sort_of lhs) :: env.binders

@@ -1,4 +1,6 @@
-let version = 1
+(* v2: verify requests carry explanation switches, and Verify replies
+   carry the report's explanations (the report type itself changed). *)
+let version = 2
 let build_stamp = Liquid_cache.Store.default_stamp
 
 type verify_request = {
@@ -11,11 +13,13 @@ type verify_request = {
   vq_mine : bool;
   vq_lint : bool;
   vq_incremental : bool;
+  vq_explain : bool;
+  vq_explain_limit : int;
 }
 
 let request ?(qual_text = "") ?(use_defaults = true) ?(list_quals = false)
     ?(spec_text = "") ?(mine = true) ?(lint = false) ?(incremental = true)
-    ~name source =
+    ?(explain = false) ?(explain_limit = 5) ~name source =
   {
     vq_name = name;
     vq_source = source;
@@ -26,6 +30,8 @@ let request ?(qual_text = "") ?(use_defaults = true) ?(list_quals = false)
     vq_mine = mine;
     vq_lint = lint;
     vq_incremental = incremental;
+    vq_explain = explain;
+    vq_explain_limit = explain_limit;
   }
 
 type verify_error = { ve_code : string; ve_message : string }

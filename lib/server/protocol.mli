@@ -29,11 +29,13 @@ type verify_request = {
   vq_mine : bool;
   vq_lint : bool;
   vq_incremental : bool;
+  vq_explain : bool; (* explain failed obligations (post-fixpoint) *)
+  vq_explain_limit : int; (* failures explained per program *)
 }
 
 (** Build a request; defaults mirror {!Liquid_driver.Pipeline.default}
     (defaults on, no list qualifiers, mining on, lint off, incremental
-    engine). *)
+    engine, explanation off with a limit of 5). *)
 val request :
   ?qual_text:string ->
   ?use_defaults:bool ->
@@ -42,6 +44,8 @@ val request :
   ?mine:bool ->
   ?lint:bool ->
   ?incremental:bool ->
+  ?explain:bool ->
+  ?explain_limit:int ->
   name:string ->
   string ->
   verify_request

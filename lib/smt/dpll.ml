@@ -15,7 +15,7 @@
 type result = Sat | Unsat | Unknown
 
 (** Counterexample assignment of the last [Sat] answer. *)
-let last_model : (string * int) list ref = ref []
+let last_model : Theory.model ref = ref []
 
 let models_total = ref 0
 let max_models = ref 0
@@ -168,7 +168,30 @@ let check_sat (p : Liquid_logic.Pred.t) : result =
         (if cnf.natoms > !max_atoms then max_atoms := cnf.natoms);
         match Theory.check_sat (List.map (fun (_, a, p) -> (a, p)) !lits) with
         | Theory.Sat ->
-            last_model := !Theory.last_model;
+            (* The theory model only values arithmetic entities; boolean
+               program variables live as propositional [Bvar] atoms whose
+               truth values the DPLL assignment itself carries.  Merge
+               them in so boolean counterexample values surface too. *)
+            let bools =
+              List.filter_map
+                (fun (_, a, pos) ->
+                  match Liquid_logic.Pred.view a with
+                  | Liquid_logic.Pred.Bvar x -> (
+                      match
+                        Theory.clean_label (Liquid_common.Ident.to_string x)
+                      with
+                      | Some l -> Some (l, Theory.Vbool pos)
+                      | None -> None)
+                  | _ -> None)
+                !lits
+            in
+            let from_theory = !Theory.last_model in
+            last_model :=
+              List.sort compare
+                (from_theory
+                @ List.filter
+                    (fun (l, _) -> not (List.mem_assoc l from_theory))
+                    bools);
             Sat
         | Theory.Unknown -> Unknown
         | Theory.Unsat ->

@@ -5,8 +5,10 @@
 type result = Sat | Unsat | Unknown
 
 (** Counterexample assignment (label -> value) of the last [Sat]
-    answer. *)
-val last_model : (string * int) list ref
+    answer.  Boolean program variables ([Bvar] atoms) are valued from
+    the propositional assignment; arithmetic entities from the theory
+    model. *)
+val last_model : Theory.model ref
 
 (** Instrumentation counters (models enumerated across all queries, the
     maximum for a single query, the largest atom count seen). *)

@@ -41,9 +41,16 @@ let pp_stats ppf () =
 (* Cache                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(** Counterexample values: re-exported from {!Theory} so consumers don't
+    reach below the public SMT interface. *)
+type cex_value = Theory.value = Vint of int | Vbool of bool
+
+let pp_cex_value = Theory.pp_value
+
 (* Entries keep the falsifying model of Invalid answers (empty for
    Valid/Unknown) so hits can restore [last_cex]. *)
-let cache : (result * (string * int) list) Pred.Tbl.t = Pred.Tbl.create 4096
+let cache : (result * (string * cex_value) list) Pred.Tbl.t =
+  Pred.Tbl.create 4096
 
 let cache_enabled = ref true
 
@@ -54,8 +61,8 @@ let clear_cache () = Pred.Tbl.reset cache
 (* ------------------------------------------------------------------ *)
 
 (** Counterexample for the most recent [Invalid] answer (values the
-    query's source-level integer entities take in a falsifying model). *)
-let last_cex : (string * int) list ref = ref []
+    query's source-level entities take in a falsifying model). *)
+let last_cex : (string * cex_value) list ref = ref []
 
 (** Clear every module-level ref that carries {e answers} (or per-query
     diagnostics) from one verification run into the next, across the

@@ -28,9 +28,15 @@ val clear_cache : unit -> unit
     hypotheses only makes implications harder. *)
 val prune_enabled : bool ref
 
+(** Counterexample values: integers keep their magnitude, boolean-sorted
+    entities render as booleans (re-exported from the theory layer). *)
+type cex_value = Theory.value = Vint of int | Vbool of bool
+
+val pp_cex_value : Format.formatter -> cex_value -> unit
+
 (** Counterexample (label -> value) for the most recent [Invalid]
     answer. *)
-val last_cex : (string * int) list ref
+val last_cex : (string * cex_value) list ref
 
 (** Clear all answer-bearing module-level state across the SMT stack —
     {!last_cex}, {!Dpll.last_model}, {!Theory.last_model}, and the

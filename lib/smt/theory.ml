@@ -330,45 +330,66 @@ let candidate_pairs st =
       match Int.compare a c with 0 -> Int.compare b d | n -> n)
     !pairs
 
-(** A counterexample assignment: display label -> integer value, for the
-    non-internal integer entities of the query. *)
-type model = (string * int) list
+(** A counterexample value: integers keep their magnitude, boolean-sorted
+    entities render as booleans. *)
+type value = Vint of int | Vbool of bool
+
+(** A counterexample assignment: display label -> value, for the
+    non-internal entities of the query. *)
+type model = (string * value) list
 
 let last_model : model ref = ref []
+
+(** Display form of an entity/atom label: internal names ('%'-prefixed)
+    are dropped, alpha-renaming suffixes ([#N]) are stripped, the value
+    variable [VV] prints as [v], and non-measure applications (mul/div
+    proxies) are rejected as counterexample noise. *)
+let clean_label (label : string) : string option =
+  if String.length label = 0 || label.[0] = '%' then None
+  else begin
+    (* strip alpha-renaming suffixes (#N) for display *)
+    let buf = Buffer.create (String.length label) in
+    let skip = ref false in
+    String.iter
+      (fun c ->
+        if c = '#' then skip := true
+        else if !skip && c >= '0' && c <= '9' then ()
+        else begin
+          skip := false;
+          Buffer.add_char buf c
+        end)
+      label;
+    let label = Buffer.contents buf in
+    let label = if label = "VV" then "v" else label in
+    (* keep variables and measure applications; drop other proxies
+       (mul/div/mod terms are noise in a counterexample) *)
+    let keep =
+      not (String.contains label '(')
+      || (String.length label >= 4 && String.sub label 0 4 = "len(")
+      || (String.length label >= 5 && String.sub label 0 5 = "llen(")
+    in
+    if keep then Some label else None
+  end
+
+let pp_value ppf = function
+  | Vint n -> Fmt.int ppf n
+  | Vbool b -> Fmt.bool ppf b
 
 let extract_model st (m : Rat.t array) : model =
   let out = ref [] in
   Hashtbl.iter
     (fun id label ->
-      if
-        id < Array.length m
-        && Sort.equal (sort_of_ent st id) Sort.Int
-        && String.length label > 0
-        && label.[0] <> '%'
-      then begin
-        (* strip alpha-renaming suffixes (#N) for display *)
-        let buf = Buffer.create (String.length label) in
-        let skip = ref false in
-        String.iter
-          (fun c ->
-            if c = '#' then skip := true
-            else if !skip && c >= '0' && c <= '9' then ()
-            else begin
-              skip := false;
-              Buffer.add_char buf c
-            end)
-          label;
-        let label = Buffer.contents buf in
-        let label = if label = "VV" then "v" else label in
-        (* keep variables and measure applications; drop other proxies
-           (mul/div/mod terms are noise in a counterexample) *)
-        let keep =
-          not (String.contains label '(')
-          || (String.length label >= 4 && String.sub label 0 4 = "len(")
-          || (String.length label >= 5 && String.sub label 0 5 = "llen(")
+      if id < Array.length m then
+        let sort = sort_of_ent st id in
+        let value =
+          match sort with
+          | Sort.Int -> Some (Vint (Rat.floor m.(id)))
+          | Sort.Bool -> Some (Vbool (Rat.floor m.(id) <> 0))
+          | Sort.Obj -> None
         in
-        if keep then out := (label, Rat.floor m.(id)) :: !out
-      end)
+        match (value, clean_label label) with
+        | Some v, Some label -> out := (label, v) :: !out
+        | _ -> ())
     st.labels;
   List.sort compare !out
 

@@ -10,11 +10,22 @@ type result = Sat | Unsat | Unknown
 (** Total invocation count (for benchmarking). *)
 val ncalls : int ref
 
-(** A counterexample assignment: display label -> integer value. *)
-type model = (string * int) list
+(** A counterexample value: integer entities keep their magnitude,
+    boolean-sorted entities render as booleans. *)
+type value = Vint of int | Vbool of bool
+
+(** A counterexample assignment: display label -> value. *)
+type model = (string * value) list
+
+val pp_value : Format.formatter -> value -> unit
 
 (** Model of the last [Sat] answer. *)
 val last_model : model ref
+
+(** Display form of an entity label: [None] for internal ('%'-prefixed)
+    names and non-measure application proxies; strips alpha-renaming
+    [#N] suffixes and renders the value variable [VV] as [v]. *)
+val clean_label : string -> string option
 
 (** Decide the conjunction of the given signed atoms ([(p, false)]
     asserts the negation of [p]).  Non-atomic predicates are rejected

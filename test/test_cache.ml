@@ -274,8 +274,8 @@ let test_no_cache_dir_no_probes () =
 (* ------------------------------------------------------------------ *)
 
 let test_reset_run_state () =
-  Liquid_smt.Solver.last_cex := [ ("stale", 99) ];
-  Liquid_smt.Dpll.last_model := [ ("stale", 1) ];
+  Liquid_smt.Solver.last_cex := [ ("stale", Liquid_smt.Solver.Vint 99) ];
+  Liquid_smt.Dpll.last_model := [ ("stale", Liquid_smt.Theory.Vint 1) ];
   Liquid_smt.Dpll.models_total := 123;
   Liquid_smt.Solver.reset_run_state ();
   check_bool "counterexample cleared" true (!Liquid_smt.Solver.last_cex = []);

@@ -21,4 +21,5 @@ let () =
       ("partition", Test_partition.tests);
       ("cache", Test_cache.tests);
       ("server", Test_server.tests);
+      ("explain", Test_explain.tests);
     ]
