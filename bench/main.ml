@@ -232,6 +232,110 @@ let a2 () =
   identical
 
 (* ------------------------------------------------------------------ *)
+(* PRUNE: pre-fixpoint qualifier-space pruning                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs the T1 suite with the pre-fixpoint prune on and off in
+   drift-cancelling ABBA order and compares verdict fingerprints
+   byte-for-byte.  Gates on two facts: the reports must be identical,
+   and the prune must actually park instances somewhere on the suite
+   (a silently disengaged prune would pass the identity check
+   vacuously).  Returns whether both gates hold plus a JSON fragment
+   for BENCH_fixpoint.json. *)
+let prune_bench () =
+  section "PRUNE: qualifier-space pruning (on vs off)";
+  Fmt.pr
+    "Before the weakening loop, a per-κ analysis parks candidate@.\
+     instances that cannot matter: orientation duplicates, instances@.\
+     unsatisfiable under the κ's WF environment, and instances implied@.\
+     by their surviving siblings (checked over an incremental SMT@.\
+     assertion context).  After the loop, an optimistic-restart@.\
+     reinstatement restores exactly the instances the unpruned greatest@.\
+     fixpoint would keep, so verdicts, errors and inferred types are@.\
+     byte-identical — compared below.  Pruned solve times include the@.\
+     prune and reinstatement passes.@.@.";
+  let run_arm prune =
+    Liquid_smt.Solver.clear_cache ();
+    Liquid_smt.Solver.reset_stats ();
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      List.map
+        (fun b -> Liquid_suite.Runner.verify ~prune b)
+        Liquid_suite.Programs.all
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let sum sel =
+      List.fold_left
+        (fun acc (r : Liquid_suite.Runner.row) ->
+          acc
+          + sel r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.stats)
+        0 rows
+    in
+    let solve_time =
+      List.fold_left
+        (fun acc (r : Liquid_suite.Runner.row) ->
+          List.fold_left
+            (fun acc (phase, t) -> if phase = "solve" then acc +. t else acc)
+            acc
+            r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.stats
+              .Liquid_driver.Pipeline.phases)
+        0.0 rows
+    in
+    ( rows,
+      sum (fun s -> s.Liquid_driver.Pipeline.n_quals_pruned),
+      sum (fun s -> s.Liquid_driver.Pipeline.n_reinstated),
+      solve_time,
+      dt )
+  in
+  ignore (run_arm true);
+  (* warm-up *)
+  let f1 = run_arm false in
+  let p1 = run_arm true in
+  let p2 = run_arm true in
+  let f2 = run_arm false in
+  let mean sel a b = (sel a +. sel b) /. 2.0 in
+  let rows_f, _, _, _, _ = f1 in
+  let rows_p, pruned, reinstated, _, _ = p1 in
+  let solve_f = mean (fun (_, _, _, s, _) -> s) f1 f2 in
+  let solve_p = mean (fun (_, _, _, s, _) -> s) p1 p2 in
+  let t_f = mean (fun (_, _, _, _, t) -> t) f1 f2 in
+  let t_p = mean (fun (_, _, _, _, t) -> t) p1 p2 in
+  let agree = fingerprint rows_f = fingerprint rows_p in
+  let cut =
+    if solve_f <= 0.0 then 0.0
+    else 100.0 *. (solve_f -. solve_p) /. solve_f
+  in
+  Fmt.pr "%-12s %10s %10s %10s %12s@." "prune" "time(s)*" "solve(s)*"
+    "pruned" "reinstated";
+  Fmt.pr "(* mean of 2 runs in drift-cancelling ABBA order, after warm-up)@.";
+  Fmt.pr "%-12s %10.2f %10.2f %10s %12s@." "off" t_f solve_f "-" "-";
+  Fmt.pr "%-12s %10.2f %10.2f %10d %12d@." "on" t_p solve_p pruned reinstated;
+  Fmt.pr
+    "solve-time cut: %.1f%%   instances parked: %d   identical \
+     verdicts+types: %b@."
+    cut pruned agree;
+  if not agree then
+    List.iter2
+      (fun a b ->
+        if a <> b then
+          let name, _, _, _ = a in
+          Fmt.pr "  MISMATCH: %s@." name)
+      (fingerprint rows_f) (fingerprint rows_p);
+  if pruned = 0 then Fmt.pr "  GATE: prune parked nothing on the T1 suite@.";
+  let module J = Liquid_analysis.Json in
+  ( agree && pruned > 0,
+    J.Obj
+      [
+        ("prune_agree", J.Bool agree);
+        ("pruned", J.Int pruned);
+        ("reinstated", J.Int reinstated);
+        ("solve_off_s", J.Float solve_f);
+        ("solve_on_s", J.Float solve_p);
+        ("cut_pct", J.Float cut);
+        ("gate_ok", J.Bool (agree && pruned > 0));
+      ] )
+
+(* ------------------------------------------------------------------ *)
 (* PARTITION: κ-dependency sharding and the parallel scheduler          *)
 (* ------------------------------------------------------------------ *)
 
@@ -608,7 +712,8 @@ let explain_bench () =
 (* FIXPOINT: per-benchmark solver counters → BENCH_fixpoint.json        *)
 (* ------------------------------------------------------------------ *)
 
-let bench_fixpoint ~partition_json ~server_json ~explain_json () =
+let bench_fixpoint ~prune_json ~partition_json ~server_json ~explain_json ()
+    =
   section "FIXPOINT: per-benchmark solver counters (BENCH_fixpoint.json)";
   Fmt.pr
     "Per-benchmark wall-clock and solver counters for the default@.\
@@ -651,9 +756,10 @@ let bench_fixpoint ~partition_json ~server_json ~explain_json () =
   let json =
     J.Obj
       [
-        ("schema", J.String "bench_fixpoint/v4");
+        ("schema", J.String "bench_fixpoint/v5");
         ("engine", J.String "incremental");
         ("benchmarks", J.List (List.map snd rows_and_entries));
+        ("prune", prune_json);
         ("partition", partition_json);
         ("server", server_json);
         ("explain", explain_json);
@@ -783,15 +889,28 @@ let () =
       line;
     exit (if server_agree then 0 else 1)
   end;
+  (* [prune] mode runs only the pruning section — the CI step that
+     gates byte-identical verdicts with pruning on/off and a non-empty
+     prune on the T1 suite. *)
+  if Array.exists (fun a -> a = "prune") Sys.argv then begin
+    let prune_ok, _ = prune_bench () in
+    Fmt.pr "@.%s@.Prune: %s@.%s@." line
+      (if prune_ok then
+         "verdicts identical with pruning on/off, instances parked"
+       else "PRUNED VERDICTS DIVERGED (or the prune parked nothing)")
+      line;
+    exit (if prune_ok then 0 else 1)
+  end;
   let rows = t1 () in
   f1 ();
   a1 ();
   let engines_agree = a2 () in
+  let prune_ok, prune_json = prune_bench () in
   let jobs_agree, partition_json = partition_bench () in
   let server_agree, server_json = server_bench () in
   let explain_ok, explain_json = explain_bench () in
   let fixpoint_rows =
-    bench_fixpoint ~partition_json ~server_json ~explain_json ()
+    bench_fixpoint ~prune_json ~partition_json ~server_json ~explain_json ()
   in
   e1 ();
   if not quick then begin
@@ -803,12 +922,12 @@ let () =
       (fun (r : Liquid_suite.Runner.row) ->
         r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
       (rows @ fixpoint_rows)
-    && engines_agree && jobs_agree && server_agree && explain_ok
+    && engines_agree && prune_ok && jobs_agree && server_agree && explain_ok
   in
   Fmt.pr "@.%s@.Overall: %s@.%s@." line
     (if all_safe then "all benchmarks verified SAFE"
      else
-       "SOME BENCHMARKS FAILED (or job counts diverged, or the explain \
-        gate broke)")
+       "SOME BENCHMARKS FAILED (or job counts diverged, or the prune or \
+        explain gate broke)")
     line;
   exit (if all_safe then 0 else 1)

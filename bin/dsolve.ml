@@ -14,7 +14,9 @@
     processes ([--partition-timeout] bounds each one; an exceeded
     partition degrades to ⊤ with a P001 diagnostic).  [--cache DIR]
     persists verification results on disk so an unchanged program is
-    re-verified for the cost of a digest.  [--explain] explains each
+    re-verified for the cost of a digest.  [--no-prune] disables the
+    pre-fixpoint qualifier-space prune (results are identical; only the
+    solve work changes).  [--explain] explains each
     failed obligation (minimal core, blame path, witness, repair hint;
     [--explain-limit N] caps how many).  Exits 0 iff the program is
     proved safe (and lint-clean under [--warn-error]).
@@ -45,6 +47,11 @@ let print_stats ~jobs (s : Pipeline.stats) =
     s.n_smt_queries s.n_smt_cache_hits s.n_lint_smt_queries
     s.n_explain_smt_queries s.n_diagnostics s.n_partitions s.critical_path
     s.n_pcache_lookups s.n_pcache_hits s.elapsed;
+  Fmt.pr
+    "prune: collapsed=%d pruned=%d dedup=%d refuted=%d subsumed=%d \
+     reinstated=%d prune-time=%.3fs reinstate-time=%.3fs@."
+    s.n_alpha_collapsed s.n_quals_pruned s.n_pruned_dedup s.n_pruned_refuted
+    s.n_pruned_subsumed s.n_reinstated s.prune_time s.reinstate_time;
   List.iter
     (fun (p : Pipeline.part_stat) ->
       if jobs > 1 then
@@ -68,7 +75,8 @@ let code_of_report ~warn_error (report : Pipeline.report) =
 (* One-shot mode                                                       *)
 
 let run_oneshot file ~quals ~specfile ~show_stats ~execute ~lint ~warn_error
-    ~format ~jobs ~partition_timeout ~cache_dir ~explain ~explain_limit =
+    ~format ~prune ~jobs ~partition_timeout ~cache_dir ~explain ~explain_limit
+    =
   let specs =
     match specfile with
     | None -> []
@@ -80,6 +88,7 @@ let run_oneshot file ~quals ~specfile ~show_stats ~execute ~lint ~warn_error
       Pipeline.quals;
       specs;
       lint;
+      prune;
       jobs;
       partition_timeout;
       cache_dir;
@@ -175,8 +184,9 @@ let run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
 (* ------------------------------------------------------------------ *)
 
 let run files qualfile inline_quals no_defaults list_quals specfile show_stats
-    execute lint warn_error format jobs partition_timeout cache_dir explain
-    explain_limit serve connect request_timeout server_stats server_shutdown =
+    execute lint warn_error format no_prune jobs partition_timeout cache_dir
+    explain explain_limit serve connect request_timeout server_stats
+    server_shutdown =
   let qual_text =
     String.concat "\n"
       ((match qualfile with None -> [] | Some path -> [ read_file path ])
@@ -238,8 +248,9 @@ let run files qualfile inline_quals no_defaults list_quals specfile show_stats
               base @ Liquid_infer.Qualifier.parse_string qual_text
             in
             run_oneshot file ~quals ~specfile ~show_stats ~execute
-              ~lint:(lint || warn_error) ~warn_error ~format ~jobs
-              ~partition_timeout ~cache_dir ~explain ~explain_limit
+              ~lint:(lint || warn_error) ~warn_error ~format
+              ~prune:(not no_prune) ~jobs ~partition_timeout ~cache_dir
+              ~explain ~explain_limit
         | [] ->
             Fmt.epr "error: a FILE argument is required@.";
             2
@@ -331,6 +342,16 @@ let warn_error_arg =
     & info [ "warn-error" ]
         ~doc:"Treat lint warnings as errors: exit non-zero if any \
               warning-severity diagnostic is reported (implies $(b,--lint))")
+
+let no_prune_arg =
+  Arg.(
+    value & flag
+    & info [ "no-prune" ]
+        ~doc:"Disable the pre-fixpoint qualifier-space prune (orientation \
+              dedup, WF-refutation, sibling subsumption) and its \
+              post-fixpoint reinstatement.  Verdicts, types, and \
+              explanations are identical either way; pruning only shrinks \
+              the solve work")
 
 let jobs_arg =
   Arg.(
@@ -432,8 +453,9 @@ let cmd =
     Term.(
       const run $ files_arg $ qualfile_arg $ inline_quals_arg $ no_defaults_arg
       $ list_quals_arg $ spec_arg $ stats_arg $ run_arg $ lint_arg
-      $ warn_error_arg $ format_arg $ jobs_arg $ partition_timeout_arg
-      $ cache_arg $ explain_arg $ explain_limit_arg $ serve_arg $ connect_arg
-      $ request_timeout_arg $ server_stats_arg $ server_shutdown_arg)
+      $ warn_error_arg $ format_arg $ no_prune_arg $ jobs_arg
+      $ partition_timeout_arg $ cache_arg $ explain_arg $ explain_limit_arg
+      $ serve_arg $ connect_arg $ request_timeout_arg $ server_stats_arg
+      $ server_shutdown_arg)
 
 let () = exit (Cmd.eval' cmd)

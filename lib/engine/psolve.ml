@@ -32,12 +32,18 @@ type outcome = {
   ps_degraded : int list; (* part_ids pinned to ⊤ *)
 }
 
-let solve ?(incremental = true) ?timeout ~(jobs : int)
+let solve ?(incremental = true) ?(prune = false) ?timeout ~(jobs : int)
     ~(quals : Qualifier.t list) ~(consts : int list) (wfs : Constr.wf list)
     (subs : Constr.sub list) (plan : Constr.plan) : outcome =
   let parts = plan.Constr.parts in
   let n = Array.length parts in
-  let initial = Fixpoint.init_assignment ~consts quals wfs in
+  let collapsed = ref 0 in
+  let initial = Fixpoint.init_assignment ~consts ~collapsed quals wfs in
+  (* WF facts for pruning, computed once parent-side: workers fork after
+     this point and see the map via inherited memory.  Units prune only
+     κs present in their own [init], so no per-partition restriction is
+     needed. *)
+  let prune_wf = if prune then Some (Prune.wf_facts wfs) else None in
   (* Initial assignment restricted to each partition's own κs. *)
   let init_of = Array.map
       (fun (p : Constr.partition) ->
@@ -60,7 +66,7 @@ let solve ?(incremental = true) ?timeout ~(jobs : int)
   let degraded = ref [] in
   let merge_time = ref 0.0 in
   let work u =
-    Fixpoint.solve_unit ~incremental ~base:!merged_sol
+    Fixpoint.solve_unit ~incremental ?prune_wf ~base:!merged_sol
       ~init:init_of.(u) parts.(u).Constr.part_subs
   in
   let merge u outcome elapsed =
@@ -145,6 +151,7 @@ let solve ?(incremental = true) ?timeout ~(jobs : int)
   let dead_quals =
     Fixpoint.dead_qualifiers ~initial:live_initial ~final:!merged_cands
   in
+  (!stats).Fixpoint.alpha_collapsed <- !collapsed;
   merge_time := !merge_time +. (Unix.gettimeofday () -. t0);
   {
     ps_result =

@@ -28,9 +28,13 @@ type outcome = {
     with up to [jobs] concurrent workers.  Failures are returned in
     original-constraint order regardless of scheduling; verdicts and
     inferred refinements are scheduling-independent (the fixpoint is
-    unique).  [subs] must be the same list [plan] was built from. *)
+    unique).  [prune] (default [false]) runs the pre-fixpoint
+    qualifier-space prune and post-fixpoint reinstatement inside each
+    unit (see {!Prune}).  [subs] must be the same list [plan] was built
+    from. *)
 val solve :
   ?incremental:bool ->
+  ?prune:bool ->
   ?timeout:float ->
   jobs:int ->
   quals:Qualifier.t list ->

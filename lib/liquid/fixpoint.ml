@@ -70,8 +70,18 @@ type stats = {
   mutable skipped_rechecks : int;
       (* instances retained without a solver call because no κ in their
          recorded dependency set weakened (incremental engine only) *)
+  mutable alpha_collapsed : int;
+      (* instances collapsed by orientation-level dedup at instantiation *)
+  mutable pruned_dedup : int; (* parked by the pre-fixpoint prune phases *)
+  mutable pruned_refuted : int;
+  mutable pruned_subsumed : int;
+  mutable reinstated : int;
+      (* parked/weakened instances restored by the post-fixpoint
+         reinstatement pass *)
   mutable solve_time : float; (* seconds in the weakening loop *)
   mutable check_time : float; (* seconds checking concrete obligations *)
+  mutable prune_time : float; (* seconds in the pre-fixpoint prune pass *)
+  mutable reinstate_time : float; (* seconds in the reinstatement pass *)
 }
 
 type result = {
@@ -89,7 +99,7 @@ type result = {
     the κ's well-formedness environments.  Each instance carries the names
     of the qualifier patterns that produced it, so the solver can report
     patterns whose every instance gets pruned. *)
-let init_assignment ?(consts = []) (quals : Qualifier.t list)
+let init_assignment ?(consts = []) ?collapsed (quals : Qualifier.t list)
     (wfs : Constr.wf list) : (Pred.t * SSet.t) list KMap.t =
   List.fold_left
     (fun acc (wf : Constr.wf) ->
@@ -97,7 +107,7 @@ let init_assignment ?(consts = []) (quals : Qualifier.t list)
       let insts =
         List.map
           (fun (p, names) -> (p, SSet.of_list names))
-          (Qualifier.instances_tagged ~consts quals
+          (Qualifier.instances_tagged ~consts ?collapsed quals
              ~vv_sort:wf.Constr.wf_sort ~scope)
       in
       match KMap.find_opt wf.Constr.wf_kvar acc with
@@ -138,21 +148,149 @@ let hypotheses lookup (c : Constr.sub) : Pred.t list * Pred.t list =
   in
   (facts, lhs_preds @ guards)
 
+(* -- Counterexample evaluation -------------------------------------------------- *)
+
+(* A strict evaluator over a solver counterexample, for the
+   model-guided elimination rounds of reinstatement.  Values come from
+   [Solver.last_cex_raw], keyed by original entity labels (the display
+   model of [Solver.last_cex] strips alpha-renaming suffixes, so
+   distinct solver variables can collide on one label there).  Labels
+   that do collide with conflicting values are poisoned, and any
+   sub-term without a grounded model value raises [Unvalued] — unlike
+   {!Pred.eval}, this evaluator never guesses, so a [false] verdict is
+   a genuine semantic refutation under the model. *)
+
+exception Unvalued
+
+type model_table = (string, Solver.cex_value option) Hashtbl.t
+
+let model_table (cex : (string * Solver.cex_value) list) : model_table =
+  let h : model_table = Hashtbl.create 16 in
+  List.iter
+    (fun (l, v) ->
+      match Hashtbl.find_opt h l with
+      | None -> Hashtbl.replace h l (Some v)
+      | Some (Some v') when v' = v -> ()
+      | Some _ -> Hashtbl.replace h l None)
+    cex;
+  h
+
+let model_value (m : model_table) (label : string) : Solver.cex_value =
+  match Hashtbl.find_opt m label with
+  | Some (Some v) -> v
+  | _ -> raise Unvalued
+
+let rec eval_term (m : model_table) (t : Term.t) : int =
+  match Term.view t with
+  | Term.Int n -> n
+  | Term.Var (x, _) -> (
+      (* Variable entities are labelled by their raw identifier (the
+         pretty-printer's [VV -> v] and ['%'] rewrites do not apply). *)
+      match model_value m (Ident.to_string x) with
+      | Solver.Vint n -> n
+      | Solver.Vbool _ -> raise Unvalued)
+  | Term.App _ -> (
+      (* Application entities are labelled by their rendering. *)
+      match model_value m (Term.to_string t) with
+      | Solver.Vint n -> n
+      | Solver.Vbool _ -> raise Unvalued)
+  | Term.Neg a -> -eval_term m a
+  | Term.Add (a, b) -> eval_term m a + eval_term m b
+  | Term.Sub (a, b) -> eval_term m a - eval_term m b
+  | Term.Mul (a, b) -> eval_term m a * eval_term m b
+
+let eval_brel (r : Pred.brel) (a : int) (b : int) : bool =
+  match r with
+  | Pred.Eq -> a = b
+  | Pred.Ne -> a <> b
+  | Pred.Lt -> a < b
+  | Pred.Le -> a <= b
+  | Pred.Gt -> a > b
+  | Pred.Ge -> a >= b
+
+let rec eval_pred (m : model_table) (p : Pred.t) : bool =
+  match Pred.view p with
+  | Pred.True -> true
+  | Pred.False -> false
+  | Pred.Atom (a, r, b) -> eval_brel r (eval_term m a) (eval_term m b)
+  | Pred.Bvar x -> (
+      match model_value m (Ident.to_string x) with
+      | Solver.Vbool b -> b
+      | Solver.Vint _ -> raise Unvalued)
+  | Pred.Not p -> not (eval_pred m p)
+  | Pred.And ps -> List.for_all (eval_pred m) ps
+  | Pred.Or ps -> List.exists (eval_pred m) ps
+  | Pred.Imp (a, b) -> (not (eval_pred m a)) || eval_pred m b
+  | Pred.Iff (a, b) -> eval_pred m a = eval_pred m b
+
 (* -- Worklist ------------------------------------------------------------------------- *)
 
 (* The two engines share initialization, the dependency-directed worklist,
    the final concrete pass, and dead-qualifier reporting; they differ only
    in how a popped κ-rhs constraint is weakened. *)
 
+(* Counterexample-guided elimination state (reinstatement only): a pool
+   of models harvested from failing checks, plus a per-constraint
+   two-armed bandit choosing between the two ways of deciding a writer
+   visit.  A visit with [n] pending instances can be decided
+   conjunction-first (one query; on [Invalid], fall through to per-goal
+   checks) or per-goal only.  A [Valid] conjunction confirms all [n]
+   instances for one query — but because the negated goal is a
+   disjunction the unit-propagation fast path cannot touch, it pays for
+   propositional model search over the whole environment, which on
+   arithmetic-heavy programs dwarfs [n] fast-path per-goal checks;
+   elsewhere (shallow environments, cheap theory calls) one conjunction
+   beats [n] queries' worth of per-query overhead.  Neither arm wins
+   globally, so each constraint tracks an EMA of {e work per instance}
+   under each arm and plays the cheaper one, revisiting the losing arm
+   periodically in case the regime shifts.  Work is metered in
+   {!Solver.work_total} units (theory calls + LIA nodes), which the
+   solver replays on cache hits — so the decisions, and with them the
+   solver query counts, are deterministic and independent of machine
+   load and cache temperature. *)
+type visit_arms = {
+  mutable av_visits : int; (* decided writer visits of this constraint *)
+  mutable av_conj : float; (* EMA: work per instance, conjunction-first *)
+  mutable av_indiv : float; (* EMA: work per instance, per-goal only *)
+      (* negative: the arm has not been sampled by this constraint yet *)
+}
+
+type cex_elim = {
+  pool : model_table list ref;
+  mutable harvests : int; (* models harvested so far *)
+  arms : (int, visit_arms) Hashtbl.t; (* constraint id -> bandit state *)
+  (* Global prior: running mean work/instance of each arm across every
+     constraint, consulted where a constraint has no sample of its own.
+     Environment character (deep vs shallow, arithmetic-heavy vs not) is
+     largely a property of the program, so a sibling's experience is a
+     far better first guess than a forced sample of an arm the whole
+     workload has already shown to be expensive. *)
+  mutable g_conj : float;
+  mutable g_conj_n : int;
+  mutable g_indiv : float;
+  mutable g_indiv_n : int;
+}
+
 type shared = {
   stats : stats;
   assignment : (Pred.t * SSet.t) list KMap.t ref;
   lookup : Rtype.kvar -> Pred.t list;
   push_dependents : Rtype.kvar -> unit;
+  settled : Rtype.kvar -> Pred.t -> bool;
+      (* instances known to be in the final solution; exempt from every
+         check.  Constantly [false] during the main loop; during
+         reinstatement it holds the pruned run's survivors. *)
+  cex_pool : cex_elim option;
+      (* counterexample-guided elimination (reinstatement only): a pool
+         of models harvested from failing checks.  A pending instance
+         whose prepared query evaluates to [true] under a pooled model
+         is semantically satisfiable — the instance dies with no solver
+         contact at all.  [None] during the main loop. *)
 }
 
-let run_worklist (subs : Constr.sub list) (stats : stats)
-    (assignment : (Pred.t * SSet.t) list KMap.t ref)
+let run_worklist ?(settled = fun _ _ -> false) ?cex_pool
+    (subs : Constr.sub list)
+    (stats : stats) (assignment : (Pred.t * SSet.t) list KMap.t ref)
     ~(base : Constr.solution)
     ~(weaken : shared -> Constr.sub -> Rtype.kvar -> Pred.subst -> unit) :
     unit =
@@ -193,7 +331,9 @@ let run_worklist (subs : Constr.sub list) (stats : stats)
     | Some cs -> List.iter push cs
     | None -> ()
   in
-  let shared = { stats; assignment; lookup; push_dependents } in
+  let shared =
+    { stats; assignment; lookup; push_dependents; settled; cex_pool }
+  in
   List.iter (fun c -> if writes c <> None then push c) subs;
   while not (Queue.is_empty queue) do
     let c = Queue.pop queue in
@@ -211,22 +351,27 @@ let weaken_naive (sh : shared) (c : Constr.sub) (k : Rtype.kvar)
   let current =
     match KMap.find_opt k !(sh.assignment) with Some ps -> ps | None -> []
   in
-  if current <> [] then begin
+  let checkable =
+    List.filter (fun (q, _) -> not (sh.settled k q)) current
+  in
+  if checkable <> [] then begin
     let hyps, kept = hypotheses sh.lookup c in
     let goal_of (q, _) = Pred.subst theta q in
     (* Fast path: if the whole conjunction is implied, keep all. *)
     sh.stats.implication_checks <- sh.stats.implication_checks + 1;
     let all_ok =
-      Solver.check_valid ~kept hyps (Pred.conj (List.map goal_of current))
+      Solver.check_valid ~kept hyps (Pred.conj (List.map goal_of checkable))
       = Solver.Valid
     in
     let retained =
       if all_ok then current
       else
         List.filter
-          (fun q ->
-            sh.stats.implication_checks <- sh.stats.implication_checks + 1;
-            Solver.check_valid ~kept hyps (goal_of q) = Solver.Valid)
+          (fun ((q, _) as inst) ->
+            sh.settled k q
+            ||
+            (sh.stats.implication_checks <- sh.stats.implication_checks + 1;
+             Solver.check_valid ~kept hyps (goal_of inst) = Solver.Valid))
           current
     in
     if List.length retained <> List.length current then begin
@@ -306,7 +451,12 @@ let weaken_incremental (compiled_of : Constr.sub -> compiled)
       | None -> false
       | Some (deps, _) -> List.for_all (fun (k', v) -> ver k' = v) deps
     in
-    let stale = List.filter (fun inst -> not (up_to_date inst)) current in
+    let stale =
+      List.filter
+        (fun ((q, _) as inst) ->
+          (not (sh.settled k q)) && not (up_to_date inst))
+        current
+    in
     sh.stats.skipped_rechecks <-
       sh.stats.skipped_rechecks + (List.length current - List.length stale);
     if stale <> [] then begin
@@ -402,21 +552,19 @@ let weaken_incremental (compiled_of : Constr.sub -> compiled)
       let retained =
         if pending = [] then current
         else begin
-          sh.stats.implication_checks <- sh.stats.implication_checks + 1;
-          let conj_res, conj_idx =
-            Solver.check_valid_idx ~kept hyps
-              (Pred.conj (List.map goal_of pending))
+          let valid = ref ISet.empty in
+          let confirm_all insts idx =
+            let deps = deps_of idx in
+            List.iter
+              (fun ((q, _) as inst) ->
+                record inst deps;
+                valid := ISet.add (Pred.tag q) !valid)
+              insts
           in
-          if conj_res = Solver.Valid then begin
-            let deps = deps_of conj_idx in
-            List.iter (fun inst -> record inst deps) pending;
-            current
-          end
-          else begin
-            (* Decide each pending instance on its own prepared query —
-               built once, probed against the cache, SAT-checked only on
-               a miss — then retain in candidate order. *)
-            let valid = ref ISet.empty in
+          (* Decide each instance on its own prepared query — built
+             once, probed against the cache, SAT-checked only on a
+             miss. *)
+          let individually insts =
             List.iter
               (fun ((q, _) as inst) ->
                 sh.stats.implication_checks <- sh.stats.implication_checks + 1;
@@ -425,12 +573,196 @@ let weaken_incremental (compiled_of : Constr.sub -> compiled)
                   record inst (deps_of prep.Solver.pruned_idx);
                   valid := ISet.add (Pred.tag q) !valid
                 end)
-              pending;
+              insts
+          in
+          (* With a counterexample pool, a failing check is not a dead
+             end.  A pending instance dies for free when a pooled model
+             makes its {e prepared} per-goal query ([¬goal] plus its own
+             relevance-pruned hypotheses) evaluate to [true]: that is a
+             semantic satisfiability certificate for exactly the query
+             the unpruned engine would have SAT-checked.  Each failing
+             check contributes its fresh model to the pool, so one paid
+             query buries every pool-refutable goal of this — and every
+             later — writer visit. *)
+          let elim = sh.cex_pool in
+          let preps : (int, Solver.prepared) Hashtbl.t = Hashtbl.create 16 in
+          let prep_of ((q, _) as inst) =
+            match Hashtbl.find_opt preps (Pred.tag q) with
+            | Some p -> p
+            | None ->
+                let p = Solver.prepare ~kept hyps (goal_of inst) in
+                Hashtbl.add preps (Pred.tag q) p;
+                p
+          in
+          let killed_by _e m inst =
+            match eval_pred m (prep_of inst).Solver.query with
+            | b -> b
+            | exception Unvalued -> false
+          in
+          (* Full pool scan, with move-to-front on a kill: a model that
+             refutes one instance tends to refute its siblings too, so
+             successful killers drift to the head of the scan order. *)
+          let pool_kills e inst =
+            let rec go seen = function
+              | [] -> false
+              | m :: rest ->
+                  if killed_by e m inst then begin
+                    (if seen <> [] then
+                       e.pool := m :: List.rev_append seen rest);
+                    true
+                  end
+                  else go (m :: seen) rest
+            in
+            go [] !(e.pool)
+          in
+          let pool_filter insts =
+            match elim with
+            | None -> insts
+            | Some e -> List.filter (fun inst -> not (pool_kills e inst)) insts
+          in
+          let harvest_model e =
+            match !Solver.last_cex_raw with
+            | [] -> ()
+            | cex ->
+                e.pool := model_table cex :: Listx.take 7 !(e.pool);
+                e.harvests <- e.harvests + 1
+          in
+          (* Individual decisions, pool-accelerated: a pool-refuted
+             instance costs nothing; a freshly failing one contributes
+             its model, so deaths cascade within — and across — writer
+             visits.  Every caller has just pool-filtered [insts], so
+             only models harvested {e since entry} need scanning.
+             Returns the number of instances that failed. *)
+          let individually_pooled e insts =
+            let entry = e.harvests in
+            let deaths = ref 0 in
+            List.iter
+              (fun ((q, _) as inst) ->
+                let fresh = Listx.take (e.harvests - entry) !(e.pool) in
+                if List.exists (fun m -> killed_by e m inst) fresh then
+                  incr deaths
+                else begin
+                  sh.stats.implication_checks <-
+                    sh.stats.implication_checks + 1;
+                  let prep = prep_of inst in
+                  Solver.last_cex_raw := [];
+                  match Solver.check_query prep with
+                  | Solver.Valid ->
+                      record inst (deps_of prep.Solver.pruned_idx);
+                      valid := ISet.add (Pred.tag q) !valid
+                  | Solver.Invalid | Solver.Unknown ->
+                      incr deaths;
+                      harvest_model e
+                end)
+              insts;
+            !deaths
+          in
+          let conjoined insts =
+            sh.stats.implication_checks <- sh.stats.implication_checks + 1;
+            Solver.last_cex_raw := [];
+            let conj_res, conj_idx =
+              Solver.check_valid_idx ~kept hyps
+                (Pred.conj (List.map goal_of insts))
+            in
+            match (conj_res, elim) with
+            | Solver.Valid, _ -> confirm_all insts conj_idx
+            | Solver.Invalid, Some e -> (
+                match insts with
+                | [ _ ] -> () (* sole culprit: refuted, not retained *)
+                | _ ->
+                    (* Someone in the group failed.  Pay at most one
+                       conjunction per visit: seed the pool with its
+                       model and fall through to individual
+                       decisions. *)
+                    harvest_model e;
+                    ignore (individually_pooled e (pool_filter insts)))
+            | _, _ -> individually insts
+          in
+          (* Per-instance work of a visit body, in deterministic solver
+             units.  Each issued query also pays a fixed cost the work
+             counter cannot see — prepare's relevance closure, query
+             construction, interning — all roughly linear in the
+             environment, so it is priced at one hypothesis-count per
+             query. *)
+          let visit_work n f =
+            let q0 = Solver.stats.Solver.queries in
+            let w0 = !Solver.work_total in
+            f ();
+            (float_of_int (!Solver.work_total - w0)
+            +. float_of_int
+                 (((List.length hyps / 4) + 4)
+                 * (Solver.stats.Solver.queries - q0)))
+            /. float_of_int n
+          in
+          let rounds insts =
+            match pool_filter insts with
+            | [] -> ()
+            | insts -> (
+                match elim with
+                | None -> conjoined insts
+                | Some e ->
+                    let st =
+                      match Hashtbl.find_opt e.arms c.Constr.sub_id with
+                      | Some st -> st
+                      | None ->
+                          let st =
+                            { av_visits = 0; av_conj = -1.0; av_indiv = -1.0 }
+                          in
+                          Hashtbl.add e.arms c.Constr.sub_id st;
+                          st
+                    in
+                    (* Estimate each arm from this constraint's own
+                       samples, falling back to the global prior; play
+                       the cheaper arm, sampling any arm the whole run
+                       has never tried.  Every 16th visit replays the
+                       losing arm so a regime shift is eventually
+                       noticed. *)
+                    let est own sum cnt =
+                      if own >= 0.0 then own
+                      else if cnt > 0 then sum /. float_of_int cnt
+                      else -1.0
+                    in
+                    let ec = est st.av_conj e.g_conj e.g_conj_n in
+                    let ei = est st.av_indiv e.g_indiv e.g_indiv_n in
+                    let use_conj =
+                      if ec < 0.0 then true
+                      else if ei < 0.0 then false
+                      else if st.av_visits land 15 = 15 then ec >= ei
+                      else ec < ei
+                    in
+                    let per =
+                      visit_work (List.length insts) (fun () ->
+                          if use_conj then conjoined insts
+                          else ignore (individually_pooled e insts))
+                    in
+                    (if use_conj then begin
+                       st.av_conj <-
+                         (if st.av_conj < 0.0 then per
+                          else (st.av_conj +. per) /. 2.0);
+                       e.g_conj <- e.g_conj +. per;
+                       e.g_conj_n <- e.g_conj_n + 1
+                     end
+                     else begin
+                       st.av_indiv <-
+                         (if st.av_indiv < 0.0 then per
+                          else (st.av_indiv +. per) /. 2.0);
+                       e.g_indiv <- e.g_indiv +. per;
+                       e.g_indiv_n <- e.g_indiv_n + 1
+                     end);
+                    st.av_visits <- st.av_visits + 1)
+          in
+          rounds pending;
+          if
+            List.for_all
+              (fun (q, _) -> ISet.mem (Pred.tag q) !valid)
+              pending
+          then current
+          else
             List.filter
               (fun ((q, _) as inst) ->
-                ISet.mem (Pred.tag q) !valid || up_to_date inst)
+                ISet.mem (Pred.tag q) !valid
+                || sh.settled k q || up_to_date inst)
               current
-          end
         end
       in
       if List.length retained <> List.length current then begin
@@ -473,15 +805,143 @@ let fresh_stats () =
     implication_checks = 0;
     initial_candidates = 0;
     skipped_rechecks = 0;
+    alpha_collapsed = 0;
+    pruned_dedup = 0;
+    pruned_refuted = 0;
+    pruned_subsumed = 0;
+    reinstated = 0;
     solve_time = 0.0;
     check_time = 0.0;
+    prune_time = 0.0;
+    reinstate_time = 0.0;
   }
+
+(* -- Reinstatement -------------------------------------------------------------- *)
+
+(* Restore the post-weakening assignment to exactly the solution an
+   unpruned run would compute, by an {e optimistic restart}: reset the
+   assignment to the full unpruned [init] and run a removal loop over
+   only the instances the pruned run does {e not} already vouch for.
+
+   Why this is exact.  The weaken fixpoint computes the greatest
+   solution below its initial assignment, so the pruned result G is
+   pointwise below the full run's final solution S, and every q ∈ G
+   stays valid under any assignment ⊇ G (hypotheses are monotone in the
+   assignment) — G's instances can never fail during the removal loop,
+   so their checks are skipped outright.  The loop starts from the full
+   [init] ⊇ S and only removes instances whose check fails under the
+   current (⊇ final) assignment; any solution below [init] survives such
+   removals intact, so S is below every intermediate state, and the loop
+   stops at a solution — hence at S itself.  This restart handles what a
+   one-at-a-time from-below reinstatement cannot: instances that support
+   themselves (or each other) through recursive constraints, the normal
+   shape of a loop invariant.
+
+   [Dup]-parked instances are never checked: normalization commutes
+   with substitution, and canon-equal queries decide identically, so a
+   dup is in the final solution iff its representative is.  They sit
+   the removal loop out entirely (their representative speaks for them
+   in the hypotheses, up to logical equivalence) and are re-added — in
+   [init] order, so printed conjunctions are unchanged — once the loop
+   converges.
+
+   The loop itself is {!run_worklist} with the pruned run's survivors
+   marked [settled]: the same dependency-directed scheduling and (with
+   [incremental]) per-instance memoization as the main loop, but every
+   check the pruned run already vouches for is skipped.  The work is
+   thereby bounded by the parked/weakened instances, not by the full
+   candidate population. *)
+let reinstate ?(incremental = true) (stats : stats)
+    (plan : SSet.t Prune.plan) (subs : Constr.sub list)
+    ~(base : Constr.solution) ~(init : candidates)
+    (assignment : candidates ref) : unit =
+  (* Dup tag -> representative tag. *)
+  let is_dup : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  KMap.iter
+    (fun _ ps ->
+      List.iter
+        (function
+          | p, _, Prune.Dup rep ->
+              Hashtbl.replace is_dup (Pred.tag p) (Pred.tag rep)
+          | _ -> ())
+        ps)
+    plan.Prune.parked;
+  (* Instances the pruned weaken loop kept: proven members of the final
+     solution, exempt from re-checking. *)
+  let stable : ISet.t KMap.t =
+    KMap.map
+      (fun ps -> ISet.of_list (List.map (fun (p, _) -> Pred.tag p) ps))
+      !assignment
+  in
+  let n_stable =
+    KMap.fold (fun _ ps n -> n + List.length ps) !assignment 0
+  in
+  (* Optimistic restart from the full unpruned assignment, dups left
+     out. *)
+  assignment :=
+    KMap.map
+      (List.filter (fun (q, _) -> not (Hashtbl.mem is_dup (Pred.tag q))))
+      init;
+  let settled k q =
+    match KMap.find_opt k stable with
+    | Some s -> ISet.mem (Pred.tag q) s
+    | None -> false
+  in
+  (if incremental then begin
+     let table : (int, compiled) Hashtbl.t = Hashtbl.create 64 in
+     let compiled_of c =
+       match Hashtbl.find_opt table c.Constr.sub_id with
+       | Some comp -> comp
+       | None ->
+           let comp = compile_sub c in
+           Hashtbl.add table c.Constr.sub_id comp;
+           comp
+     in
+     let version : (int, int) Hashtbl.t = Hashtbl.create 64 in
+     let elim =
+       {
+         pool = ref [];
+         harvests = 0;
+         arms = Hashtbl.create 64;
+         g_conj = 0.0;
+         g_conj_n = 0;
+         g_indiv = 0.0;
+         g_indiv_n = 0;
+       }
+     in
+     run_worklist ~settled ~cex_pool:elim subs stats assignment ~base
+       ~weaken:(weaken_incremental compiled_of version)
+   end
+   else run_worklist ~settled subs stats assignment ~base ~weaken:weaken_naive);
+  (* Re-add the dups of surviving representatives, in [init] order. *)
+  assignment :=
+    KMap.mapi
+      (fun k full ->
+        let live =
+          match KMap.find_opt k !assignment with
+          | Some ps -> ISet.of_list (List.map (fun (p, _) -> Pred.tag p) ps)
+          | None -> ISet.empty
+        in
+        List.filter
+          (fun (q, _) ->
+            let t = Pred.tag q in
+            match Hashtbl.find_opt is_dup t with
+            | Some rep -> ISet.mem rep live
+            | None -> ISet.mem t live)
+          full)
+      init;
+  let n_final = KMap.fold (fun _ ps n -> n + List.length ps) !assignment 0 in
+  stats.reinstated <- stats.reinstated + (n_final - n_stable)
 
 (** Solve one unit to fixpoint and check its concrete obligations.
     [init] is the initial (strongest) assignment of the unit's own κs;
     [base] holds the final solutions of every upstream κ the unit's
-    constraints read.  All engine state is local to this call. *)
-let solve_unit ?(incremental = true) ~(base : Constr.solution)
+    constraints read.  [prune_wf] (per-κ well-formedness facts, see
+    {!Prune.wf_facts}) enables the pre-fixpoint prune analysis and the
+    post-fixpoint reinstatement pass.  All engine state is local to this
+    call. *)
+let solve_unit ?(incremental = true)
+    ?(prune_wf : Pred.t list KMap.t option) ~(base : Constr.solution)
     ~(init : candidates) (subs : Constr.sub list) : partial =
   let stats = fresh_stats () in
   let smt0 =
@@ -490,11 +950,26 @@ let solve_unit ?(incremental = true) ~(base : Constr.solution)
       Solver.stats.Solver.sat_checks,
       Solver.stats.Solver.unknowns )
   in
-  let t0 = Unix.gettimeofday () in
-  let assignment = ref init in
   KMap.iter
-    (fun _ ps -> stats.initial_candidates <- stats.initial_candidates + List.length ps)
-    !assignment;
+    (fun _ ps ->
+      stats.initial_candidates <- stats.initial_candidates + List.length ps)
+    init;
+  let plan =
+    match prune_wf with
+    | None -> None
+    | Some wf_facts ->
+        let tp = Unix.gettimeofday () in
+        let pl = Prune.analyze ~wf_facts subs init in
+        stats.pruned_dedup <- pl.Prune.n_dup;
+        stats.pruned_refuted <- pl.Prune.n_refuted;
+        stats.pruned_subsumed <- pl.Prune.n_subsumed;
+        stats.prune_time <- Unix.gettimeofday () -. tp;
+        Some pl
+  in
+  let t0 = Unix.gettimeofday () in
+  let assignment =
+    ref (match plan with Some pl -> pl.Prune.kept | None -> init)
+  in
   (if incremental then begin
      let table : (int, compiled) Hashtbl.t = Hashtbl.create 64 in
      let compiled_of c =
@@ -511,6 +986,12 @@ let solve_unit ?(incremental = true) ~(base : Constr.solution)
    end
    else run_worklist subs stats assignment ~base ~weaken:weaken_naive);
   stats.solve_time <- Unix.gettimeofday () -. t0;
+  (match plan with
+  | None -> ()
+  | Some pl ->
+      let tr = Unix.gettimeofday () in
+      reinstate ~incremental stats pl subs ~base ~init assignment;
+      stats.reinstate_time <- Unix.gettimeofday () -. tr);
   let lookup k =
     match KMap.find_opt k !assignment with
     | Some ps -> List.map fst ps
@@ -577,8 +1058,15 @@ let merge_stats (a : stats) (b : stats) : stats =
     implication_checks = a.implication_checks + b.implication_checks;
     initial_candidates = a.initial_candidates + b.initial_candidates;
     skipped_rechecks = a.skipped_rechecks + b.skipped_rechecks;
+    alpha_collapsed = a.alpha_collapsed + b.alpha_collapsed;
+    pruned_dedup = a.pruned_dedup + b.pruned_dedup;
+    pruned_refuted = a.pruned_refuted + b.pruned_refuted;
+    pruned_subsumed = a.pruned_subsumed + b.pruned_subsumed;
+    reinstated = a.reinstated + b.reinstated;
     solve_time = a.solve_time +. b.solve_time;
     check_time = a.check_time +. b.check_time;
+    prune_time = a.prune_time +. b.prune_time;
+    reinstate_time = a.reinstate_time +. b.reinstate_time;
   }
 
 (** Pure union of unit solutions (unit κ sets are disjoint by
@@ -617,11 +1105,15 @@ let rehash_partial (p : partial) : partial =
 (* -- Solving ------------------------------------------------------------------------- *)
 
 let solve ?(quals = Qualifier.defaults) ?(consts = []) ?(incremental = true)
-    (wfs : Constr.wf list) (subs : Constr.sub list) : result =
-  let initial = init_assignment ~consts quals wfs in
+    ?(prune = false) (wfs : Constr.wf list) (subs : Constr.sub list) : result
+    =
+  let collapsed = ref 0 in
+  let initial = init_assignment ~consts ~collapsed quals wfs in
+  let prune_wf = if prune then Some (Prune.wf_facts wfs) else None in
   let partial =
-    solve_unit ~incremental ~base:KMap.empty ~init:initial subs
+    solve_unit ~incremental ?prune_wf ~base:KMap.empty ~init:initial subs
   in
+  partial.pr_stats.alpha_collapsed <- !collapsed;
   {
     solution = KMap.map (List.map fst) partial.pr_solution;
     failures = List.map snd partial.pr_failures;

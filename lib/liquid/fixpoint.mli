@@ -25,8 +25,18 @@ type stats = {
   mutable skipped_rechecks : int;
       (* instances retained without a solver call because no κ in their
          recorded dependency set weakened (incremental engine only) *)
+  mutable alpha_collapsed : int;
+      (* instances collapsed by orientation-level dedup at instantiation *)
+  mutable pruned_dedup : int; (* parked by the pre-fixpoint prune phases *)
+  mutable pruned_refuted : int;
+  mutable pruned_subsumed : int;
+  mutable reinstated : int;
+      (* parked/weakened instances restored by the post-fixpoint
+         reinstatement pass *)
   mutable solve_time : float; (* seconds in the weakening loop *)
   mutable check_time : float; (* seconds checking concrete obligations *)
+  mutable prune_time : float; (* seconds in the pre-fixpoint prune pass *)
+  mutable reinstate_time : float; (* seconds in the reinstatement pass *)
 }
 
 type result = {
@@ -57,9 +67,14 @@ val fresh_stats : unit -> stats
 
 (** Initial (strongest) assignment from the well-formedness constraints:
     all qualifier instances scoping correctly per κ, intersected over
-    the κ's wf environments. *)
+    the κ's wf environments.  [collapsed] is incremented once per
+    instance collapsed by orientation-level dedup at instantiation. *)
 val init_assignment :
-  ?consts:int list -> Qualifier.t list -> Constr.wf list -> candidates
+  ?consts:int list ->
+  ?collapsed:int ref ->
+  Qualifier.t list ->
+  Constr.wf list ->
+  candidates
 
 (** Movement of the global {!Solver.stats} counters during one
     {!solve_unit} call, so a parent process can fold a worker's solver
@@ -84,9 +99,13 @@ type partial = {
 (** Solve one unit to fixpoint and check its concrete obligations.
     [base] holds the final solutions of every upstream κ read but not
     owned by this unit; [init] is the initial assignment of the unit's
-    own κs. *)
+    own κs.  [prune_wf] (per-κ well-formedness facts, {!Prune.wf_facts})
+    enables the pre-fixpoint prune analysis and the post-fixpoint
+    reinstatement pass; the final solution is unchanged, only the work
+    to reach it shrinks. *)
 val solve_unit :
   ?incremental:bool ->
+  ?prune_wf:Pred.t list KMap.t ->
   base:Constr.solution ->
   init:candidates ->
   Constr.sub list ->
@@ -115,11 +134,14 @@ val rehash_partial : partial -> partial
     invalidation, re-checking only instances whose recorded κ-dependency
     set weakened; [false] runs the naive reference engine, which
     re-embeds and re-checks everything on each pop.  Both compute the
-    same solution and failures, in the same order. *)
+    same solution and failures, in the same order.  [prune] (default
+    [false]) runs the pre-fixpoint qualifier-space prune and the
+    post-fixpoint reinstatement (see {!Prune}). *)
 val solve :
   ?quals:Qualifier.t list ->
   ?consts:int list ->
   ?incremental:bool ->
+  ?prune:bool ->
   Constr.wf list ->
   Constr.sub list ->
   result

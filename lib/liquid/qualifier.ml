@@ -111,9 +111,10 @@ exception Ill_sorted = Qualparse.Ill_sorted
     variable has sort [vv_sort], each tagged with the names of the
     patterns that produced it (provenance for the dead-qualifier lint).
     Placeholders range over the (non-internal) variables of [scope] and
-    the mined integer [consts]. *)
-let instances_tagged ?(consts : int list = []) (quals : t list)
-    ~(vv_sort : Sort.t) ~(scope : (Ident.t * Sort.t) list) :
+    the mined integer [consts].  [collapsed] (when given) is incremented
+    once per instance collapsed by orientation-level dedup. *)
+let instances_tagged ?(consts : int list = []) ?(collapsed : int ref option)
+    (quals : t list) ~(vv_sort : Sort.t) ~(scope : (Ident.t * Sort.t) list) :
     (Pred.t * string list) list =
   let scope_sorts =
     List.fold_left
@@ -205,11 +206,51 @@ let instances_tagged ?(consts : int list = []) (quals : t list)
   let preds =
     Listx.dedup_ordered ~compare:Pred.compare (List.map fst !result)
   in
-  List.map (fun p -> (p, List.rev (PMap.find p names))) preds
+  let tagged = List.map (fun p -> (p, List.rev (PMap.find p names))) preds in
+  (* Orientation-level dedup: distinct qualifiers can instantiate to
+     alpha-equivalent predicates that differ only in atom orientation
+     (e.g. [v <= x] from [v <= _] and [x >= v] from [_ >= v]).  Such
+     twins double every weakening re-check without changing the
+     solution.  Key on {!Liquid_smt.Prop.normalize} — stable under the
+     κ-instantiation substitutions applied later — but keep the {e first}
+     occurrence's original predicate, so printed types are unchanged;
+     provenance names of dropped twins are merged into the keeper. *)
+  let keeper : Pred.t Pred.Tbl.t = Pred.Tbl.create 16 in
+  let extra : string list Pred.Tbl.t = Pred.Tbl.create 16 in
+  (* [tagged] is in reverse generation order, so scan it reversed: the
+     keeper must be the {e earliest-generated} twin (the default set
+     precedes user qualifiers), leaving positions of surviving entries —
+     and hence printed conjunctions — unchanged. *)
+  let kept =
+    List.rev
+      (List.filter
+         (fun (p, ns) ->
+           let key = Liquid_smt.Prop.normalize p in
+           match Pred.Tbl.find_opt keeper key with
+           | None ->
+               Pred.Tbl.add keeper key p;
+               true
+           | Some k ->
+               (match collapsed with Some r -> incr r | None -> ());
+               Pred.Tbl.replace extra k
+                 ((try Pred.Tbl.find extra k with Not_found -> []) @ ns);
+               false)
+         (List.rev tagged))
+  in
+  List.map
+    (fun (p, ns) ->
+      match Pred.Tbl.find_opt extra p with
+      | None -> (p, ns)
+      | Some more ->
+          ( p,
+            ns
+            @ Listx.dedup_ordered ~compare:String.compare
+                (List.filter (fun n -> not (List.mem n ns)) more) ))
+    kept
 
-let instances ?consts (quals : t list) ~(vv_sort : Sort.t)
+let instances ?consts ?collapsed (quals : t list) ~(vv_sort : Sort.t)
     ~(scope : (Ident.t * Sort.t) list) : Pred.t list =
-  List.map fst (instances_tagged ?consts quals ~vv_sort ~scope)
+  List.map fst (instances_tagged ?consts ?collapsed quals ~vv_sort ~scope)
 
 (* -- Default qualifier sets ---------------------------------------------------------- *)
 

@@ -58,9 +58,13 @@ exception Ill_sorted
 
 (** Well-sorted instances for a template position of sort [vv_sort], with
     placeholders ranging over the (non-internal) variables of [scope]
-    and, optionally, the mined integer [consts]. *)
+    and, optionally, the mined integer [consts].  Instances from distinct
+    qualifiers that are alpha-equivalent modulo atom orientation are
+    collapsed to their first occurrence (provenance merged); [collapsed]
+    is incremented once per collapse. *)
 val instances :
   ?consts:int list ->
+  ?collapsed:int ref ->
   t list ->
   vv_sort:Sort.t ->
   scope:(Ident.t * Sort.t) list ->
@@ -70,6 +74,7 @@ val instances :
     qualifier patterns that produced it (dead-qualifier provenance). *)
 val instances_tagged :
   ?consts:int list ->
+  ?collapsed:int ref ->
   t list ->
   vv_sort:Sort.t ->
   scope:(Ident.t * Sort.t) list ->

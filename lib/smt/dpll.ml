@@ -17,6 +17,10 @@ type result = Sat | Unsat | Unknown
 (** Counterexample assignment of the last [Sat] answer. *)
 let last_model : Theory.model ref = ref []
 
+(** Same assignment under original (uncleaned) labels; see
+    {!Theory.last_model_raw}. *)
+let last_model_raw : Theory.model ref = ref []
+
 let models_total = ref 0
 let max_models = ref 0
 let max_atoms = ref 0
@@ -120,16 +124,20 @@ let rec find_model (asg : assignment) nvars clauses =
         end
       end
 
-(** Check satisfiability of [p] (a quantifier-free EUFLIA predicate). *)
-let check_sat (p : Liquid_logic.Pred.t) : result =
-  let cnf = Prop.of_pred p in
-  let clauses0 = [ cnf.root ] :: cnf.clauses in
-  (* Count variables from the literals present. *)
+(** Satisfiability of a CNF whose theory atoms are named by [atoms]:
+    [atoms.(v) = Some a] maps propositional variable [v] to theory atom
+    [a] ([None]: a Tseitin definition variable).  {!check_sat} wraps this
+    for a one-shot predicate; the incremental assertion context
+    ({!Solver}) calls it directly over its persistent clause set, where
+    atom and Tseitin variables interleave. *)
+let check_sat_cnf ~(nvars : int) ~(atoms : Liquid_logic.Pred.t option array)
+    (clauses0 : Prop.clause list) : result =
   let nvars =
     List.fold_left
       (fun acc c -> List.fold_left (fun acc l -> max acc (abs l)) acc c)
-      1 clauses0
+      nvars clauses0
   in
+  let natoms = Array.length atoms in
   (* Fast path: literals forced by unit propagation hold in every
      propositional model, so if they are already theory-inconsistent the
      whole formula is unsatisfiable after a single theory call.  Liquid
@@ -142,8 +150,10 @@ let check_sat (p : Liquid_logic.Pred.t) : result =
     | None -> Some Unsat
     | Some _ ->
         let lits = ref [] in
-        for v = 0 to cnf.natoms - 1 do
-          if asg.(v) <> 0 then lits := (cnf.atoms.(v), asg.(v) = 1) :: !lits
+        for v = 0 to natoms - 1 do
+          match atoms.(v) with
+          | Some a when asg.(v) <> 0 -> lits := (a, asg.(v) = 1) :: !lits
+          | _ -> ()
         done;
         if !lits <> [] && Theory.check_sat !lits = Theory.Unsat then Some Unsat
         else None
@@ -160,12 +170,14 @@ let check_sat (p : Liquid_logic.Pred.t) : result =
       else begin
         (* Project onto theory literals (variable id, atom, polarity). *)
         let lits = ref [] in
-        for v = 0 to cnf.natoms - 1 do
-          if asg.(v) <> 0 then lits := (v, cnf.atoms.(v), asg.(v) = 1) :: !lits
+        for v = 0 to natoms - 1 do
+          match atoms.(v) with
+          | Some a when asg.(v) <> 0 -> lits := (v, a, asg.(v) = 1) :: !lits
+          | _ -> ()
         done;
         incr models_total;
         (let m = 2000 - iters + 1 in if m > !max_models then max_models := m);
-        (if cnf.natoms > !max_atoms then max_atoms := cnf.natoms);
+        (if natoms > !max_atoms then max_atoms := natoms);
         match Theory.check_sat (List.map (fun (_, a, p) -> (a, p)) !lits) with
         | Theory.Sat ->
             (* The theory model only values arithmetic entities; boolean
@@ -185,6 +197,17 @@ let check_sat (p : Liquid_logic.Pred.t) : result =
                   | _ -> None)
                 !lits
             in
+            let bools_raw =
+              List.filter_map
+                (fun (_, a, pos) ->
+                  match Liquid_logic.Pred.view a with
+                  | Liquid_logic.Pred.Bvar x ->
+                      Some
+                        ( Liquid_common.Ident.to_string x,
+                          Theory.Vbool pos )
+                  | _ -> None)
+                !lits
+            in
             let from_theory = !Theory.last_model in
             last_model :=
               List.sort compare
@@ -192,6 +215,13 @@ let check_sat (p : Liquid_logic.Pred.t) : result =
                 @ List.filter
                     (fun (l, _) -> not (List.mem_assoc l from_theory))
                     bools);
+            let from_theory_raw = !Theory.last_model_raw in
+            last_model_raw :=
+              List.sort compare
+                (from_theory_raw
+                @ List.filter
+                    (fun (l, _) -> not (List.mem_assoc l from_theory_raw))
+                    bools_raw);
             Sat
         | Theory.Unknown -> Unknown
         | Theory.Unsat ->
@@ -228,3 +258,10 @@ let check_sat (p : Liquid_logic.Pred.t) : result =
     end
   in
   loop 2000
+
+(** Check satisfiability of [p] (a quantifier-free EUFLIA predicate). *)
+let check_sat (p : Liquid_logic.Pred.t) : result =
+  let cnf = Prop.of_pred p in
+  (* [of_pred] interns atoms first, so they form the variable prefix. *)
+  let atoms = Array.map Option.some cnf.Prop.atoms in
+  check_sat_cnf ~nvars:1 ~atoms ([ cnf.Prop.root ] :: cnf.Prop.clauses)

@@ -34,21 +34,63 @@ type builder = {
 let lit_of v = v + 1
 let neg_lit l = -l
 
-(** Canonicalize an atom; returns the canonical atom and a polarity flip. *)
+(** Canonicalize an atom; returns the canonical atom and a polarity flip.
+    Memoized per interned atom (the term bank): atoms recur across every
+    query of a run, and hash-consing makes the table key O(1). *)
+let canon_tbl : (Pred.t * bool) Pred.Tbl.t = Pred.Tbl.create 4096
+
 let canon (p : Pred.t) : Pred.t * bool =
   match Pred.view p with
   | Pred.Atom (a, r, b) -> (
-      match r with
-      | Pred.Gt -> (Pred.make (Pred.Atom (b, Pred.Lt, a)), true)
-      | Pred.Ge -> (Pred.make (Pred.Atom (b, Pred.Le, a)), true)
-      | Pred.Ne ->
-          let a, b = if Term.compare a b <= 0 then (a, b) else (b, a) in
-          (Pred.make (Pred.Atom (a, Pred.Eq, b)), false)
-      | Pred.Eq ->
-          let a, b = if Term.compare a b <= 0 then (a, b) else (b, a) in
-          (Pred.make (Pred.Atom (a, Pred.Eq, b)), true)
-      | Pred.Lt | Pred.Le -> (p, true))
+      match Pred.Tbl.find_opt canon_tbl p with
+      | Some c -> c
+      | None ->
+          let c =
+            match r with
+            | Pred.Gt -> (Pred.make (Pred.Atom (b, Pred.Lt, a)), true)
+            | Pred.Ge -> (Pred.make (Pred.Atom (b, Pred.Le, a)), true)
+            | Pred.Ne ->
+                let a, b = if Term.compare a b <= 0 then (a, b) else (b, a) in
+                (Pred.make (Pred.Atom (a, Pred.Eq, b)), false)
+            | Pred.Eq ->
+                let a, b = if Term.compare a b <= 0 then (a, b) else (b, a) in
+                (Pred.make (Pred.Atom (a, Pred.Eq, b)), true)
+            | Pred.Lt | Pred.Le -> (p, true)
+          in
+          Pred.Tbl.add canon_tbl p c;
+          c)
   | _ -> (p, true)
+
+(** Orientation-normal form of a whole predicate: every atom replaced by
+    its canonical form (negated verbatim when the polarity flips), with
+    the connective structure kept as-is.  Two predicates with the same
+    normal form are logically equivalent — they differ only in atom
+    orientation ([x >= v] vs [v <= x], [a <> b] vs [b <> a]) — and,
+    crucially, substitution commutes with normalization, so equal-form
+    qualifier instances remain equal-form under every κ instantiation.
+    The result is a {e key}, not a formula to solve or print: [Pred.make]
+    is used verbatim so the smart constructors cannot undo the
+    orientation.  Memoized per interned node. *)
+let normal_tbl : Pred.t Pred.Tbl.t = Pred.Tbl.create 4096
+
+let rec normalize (p : Pred.t) : Pred.t =
+  match Pred.Tbl.find_opt normal_tbl p with
+  | Some q -> q
+  | None ->
+      let q =
+        match Pred.view p with
+        | Pred.True | Pred.False | Pred.Bvar _ -> p
+        | Pred.Atom _ ->
+            let a, pos = canon p in
+            if pos then a else Pred.make (Pred.Not a)
+        | Pred.Not r -> Pred.make (Pred.Not (normalize r))
+        | Pred.And ps -> Pred.make (Pred.And (List.map normalize ps))
+        | Pred.Or ps -> Pred.make (Pred.Or (List.map normalize ps))
+        | Pred.Imp (a, b) -> Pred.make (Pred.Imp (normalize a, normalize b))
+        | Pred.Iff (a, b) -> Pred.make (Pred.Iff (normalize a, normalize b))
+      in
+      Pred.Tbl.add normal_tbl p q;
+      q
 
 let atom_var bld p =
   match Pred.Tbl.find_opt bld.atom_tbl p with
@@ -121,10 +163,11 @@ let intern_atoms bld p =
          ignore (atom_var bld q))
        () p)
 
+let new_builder () : builder =
+  { next = 0; atom_tbl = Pred.Tbl.create 32; atom_list = []; cls = [] }
+
 let of_pred (p : Pred.t) : cnf =
-  let bld =
-    { next = 0; atom_tbl = Pred.Tbl.create 32; atom_list = []; cls = [] }
-  in
+  let bld = new_builder () in
   intern_atoms bld p;
   let natoms = bld.next in
   let root = encode bld p in

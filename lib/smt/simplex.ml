@@ -85,9 +85,14 @@ let recompute_basic t =
       t.beta.(v) <- Linexp.eval (fun u -> t.beta.(u)) t.rows.(v)
   done
 
+(* Pivots performed across all solves: the natural unit of simplex
+   work, counted for the deterministic cost metering in {!Solver}. *)
+let npivots = ref 0
+
 (** [pivot t xi xj] makes [xj] basic in place of [xi].  [xi] must be basic
     and [xj] nonbasic with a non-zero coefficient in [xi]'s row. *)
 let pivot t xi xj =
+  incr npivots;
   let row_i = t.rows.(xi) in
   let aij, rest = Linexp.remove xj row_i in
   assert (not (Rat.is_zero aij));

@@ -9,6 +9,10 @@ type cons = { exp : Linexp.t; op : op; rhs : Rat.t }
 
 val cons : Linexp.t -> op -> Rat.t -> cons
 
+(** Pivots performed across all solves (instrumentation; the natural
+    unit of simplex work). *)
+val npivots : int ref
+
 (** Decide a conjunction over variables [0 .. nvars-1].  May raise
     {!Rat.Overflow} on coefficient blowup (callers treat as unknown). *)
 val solve : nvars:int -> cons list -> [ `Sat of Rat.t array | `Unsat ]

@@ -48,9 +48,19 @@ type cex_value = Theory.value = Vint of int | Vbool of bool
 let pp_cex_value = Theory.pp_value
 
 (* Entries keep the falsifying model of Invalid answers (empty for
-   Valid/Unknown) so hits can restore [last_cex]. *)
-let cache : (result * (string * cex_value) list) Pred.Tbl.t =
-  Pred.Tbl.create 4096
+   Valid/Unknown) so hits can restore [last_cex] — both the display form
+   and the raw-label form — plus the deterministic work units the
+   original SAT check cost, replayed on hits.  Replaying model and work
+   makes every answer-bearing side channel cache-temperature-invariant:
+   a warm re-run observes exactly what the cold run observed. *)
+type centry = {
+  ce_res : result;
+  ce_cex : (string * cex_value) list;
+  ce_raw : (string * cex_value) list;
+  ce_work : int;
+}
+
+let cache : centry Pred.Tbl.t = Pred.Tbl.create 4096
 
 let cache_enabled = ref true
 
@@ -63,6 +73,26 @@ let clear_cache () = Pred.Tbl.reset cache
 (** Counterexample for the most recent [Invalid] answer (values the
     query's source-level entities take in a falsifying model). *)
 let last_cex : (string * cex_value) list ref = ref []
+
+(** Counterexample of the most recent [Invalid] answer, under original
+    (uncleaned) entity labels — the form a strict evaluator can resolve
+    terms against without alpha-renaming collisions.  Restored on result
+    cache hits from the cached entry, so it is identical whether the
+    answer was freshly SAT-checked or replayed: callers must treat an
+    empty value as "no model available". *)
+let last_cex_raw : (string * cex_value) list ref = ref []
+
+(** Deterministic work units of the most recently decided query: theory
+    literals processed plus simplex pivots spent by its SAT check —
+    measured on fresh checks, {e replayed} from the cache on hits, zero
+    for trivially decided queries.  A proxy for query cost that, unlike
+    wall-clock time, is a pure function of the query, so policy decisions
+    made on it are reproducible across runs and cache temperatures. *)
+let last_work : int ref = ref 0
+
+(** Monotone sum of {!last_work} over all decided queries (replayed work
+    included), for callers that meter spans of work via deltas. *)
+let work_total : int ref = ref 0
 
 (** Clear every module-level ref that carries {e answers} (or per-query
     diagnostics) from one verification run into the next, across the
@@ -80,26 +110,40 @@ let last_cex : (string * cex_value) list ref = ref []
     movements into a parent process. *)
 let reset_run_state () =
   last_cex := [];
+  last_cex_raw := [];
+  last_work := 0;
   Dpll.last_model := [];
+  Dpll.last_model_raw := [];
   Theory.last_model := [];
+  Theory.last_model_raw := [];
   Dpll.models_total := 0;
   Dpll.max_models := 0;
   Dpll.max_atoms := 0;
   Theory.ncalls := 0;
+  Theory.nlits_total := 0;
+  Simplex.npivots := 0;
   Lia.ncalls := 0;
   Lia.nnodes_total := 0;
   Lia.time_in := 0.0
 
 let check_formula (q : Pred.t) : result =
   stats.sat_checks <- stats.sat_checks + 1;
-  match Dpll.check_sat q with
-  | Dpll.Unsat -> Valid
-  | Dpll.Sat ->
-      last_cex := !Dpll.last_model;
-      Invalid
-  | Dpll.Unknown ->
-      stats.unknowns <- stats.unknowns + 1;
-      Unknown
+  last_cex_raw := [];
+  let w0 = !Theory.nlits_total + !Simplex.npivots in
+  let r =
+    match Dpll.check_sat q with
+    | Dpll.Unsat -> Valid
+    | Dpll.Sat ->
+        last_cex := !Dpll.last_model;
+        last_cex_raw := !Dpll.last_model_raw;
+        Invalid
+    | Dpll.Unknown ->
+        stats.unknowns <- stats.unknowns + 1;
+        Unknown
+  in
+  last_work := max 1 (!Theory.nlits_total + !Simplex.npivots - w0);
+  work_total := !work_total + !last_work;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Hypothesis relevance pruning                                        *)
@@ -173,28 +217,46 @@ let prune_hyps (hyps : Pred.t list) (goal : Pred.t) : Pred.t list =
     let arr = Array.of_list hyps in
     List.map (fun i -> arr.(i)) (prune_hyps_idx hyps goal)
 
-(* Decide [And hyps => goal] with [hyps] taken verbatim (no pruning). *)
-let check_pruned (hyps : Pred.t list) (goal : Pred.t) : result =
-  let query = Pred.conj (Pred.not_ goal :: hyps) in
+(* Shared decision core: trivial views, then cache (restoring the model
+   side channels and replaying work on hits), then a fresh SAT check
+   whose model and work are recorded in the entry. *)
+let decide_interned (query : Pred.t) : result =
   match Pred.view query with
-  | Pred.False -> Valid
-  | Pred.True -> Invalid
+  | Pred.False ->
+      last_work := 0;
+      Valid
+  | Pred.True ->
+      last_cex_raw := [];
+      last_work := 0;
+      Invalid
   | _ -> (
       match
         if !cache_enabled then Pred.Tbl.find_opt cache query else None
       with
-      | Some (r, cex) ->
+      | Some e ->
           stats.cache_hits <- stats.cache_hits + 1;
-          if r = Invalid then last_cex := cex;
-          r
+          if e.ce_res = Invalid then last_cex := e.ce_cex;
+          last_cex_raw := e.ce_raw;
+          last_work := e.ce_work;
+          work_total := !work_total + e.ce_work;
+          e.ce_res
       | None ->
           let t0 = Unix.gettimeofday () in
           let r = check_formula query in
           stats.time <- stats.time +. (Unix.gettimeofday () -. t0);
           if !cache_enabled then
             Pred.Tbl.replace cache query
-              (r, if r = Invalid then !last_cex else []);
+              {
+                ce_res = r;
+                ce_cex = (if r = Invalid then !last_cex else []);
+                ce_raw = (if r = Invalid then !last_cex_raw else []);
+                ce_work = !last_work;
+              };
           r)
+
+(* Decide [And hyps => goal] with [hyps] taken verbatim (no pruning). *)
+let check_pruned (hyps : Pred.t list) (goal : Pred.t) : result =
+  decide_interned (Pred.conj (Pred.not_ goal :: hyps))
 
 (** [check_valid ~kept hyps goal] decides whether the implication
     [kept /\ hyps => goal] holds in QF-EUFLIA.  [hyps] are subject to
@@ -241,43 +303,139 @@ let probe_query (p : prepared) : result option =
     Some r
   in
   match Pred.view p.query with
-  | Pred.False -> hit Valid
-  | Pred.True -> hit Invalid
+  | Pred.False ->
+      last_work := 0;
+      hit Valid
+  | Pred.True ->
+      last_cex_raw := [];
+      last_work := 0;
+      hit Invalid
   | _ -> (
       match
         if !cache_enabled then Pred.Tbl.find_opt cache p.query else None
       with
-      | Some (r, cex) ->
+      | Some e ->
           stats.cache_hits <- stats.cache_hits + 1;
-          if r = Invalid then last_cex := cex;
-          hit r
+          if e.ce_res = Invalid then last_cex := e.ce_cex;
+          last_cex_raw := e.ce_raw;
+          last_work := e.ce_work;
+          work_total := !work_total + e.ce_work;
+          hit e.ce_res
       | None -> None)
 
 (** Decide a prepared query (cache, then SAT). *)
 let check_query (p : prepared) : result =
   stats.queries <- stats.queries + 1;
-  match Pred.view p.query with
-  | Pred.False -> Valid
-  | Pred.True -> Invalid
-  | _ -> (
-      match
-        if !cache_enabled then Pred.Tbl.find_opt cache p.query else None
-      with
-      | Some (r, cex) ->
-          stats.cache_hits <- stats.cache_hits + 1;
-          if r = Invalid then last_cex := cex;
-          r
-      | None ->
-          let t0 = Unix.gettimeofday () in
-          let r = check_formula p.query in
-          stats.time <- stats.time +. (Unix.gettimeofday () -. t0);
-          if !cache_enabled then
-            Pred.Tbl.replace cache p.query
-              (r, if r = Invalid then !last_cex else []);
-          r)
+  decide_interned p.query
 
 (** Boolean view: [Unknown] conservatively counts as "not valid". *)
 let is_valid hyps goal = check_valid hyps goal = Valid
 
 (** Satisfiability of a conjunction (used by tests). *)
 let is_sat (p : Pred.t) : bool = Dpll.check_sat p <> Dpll.Unsat
+
+(* ------------------------------------------------------------------ *)
+(* Incremental assertion context                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A context keeps one Tseitin builder alive across asserts: the atom
+   table (term bank), clause list and variable counter grow
+   monotonically, so [push] records marks and [pop] truncates back to
+   them.  Checks run the same DPLL+theory search as one-shot queries,
+   over the accumulated clauses — a fact is encoded once, however many
+   subsequent checks it participates in.  This is what makes per-κ
+   pruning affordable: the κ's well-formedness facts are asserted once,
+   then each candidate instance costs one small encode + one check. *)
+
+type mark = {
+  m_next : int;
+  m_natoms : int; (* length of [atom_list] at push time *)
+  m_atom_list : Pred.t list;
+  m_cls : Prop.clause list;
+  m_roots : Prop.lit list;
+  m_asserted : Pred.t list;
+}
+
+type context = {
+  ctx_bld : Prop.builder;
+  mutable ctx_roots : Prop.lit list; (* literals asserted true *)
+  mutable ctx_asserted : Pred.t list; (* reversed assertion order *)
+  mutable ctx_frames : mark list;
+}
+
+let create_context () : context =
+  {
+    ctx_bld = Prop.new_builder ();
+    ctx_roots = [];
+    ctx_asserted = [];
+    ctx_frames = [];
+  }
+
+let ctx_push (c : context) : unit =
+  c.ctx_frames <-
+    {
+      m_next = c.ctx_bld.Prop.next;
+      m_natoms = List.length c.ctx_bld.Prop.atom_list;
+      m_atom_list = c.ctx_bld.Prop.atom_list;
+      m_cls = c.ctx_bld.Prop.cls;
+      m_roots = c.ctx_roots;
+      m_asserted = c.ctx_asserted;
+    }
+    :: c.ctx_frames
+
+let ctx_pop (c : context) : unit =
+  match c.ctx_frames with
+  | [] -> invalid_arg "Solver.ctx_pop: no frame to pop"
+  | m :: rest ->
+      (* Un-intern the atoms added since the mark, so a later re-assert
+         re-allocates them below the restored variable counter. *)
+      let added = List.length c.ctx_bld.Prop.atom_list - m.m_natoms in
+      List.iteri
+        (fun i a -> if i < added then Pred.Tbl.remove c.ctx_bld.Prop.atom_tbl a)
+        c.ctx_bld.Prop.atom_list;
+      c.ctx_bld.Prop.next <- m.m_next;
+      c.ctx_bld.Prop.atom_list <- m.m_atom_list;
+      c.ctx_bld.Prop.cls <- m.m_cls;
+      c.ctx_roots <- m.m_roots;
+      c.ctx_asserted <- m.m_asserted;
+      c.ctx_frames <- rest
+
+let ctx_assert (c : context) (p : Pred.t) : unit =
+  let l = Prop.encode c.ctx_bld p in
+  c.ctx_roots <- l :: c.ctx_roots;
+  c.ctx_asserted <- p :: c.ctx_asserted
+
+let ctx_assertions (c : context) : Pred.t list = List.rev c.ctx_asserted
+
+(* Satisfiability of the current assertion set. *)
+let ctx_run (c : context) : Dpll.result =
+  stats.sat_checks <- stats.sat_checks + 1;
+  let t0 = Unix.gettimeofday () in
+  let proj = Array.make (max 1 c.ctx_bld.Prop.next) None in
+  List.iter
+    (fun a -> proj.(Pred.Tbl.find c.ctx_bld.Prop.atom_tbl a) <- Some a)
+    c.ctx_bld.Prop.atom_list;
+  let clauses =
+    List.rev_append
+      (List.rev_map (fun l -> [ l ]) c.ctx_roots)
+      c.ctx_bld.Prop.cls
+  in
+  let r = Dpll.check_sat_cnf ~nvars:1 ~atoms:proj clauses in
+  if r = Dpll.Unknown then stats.unknowns <- stats.unknowns + 1;
+  stats.time <- stats.time +. (Unix.gettimeofday () -. t0);
+  r
+
+let ctx_consistent (c : context) : bool = ctx_run c <> Dpll.Unsat
+
+let ctx_entails (c : context) (goal : Pred.t) : result =
+  stats.queries <- stats.queries + 1;
+  ctx_push c;
+  ctx_assert c (Pred.not_ goal);
+  let r = ctx_run c in
+  ctx_pop c;
+  match r with
+  | Dpll.Unsat -> Valid
+  | Dpll.Sat -> Invalid
+  | Dpll.Unknown -> Unknown
+
+let with_context (f : context -> 'a) : 'a = f (create_context ())

@@ -38,6 +38,25 @@ val pp_cex_value : Format.formatter -> cex_value -> unit
     answer. *)
 val last_cex : (string * cex_value) list ref
 
+(** Counterexample of the most recent [Invalid] answer, under original
+    (uncleaned) entity labels, suitable for strict predicate evaluation
+    (no alpha-renaming collisions).  Restored on result-cache hits from
+    the cached entry, so its value does not depend on cache temperature;
+    empty means "no model available". *)
+val last_cex_raw : (string * cex_value) list ref
+
+(** Deterministic work units of the most recently decided query (theory
+    literals processed + simplex pivots of its SAT check) — measured
+    fresh, replayed on cache hits, zero for trivially decided queries.
+    A reproducible cost proxy: unlike wall-clock time it is a pure
+    function of the query, independent of machine load and cache
+    temperature. *)
+val last_work : int ref
+
+(** Monotone sum of {!last_work} across all decided queries, for metering
+    spans of solver work via before/after deltas. *)
+val work_total : int ref
+
 (** Clear all answer-bearing module-level state across the SMT stack —
     {!last_cex}, {!Dpll.last_model}, {!Theory.last_model}, and the
     per-run instrumentation counters of {!Dpll}/{!Theory}/{!Lia} — so a
@@ -79,3 +98,43 @@ val is_valid : Pred.t list -> Pred.t -> bool
 
 (** Satisfiability of a formula ([Unknown] counts as satisfiable). *)
 val is_sat : Pred.t -> bool
+
+(** {1 Incremental assertion context}
+
+    A persistent solver context: facts are Tseitin-encoded once into a
+    shared builder (atom table, clause list) and participate in every
+    subsequent check; [push]/[pop] bracket speculative assertions by
+    truncating the builder back to saved marks.  The qualifier-pruning
+    pass asserts a κ's well-formedness facts once and then refutes /
+    subsumption-checks each candidate against them incrementally. *)
+
+type context
+
+val create_context : unit -> context
+
+(** Run [f] with a fresh context (convenience; the context carries no
+    resources needing cleanup). *)
+val with_context : (context -> 'a) -> 'a
+
+(** Save a backtracking mark. *)
+val ctx_push : context -> unit
+
+(** Discard everything asserted since the matching {!ctx_push}.
+    @raise Invalid_argument if no frame is open. *)
+val ctx_pop : context -> unit
+
+(** Assert a fact: encoded into the persistent builder, it constrains
+    every subsequent check until popped. *)
+val ctx_assert : context -> Pred.t -> unit
+
+(** The currently-asserted facts, oldest first (for tests). *)
+val ctx_assertions : context -> Pred.t list
+
+(** Satisfiability of the asserted facts ([Unknown] conservatively
+    counts as consistent). *)
+val ctx_consistent : context -> bool
+
+(** Whether the asserted facts entail [goal]: checks
+    [facts /\ not goal] inside a private frame, leaving the context as
+    it was.  Counts as a query in {!stats}. *)
+val ctx_entails : context -> Pred.t -> result

@@ -30,6 +30,12 @@ type result = Sat | Unsat | Unknown
 
 let ncalls = ref 0
 
+(* Literals processed across all calls: prices each check by the size
+   of the conjunction it decides (congruence closure and constraint
+   translation are both linear-ish in it), for the deterministic cost
+   metering in {!Solver}. *)
+let nlits_total = ref 0
+
 type state = {
   cc : Cc.t;
   mutable nents : int;
@@ -375,6 +381,26 @@ let pp_value ppf = function
   | Vint n -> Fmt.int ppf n
   | Vbool b -> Fmt.bool ppf b
 
+(** Like {!last_model}, but keyed by the entities' {e original} labels
+    (alpha-renaming suffixes intact, internal names and measure
+    applications included verbatim).  Display models are lossy — two
+    solver variables can collide on one display label — so callers that
+    {e evaluate} predicates under a model (counterexample-guided
+    elimination) read this one. *)
+let last_model_raw : model ref = ref []
+
+let extract_model_raw st (m : Rat.t array) : model =
+  let out = ref [] in
+  Hashtbl.iter
+    (fun id label ->
+      if id < Array.length m then
+        match sort_of_ent st id with
+        | Sort.Int -> out := (label, Vint (Rat.floor m.(id))) :: !out
+        | Sort.Bool -> out := (label, Vbool (Rat.floor m.(id) <> 0)) :: !out
+        | Sort.Obj -> ())
+    st.labels;
+  List.sort compare !out
+
 let extract_model st (m : Rat.t array) : model =
   let out = ref [] in
   Hashtbl.iter
@@ -395,6 +421,7 @@ let extract_model st (m : Rat.t array) : model =
 
 let check_sat (lits : (Pred.t * bool) list) : result =
   incr ncalls;
+  nlits_total := !nlits_total + List.length lits;
   let st = create () in
   try
     List.iter (fun (p, pol) -> assert_atom st p pol) lits;
@@ -408,6 +435,7 @@ let check_sat (lits : (Pred.t * bool) list) : result =
         | Lia.Unknown -> Unknown
         | Lia.Sat m when rounds = 0 ->
             last_model := extract_model st m;
+            last_model_raw := extract_model_raw st m;
             Sat
         | Lia.Sat _ ->
             (* LIA -> CC: discover implied equalities among shared pairs. *)
@@ -434,7 +462,9 @@ let check_sat (lits : (Pred.t * bool) list) : result =
             if !merged then loop (rounds - 1) !budget
             else begin
               (match lia_with_diseqs ~nvars cons st.diseqs with
-              | Lia.Sat m -> last_model := extract_model st m
+              | Lia.Sat m ->
+                  last_model := extract_model st m;
+                  last_model_raw := extract_model_raw st m
               | _ -> ());
               Sat
             end

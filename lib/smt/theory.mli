@@ -10,6 +10,10 @@ type result = Sat | Unsat | Unknown
 (** Total invocation count (for benchmarking). *)
 val ncalls : int ref
 
+(** Total literals processed across all calls (instrumentation; prices
+    each check by the size of the conjunction it decides). *)
+val nlits_total : int ref
+
 (** A counterexample value: integer entities keep their magnitude,
     boolean-sorted entities render as booleans. *)
 type value = Vint of int | Vbool of bool
@@ -19,8 +23,15 @@ type model = (string * value) list
 
 val pp_value : Format.formatter -> value -> unit
 
-(** Model of the last [Sat] answer. *)
+(** Model of the last [Sat] answer (display labels). *)
 val last_model : model ref
+
+(** Model of the last [Sat] answer keyed by the entities' {e original}
+    labels (alpha-renaming suffixes intact, internal names included).
+    Display labels are lossy — distinct solver variables can collide on
+    one — so callers that {e evaluate} predicates under a model read
+    this one. *)
+val last_model_raw : model ref
 
 (** Display form of an entity label: [None] for internal ('%'-prefixed)
     names and non-measure application proxies; strips alpha-renaming

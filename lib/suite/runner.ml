@@ -27,7 +27,7 @@ let default_jobs () =
     by default: the paper's evaluation supplies qualifiers explicitly, and
     mining only grows the candidate sets on these programs. *)
 let verify ?quals ?(mine = false) ?(lint = false) ?(incremental = true)
-    ?jobs (b : Programs.benchmark) : row =
+    ?(prune = true) ?jobs (b : Programs.benchmark) : row =
   let quals = match quals with Some q -> q | None -> qualifiers_of b in
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let options =
@@ -37,6 +37,7 @@ let verify ?quals ?(mine = false) ?(lint = false) ?(incremental = true)
       mine;
       lint;
       incremental;
+      prune;
       jobs;
     }
   in

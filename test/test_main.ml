@@ -22,4 +22,5 @@ let () =
       ("cache", Test_cache.tests);
       ("server", Test_server.tests);
       ("explain", Test_explain.tests);
+      ("prune", Test_prune.tests);
     ]

@@ -1,0 +1,241 @@
+(* Tests for the pre-fixpoint qualifier-space prune: soundness of each
+   phase (orientation dedup, WF-refutation, sibling subsumption), report
+   byte-identity with pruning on and off — sequential, sharded, through
+   the persistent cache, and through the daemon — and the
+   instantiation-time orientation collapse. *)
+
+open Liquid_smt
+open Liquid_logic
+open Liquid_infer
+open Liquid_suite
+module Pipeline = Liquid_driver.Pipeline
+module KMap = Constr.KMap
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A safe program with a self-recursive loop invariant: the invariant
+   instances support themselves through the recursive constraint, the
+   hard case for exact reinstatement. *)
+let loop_src =
+  "let a = Array.make 8 0\n\
+   let rec go i = if i < Array.length a then begin a.(i) <- i; go (i + 1) \
+   end else ()\n\
+   let _ = go 0"
+
+(* An unsafe program, so errors and explanations cross the prune path. *)
+let overrun_src = "let a = Array.make 8 0\nlet _ = a.(8)"
+
+let verify ?(prune = true) ?(jobs = 1) ?(explain = false) ?quals ?cache_dir
+    ?(name = "test.ml") src =
+  let options =
+    { Pipeline.default with Pipeline.prune; jobs; explain; cache_dir }
+  in
+  let options =
+    match quals with
+    | None -> options
+    | Some q -> { options with Pipeline.quals = q }
+  in
+  Pipeline.verify_string ~options ~name src
+
+(* Everything report-shaped the user can observe, rendered: verdict,
+   errors, inferred types, diagnostics (via [pp_report]), and the
+   explanations (via their JSON).  Stats are deliberately excluded —
+   prune counters and times legitimately differ. *)
+let fingerprint (r : Pipeline.report) =
+  ( r.Pipeline.safe,
+    Fmt.str "%a" Pipeline.pp_report r,
+    List.map
+      (fun e ->
+        Liquid_analysis.Json.to_string (Pipeline.json_of_explanation e))
+      r.Pipeline.explanations )
+
+let constraints_of src =
+  let prog =
+    Liquid_anf.Anf.normalize_program (Liquid_lang.Parser.program_of_string src)
+  in
+  let info = Liquid_typing.Infer.infer_program prog in
+  let out = Congen.generate info prog in
+  (out.Congen.wfs, out.Congen.subs)
+
+(* ------------------------------------------------------------------ *)
+(* The prune engages and the report does not move                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_prune_active () =
+  let on = verify ~prune:true loop_src in
+  let off = verify ~prune:false loop_src in
+  check_bool "program is safe" true on.Pipeline.safe;
+  check_bool "prune parked instances" true
+    (on.Pipeline.stats.Pipeline.n_quals_pruned > 0);
+  check_int "unpruned run parks nothing" 0
+    off.Pipeline.stats.Pipeline.n_quals_pruned;
+  check_int "initial candidates counted pre-prune"
+    off.Pipeline.stats.Pipeline.n_initial_candidates
+    on.Pipeline.stats.Pipeline.n_initial_candidates;
+  check_bool "reports byte-identical" true (fingerprint on = fingerprint off);
+  (* Unsafe programs: errors and explanations are identical too. *)
+  let eon = verify ~prune:true ~explain:true overrun_src in
+  let eoff = verify ~prune:false ~explain:true overrun_src in
+  check_bool "unsafe program stays unsafe" false eon.Pipeline.safe;
+  check_bool "explanations produced" true (eon.Pipeline.explanations <> []);
+  check_bool "unsafe reports byte-identical" true
+    (fingerprint eon = fingerprint eoff)
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase soundness, against the solver directly                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Every parking decision must be re-derivable from first principles:
+   a [Dup] normalizes like its representative; a [Refuted] instance is
+   unsatisfiable under its κ's WF facts; a [Subsumed] instance is
+   implied by the conjunction of the survivors (greedy deletion
+   preserves the conjunctive meaning, so the final kept set suffices). *)
+let test_phase_soundness () =
+  let wfs, subs = constraints_of loop_src in
+  (* An always-false qualifier guarantees phase-2 coverage. *)
+  let quals =
+    Qualifier.defaults @ Qualifier.parse_string "qualif Absurd(v) : v < v"
+  in
+  let init = Fixpoint.init_assignment quals wfs in
+  let wf_facts = Prune.wf_facts wfs in
+  let plan = Prune.analyze ~wf_facts subs init in
+  check_bool "something was parked" true (Prune.total plan > 0);
+  check_bool "the absurd instance was refuted" true (plan.Prune.n_refuted > 0);
+  check_bool "subsumption engaged" true (plan.Prune.n_subsumed > 0);
+  KMap.iter
+    (fun k parked ->
+      let facts =
+        match KMap.find_opt k wf_facts with Some fs -> fs | None -> []
+      in
+      let kept =
+        match KMap.find_opt k plan.Prune.kept with
+        | Some ps -> List.map fst ps
+        | None -> []
+      in
+      List.iter
+        (fun (p, _, reason) ->
+          match reason with
+          | Prune.Dup rep ->
+              check_bool "dup normalizes like its representative" true
+                (Pred.compare (Prop.normalize p) (Prop.normalize rep) = 0)
+          | Prune.Refuted ->
+              check_bool "refuted instance unsat under WF facts" true
+                (Solver.check_valid facts (Pred.not_ p) = Solver.Valid)
+          | Prune.Subsumed ->
+              check_bool "subsumed instance implied by survivors" true
+                (Solver.check_valid (facts @ kept) p = Solver.Valid))
+        parked)
+    plan.Prune.parked
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation-time orientation collapse                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_alpha_collapse () =
+  (* [_ >= v] instantiates to [x >= v], the orientation mirror of the
+     default [v <= _] instance [v <= x]: it must collapse at
+     instantiation, leaving the report exactly as with defaults only. *)
+  let mirrored =
+    Qualifier.defaults @ Qualifier.parse_string "qualif LeFlip(v) : _ >= v"
+  in
+  let withm = verify ~quals:mirrored loop_src in
+  let base = verify loop_src in
+  check_bool "mirrored instances collapsed" true
+    (withm.Pipeline.stats.Pipeline.n_alpha_collapsed > 0);
+  check_int "defaults alone collapse nothing" 0
+    base.Pipeline.stats.Pipeline.n_alpha_collapsed;
+  check_bool "report unchanged by the mirrored qualifier" true
+    (fingerprint withm = fingerprint base)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity across the suite, sequential and sharded              *)
+(* ------------------------------------------------------------------ *)
+
+let suite_fingerprint ~prune ~jobs =
+  List.map
+    (fun (b : Programs.benchmark) ->
+      let row = Runner.verify ~prune ~jobs b in
+      (b.Programs.name, fingerprint row.Runner.report, row.Runner.report))
+    Programs.all
+
+let test_suite_identity () =
+  let reference = suite_fingerprint ~prune:false ~jobs:1 in
+  let pruned = suite_fingerprint ~prune:true ~jobs:1 in
+  List.iter2
+    (fun (name, fp_r, _) (_, fp_p, _) ->
+      check_bool (name ^ ": pruned report identical") true (fp_r = fp_p))
+    reference pruned;
+  (* The prune must actually engage somewhere on the suite — the CI
+     gate relies on it. *)
+  check_bool "suite parks instances" true
+    (List.exists
+       (fun (_, _, (r : Pipeline.report)) ->
+         r.Pipeline.stats.Pipeline.n_quals_pruned > 0)
+       pruned);
+  (* And composes with partitioned solving. *)
+  let sharded = suite_fingerprint ~prune:true ~jobs:4 in
+  List.iter2
+    (fun (name, fp_r, _) (_, fp_s, _) ->
+      check_bool (name ^ ": sharded pruned report identical") true
+        (fp_r = fp_s))
+    reference sharded
+
+(* ------------------------------------------------------------------ *)
+(* Persistent cache: pruned and unpruned runs key separately           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_replay () =
+  Test_server.with_dir (fun base ->
+      let expected = fingerprint (verify loop_src) in
+      let cold = verify ~cache_dir:base loop_src in
+      check_int "cold run misses" 0 cold.Pipeline.stats.Pipeline.n_pcache_hits;
+      check_bool "cold cached report matches direct" true
+        (fingerprint cold = expected);
+      let warm = verify ~cache_dir:base loop_src in
+      check_int "warm run served from disk" 1
+        warm.Pipeline.stats.Pipeline.n_pcache_hits;
+      check_bool "replayed report matches direct" true
+        (fingerprint warm = expected);
+      check_bool "replayed stats keep the prune counters" true
+        (warm.Pipeline.stats.Pipeline.n_quals_pruned > 0);
+      (* The options fingerprint separates prune from no-prune: an
+         unpruned run must not be served the pruned entry. *)
+      let off_cold = verify ~prune:false ~cache_dir:base loop_src in
+      check_int "unpruned run does not hit the pruned entry" 0
+        off_cold.Pipeline.stats.Pipeline.n_pcache_hits;
+      check_bool "unpruned cached report matches too" true
+        (fingerprint off_cold = expected);
+      let off_warm = verify ~prune:false ~cache_dir:base loop_src in
+      check_int "unpruned rerun hits its own entry" 1
+        off_warm.Pipeline.stats.Pipeline.n_pcache_hits)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon round-trip                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_daemon_round_trip () =
+  let expected = fingerprint (verify loop_src) in
+  Test_server.with_server (fun sock ->
+      Test_server.with_client sock (fun c ->
+          let replies =
+            Liquid_server.Client.verify c
+              [ Liquid_server.Protocol.request ~name:"loop.ml" loop_src ]
+          in
+          let served = Test_server.expect_verified (List.hd replies) in
+          check_bool "daemon-served report matches direct" true
+            (fingerprint served = expected);
+          check_bool "prune counters survive the socket" true
+            (served.Pipeline.stats.Pipeline.n_quals_pruned > 0)))
+
+let tests =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  [
+    tc "prune engages, report unchanged" test_prune_active;
+    tc "every parking decision is sound" test_phase_soundness;
+    tc "orientation mirrors collapse at instantiation" test_alpha_collapse;
+    slow "suite byte-identical prune on/off, jobs 1/4" test_suite_identity;
+    tc "persistent cache keys prune separately" test_cache_replay;
+    tc "daemon round-trips a pruned report" test_daemon_round_trip;
+  ]
