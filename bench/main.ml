@@ -13,6 +13,9 @@
       counts and time with the result cache on/off, and the incremental
       weakening engine vs the naive (seed) engine — sat-checks avoided
       and solver time, with byte-identical verdicts and inferred types.
+    - [INCR] — incremental re-verification: one-function edit of
+      simplex against a cache seeded with the base program, gated at
+      half the cold time with byte-identical reports.
     - [EXPLAIN] — explanation overhead and determinism: the ablation
       subset re-verified without its custom qualifiers (so it fails),
       with the explain phase's cost gated under 15% of the rest of the
@@ -597,6 +600,129 @@ let server_bench () =
       ] )
 
 (* ------------------------------------------------------------------ *)
+(* INCR: partition-level incremental re-verification                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Verifies simplex cold (fresh cache), then re-verifies a one-function
+   edit of it against a cache seeded with the base program, in
+   drift-cancelling ABBA order (cold, warm, warm, cold).  The warm runs
+   must reuse at least one cached partition, re-solve at least one (the
+   edited cone), finish in at most half the cold time, and produce a
+   report byte-identical to the cold solve.  Returns whether all gates
+   hold plus a JSON fragment for BENCH_fixpoint.json. *)
+let incr_bench () =
+  section "INCR: incremental re-verification (cold vs one-edit warm)";
+  Fmt.pr
+    "Each solve unit of the constraint partition plan is cached under a@.\
+     content hash of its constraints, its instantiated qualifier set and@.\
+     the final solutions of its dependencies.  Re-verifying after an@.\
+     edit reuses every partition whose key is unchanged and re-solves@.\
+     only the affected downstream cone.  Measured on simplex with one@.\
+     appended function; warm runs start from a cache seeded with the@.\
+     base program.@.@.";
+  let module J = Liquid_analysis.Json in
+  let b = Liquid_suite.Programs.find "simplex" in
+  let quals = Liquid_suite.Runner.qualifiers_of b in
+  let edited =
+    b.Liquid_suite.Programs.source
+    ^ "\nlet incr_probe q = if q > 0 then q + 1 else 0\n\
+       let incr_probe_use = incr_probe 3\n"
+  in
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dsolve-bench-incr-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf base;
+  Unix.mkdir base 0o755;
+  let fresh_dir =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      let d = Filename.concat base (Printf.sprintf "c%d" !n) in
+      Unix.mkdir d 0o755;
+      d
+  in
+  let verify ?cache_dir src =
+    let options =
+      { Liquid_driver.Pipeline.default with
+        Liquid_driver.Pipeline.quals; cache_dir }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Liquid_driver.Pipeline.verify_string ~options
+        ~name:b.Liquid_suite.Programs.name src
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let report_fp (r : Liquid_driver.Pipeline.report) =
+    ( r.Liquid_driver.Pipeline.safe,
+      List.map
+        (fun (e : Liquid_driver.Pipeline.error) ->
+          Fmt.str "%a: %s: %s" Liquid_common.Loc.pp
+            e.Liquid_driver.Pipeline.err_loc e.Liquid_driver.Pipeline.err_reason
+            e.Liquid_driver.Pipeline.err_goal)
+        r.Liquid_driver.Pipeline.errors,
+      render_types r )
+  in
+  (* Warm-up (unmeasured), then seed two caches with the base program so
+     each measured warm arm starts from its own untouched seed. *)
+  ignore (verify b.Liquid_suite.Programs.source);
+  let seed1 = fresh_dir () and seed2 = fresh_dir () in
+  ignore (verify ~cache_dir:seed1 b.Liquid_suite.Programs.source);
+  ignore (verify ~cache_dir:seed2 b.Liquid_suite.Programs.source);
+  let c1 = verify ~cache_dir:(fresh_dir ()) edited in
+  let w1 = verify ~cache_dir:seed1 edited in
+  let w2 = verify ~cache_dir:seed2 edited in
+  let c2 = verify ~cache_dir:(fresh_dir ()) edited in
+  rm_rf base;
+  let t_cold = (snd c1 +. snd c2) /. 2.0 in
+  let t_warm = (snd w1 +. snd w2) /. 2.0 in
+  let ratio = if t_cold > 0.0 then t_warm /. t_cold else 1.0 in
+  let stats (r, _) = (r : Liquid_driver.Pipeline.report).Liquid_driver.Pipeline.stats in
+  let hits = (stats w1).Liquid_driver.Pipeline.n_punit_hits in
+  let misses = (stats w1).Liquid_driver.Pipeline.n_punit_misses in
+  let parts = (stats w1).Liquid_driver.Pipeline.n_partitions in
+  let identical =
+    report_fp (fst c1) = report_fp (fst w1)
+    && report_fp (fst c1) = report_fp (fst w2)
+    && report_fp (fst c1) = report_fp (fst c2)
+  in
+  Fmt.pr "%-6s %10s %10s %10s@." "pass" "time(s)*" "punit-hit" "punit-miss";
+  Fmt.pr "(* mean of 2 runs in drift-cancelling ABBA order, after warm-up)@.";
+  Fmt.pr "%-6s %10.3f %10d %10d@." "cold" t_cold
+    (stats c1).Liquid_driver.Pipeline.n_punit_hits
+    (stats c1).Liquid_driver.Pipeline.n_punit_misses;
+  Fmt.pr "%-6s %10.3f %10d %10d@." "warm" t_warm hits misses;
+  let gate_ok = ratio <= 0.5 && hits >= 1 && misses >= 1 && identical in
+  Fmt.pr
+    "@.partitions: %d   warm/cold ratio: %.2f (gate: <= 0.50)   reused: %d   \
+     re-solved: %d   reports identical: %b@."
+    parts ratio hits misses identical;
+  if not identical then Fmt.pr "  MISMATCH: warm report diverged from cold@.";
+  ( gate_ok,
+    J.Obj
+      [
+        ("program", J.String b.Liquid_suite.Programs.name);
+        ("partitions", J.Int parts);
+        ("cold_s", J.Float t_cold);
+        ("warm_s", J.Float t_warm);
+        ("ratio", J.Float ratio);
+        ("warm_punit_hits", J.Int hits);
+        ("warm_punit_misses", J.Int misses);
+        ("identical", J.Bool identical);
+        ("gate_ok", J.Bool gate_ok);
+      ] )
+
+(* ------------------------------------------------------------------ *)
 (* EXPLAIN: explanation overhead and determinism on failing runs        *)
 (* ------------------------------------------------------------------ *)
 
@@ -712,8 +838,8 @@ let explain_bench () =
 (* FIXPOINT: per-benchmark solver counters → BENCH_fixpoint.json        *)
 (* ------------------------------------------------------------------ *)
 
-let bench_fixpoint ~prune_json ~partition_json ~server_json ~explain_json ()
-    =
+let bench_fixpoint ~prune_json ~partition_json ~server_json ~incr_json
+    ~explain_json () =
   section "FIXPOINT: per-benchmark solver counters (BENCH_fixpoint.json)";
   Fmt.pr
     "Per-benchmark wall-clock and solver counters for the default@.\
@@ -756,12 +882,13 @@ let bench_fixpoint ~prune_json ~partition_json ~server_json ~explain_json ()
   let json =
     J.Obj
       [
-        ("schema", J.String "bench_fixpoint/v5");
+        ("schema", J.String "bench_fixpoint/v6");
         ("engine", J.String "incremental");
         ("benchmarks", J.List (List.map snd rows_and_entries));
         ("prune", prune_json);
         ("partition", partition_json);
         ("server", server_json);
+        ("incr", incr_json);
         ("explain", explain_json);
       ]
   in
@@ -901,6 +1028,20 @@ let () =
       line;
     exit (if prune_ok then 0 else 1)
   end;
+  (* [incr] mode runs only the incremental section — the CI step that
+     gates warm re-verification at half the cold time with at least one
+     partition reused and byte-identical reports. *)
+  if Array.exists (fun a -> a = "incr") Sys.argv then begin
+    let incr_ok, _ = incr_bench () in
+    Fmt.pr "@.%s@.Incr: %s@.%s@." line
+      (if incr_ok then
+         "warm re-verify reused cached partitions, report identical"
+       else
+         "INCREMENTAL GATE BROKE (too slow, nothing reused, or report \
+          diverged)")
+      line;
+    exit (if incr_ok then 0 else 1)
+  end;
   let rows = t1 () in
   f1 ();
   a1 ();
@@ -908,9 +1049,11 @@ let () =
   let prune_ok, prune_json = prune_bench () in
   let jobs_agree, partition_json = partition_bench () in
   let server_agree, server_json = server_bench () in
+  let incr_ok, incr_json = incr_bench () in
   let explain_ok, explain_json = explain_bench () in
   let fixpoint_rows =
-    bench_fixpoint ~prune_json ~partition_json ~server_json ~explain_json ()
+    bench_fixpoint ~prune_json ~partition_json ~server_json ~incr_json
+      ~explain_json ()
   in
   e1 ();
   if not quick then begin
@@ -922,7 +1065,8 @@ let () =
       (fun (r : Liquid_suite.Runner.row) ->
         r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
       (rows @ fixpoint_rows)
-    && engines_agree && prune_ok && jobs_agree && server_agree && explain_ok
+    && engines_agree && prune_ok && jobs_agree && server_agree && incr_ok
+    && explain_ok
   in
   Fmt.pr "@.%s@.Overall: %s@.%s@." line
     (if all_safe then "all benchmarks verified SAFE"

@@ -81,15 +81,21 @@ let of_string (s : string) : t =
     else fail (Printf.sprintf "expected %s" word)
   in
   let utf8_of_code buf u =
-    (* \uXXXX escapes; surrogate pairs are not re-joined (the printer
-       never emits them) *)
+    (* Scalar value → UTF-8 bytes.  Callers join surrogate pairs before
+       calling, so [u] ranges over the full plane set. *)
     if u < 0x80 then Buffer.add_char buf (Char.chr u)
     else if u < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
     end
-    else begin
+    else if u < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
     end
@@ -116,14 +122,36 @@ let of_string (s : string) : t =
         | 'b' -> Buffer.add_char buf '\b'
         | 'f' -> Buffer.add_char buf '\012'
         | 'u' ->
-            if !pos + 4 > n then fail "truncated \\u escape";
-            let hex = String.sub s !pos 4 in
-            pos := !pos + 4;
-            let u =
-              try int_of_string ("0x" ^ hex)
-              with Failure _ -> fail "bad \\u escape"
+            let read_hex4 () =
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let v = ref 0 in
+              for _ = 1 to 4 do
+                let d =
+                  match s.[!pos] with
+                  | '0' .. '9' as c -> Char.code c - Char.code '0'
+                  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                  | _ -> fail "bad \\u escape"
+                in
+                v := (!v lsl 4) lor d;
+                advance ()
+              done;
+              !v
             in
-            utf8_of_code buf u
+            let u = read_hex4 () in
+            if u >= 0xD800 && u <= 0xDBFF then begin
+              (* UTF-16 high surrogate: only valid as the first half of
+                 a \uD8xx\uDCxx pair encoding an astral code point. *)
+              if !pos + 2 > n || s.[!pos] <> '\\' || s.[!pos + 1] <> 'u'
+              then fail "lone high surrogate";
+              pos := !pos + 2;
+              let lo = read_hex4 () in
+              if lo < 0xDC00 || lo > 0xDFFF then fail "lone high surrogate";
+              utf8_of_code buf
+                (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+            end
+            else if u >= 0xDC00 && u <= 0xDFFF then fail "lone low surrogate"
+            else utf8_of_code buf u
         | _ -> fail "bad escape");
         loop ()
       end

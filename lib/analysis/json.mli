@@ -18,5 +18,8 @@ exception Parse_error of string
 
 (** Parse the fragment {!pp} emits (used by round-trip tests and report
     tooling).  Whole-input: trailing non-whitespace is an error.
+    [\uXXXX] escapes decode to UTF-8; surrogate pairs are joined into
+    the astral code point they encode, and a lone (unpaired) surrogate
+    is rejected.
     @raise Parse_error on malformed input. *)
 val of_string : string -> t

@@ -24,6 +24,7 @@ type stats = {
   mutable rejected : int;
   mutable writes : int;
   mutable write_errors : int;
+  mutable swept : int;
 }
 
 type t = { dir : string; stamp : string; stats : stats }
@@ -36,6 +37,7 @@ let fresh_stats () =
     rejected = 0;
     writes = 0;
     write_errors = 0;
+    swept = 0;
   }
 
 (* The executable's own MD5: entries written by one build are invisible
@@ -55,6 +57,59 @@ let mkdir_p path =
   in
   go path
 
+(* Temp-file name written by [store]: "<base>.bin.tmp.<pid>.<n>".
+   Returns the embedded pid when [name] matches. *)
+let tmp_pid (name : string) : int option =
+  match String.rindex_opt name '.' with
+  | None -> None
+  | Some j -> (
+      match String.rindex_from_opt name (j - 1) '.' with
+      | exception Invalid_argument _ -> None
+      | None -> None
+      | Some i when i >= 4 && String.sub name (i - 4) 4 = ".tmp" -> (
+          match
+            ( int_of_string_opt (String.sub name (i + 1) (j - i - 1)),
+              int_of_string_opt
+                (String.sub name (j + 1) (String.length name - j - 1)) )
+          with
+          | Some pid, Some _ when pid > 0 -> Some pid
+          | _ -> None)
+      | Some _ -> None)
+
+(* A writer that died between [open_out_bin] and [Sys.rename] leaves its
+   temp file behind forever (the name embeds a pid and a counter, so no
+   later writer ever reuses it).  A temp file is stale exactly when its
+   writer is gone: probe with signal 0.  EPERM means the pid is alive but
+   owned by someone else — leave it. *)
+let pid_gone pid =
+  match Unix.kill pid 0 with
+  | () -> false
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+  | exception Unix.Unix_error _ -> false
+
+let sweep_tmp (t : t) =
+  let rec walk d depth =
+    match Sys.readdir d with
+    | exception Sys_error _ -> ()
+    | entries ->
+        Array.iter
+          (fun e ->
+            let p = Filename.concat d e in
+            match Sys.is_directory p with
+            | true -> if depth < 3 then walk p (depth + 1)
+            | false -> (
+                match tmp_pid e with
+                | Some pid when pid_gone pid -> (
+                    try
+                      Sys.remove p;
+                      t.stats.swept <- t.stats.swept + 1
+                    with Sys_error _ -> ())
+                | _ -> ())
+            | exception Sys_error _ -> ())
+          entries
+  in
+  walk t.dir 1
+
 (* One handle (hence one stats record) per (dir, stamp) in a process, so
    a resident daemon reports cumulative cache traffic. *)
 let registry : (string * string, t) Hashtbl.t = Hashtbl.create 4
@@ -65,6 +120,7 @@ let open_store ?(stamp = default_stamp) ~dir () =
   | None ->
       (try mkdir_p dir with _ -> ());
       let t = { dir; stamp; stats = fresh_stats () } in
+      sweep_tmp t;
       Hashtbl.replace registry (dir, stamp) t;
       t
 
@@ -74,10 +130,16 @@ let stamp t = t.stamp
 let key t parts =
   Digest.to_hex (Digest.string (String.concat "\x00" (t.stamp :: parts)))
 
-(* Two-level fanout, as git does, to keep directories small. *)
-let path_of t k =
+(* Two-level fanout, as git does, to keep directories small.  A
+   namespace adds one directory level, so differently-typed payloads
+   (whole-run reports, per-partition partials) never share a file even
+   if their keys collide. *)
+let path_of ?ns t k =
   let sub = if String.length k >= 2 then String.sub k 0 2 else "xx" in
-  Filename.concat (Filename.concat t.dir sub) (k ^ ".bin")
+  let root =
+    match ns with None -> t.dir | Some ns -> Filename.concat t.dir ns
+  in
+  Filename.concat (Filename.concat root sub) (k ^ ".bin")
 
 let input_line_opt ic = try Some (input_line ic) with End_of_file -> None
 let hex_digest s = Digest.to_hex (Digest.string s)
@@ -107,9 +169,9 @@ let read_payload (t : t) ~fingerprint (path : string) : string option =
           | _ -> None)
       | _ -> None)
 
-let find (type a) t ~key ~fingerprint : a option =
+let find (type a) ?ns t ~key ~fingerprint : a option =
   t.stats.lookups <- t.stats.lookups + 1;
-  let path = path_of t key in
+  let path = path_of ?ns t key in
   if not (Sys.file_exists path) then begin
     t.stats.misses <- t.stats.misses + 1;
     None
@@ -129,9 +191,9 @@ let find (type a) t ~key ~fingerprint : a option =
 
 let tmp_counter = ref 0
 
-let store t ~key ~fingerprint v =
+let store ?ns t ~key ~fingerprint v =
   try
-    let path = path_of t key in
+    let path = path_of ?ns t key in
     mkdir_p (Filename.dirname path);
     let payload = Marshal.to_string v [] in
     incr tmp_counter;
@@ -162,6 +224,7 @@ let stats_snapshot t =
     rejected = t.stats.rejected;
     writes = t.stats.writes;
     write_errors = t.stats.write_errors;
+    swept = t.stats.swept;
   }
 
 let reset_stats t =
@@ -171,9 +234,11 @@ let reset_stats t =
   s.misses <- 0;
   s.rejected <- 0;
   s.writes <- 0;
-  s.write_errors <- 0
+  s.write_errors <- 0;
+  s.swept <- 0
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "lookups=%d hits=%d misses=%d rejected=%d writes=%d write-errors=%d"
-    s.lookups s.hits s.misses s.rejected s.writes s.write_errors
+    "lookups=%d hits=%d misses=%d rejected=%d writes=%d write-errors=%d \
+     swept=%d"
+    s.lookups s.hits s.misses s.rejected s.writes s.write_errors s.swept

@@ -21,6 +21,7 @@ type stats = {
   mutable rejected : int; (* stale stamp/fingerprint, corrupt, truncated *)
   mutable writes : int; (* entries persisted *)
   mutable write_errors : int; (* failed writes, swallowed *)
+  mutable swept : int; (* orphaned temp files removed at open *)
 }
 
 type t
@@ -36,7 +37,14 @@ val default_stamp : string
     repeated opens share one stats record.  [stamp] defaults to
     {!default_stamp}; tests override it to simulate builds that must not
     share entries.  Directory-creation failures are deferred: the handle
-    is returned and every [find]/[store] just misses/swallows. *)
+    is returned and every [find]/[store] just misses/swallows.
+
+    Creating a handle sweeps the store for orphaned
+    ["<key>.bin.tmp.<pid>.<n>"] files — debris of writers that died
+    between opening their temp file and renaming it into place.  A temp
+    file is removed (and counted in [stats.swept]) only when its writer
+    pid no longer exists, so a concurrent writer's in-flight file is
+    never touched. *)
 val open_store : ?stamp:string -> dir:string -> unit -> t
 
 val dir : t -> string
@@ -51,13 +59,15 @@ val key : t -> string list -> string
     fails its integrity check (such entries are removed).  The payload
     is only unmarshalled after its digest verifies, so a corrupt file
     can never crash the reader.  The ['a] is trusted: callers must
-    encode the value's type in the fingerprint. *)
-val find : t -> key:string -> fingerprint:string -> 'a option
+    encode the value's type in the fingerprint.  [ns] selects a
+    namespace — an extra directory level keeping differently-typed
+    payloads (whole-run reports vs per-partition partials) apart. *)
+val find : ?ns:string -> t -> key:string -> fingerprint:string -> 'a option
 
-(** [store st ~key ~fingerprint v] persists [v] atomically.  Any
-    failure (permissions, disk full, unwritable dir) is swallowed and
-    counted in [write_errors]. *)
-val store : t -> key:string -> fingerprint:string -> 'a -> unit
+(** [store st ~key ~fingerprint v] persists [v] atomically (in the
+    given namespace, when [ns] is set).  Any failure (permissions, disk
+    full, unwritable dir) is swallowed and counted in [write_errors]. *)
+val store : ?ns:string -> t -> key:string -> fingerprint:string -> 'a -> unit
 
 (** Live counters of the handle (shared across memoized opens). *)
 val stats : t -> stats

@@ -23,3 +23,21 @@ let fresh base =
 (** [rename x] returns a fresh copy of [x] that keeps the original name as
     a readable prefix, e.g. [rename "lo"] gives ["%lo.7"]. *)
 let rename x = fresh (Ident.to_string x)
+
+(* Binder names introduced while building refinement templates
+   (constraint-generation-time instantiation).  These live in their own
+   counter, reset alongside κ and sub_id numbering at the start of
+   constraint generation: the main counter's position at that point
+   depends on how many temporaries the earlier phases created, so
+   names drawn from it would change whenever an edit anywhere in the
+   program adds or removes a temporary — defeating content-addressed
+   caching of untouched constraint partitions.  The tick format
+   ("%base'N") keeps the namespace disjoint from [fresh]'s "%base.N",
+   so a reset can never collide with a name an earlier phase made. *)
+let inst_counter = ref 0
+
+let reset_inst () = inst_counter := 0
+
+let fresh_inst base =
+  incr inst_counter;
+  Ident.of_string (Printf.sprintf "%%%s'%d" base !inst_counter)

@@ -13,3 +13,17 @@ val fresh : string -> Ident.t
 (** [rename x] is a fresh internal copy of [x] keeping the original name
     as a readable prefix. *)
 val rename : Ident.t -> Ident.t
+
+(** Reset the instantiation counter; call alongside
+    {!Rtype.reset_kvars} before generating a constraint system. *)
+val reset_inst : unit -> unit
+
+(** [fresh_inst base] is an internal identifier ["%base'N"] drawn from a
+    separate counter for binders introduced during constraint
+    generation (template and dependent-signature instantiation).  Its
+    per-run reset keeps the names — which appear in constraint
+    environments and pending substitutions — stable across runs of the
+    same program, which content-addressed partition caching requires;
+    the main counter's position varies with the temporary count of
+    earlier phases. *)
+val fresh_inst : string -> Ident.t

@@ -60,6 +60,8 @@ type stats = {
   partitions : part_stat list; (* by partition id *)
   n_pcache_lookups : int; (* persistent-cache probes for this run (0/1) *)
   n_pcache_hits : int; (* runs served from the persistent cache (0/1) *)
+  n_punit_hits : int; (* solve units served from the partition cache *)
+  n_punit_misses : int; (* solve units solved live (cache enabled) *)
   elapsed : float; (* sum of the phase times below *)
   phases : (string * float) list;
       (* per-phase wall-clock seconds, in pipeline order:
@@ -204,7 +206,7 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
     prune;
     jobs;
     partition_timeout;
-    cache_dir = _;
+    cache_dir;
     explain;
     explain_limit;
   } =
@@ -231,11 +233,16 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
      operands.  It is costed under "congen" (qualifier material). *)
   let out, consts =
     timed phases "congen" (fun () ->
-        (* κ numbering restarts per run: κs never outlive a constraint
-           system, and stable names keep reports — blame paths in
-           particular — byte-identical no matter what the process
-           verified before (one-shot, warm daemon, test harness). *)
+        (* κ and sub_id numbering restart per run: neither outlives a
+           constraint system, and stable ids keep reports — blame paths
+           in particular — byte-identical no matter what the process
+           verified before (one-shot, warm daemon, test harness).  The
+           partition cache additionally relies on this: unit signatures
+           embed sub_ids, so per-run-stable numbering is what lets an
+           unchanged unit's key match across runs. *)
         Rtype.reset_kvars ();
+        Constr.reset_subs ();
+        Liquid_common.Gensym.reset_inst ();
         let out =
           try Congen.generate ~specs info prog with
           | Congen.Congen_error (msg, loc) -> raise (Source_error (msg, loc))
@@ -249,13 +256,44 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
   in
   let n_parts = Array.length plan.Constr.parts in
   let sharded = jobs > 1 && n_parts > 1 in
-  let res, part_stats, degraded_parts =
-    if sharded then begin
+  (* Partition-level persistent cache: with [cache_dir] set, each solve
+     unit round-trips its {!Fixpoint.partial} through the store under a
+     content key (constraints + instantiated qualifiers + upstream κ
+     solutions — computed by {!Liquid_engine.Psolve}), so a re-verify
+     after an edit reuses every unit outside the edit's downstream cone.
+     The fingerprint carries the payload version and the engine switches
+     that shape a partial's stats; everything else that could change the
+     result is already in the key. *)
+  let punit_store =
+    Option.map
+      (fun dir -> Liquid_cache.Store.open_store ~dir ())
+      cache_dir
+  in
+  let res, part_stats, degraded_parts, punit_hits, punit_misses =
+    if sharded || punit_store <> None then begin
       let t0 = Unix.gettimeofday () in
+      let reuse, persist =
+        match punit_store with
+        | None -> (None, None)
+        | Some store ->
+            let fingerprint =
+              Fmt.str "%s|incremental=%b|prune=%b" Fixpoint.partial_version
+                incremental prune
+            in
+            let key k = Liquid_cache.Store.key store [ "punit"; k ] in
+            ( Some
+                (fun k ->
+                  Liquid_cache.Store.find ~ns:"punit" store ~key:(key k)
+                    ~fingerprint),
+              Some
+                (fun k (p : Fixpoint.partial) ->
+                  Liquid_cache.Store.store ~ns:"punit" store ~key:(key k)
+                    ~fingerprint p) )
+      in
       let o =
         Liquid_engine.Psolve.solve ~incremental ~prune
-          ?timeout:partition_timeout ~jobs ~quals ~consts out.Congen.wfs
-          out.Congen.subs plan
+          ?timeout:partition_timeout ?reuse ?persist ~jobs ~quals ~consts
+          out.Congen.wfs out.Congen.subs plan
       in
       let wall = Unix.gettimeofday () -. t0 in
       (* Workers overlap, so per-unit solve/check CPU times don't sum to
@@ -280,7 +318,9 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
         List.filter
           (fun (i : Liquid_engine.Psolve.part_info) ->
             i.Liquid_engine.Psolve.pi_degraded)
-          o.Liquid_engine.Psolve.ps_parts )
+          o.Liquid_engine.Psolve.ps_parts,
+        o.Liquid_engine.Psolve.ps_punit_hits,
+        o.Liquid_engine.Psolve.ps_punit_misses )
     end
     else begin
       let res =
@@ -310,7 +350,9 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
                  pt_time = 0.0;
                  pt_degraded = false;
                }),
-        [] )
+        [],
+        0,
+        0 )
     end
   in
   (* Deduplicate identical failures (same origin span, same reason, same
@@ -456,6 +498,8 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
         partitions = part_stats;
         n_pcache_lookups = 0;
         n_pcache_hits = 0;
+        n_punit_hits = punit_hits;
+        n_punit_misses = punit_misses;
         elapsed = List.fold_left (fun acc (_, t) -> acc +. t) 0.0 phases;
         phases;
       };
@@ -473,7 +517,7 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
    type. *)
 let options_fingerprint (o : options) : string =
   Fmt.str
-    "pipeline-report/v3|mine=%b|lint=%b|incremental=%b|prune=%b|explain=%b|explain_limit=%d|quals=[%a]|specs=[%a]"
+    "pipeline-report/v4|mine=%b|lint=%b|incremental=%b|prune=%b|explain=%b|explain_limit=%d|quals=[%a]|specs=[%a]"
     o.mine o.lint o.incremental o.prune o.explain o.explain_limit
     Fmt.(list ~sep:(any " ;; ") Qualifier.pp)
     o.quals Spec.pp o.specs
@@ -741,6 +785,8 @@ let json_of_stats (s : stats) : Liquid_analysis.Json.t =
              s.partitions) );
       ("pcache_lookups", Json.Int s.n_pcache_lookups);
       ("pcache_hits", Json.Int s.n_pcache_hits);
+      ("punit_hits", Json.Int s.n_punit_hits);
+      ("punit_misses", Json.Int s.n_punit_misses);
       ("elapsed", Json.Float s.elapsed);
       ( "phases",
         Json.Obj (List.map (fun (name, t) -> (name, Json.Float t)) s.phases) );

@@ -17,8 +17,9 @@ type error = {
 
 (** Shape and per-unit cost of the solve plan (see
     {!Liquid_infer.Constr.partition_plan}).  [pt_time]/[pt_degraded] are
-    only meaningful under sharded execution ([jobs > 1]); sequential
-    runs report the plan's shape with zero times. *)
+    only meaningful under per-unit execution ([jobs > 1], or any run
+    with [cache_dir] set); whole-system sequential runs report the
+    plan's shape with zero times. *)
 type part_stat = {
   pt_id : int;
   pt_kvars : int; (* κs owned by the partition *)
@@ -59,6 +60,11 @@ type stats = {
   n_pcache_hits : int;
       (* 1 iff this report was served from the persistent cache; its
          other counters then describe the original (cold) run *)
+  n_punit_hits : int;
+      (* solve units served from the partition-level cache — an edited
+         program re-solves only the cone downstream of the edit *)
+  n_punit_misses : int;
+      (* solve units solved live under an enabled partition cache *)
   elapsed : float; (* sum of the phase times below *)
   phases : (string * float) list;
       (* per-phase wall-clock seconds, in pipeline order:
@@ -116,8 +122,14 @@ val mine_constants : Ast.program -> int list
     it for a finished report keyed on (name, source text, options
     fingerprint) and store their result on a miss, so re-verifying an
     unchanged program — even across processes and daemon restarts —
-    costs one digest and one file read.  Stale or corrupt entries fall
-    back silently to a cold run. *)
+    costs one digest and one file read.  On a whole-run miss the solve
+    itself runs incrementally over the same store: each solve unit of
+    the partition plan is content-addressed (constraints + instantiated
+    qualifiers + upstream κ solutions — see
+    {!Liquid_engine.Psolve.solve}), units whose keys are unchanged are
+    reused from disk, and only the cone downstream of an edit is
+    re-solved ([stats.n_punit_hits]/[n_punit_misses]).  Stale or
+    corrupt entries fall back silently to a cold solve. *)
 type options = {
   quals : Qualifier.t list;
   mine : bool;

@@ -1,17 +1,32 @@
 (** Partitioned liquid-constraint solving: execute a
-    {!Constr.partition_plan} over the {!Scheduler}, merging per-unit
-    {!Fixpoint.partial}s into one {!Fixpoint.result}.
+    {!Constr.partition_plan}, merging per-unit {!Fixpoint.partial}s into
+    one {!Fixpoint.result}.
 
-    Each partition solves in a forked worker ({!Fixpoint.solve_unit}
-    with the merged upstream solutions as its base); its marshalled
-    partial is re-interned on arrival ({!Fixpoint.rehash_partial}) and
-    folded into the running solution, failure list, and counters.  A
-    partition whose worker times out or crashes (after one retry)
+    With [jobs > 1] units run in forked workers over the {!Scheduler}
+    ({!Fixpoint.solve_unit} with the merged upstream solutions as its
+    base); a marshalled partial is re-interned on arrival
+    ({!Fixpoint.rehash_partial}) and folded into the running solution,
+    failure list, and counters.  With [jobs <= 1] units run in-process,
+    sequentially in id order — no forks, same merge, same results.
+
+    A partition whose worker times out or crashes (after one retry)
     degrades conservatively: its κs are pinned to the empty refinement
     (⊤ — sound, weakest), downstream partitions proceed against that,
-    and the failure is surfaced as a {!part_info} for diagnostics. *)
+    and the failure is surfaced as a {!part_info} for diagnostics.
+
+    The [reuse]/[persist] hooks connect a per-partition result cache:
+    each unit is content-addressed by a key digesting its own
+    constraints and wf environments ({!Constr.unit_signature}), its
+    instantiated qualifier set, and the final solutions of its
+    [part_deps] — everything that determines its partial.  At dispatch
+    time (dependencies merged, so the key is computable) [reuse key]
+    may return a cached partial, skipping the solve entirely; solved
+    units are offered to [persist key partial].  Degraded units and
+    their downstream cone are neither probed nor persisted: degradation
+    is a property of one run's scheduling, not of the program. *)
 
 open Liquid_smt
+open Liquid_logic
 open Liquid_infer
 module KMap = Constr.KMap
 
@@ -22,6 +37,7 @@ type part_info = {
   pi_time : float; (* wall-clock, across attempts *)
   pi_degraded : bool;
   pi_timed_out : bool;
+  pi_cached : bool; (* served by [reuse] without solving *)
   pi_detail : string option; (* failure detail when degraded *)
 }
 
@@ -30,9 +46,13 @@ type outcome = {
   ps_parts : part_info list; (* by part_id *)
   ps_merge_time : float; (* seconds re-interning + folding results *)
   ps_degraded : int list; (* part_ids pinned to ⊤ *)
+  ps_punit_hits : int; (* units served from the partition cache *)
+  ps_punit_misses : int; (* units solved live (hooks present) *)
 }
 
-let solve ?(incremental = true) ?(prune = false) ?timeout ~(jobs : int)
+let solve ?(incremental = true) ?(prune = false) ?timeout
+    ?(reuse : (string -> Fixpoint.partial option) option)
+    ?(persist : (string -> Fixpoint.partial -> unit) option) ~(jobs : int)
     ~(quals : Qualifier.t list) ~(consts : int list) (wfs : Constr.wf list)
     (subs : Constr.sub list) (plan : Constr.plan) : outcome =
   let parts = plan.Constr.parts in
@@ -65,11 +85,77 @@ let solve ?(incremental = true) ?(prune = false) ?timeout ~(jobs : int)
   let infos = Array.make n None in
   let degraded = ref [] in
   let merge_time = ref 0.0 in
+  let caching = reuse <> None || persist <> None in
+  (* Per-unit local signatures, computed up front (hooks present only).
+     The full key adds the inputs that flow in from upstream. *)
+  let unit_sigs =
+    if caching then Array.map (Constr.unit_signature wfs) parts else [||]
+  in
+  (* A unit downstream of a degraded partition solved against pinned-⊤
+     hypotheses; its partial must not enter (or leave) the cache. *)
+  let tainted = Array.make n false in
+  let from_cache = Array.make n false in
+  let hits = ref 0 and misses = ref 0 in
+  let keys : string option array = Array.make n None in
+  (* Content key of unit [u]; valid once [u]'s dependencies merged
+     (their solutions are final in [merged_sol] from then on). *)
+  let key_of u =
+    match keys.(u) with
+    | Some k -> k
+    | None ->
+        let buf = Buffer.create 1024 in
+        Buffer.add_string buf unit_sigs.(u);
+        Buffer.add_char buf '\x01';
+        KMap.iter
+          (fun k ps ->
+            Buffer.add_string buf (Fmt.str "k%d:" k);
+            List.iter
+              (fun (p, names) ->
+                Buffer.add_string buf
+                  (Fmt.str "%a{%s};" Pred.pp p
+                     (String.concat ","
+                        (Fixpoint.SSet.elements names))))
+              ps)
+          init_of.(u);
+        Buffer.add_char buf '\x01';
+        List.iter
+          (fun d ->
+            List.iter
+              (fun k ->
+                Buffer.add_string buf
+                  (Fmt.str "k%d=[%a];" k
+                     Fmt.(list ~sep:(any " && ") Pred.pp)
+                     (Constr.sol_find !merged_sol k)))
+              parts.(d).Constr.part_kvars)
+          parts.(u).Constr.part_deps;
+        let k = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+        keys.(u) <- Some k;
+        k
+  in
+  let reuse_for u =
+    match reuse with
+    | None -> None
+    | Some f ->
+        if List.exists (fun d -> tainted.(d)) parts.(u).Constr.part_deps then
+          None
+        else
+          let r = f (key_of u) in
+          if r <> None then begin
+            from_cache.(u) <- true;
+            incr hits
+          end;
+          r
+  in
   let work u =
     Fixpoint.solve_unit ~incremental ?prune_wf ~base:!merged_sol
       ~init:init_of.(u) parts.(u).Constr.part_subs
   in
-  let merge u outcome elapsed =
+  (* [replay]: fold the partial's SMT-counter delta into the parent's
+     global counters.  True for forked workers (their counters died with
+     them) and for cached partials (the recorded solve's movement);
+     false for in-process solves, whose calls moved the counters
+     directly. *)
+  let merge ~replay u outcome elapsed =
     let t0 = Unix.gettimeofday () in
     let p = parts.(u) in
     let mk ?(degraded = false) ?(timed_out = false) ?detail () =
@@ -80,13 +166,15 @@ let solve ?(incremental = true) ?(prune = false) ?timeout ~(jobs : int)
         pi_time = elapsed;
         pi_degraded = degraded;
         pi_timed_out = timed_out;
+        pi_cached = from_cache.(u);
         pi_detail = detail;
       }
     in
     (match outcome with
     | Scheduler.Done partial ->
-        (* Re-intern: the partial was unmarshalled, so every predicate
-           in it is physically foreign to this process's tables. *)
+        (* Re-intern: a partial that crossed a process (or disk)
+           boundary is physically foreign to this process's tables; for
+           an in-process partial this is the identity. *)
         let partial = Fixpoint.rehash_partial partial in
         merged_cands :=
           Fixpoint.merge_solutions !merged_cands partial.Fixpoint.pr_solution;
@@ -96,17 +184,24 @@ let solve ?(incremental = true) ?(prune = false) ?timeout ~(jobs : int)
             partial.Fixpoint.pr_solution !merged_sol;
         failures := List.rev_append partial.Fixpoint.pr_failures !failures;
         stats := Fixpoint.merge_stats !stats partial.Fixpoint.pr_stats;
-        (* The worker's global SMT counters died with it; replay its
-           movement into the parent's. *)
-        let d = partial.Fixpoint.pr_smt in
-        Solver.stats.Solver.queries <-
-          Solver.stats.Solver.queries + d.Fixpoint.d_queries;
-        Solver.stats.Solver.cache_hits <-
-          Solver.stats.Solver.cache_hits + d.Fixpoint.d_cache_hits;
-        Solver.stats.Solver.sat_checks <-
-          Solver.stats.Solver.sat_checks + d.Fixpoint.d_sat_checks;
-        Solver.stats.Solver.unknowns <-
-          Solver.stats.Solver.unknowns + d.Fixpoint.d_unknowns;
+        if replay then begin
+          let d = partial.Fixpoint.pr_smt in
+          Solver.stats.Solver.queries <-
+            Solver.stats.Solver.queries + d.Fixpoint.d_queries;
+          Solver.stats.Solver.cache_hits <-
+            Solver.stats.Solver.cache_hits + d.Fixpoint.d_cache_hits;
+          Solver.stats.Solver.sat_checks <-
+            Solver.stats.Solver.sat_checks + d.Fixpoint.d_sat_checks;
+          Solver.stats.Solver.unknowns <-
+            Solver.stats.Solver.unknowns + d.Fixpoint.d_unknowns
+        end;
+        tainted.(u) <-
+          List.exists (fun d -> tainted.(d)) p.Constr.part_deps;
+        if caching && not from_cache.(u) then incr misses;
+        (match persist with
+        | Some f when (not from_cache.(u)) && not tainted.(u) ->
+            f (key_of u) partial
+        | _ -> ());
         infos.(u) <- Some (mk ())
     | Scheduler.Failed { timed_out; attempts = _; detail } ->
         (* Conservative degradation: pin this partition's κs to the
@@ -119,12 +214,33 @@ let solve ?(incremental = true) ?(prune = false) ?timeout ~(jobs : int)
             merged_cands := KMap.add k [] !merged_cands)
           p.Constr.part_kvars;
         degraded := u :: !degraded;
+        tainted.(u) <- true;
+        if caching then incr misses;
         infos.(u) <- Some (mk ~degraded:true ~timed_out ~detail ()));
     merge_time := !merge_time +. (Unix.gettimeofday () -. t0)
   in
-  Scheduler.run ?timeout ~jobs ~n_units:n
-    ~deps:(fun u -> parts.(u).Constr.part_deps)
-    ~work ~merge ();
+  if jobs <= 1 then
+    (* In-process sequential execution in id order (always legal: every
+       dependency has a smaller id).  No forks, so no timeouts and no
+       degradation — exactly the failure model of a whole-system
+       solve. *)
+    for u = 0 to n - 1 do
+      let t0 = Unix.gettimeofday () in
+      match reuse_for u with
+      | Some partial ->
+          merge ~replay:true u (Scheduler.Done partial)
+            (Unix.gettimeofday () -. t0)
+      | None ->
+          let partial = work u in
+          merge ~replay:false u (Scheduler.Done partial)
+            (Unix.gettimeofday () -. t0)
+    done
+  else
+    Scheduler.run ?timeout ~pre:reuse_for ~jobs ~n_units:n
+      ~deps:(fun u -> parts.(u).Constr.part_deps)
+      ~work
+      ~merge:(merge ~replay:true)
+      ();
   let t0 = Unix.gettimeofday () in
   (* Failures in original-constraint order, independent of scheduling. *)
   let rank = Hashtbl.create (List.length subs) in
@@ -165,7 +281,9 @@ let solve ?(incremental = true) ?(prune = false) ?timeout ~(jobs : int)
       Array.to_list infos
       |> List.map (function
            | Some i -> i
-           | None -> assert false (* scheduler merges every unit *));
+           | None -> assert false (* every unit merges *));
     ps_merge_time = !merge_time;
     ps_degraded = List.rev !degraded;
+    ps_punit_hits = !hits;
+    ps_punit_misses = !misses;
   }

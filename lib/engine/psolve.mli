@@ -1,8 +1,11 @@
 (** Partitioned liquid-constraint solving: execute a
-    {!Constr.partition_plan} over the {!Scheduler} and merge the
-    per-partition results into one {!Fixpoint.result}.  Partitions whose
-    workers time out or crash (after one retry) degrade conservatively —
-    their κs are pinned to ⊤ — and are reported in [ps_degraded]. *)
+    {!Constr.partition_plan} and merge the per-partition results into
+    one {!Fixpoint.result}.  With [jobs > 1] units run in forked workers
+    over the {!Scheduler}; with [jobs <= 1] they run in-process,
+    sequentially in id order (no forks, same merge, same results).
+    Partitions whose workers time out or crash (after one retry) degrade
+    conservatively — their κs are pinned to ⊤ — and are reported in
+    [ps_degraded]. *)
 
 open Liquid_infer
 
@@ -13,6 +16,7 @@ type part_info = {
   pi_time : float; (* wall-clock, across attempts *)
   pi_degraded : bool;
   pi_timed_out : bool;
+  pi_cached : bool; (* served by [reuse] without solving *)
   pi_detail : string option; (* failure detail when degraded *)
 }
 
@@ -21,21 +25,39 @@ type outcome = {
   ps_parts : part_info list; (* by part_id *)
   ps_merge_time : float; (* seconds re-interning + folding results *)
   ps_degraded : int list; (* part_ids pinned to ⊤ *)
+  ps_punit_hits : int; (* units served from the partition cache *)
+  ps_punit_misses : int; (* units solved live (hooks present) *)
 }
 
-(** [solve ?incremental ?timeout ~jobs ~quals ~consts wfs subs plan]
-    solves the system described by [plan] (built from [wfs]/[subs])
-    with up to [jobs] concurrent workers.  Failures are returned in
+(** [solve ?incremental ?prune ?timeout ?reuse ?persist ~jobs ~quals
+    ~consts wfs subs plan] solves the system described by [plan] (built
+    from [wfs]/[subs]) with up to [jobs] concurrent workers ([jobs <=
+    1]: in-process, sequential).  Failures are returned in
     original-constraint order regardless of scheduling; verdicts and
     inferred refinements are scheduling-independent (the fixpoint is
     unique).  [prune] (default [false]) runs the pre-fixpoint
     qualifier-space prune and post-fixpoint reinstatement inside each
     unit (see {!Prune}).  [subs] must be the same list [plan] was built
-    from. *)
+    from.
+
+    [reuse]/[persist] connect a per-partition result cache.  Each unit
+    is addressed by a content key digesting {!Constr.unit_signature}
+    (its constraints and owned-κ wf environments), its instantiated
+    qualifier set, and the final solutions of its [part_deps] — so a
+    key matches exactly when every input that determines the unit's
+    {!Fixpoint.partial} is unchanged.  [reuse key] is consulted at
+    dispatch time (dependencies merged); a hit skips the unit's solve
+    and is folded in like a worker result (counted in
+    [ps_punit_hits]).  Units solved live are offered to [persist key
+    partial] (and counted in [ps_punit_misses]).  Degraded units and
+    every unit downstream of one are neither probed nor persisted:
+    their inputs embed one run's scheduling accidents. *)
 val solve :
   ?incremental:bool ->
   ?prune:bool ->
   ?timeout:float ->
+  ?reuse:(string -> Fixpoint.partial option) ->
+  ?persist:(string -> Fixpoint.partial -> unit) ->
   jobs:int ->
   quals:Qualifier.t list ->
   consts:int list ->

@@ -108,10 +108,15 @@ let kill_collect (r : running) : unit =
     [work u] computes unit [u]'s result (in a worker process); [merge u
     outcome elapsed] folds it into parent state and is called exactly
     once per unit, only after all of [u]'s dependencies have merged.
-    [elapsed] is the unit's wall-clock time across its attempts. *)
-let run ?timeout ~(jobs : int) ~(n_units : int) ~(deps : int -> int list)
-    ~(work : int -> 'r) ~(merge : int -> 'r outcome -> float -> unit) () :
-    unit =
+    [elapsed] is the unit's wall-clock time across its attempts.
+
+    [pre u] is a parent-side shortcut consulted at dispatch time — after
+    [u]'s dependencies have merged, before any fork: [Some r] merges
+    [Done r] immediately and no worker is ever spawned for [u].  This is
+    how a result cache skips solved units without paying a fork. *)
+let run ?timeout ?(pre : (int -> 'r option) = fun _ -> None) ~(jobs : int)
+    ~(n_units : int) ~(deps : int -> int list) ~(work : int -> 'r)
+    ~(merge : int -> 'r outcome -> float -> unit) () : unit =
   let jobs = max 1 jobs in
   let merged = Array.make n_units false in
   let dispatched = Array.make n_units false in
@@ -133,15 +138,27 @@ let run ?timeout ~(jobs : int) ~(n_units : int) ~(deps : int -> int list)
     in
     scan 0 []
   in
+  (* Returns [true] when a [pre] shortcut merged at least one unit —
+     merging can make further units ready, so the caller loops until
+     dispatch reaches a fixed point. *)
   let dispatch () =
+    let merged_here = ref false in
     List.iter
       (fun u ->
-        if List.length !running < jobs then begin
-          dispatched.(u) <- true;
-          first_start.(u) <- Unix.gettimeofday ();
-          running := spawn ?timeout ~work u 1 :: !running
-        end)
-      (ready ())
+        match pre u with
+        | Some r ->
+            dispatched.(u) <- true;
+            first_start.(u) <- Unix.gettimeofday ();
+            finish u (Done r);
+            merged_here := true
+        | None ->
+            if List.length !running < jobs then begin
+              dispatched.(u) <- true;
+              first_start.(u) <- Unix.gettimeofday ();
+              running := spawn ?timeout ~work u 1 :: !running
+            end)
+      (ready ());
+    !merged_here
   in
   let retry_or_fail (r : running) ~timed_out detail =
     if r.attempt >= 2 then
@@ -150,7 +167,10 @@ let run ?timeout ~(jobs : int) ~(n_units : int) ~(deps : int -> int list)
       running := spawn ?timeout ~work r.run_unit (r.attempt + 1) :: !running
   in
   while !n_merged < n_units do
-    dispatch ();
+    while dispatch () do
+      ()
+    done;
+    if !n_merged < n_units then begin
     (* Topological numbering guarantees progress: if nothing is merged
        yet, unit 0 has no deps and is always dispatchable. *)
     assert (!running <> []);
@@ -189,4 +209,5 @@ let run ?timeout ~(jobs : int) ~(n_units : int) ~(deps : int -> int list)
         retry_or_fail r ~timed_out:true
           (Printf.sprintf "timed out after %.1fs" (Option.get timeout)))
       expired
+    end
   done

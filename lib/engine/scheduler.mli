@@ -14,9 +14,9 @@ type 'r outcome =
   | Done of 'r
   | Failed of { timed_out : bool; attempts : int; detail : string }
 
-(** [run ?timeout ~jobs ~n_units ~deps ~work ~merge ()] executes units
-    [0 .. n_units-1], where every id in [deps u] is [< u].  A unit is
-    dispatched once all of its dependencies have merged, so a forked
+(** [run ?timeout ?pre ~jobs ~n_units ~deps ~work ~merge ()] executes
+    units [0 .. n_units-1], where every id in [deps u] is [< u].  A unit
+    is dispatched once all of its dependencies have merged, so a forked
     worker sees every upstream result through inherited memory; [work u]
     runs in the worker and its result is marshalled back (it must not
     contain closures; hash-consed values need re-interning on the parent
@@ -24,9 +24,15 @@ type 'r outcome =
     per unit.  At most [jobs] workers run concurrently.  A worker
     exceeding [timeout] seconds is killed and the unit retried once;
     crashes likewise.  A second failure yields [Failed] — the scheduler
-    never wedges and never aborts the run. *)
+    never wedges and never aborts the run.
+
+    [pre u] (default: always [None]) is consulted in the parent at
+    dispatch time, after [u]'s dependencies merged: [Some r] merges
+    [Done r] without forking a worker — the shortcut a result cache
+    uses to skip already-solved units. *)
 val run :
   ?timeout:float ->
+  ?pre:(int -> 'r option) ->
   jobs:int ->
   n_units:int ->
   deps:(int -> int list) ->

@@ -385,8 +385,8 @@ let array_access_prim (h : Ident.t) : bool =
     array whose element type is [elem]: the element type of the array
     itself, not a fresh template. *)
 let array_access_sig (h : Ident.t) (elem : Rtype.t) : Rtype.t =
-  let fa = Gensym.fresh "a" in
-  let fi = Gensym.fresh "i" in
+  let fa = Gensym.fresh_inst "a" in
+  let fi = Gensym.fresh_inst "i" in
   let in_bounds =
     Pred.conj
       [
@@ -399,7 +399,7 @@ let array_access_sig (h : Ident.t) (elem : Rtype.t) : Rtype.t =
   match Ident.to_string h with
   | "Array.get" -> Rtype.Fun (fa, arr, Rtype.Fun (fi, idx, elem))
   | _ ->
-      let fx = Gensym.fresh "x" in
+      let fx = Gensym.fresh_inst "x" in
       Rtype.Fun (fa, arr, Rtype.Fun (fi, idx, Rtype.Fun (fx, elem, unit_t)))
 
 (* -- Main walker --------------------------------------------------------------------------- *)

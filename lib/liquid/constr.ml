@@ -63,6 +63,7 @@ type wf = { wf_env : env; wf_kvar : Rtype.kvar; wf_sort : Sort.t }
 exception Shape_error of string
 
 let sub_counter = ref 0
+let reset_subs () = sub_counter := 0
 
 let mk_sub env lhs rhs vv_sort origin =
   incr sub_counter;
@@ -543,3 +544,40 @@ let pp_sub ppf (c : sub) =
 
 let pp_wf ppf (c : wf) =
   Fmt.pf ppf "... ⊢ k%d : %a" c.wf_kvar Sort.pp c.wf_sort
+
+(* -- Content signatures ------------------------------------------------------ *)
+
+(* Canonical rendering of an environment for content hashing: every
+   bind (name and full refinement type, κs included) and every guard,
+   in order.  Unlike the display printers nothing is elided — two
+   environments render equal iff the solver sees the same antecedent. *)
+let pp_env_sig ppf (e : env) =
+  List.iter
+    (fun (x, t) -> Fmt.pf ppf "%a:%a;" Ident.pp x Rtype.pp t)
+    e.binds;
+  Fmt.pf ppf "|";
+  List.iter (fun g -> Fmt.pf ppf "%a;" Pred.pp g) e.guards
+
+let unit_signature (wfs : wf list) (p : partition) : string =
+  (* [part_id] is deliberately absent: it is a position in the
+     topological order, and an edit elsewhere in the program can
+     renumber an untouched unit.  Content alone identifies a partition —
+     κ ids and sub_ids are globally unique, so distinct partitions can
+     never render equal. *)
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf 1_000_000;
+  List.iter
+    (fun (c : sub) ->
+      Fmt.pf ppf "sub[%d]%a⊢%a<:%a^%a@%a\n" c.sub_id pp_env_sig c.sub_env
+        Rtype.pp_refinement c.lhs pp_rhs c.rhs Sort.pp c.vv_sort pp_origin
+        c.origin)
+    p.part_subs;
+  List.iter
+    (fun (w : wf) ->
+      if List.mem w.wf_kvar p.part_kvars then
+        Fmt.pf ppf "wf k%d %a : %a\n" w.wf_kvar pp_env_sig w.wf_env Sort.pp
+          w.wf_sort)
+    wfs;
+  Format.pp_print_flush ppf ();
+  Digest.to_hex (Digest.string (Buffer.contents buf))

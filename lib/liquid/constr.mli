@@ -42,6 +42,14 @@ type wf = { wf_env : env; wf_kvar : Rtype.kvar; wf_sort : Sort.t }
 
 exception Shape_error of string
 
+(** Restart [sub_id] numbering.  Constraints never outlive one
+    verification run, and per-run-stable ids keep failure ordering,
+    explanations, and partition-cache keys ({!unit_signature})
+    independent of what the process verified before — a warm daemon or
+    a test harness numbers exactly like a one-shot run.  Call alongside
+    {!Rtype.reset_kvars} before generating a constraint system. *)
+val reset_subs : unit -> unit
+
 (** {1 Splitting} *)
 
 val base_sort : Rtype.base -> Sort.t
@@ -155,6 +163,26 @@ val compile_env : env -> slot list
 (** Compiled slots of a refinement with [ν := value]; mirrors
     {!preds_of_refinement} (no [tt] filtering). *)
 val compile_refinement : Pred.value -> Rtype.refinement -> slot list
+
+(** {1 Content signatures} (partition-level result cache)
+
+    [unit_signature wfs p] digests a canonical rendering of everything
+    {e local} to solve unit [p]: its constraints (ids, full
+    environments with κ occurrences, left- and right-hand sides, sorts,
+    origins — origins included because cached failures replay their
+    locations verbatim) and the well-formedness constraints of the κs
+    it owns (whose environments determine the unit's qualifier
+    instances).  Together with the instantiated qualifier set and the
+    final solutions of the unit's [part_deps] — supplied by the caller,
+    which knows them — the signature content-addresses the unit's
+    {!Liquid_infer.Fixpoint.partial}: equal inputs, equal result.
+
+    Stability: κ numbers, constraint ids, and source locations restart
+    deterministically per run, so an edit that preserves the shape of
+    the program upstream of a unit (and the unit's own text) reproduces
+    its signature exactly; an edit that renumbers κs or shifts lines
+    through it changes the signature and honestly forces a re-solve. *)
+val unit_signature : wf list -> partition -> string
 
 (** {1 Printing} *)
 

@@ -799,6 +799,13 @@ type partial = {
   pr_smt : smt_delta;
 }
 
+(* Versions the marshalled [partial] layout for the persistent
+   partition cache.  The executable-stamp check already rejects entries
+   across rebuilds; this tag additionally keys the {e meaning} of the
+   payload, so a semantic change (what a partial promises, not just its
+   shape) can invalidate old entries explicitly. *)
+let partial_version = "fixpoint-partial/v1"
+
 let fresh_stats () =
   {
     iterations = 0;

@@ -96,6 +96,12 @@ type partial = {
   pr_smt : smt_delta;
 }
 
+(** Version tag of the marshalled [partial] payload, for fingerprints of
+    persistent partition-cache entries ({!Liquid_cache.Store}): a
+    [partial] written under one tag is never read under another.  Bump
+    on any semantic change to what a partial represents. *)
+val partial_version : string
+
 (** Solve one unit to fixpoint and check its concrete obligations.
     [base] holds the final solutions of every upstream κ read but not
     owned by this unit; [init] is the initial assignment of the unit's

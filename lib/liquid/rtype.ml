@@ -122,7 +122,7 @@ let rec shape (ty : Mltype.t) : t =
   | Mltype.Tvar { contents = Mltype.Unbound (id, _) } ->
       Tyvar (tyvar_id_of_unbound id, trivial)
   | Mltype.Tvar { contents = Mltype.Link _ } -> assert false
-  | Mltype.Tarrow (a, b) -> Fun (Gensym.fresh "arg", shape a, shape b)
+  | Mltype.Tarrow (a, b) -> Fun (Gensym.fresh_inst "arg", shape a, shape b)
   | Mltype.Ttuple ts -> Tuple (List.map shape ts)
   | Mltype.Tlist t -> List (shape t, trivial)
   | Mltype.Tarray t -> Array (shape t, trivial)
@@ -137,7 +137,7 @@ let rec template (ty : Mltype.t) : t =
   | Mltype.Tvar { contents = Mltype.Unbound (id, _) } ->
       Tyvar (tyvar_id_of_unbound id, trivial)
   | Mltype.Tvar { contents = Mltype.Link _ } -> assert false
-  | Mltype.Tarrow (a, b) -> Fun (Gensym.fresh "arg", template a, template b)
+  | Mltype.Tarrow (a, b) -> Fun (Gensym.fresh_inst "arg", template a, template b)
   | Mltype.Ttuple ts -> Tuple (List.map template ts)
   | Mltype.Tlist t -> List (template t, fresh_kvar_ref ())
   | Mltype.Tarray t -> Array (template t, fresh_kvar_ref ())

@@ -281,6 +281,23 @@ let warm_up () =
   ignore
     (Pipeline.verify_string ~name:"<warm-up>" "let warm = 1 + 1" : Pipeline.report)
 
+(* Is something accepting connections on [sock]?  A plain [connect]
+   probe: success means a live listener owns the path (we must not
+   steal it); ECONNREFUSED or ENOENT means the file is a leftover of a
+   dead daemon (or absent) and is safe to replace.  No handshake is
+   attempted — a reply is not needed to establish liveness, and not
+   reading means a wedged listener cannot hang the probe. *)
+let socket_in_use sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX sock) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+        ->
+          false)
+
 let serve cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
@@ -298,6 +315,16 @@ let serve cfg =
       running = true;
     }
   in
+  (* Probe before warming up: refusing to start should be instant, and
+     unlinking a live daemon's socket would orphan it — clients would
+     reach whichever process bound the path last while the other keeps
+     running unreachable. *)
+  if socket_in_use cfg.sock then
+    failwith
+      (Printf.sprintf
+         "socket %s is owned by a running daemon; shut it down first or \
+          serve on a different path"
+         cfg.sock);
   warm_up ();
   (try Unix.unlink cfg.sock with Unix.Unix_error _ -> ());
   let sock_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in

@@ -26,7 +26,17 @@ val default_config : sock:string -> config
     programs of each batch.  Reset to [(fun _ -> None)] after use. *)
 val fault_for : (string -> Liquid_engine.Scheduler.fault option) ref
 
+(** Is something accepting connections at this socket path?  [false]
+    when the file is absent or a leftover of a dead daemon (connect
+    gives [ECONNREFUSED]/[ENOENT]); [true] for any live listener.  Used
+    by {!serve} to avoid stealing a running daemon's socket; exposed
+    for launchers that want the same check. *)
+val socket_in_use : string -> bool
+
 (** Run the accept loop; blocks until a client sends
-    {!Protocol.Shutdown}.  The socket is created fresh (any stale file
-    at [config.sock] is unlinked) and removed on exit. *)
+    {!Protocol.Shutdown}.  A stale socket file at [config.sock] (one no
+    process is accepting on) is unlinked and replaced; if a live daemon
+    owns the path, [serve] refuses to start
+    (@raise Failure) rather than orphan it.  The socket is removed on
+    exit. *)
 val serve : config -> unit

@@ -249,6 +249,31 @@ let test_json_roundtrip_shape () =
   check_bool "escapes cleanly / no newlines inside strings" true
     (not (contains s "\n\""))
 
+let test_json_surrogate_pairs () =
+  (* A \uD8xx\uDCxx pair is one astral code point, not two 3-byte
+     blobs: U+1F600 is \uD83D\uDE00 and decodes to 4 UTF-8 bytes. *)
+  (match Json.of_string "\"\\ud83d\\ude00\"" with
+  | Json.String s ->
+      check_bool "pair joins to 4-byte UTF-8" true (s = "\xf0\x9f\x98\x80")
+  | _ -> Alcotest.fail "expected a string");
+  (* Case-insensitive hex, BMP scalars unaffected. *)
+  (match Json.of_string "\"\\uD83D\\uDE00 \\u00e9\"" with
+  | Json.String s ->
+      check_bool "mixed escapes decode" true (s = "\xf0\x9f\x98\x80 \xc3\xa9")
+  | _ -> Alcotest.fail "expected a string");
+  let rejects input =
+    match Json.of_string input with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  check_bool "lone high surrogate rejected" true (rejects "\"\\ud83d\"");
+  check_bool "lone low surrogate rejected" true (rejects "\"\\ude00\"");
+  check_bool "high surrogate before a non-surrogate rejected" true
+    (rejects "\"\\ud83d\\u0041\"");
+  check_bool "high surrogate before a plain char rejected" true
+    (rejects "\"\\ud83dZ\"");
+  check_bool "bad hex rejected" true (rejects "\"\\u12g4\"")
+
 let test_lint_off_by_default () =
   let r = Liquid_driver.Pipeline.verify_string "let f x = let y = x in x" in
   check_bool "no lints unless requested" true
@@ -320,6 +345,7 @@ let tests =
     tc "codes and severities" test_codes_and_severities;
     tc "report order" test_report_order;
     tc "json shape" test_json_roundtrip_shape;
+    tc "json surrogate pairs" test_json_surrogate_pairs;
     tc "lint off by default" test_lint_off_by_default;
   ]
   @ suite_clean_tests

@@ -43,6 +43,17 @@ let rec files_under dir =
       if Sys.is_directory p then files_under p else [ p ])
     (Array.to_list (Sys.readdir dir))
 
+(* Whole-run report entries only: partition-level entries live in the
+   "punit" namespace (an extra directory level) and are not counted. *)
+let report_entries dir =
+  List.concat_map
+    (fun f ->
+      let p = Filename.concat dir f in
+      if f = "punit" then []
+      else if Sys.is_directory p then files_under p
+      else [ p ])
+    (Array.to_list (Sys.readdir dir))
+
 (* ------------------------------------------------------------------ *)
 (* Store basics                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -119,7 +130,7 @@ let test_corruption_and_truncation () =
       let st = Store.open_store ~dir () in
       let key = Store.key st [ "prog" ] in
       let entry () =
-        match files_under dir with
+        match report_entries dir with
         | [ p ] -> p
         | files ->
             Alcotest.failf "expected exactly one entry file, found %d"
@@ -242,7 +253,7 @@ let test_pipeline_corrupt_entry_recovers () =
       let cold = Pipeline.verify_string ~options ~name:"bad.ml" src_unsafe in
       check_bool "program is unsafe" false cold.Pipeline.safe;
       let entry =
-        match files_under dir with
+        match report_entries dir with
         | [ p ] -> p
         | files ->
             Alcotest.failf "expected exactly one entry file, found %d"
@@ -252,6 +263,11 @@ let test_pipeline_corrupt_entry_recovers () =
       let recovered = Pipeline.verify_string ~options ~name:"bad.ml" src_unsafe in
       check_int "corrupt entry does not hit" 0
         recovered.Pipeline.stats.Pipeline.n_pcache_hits;
+      (* The whole-run entry was corrupted, not the partition entries:
+         the re-solve reuses every solved unit from the partition
+         cache. *)
+      check_bool "re-solve reuses cached partitions" true
+        (recovered.Pipeline.stats.Pipeline.n_punit_hits > 0);
       check_string "verdict identical to the cold run"
         (report_fingerprint cold)
         (report_fingerprint recovered);
@@ -262,6 +278,124 @@ let test_pipeline_corrupt_entry_recovers () =
       check_string "served verdict still identical"
         (report_fingerprint cold)
         (report_fingerprint warm))
+
+(* ------------------------------------------------------------------ *)
+(* Partition-level incremental re-verification                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Two independent functions, each with a branch join so subtyping
+   constraints actually materialize (a straight-line body flows its
+   type directly and owns no subs to edit).  The edit below touches
+   only [shift]'s else-arm, through a non-compared literal (1 → 2):
+   arm values are not mined into qualifier constants, so [double]'s
+   constraints, qualifier instances, and (absent) upstream dependencies
+   are all unchanged and its unit keys are stable.  An edit to a
+   {e compared} literal would change the mined constant set — a global
+   qualifier input — and honestly miss every unit. *)
+let src_two_v1 =
+  "let double x = if x > 0 then x + x else 0\n\
+   let shift y = if y > 0 then y + 3 else 1"
+
+let src_two_v2 =
+  "let double x = if x > 0 then x + x else 0\n\
+   let shift y = if y > 0 then y + 3 else 2"
+
+(* Same source re-verified when only the whole-run entry is gone: every
+   partition key matches and nothing re-solves. *)
+let test_punit_key_stability () =
+  with_dir (fun dir ->
+      let options = { Pipeline.default with Pipeline.cache_dir = Some dir } in
+      let cold = Pipeline.verify_string ~options ~name:"two.ml" src_two_v1 in
+      check_int "cold run has no partition hits" 0
+        cold.Pipeline.stats.Pipeline.n_punit_hits;
+      check_bool "cold run solves every unit live" true
+        (cold.Pipeline.stats.Pipeline.n_punit_misses
+        = cold.Pipeline.stats.Pipeline.n_partitions
+        && cold.Pipeline.stats.Pipeline.n_partitions > 0);
+      List.iter Sys.remove (report_entries dir);
+      let warm = Pipeline.verify_string ~options ~name:"two.ml" src_two_v1 in
+      check_int "whole-run entry is gone" 0
+        warm.Pipeline.stats.Pipeline.n_pcache_hits;
+      check_int "every unit reused" cold.Pipeline.stats.Pipeline.n_punit_misses
+        warm.Pipeline.stats.Pipeline.n_punit_hits;
+      check_int "nothing re-solved" 0
+        warm.Pipeline.stats.Pipeline.n_punit_misses;
+      check_string "report identical to the cold run"
+        (report_fingerprint cold) (report_fingerprint warm))
+
+(* A one-function edit re-solves only the edited cone; the report still
+   matches a cache-less verification byte for byte.  Exercised at
+   [jobs = 1] (in-process sequential) and [jobs = 4] (forked workers +
+   dispatch-time reuse). *)
+let test_punit_cone_reuse jobs () =
+  with_dir (fun dir ->
+      let options =
+        {
+          Pipeline.default with
+          Pipeline.cache_dir = Some dir;
+          Pipeline.jobs = jobs;
+        }
+      in
+      ignore (Pipeline.verify_string ~options ~name:"two.ml" src_two_v1);
+      let warm = Pipeline.verify_string ~options ~name:"two.ml" src_two_v2 in
+      check_int "edited source misses the whole-run cache" 0
+        warm.Pipeline.stats.Pipeline.n_pcache_hits;
+      check_bool "unedited partition reused" true
+        (warm.Pipeline.stats.Pipeline.n_punit_hits >= 1);
+      check_bool "edited cone re-solved" true
+        (warm.Pipeline.stats.Pipeline.n_punit_misses >= 1);
+      let reference =
+        Pipeline.verify_string
+          ~options:{ options with Pipeline.cache_dir = None }
+          ~name:"two.ml" src_two_v2
+      in
+      check_string "report identical to an uncached run"
+        (report_fingerprint reference)
+        (report_fingerprint warm))
+
+(* Stale tmp files (left by a crashed writer) are swept when a store
+   handle is created; a live writer's tmp file is left alone. *)
+let test_tmp_sweep () =
+  with_dir (fun dir ->
+      let st = Store.open_store ~stamp:"sweep-A" ~dir () in
+      let key = Store.key st [ "prog" ] in
+      Store.store st ~key ~fingerprint:"f" 42;
+      let fan =
+        match report_entries dir with
+        | [ p ] -> Filename.dirname p
+        | files ->
+            Alcotest.failf "expected exactly one entry file, found %d"
+              (List.length files)
+      in
+      (* A pid that is certainly dead: a child we already reaped. *)
+      let dead_pid =
+        match Unix.fork () with
+        | 0 -> Unix._exit 0
+        | pid ->
+            ignore (Unix.waitpid [] pid);
+            pid
+      in
+      let stale =
+        Filename.concat fan (Printf.sprintf "x.bin.tmp.%d.0" dead_pid)
+      in
+      let live =
+        Filename.concat fan (Printf.sprintf "y.bin.tmp.%d.0" (Unix.getpid ()))
+      in
+      List.iter
+        (fun p ->
+          let oc = open_out_bin p in
+          output_string oc "partial write";
+          close_out oc)
+        [ stale; live ];
+      (* Handles are memoized per (dir, stamp): a different stamp forces
+         a genuinely fresh handle, whose creation sweeps. *)
+      let st2 = Store.open_store ~stamp:"sweep-B" ~dir () in
+      check_bool "stale tmp file removed" false (Sys.file_exists stale);
+      check_bool "live writer's tmp file kept" true (Sys.file_exists live);
+      check_int "sweep counted" 1 (Store.stats st2).Store.swept;
+      check_bool "entries survive the sweep" true
+        (Store.find st ~key ~fingerprint:"f" = Some 42);
+      Sys.remove live)
 
 let test_no_cache_dir_no_probes () =
   let r = Pipeline.verify_string ~name:"sum.ml" src_safe in
@@ -306,6 +440,12 @@ let tests =
     tc "pipeline: key covers name and qualifiers" test_pipeline_key_sensitivity;
     tc "pipeline: corrupt entry falls back and rewrites"
       test_pipeline_corrupt_entry_recovers;
+    tc "punit: unchanged partitions all reuse" test_punit_key_stability;
+    tc "punit: edit re-solves only its cone (jobs=1)"
+      (test_punit_cone_reuse 1);
+    tc "punit: edit re-solves only its cone (jobs=4)"
+      (test_punit_cone_reuse 4);
+    tc "store sweeps stale tmp files" test_tmp_sweep;
     tc "pipeline: no cache dir means no probes" test_no_cache_dir_no_probes;
     tc "reset_run_state clears answer state" test_reset_run_state;
     tc "pipeline runs start with clean solver state" test_pipeline_resets_cex;

@@ -241,6 +241,65 @@ let test_version_mismatch () =
             (expect_verified (List.hd replies)).Pipeline.safe))
 
 (* ------------------------------------------------------------------ *)
+(* Socket-liveness probe                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_socket_liveness () =
+  with_dir (fun base ->
+      let sock = Filename.concat base "d.sock" in
+      check_bool "absent path is not in use" false (Server.socket_in_use sock);
+      (* A stale socket file: bound once by a process that is gone. *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX sock);
+      Unix.close fd;
+      check_bool "socket file without a listener is not in use" false
+        (Server.socket_in_use sock);
+      (* [serve] replaces such a leftover (exercised daily by every
+         daemon restart); here probe only, and hand the path to a real
+         daemon. *)
+      Sys.remove sock;
+      let pid = start_server sock in
+      Fun.protect
+        ~finally:(fun () -> stop_server pid sock)
+        (fun () ->
+          with_client sock (fun c -> ignore (Client.stats c));
+          check_bool "live daemon's socket is in use" true
+            (Server.socket_in_use sock);
+          (* A second daemon on the same path must refuse to start
+             rather than unlink the socket out from under the first. *)
+          flush stdout;
+          flush stderr;
+          (match Unix.fork () with
+          | 0 ->
+              let code =
+                try
+                  Server.serve
+                    {
+                      Server.sock;
+                      cache_dir = None;
+                      jobs = 1;
+                      request_timeout = None;
+                      quiet = true;
+                    };
+                  1
+                with
+                | Failure _ -> 0
+                | _ -> 1
+              in
+              Unix._exit code
+          | pid2 ->
+              let _, status = Unix.waitpid [] pid2 in
+              check_bool "second daemon refuses to start" true
+                (status = Unix.WEXITED 0));
+          (* The first daemon is unharmed and still serving. *)
+          with_client sock (fun c ->
+              let replies =
+                Client.verify c [ Protocol.request ~name:"ok.ml" src_safe ]
+              in
+              check_bool "original daemon still serves" true
+                (expect_verified (List.hd replies)).Pipeline.safe)))
+
+(* ------------------------------------------------------------------ *)
 (* Concurrent clients                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -375,6 +434,8 @@ let tests =
     tc "crashed worker leaves the daemon serving" test_crashed_worker;
     tc "hung worker is timed out, daemon survives" test_hung_worker;
     tc "handshake refuses a version mismatch" test_version_mismatch;
+    tc "socket probe: stale files yield, live daemons keep their socket"
+      test_socket_liveness;
     tc "concurrent clients are all served" test_concurrent_clients;
     tc "memory hits, then disk hits across a restart" test_memo_and_disk_hits;
     slow "suite through warm daemon equals direct runs"
