@@ -486,9 +486,8 @@ let server_bench () =
         (try
            Server.serve
              {
-               Server.sock;
-               cache_dir = Some cache;
-               jobs = 1;
+               (Server.default_config ~sock) with
+               Server.cache_dir = Some cache;
                request_timeout = None;
                quiet = true;
              }
@@ -597,6 +596,322 @@ let server_bench () =
         ("warm_hit_rate", J.Float hit_rate);
         ("cold_agrees", J.Bool cold_agrees);
         ("warm_agrees", J.Bool warm_agrees);
+      ] )
+
+(* ------------------------------------------------------------------ *)
+(* LOAD: the multi-tenant daemon under concurrent traffic               *)
+(* ------------------------------------------------------------------ *)
+
+(* What one load-generator client records per request: the rendered
+   verdict (to compare byte-for-byte against sequential references) or
+   the structured error code, plus the observed latency. *)
+type load_result = L_ok of (bool * string list * string) | L_err of string
+
+(* Replays a mixed schedule — duplicate, hot, per-client cold, failing —
+   through [n] concurrent forked clients, twice: once clean, once with a
+   stalled half-frame connection parked on the daemon.  Gates: every
+   verified reply byte-identical to direct sequential verification,
+   exactly one cold solve per distinct request key (concurrent
+   duplicates coalesce, never stampede), at least one request actually
+   coalesced, nothing shed, only the intended E_SOURCE failures, all
+   clients and both daemons alive throughout, and the stalled client
+   must not blow up healthy-tail latency.  Returns whether all gates
+   hold plus a JSON fragment for BENCH_fixpoint.json. *)
+let load_bench () =
+  section "LOAD: multi-tenant daemon (concurrent clients, mixed traffic)";
+  Fmt.pr
+    "A traffic replay against the reactor daemon: 8 forked clients@.\
+     each send duplicate, hot, cold, and failing programs at once.@.\
+     Identical concurrent requests must coalesce onto one solve, every@.\
+     reply must be byte-identical to a sequential run, nothing may be@.\
+     shed at this load, and a stalled half-frame client must not@.\
+     degrade the healthy tail.@.@.";
+  let module Server = Liquid_server.Server in
+  let module Client = Liquid_server.Client in
+  let module Protocol = Liquid_server.Protocol in
+  let module Pipeline = Liquid_driver.Pipeline in
+  let n_clients = 8 in
+  let src =
+    "let rec sum k =\n\
+    \  if k < 0 then 0\n\
+    \  else begin\n\
+    \    let s = sum (k - 1) in\n\
+    \    s + k\n\
+    \  end"
+  in
+  let bad_src = "let x = (in in" in
+  let has_prefix p name =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  let source_of name = if has_prefix "bad" name then bad_src else src in
+  (* dup, hot, and the per-client colds are distinct request keys (the
+     name is part of the key), so a clean daemon owes exactly one cold
+     solve to each. *)
+  let cold_names = List.init n_clients (fun i -> Printf.sprintf "cold%d.ml" i) in
+  let distinct_cold_keys = 2 + n_clients in
+  let schedule i =
+    [
+      "dup.ml";
+      "hot.ml";
+      Printf.sprintf "cold%d.ml" i;
+      "hot.ml";
+      Printf.sprintf "bad%d.ml" i;
+      "dup.ml";
+    ]
+  in
+  let n_programs = n_clients * List.length (schedule 0) in
+  let expected_failures = n_clients in
+  let render (r : Pipeline.report) =
+    ( r.Pipeline.safe,
+      List.map
+        (fun (e : Pipeline.error) ->
+          Fmt.str "%a: %s: %s" Liquid_common.Loc.pp e.Pipeline.err_loc
+            e.Pipeline.err_reason e.Pipeline.err_goal)
+        r.Pipeline.errors,
+      render_types r )
+  in
+  (* Sequential references, one per verifiable name — the byte-identity
+     bar every daemon reply is held to. *)
+  let reference =
+    List.map
+      (fun name -> (name, render (Pipeline.verify_string ~name src)))
+      ("dup.ml" :: "hot.ml" :: cold_names)
+  in
+  let percentile q xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    if Array.length a = 0 then 0.0
+    else a.(min (Array.length a - 1) (int_of_float (q *. float_of_int (Array.length a))))
+  in
+  (* Handshake, then send a frame header promising bytes that never
+     come: a tenant the pre-reactor daemon would have hung on. *)
+  let open_stalled sock =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    Protocol.send_request oc
+      (Protocol.Hello { version = Protocol.version; stamp = Protocol.build_stamp });
+    (match Protocol.recv_reply ic with
+    | Protocol.Hello_ok _ -> ()
+    | _ -> failwith "stalled client refused");
+    let partial = Bytes.of_string "\000\000\016\000half" in
+    ignore (Unix.write fd partial 0 (Bytes.length partial) : int);
+    fd
+  in
+  (* One pass: fresh daemon and cache, [n_clients] concurrent forked
+     clients replaying the schedule, per-request latencies and rendered
+     replies collected through per-client spool files. *)
+  let run_pass ~stall =
+    let base =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dsolve-bench-load-%d-%b" (Unix.getpid ()) stall)
+    in
+    let rec rm_rf path =
+      if Sys.file_exists path then
+        if Sys.is_directory path then begin
+          Array.iter
+            (fun f -> rm_rf (Filename.concat path f))
+            (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+    in
+    rm_rf base;
+    Unix.mkdir base 0o755;
+    let sock = Filename.concat base "d.sock" in
+    let cache = Filename.concat base "cache" in
+    (* The dup solve is held in flight long enough for every client's
+       first request to land inside its window. *)
+    Server.delay_for :=
+      (fun name -> if name = "dup.ml" then Some 0.8 else None);
+    flush stdout;
+    flush stderr;
+    let daemon =
+      match Unix.fork () with
+      | 0 ->
+          (try
+             Server.serve
+               {
+                 (Server.default_config ~sock) with
+                 Server.cache_dir = Some cache;
+                 jobs = 4;
+                 request_timeout = None;
+                 quiet = true;
+               }
+           with _ -> ());
+          Unix._exit 0
+      | pid -> pid
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.delay_for := (fun _ -> None);
+        (try Client.with_connection sock Client.shutdown with _ -> ());
+        ignore (Unix.waitpid [] daemon);
+        try rm_rf base with _ -> ())
+      (fun () ->
+        (* Wait until the daemon accepts before starting the clock. *)
+        Client.close (Client.connect_retry sock);
+        let stalled_fd = if stall then Some (open_stalled sock) else None in
+        flush stdout;
+        flush stderr;
+        let t0 = Unix.gettimeofday () in
+        let kids =
+          List.init n_clients (fun i ->
+              match Unix.fork () with
+              | 0 ->
+                  let status =
+                    try
+                      let c = Client.connect_retry sock in
+                      let out =
+                        List.map
+                          (fun name ->
+                            let t = Unix.gettimeofday () in
+                            let reply =
+                              List.hd
+                                (Client.verify c
+                                   [ Protocol.request ~name (source_of name) ])
+                            in
+                            let dt = Unix.gettimeofday () -. t in
+                            let res =
+                              match reply with
+                              | Protocol.Verified r -> L_ok (render r)
+                              | Protocol.Rejected e -> L_err e.Protocol.ve_code
+                            in
+                            (name, res, dt))
+                          (schedule i)
+                      in
+                      Client.close c;
+                      let oc =
+                        open_out_bin
+                          (Filename.concat base (Printf.sprintf "out%d" i))
+                      in
+                      Marshal.to_channel oc
+                        (out : (string * load_result * float) list)
+                        [];
+                      close_out oc;
+                      0
+                    with _ -> 2
+                  in
+                  Unix._exit status
+              | pid -> pid)
+        in
+        let failed_clients =
+          List.fold_left
+            (fun acc pid ->
+              match Unix.waitpid [] pid with
+              | _, Unix.WEXITED 0 -> acc
+              | _ -> acc + 1)
+            0 kids
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        (match stalled_fd with
+        | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | None -> ());
+        (* The daemon must have survived the whole pass. *)
+        let stats =
+          try
+            let c = Client.connect_retry ~attempts:10 sock in
+            let s = Client.stats c in
+            Client.close c;
+            Some s
+          with _ -> None
+        in
+        let rows =
+          List.concat_map
+            (fun i ->
+              try
+                let ic =
+                  open_in_bin (Filename.concat base (Printf.sprintf "out%d" i))
+                in
+                let out =
+                  (Marshal.from_channel ic : (string * load_result * float) list)
+                in
+                close_in ic;
+                out
+              with _ -> [])
+            (List.init n_clients Fun.id)
+        in
+        (rows, wall, stats, failed_clients))
+  in
+  let identical rows =
+    List.length rows = n_programs
+    && List.for_all
+         (fun (name, res, _) ->
+           match res with
+           | L_ok r -> List.assoc_opt name reference = Some r
+           | L_err code -> has_prefix "bad" name && code = "E_SOURCE")
+         rows
+  in
+  let stats_gates (s : Protocol.server_stats option) =
+    match s with
+    | None -> false
+    | Some s ->
+        s.Protocol.sv_cold = distinct_cold_keys
+        && s.Protocol.sv_shed = 0
+        && s.Protocol.sv_failures = expected_failures
+        && s.Protocol.sv_programs
+           = s.Protocol.sv_mem_hits + s.Protocol.sv_disk_hits
+             + s.Protocol.sv_cold + s.Protocol.sv_coalesced
+             + s.Protocol.sv_failures
+  in
+  let rows_c, wall_c, stats_c, failed_c = run_pass ~stall:false in
+  let rows_s, wall_s, stats_s, failed_s = run_pass ~stall:true in
+  let lat_c = List.map (fun (_, _, d) -> d) rows_c in
+  let lat_s = List.map (fun (_, _, d) -> d) rows_s in
+  let p50_c = percentile 0.50 lat_c and p99_c = percentile 0.99 lat_c in
+  let p50_s = percentile 0.50 lat_s and p99_s = percentile 0.99 lat_s in
+  let coalesced =
+    match stats_c with Some s -> s.Protocol.sv_coalesced | None -> 0
+  in
+  let throughput = if wall_c > 0.0 then float_of_int n_programs /. wall_c else 0.0 in
+  (* The stalled tenant may cost scheduling noise, not service: the
+     healthy tail is allowed at most 5x the clean tail plus slack. *)
+  let stall_isolated = p99_s <= (5.0 *. Float.max p99_c 0.05) +. 2.0 in
+  let ident_c = identical rows_c and ident_s = identical rows_s in
+  let ok =
+    ident_c && ident_s && stats_gates stats_c && stats_gates stats_s
+    && coalesced >= 1 && failed_c = 0 && failed_s = 0 && stall_isolated
+  in
+  Fmt.pr "%-8s %8s %10s %8s %8s %6s %10s %6s %6s@." "pass" "wall(s)"
+    "thru(p/s)" "p50(s)" "p99(s)" "cold" "coalesced" "shed" "ident";
+  (let line_of label wall p50 p99 stats ident =
+     let c, co, sh =
+       match stats with
+       | Some (s : Protocol.server_stats) ->
+           (s.Protocol.sv_cold, s.Protocol.sv_coalesced, s.Protocol.sv_shed)
+       | None -> (-1, -1, -1)
+     in
+     Fmt.pr "%-8s %8.2f %10.1f %8.3f %8.3f %6d %10d %6d %6b@." label wall
+       (float_of_int n_programs /. Float.max wall 1e-9)
+       p50 p99 c co sh ident
+   in
+   line_of "clean" wall_c p50_c p99_c stats_c ident_c;
+   line_of "stalled" wall_s p50_s p99_s stats_s ident_s);
+  Fmt.pr
+    "@.%d clients x %d requests: one cold solve per distinct key (%d), \
+     duplicates coalesced (%d), stall-isolated p99 %b@."
+    n_clients
+    (List.length (schedule 0))
+    distinct_cold_keys coalesced stall_isolated;
+  let module J = Liquid_analysis.Json in
+  ( ok,
+    J.Obj
+      [
+        ("clients", J.Int n_clients);
+        ("programs", J.Int n_programs);
+        ("wall_s", J.Float wall_c);
+        ("wall_stalled_s", J.Float wall_s);
+        ("throughput_rps", J.Float throughput);
+        ("p50_s", J.Float p50_c);
+        ("p99_s", J.Float p99_c);
+        ("p50_stalled_s", J.Float p50_s);
+        ("p99_stalled_s", J.Float p99_s);
+        ("cold", J.Int (match stats_c with Some s -> s.Protocol.sv_cold | None -> -1));
+        ("coalesced", J.Int coalesced);
+        ("identical", J.Bool (ident_c && ident_s));
+        ("stall_isolated", J.Bool stall_isolated);
       ] )
 
 (* ------------------------------------------------------------------ *)
@@ -838,8 +1153,8 @@ let explain_bench () =
 (* FIXPOINT: per-benchmark solver counters → BENCH_fixpoint.json        *)
 (* ------------------------------------------------------------------ *)
 
-let bench_fixpoint ~prune_json ~partition_json ~server_json ~incr_json
-    ~explain_json () =
+let bench_fixpoint ~prune_json ~partition_json ~server_json ~load_json
+    ~incr_json ~explain_json () =
   section "FIXPOINT: per-benchmark solver counters (BENCH_fixpoint.json)";
   Fmt.pr
     "Per-benchmark wall-clock and solver counters for the default@.\
@@ -882,12 +1197,13 @@ let bench_fixpoint ~prune_json ~partition_json ~server_json ~incr_json
   let json =
     J.Obj
       [
-        ("schema", J.String "bench_fixpoint/v6");
+        ("schema", J.String "bench_fixpoint/v7");
         ("engine", J.String "incremental");
         ("benchmarks", J.List (List.map snd rows_and_entries));
         ("prune", prune_json);
         ("partition", partition_json);
         ("server", server_json);
+        ("load", load_json);
         ("incr", incr_json);
         ("explain", explain_json);
       ]
@@ -1016,6 +1332,21 @@ let () =
       line;
     exit (if server_agree then 0 else 1)
   end;
+  (* [load] mode runs only the multi-tenant traffic replay — the CI
+     step that gates byte-identical replies under concurrency, exactly
+     one cold solve per distinct key, coalesced duplicates, and stall
+     isolation. *)
+  if Array.exists (fun a -> a = "load") Sys.argv then begin
+    let load_ok, _ = load_bench () in
+    Fmt.pr "@.%s@.Load: %s@.%s@." line
+      (if load_ok then
+         "concurrent replies identical, duplicates coalesced, stall isolated"
+       else
+         "LOAD GATE BROKE (replies diverged, stampede, shed, or a stalled \
+          client hurt the tail)")
+      line;
+    exit (if load_ok then 0 else 1)
+  end;
   (* [prune] mode runs only the pruning section — the CI step that
      gates byte-identical verdicts with pruning on/off and a non-empty
      prune on the T1 suite. *)
@@ -1049,11 +1380,12 @@ let () =
   let prune_ok, prune_json = prune_bench () in
   let jobs_agree, partition_json = partition_bench () in
   let server_agree, server_json = server_bench () in
+  let load_ok, load_json = load_bench () in
   let incr_ok, incr_json = incr_bench () in
   let explain_ok, explain_json = explain_bench () in
   let fixpoint_rows =
-    bench_fixpoint ~prune_json ~partition_json ~server_json ~incr_json
-      ~explain_json ()
+    bench_fixpoint ~prune_json ~partition_json ~server_json ~load_json
+      ~incr_json ~explain_json ()
   in
   e1 ();
   if not quick then begin
@@ -1065,8 +1397,8 @@ let () =
       (fun (r : Liquid_suite.Runner.row) ->
         r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
       (rows @ fixpoint_rows)
-    && engines_agree && prune_ok && jobs_agree && server_agree && incr_ok
-    && explain_ok
+    && engines_agree && prune_ok && jobs_agree && server_agree && load_ok
+    && incr_ok && explain_ok
   in
   Fmt.pr "@.%s@.Overall: %s@.%s@." line
     (if all_safe then "all benchmarks verified SAFE"

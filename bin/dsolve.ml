@@ -172,9 +172,9 @@ let run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
         let s = Liquid_server.Client.stats c in
         Fmt.pr
           "server: requests=%d programs=%d mem-hits=%d disk-hits=%d cold=%d \
-           failures=%d uptime=%.1fs@."
+           coalesced=%d shed=%d failures=%d connections=%d uptime=%.1fs@."
           s.sv_requests s.sv_programs s.sv_mem_hits s.sv_disk_hits s.sv_cold
-          s.sv_failures s.sv_uptime;
+          s.sv_coalesced s.sv_shed s.sv_failures s.sv_connections s.sv_uptime;
         match s.sv_cache with
         | None -> Fmt.pr "server cache: disabled@."
         | Some cs -> Fmt.pr "server cache: %a@." Liquid_cache.Store.pp_stats cs
@@ -186,8 +186,8 @@ let run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
 
 let run files qualfile inline_quals no_defaults list_quals specfile show_stats
     execute lint warn_error format no_prune jobs partition_timeout cache_dir
-    explain explain_limit serve connect request_timeout server_stats
-    server_shutdown =
+    explain explain_limit serve connect request_timeout max_inflight
+    client_queue idle_timeout server_stats server_shutdown =
   let qual_text =
     String.concat "\n"
       ((match qualfile with None -> [] | Some path -> [ read_file path ])
@@ -217,6 +217,10 @@ let run files qualfile inline_quals no_defaults list_quals specfile show_stats
               jobs;
               request_timeout;
               quiet = false;
+              max_inflight;
+              client_queue;
+              idle_timeout =
+                (if idle_timeout <= 0.0 then None else Some idle_timeout);
             };
           0
         end
@@ -434,12 +438,38 @@ let request_timeout_arg =
               exceeded solve is retried once, then rejected with E_TIMEOUT. \
               0 disables the timeout")
 
+let max_inflight_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:"Under $(b,--serve): global cap on cold solves queued or \
+              running at once; programs beyond it are shed with E_OVERLOAD \
+              instead of queueing without bound (default 64)")
+
+let client_queue_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "client-queue" ] ~docv:"N"
+        ~doc:"Under $(b,--serve): per-connection cap on cold solves waiting \
+              for a worker; one client's burst beyond it is shed with \
+              E_OVERLOAD rather than starving other tenants (default 16)")
+
+let idle_timeout_arg =
+  Arg.(
+    value
+    & opt float 600.0
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:"Under $(b,--serve): close client connections with no \
+              outstanding work and no I/O for $(docv) seconds (default 600; \
+              0 disables)")
+
 let server_stats_arg =
   Arg.(
     value & flag
     & info [ "server-stats" ]
         ~doc:"Under $(b,--connect): print the daemon's lifetime counters \
-              (requests, cache hits, failures)")
+              (requests, cache hits, coalesced and shed solves, failures, \
+              open connections)")
 
 let server_shutdown_arg =
   Arg.(
@@ -456,7 +486,8 @@ let cmd =
       $ list_quals_arg $ spec_arg $ stats_arg $ run_arg $ lint_arg
       $ warn_error_arg $ format_arg $ no_prune_arg $ jobs_arg
       $ partition_timeout_arg $ cache_arg $ explain_arg $ explain_limit_arg
-      $ serve_arg $ connect_arg $ request_timeout_arg $ server_stats_arg
+      $ serve_arg $ connect_arg $ request_timeout_arg $ max_inflight_arg
+      $ client_queue_arg $ idle_timeout_arg $ server_stats_arg
       $ server_shutdown_arg)
 
 let () = exit (Cmd.eval' cmd)

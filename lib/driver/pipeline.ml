@@ -526,6 +526,16 @@ let cache_key ~(options : options) ~(name : string) (src : string)
     (store : Liquid_cache.Store.t) : string =
   Liquid_cache.Store.key store [ name; src; options_fingerprint options ]
 
+(* Canonical digest of one verification request: the report-determining
+   options (as rendered by [options_fingerprint]) ‖ the payload.  Two
+   requests with equal keys are guaranteed byte-identical reports, so
+   the daemon uses this both to memoize finished reports and to
+   coalesce concurrent identical solves onto one worker. *)
+let request_key ~(options : options) ~(name : string) (src : string) : string =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ options_fingerprint options; name; src ]))
+
 (* A report is cacheable unless a partition was degraded to ⊤ by a
    timeout or crash: degradation is a property of that run's scheduling,
    not of the program, and must not be replayed from disk. *)

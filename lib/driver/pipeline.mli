@@ -158,6 +158,13 @@ val default : options
     of the persistent cache key, and embedded in every entry. *)
 val options_fingerprint : options -> string
 
+(** Canonical digest of one verification request:
+    {!options_fingerprint} ‖ an MD5 over (name, source).  Requests with
+    equal keys are guaranteed byte-identical reports — the daemon keys
+    its in-memory memo table and its in-flight coalescing map on this,
+    folding concurrent identical solves onto one worker. *)
+val request_key : options:options -> name:string -> string -> string
+
 (** Re-intern a report that crossed a process boundary (disk cache,
     scheduler pipe, daemon socket): maps its unmarshalled — physically
     foreign — predicates back to the canonical hash-consed nodes, so the

@@ -1,6 +1,7 @@
-(* v2: verify requests carry explanation switches, and Verify replies
-   carry the report's explanations (the report type itself changed). *)
-let version = 2
+(* v3: server_stats grew the multi-tenant counters (coalesced solves,
+   shed requests, connection gauges) when the daemon became a
+   multiplexed reactor. *)
+let version = 3
 let build_stamp = Liquid_cache.Store.default_stamp
 
 type verify_request = {
@@ -46,7 +47,10 @@ type server_stats = {
   sv_mem_hits : int;
   sv_disk_hits : int;
   sv_cold : int;
+  sv_coalesced : int;
+  sv_shed : int;
   sv_failures : int;
+  sv_connections : int;
   sv_uptime : float;
   sv_cache : Liquid_cache.Store.stats option;
 }
@@ -81,16 +85,137 @@ let recv_frame ic =
     failwith (Printf.sprintf "protocol: bad frame length %d" n);
   really_input_string ic n
 
-let send_request oc (q : request) = send_frame oc (Marshal.to_string q [])
+let string_of_request (q : request) = Marshal.to_string q []
 
-let recv_request ic : request =
-  match Marshal.from_string (recv_frame ic) 0 with
+let request_of_string (s : string) : request =
+  match Marshal.from_string s 0 with
   | q -> q
   | exception Failure _ -> failwith "protocol: malformed request frame"
 
-let send_reply oc (r : reply) = send_frame oc (Marshal.to_string r [])
+let string_of_reply (r : reply) = Marshal.to_string r []
 
-let recv_reply ic : reply =
-  match Marshal.from_string (recv_frame ic) 0 with
+let reply_of_string (s : string) : reply =
+  match Marshal.from_string s 0 with
   | r -> r
   | exception Failure _ -> failwith "protocol: malformed reply frame"
+
+let send_request oc (q : request) = send_frame oc (string_of_request q)
+let recv_request ic : request = request_of_string (recv_frame ic)
+let send_reply oc (r : reply) = send_frame oc (string_of_reply r)
+let recv_reply ic : reply = reply_of_string (recv_frame ic)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental framing over non-blocking descriptors                   *)
+
+(* The reactor never issues a read or write that can block: a client
+   dribbling a frame one byte a minute costs the daemon nothing but the
+   buffered bytes.  [reader]/[writer] hold the partial state between
+   readiness events. *)
+
+let chunk_size = 65536
+
+type reader = { mutable buf : Bytes.t; mutable len : int }
+
+let reader_create () = { buf = Bytes.create chunk_size; len = 0 }
+
+let header_length (b : Bytes.t) =
+  (* Big-endian, matching [output_binary_int]/[input_binary_int]. *)
+  (Char.code (Bytes.get b 0) lsl 24)
+  lor (Char.code (Bytes.get b 1) lsl 16)
+  lor (Char.code (Bytes.get b 2) lsl 8)
+  lor Char.code (Bytes.get b 3)
+
+(* Split every complete frame out of [r]'s buffer, in arrival order. *)
+let drain_frames (r : reader) : string list =
+  let frames = ref [] in
+  let ok = ref true in
+  while !ok && r.len >= 4 do
+    let n = header_length r.buf in
+    if n < 0 || n > max_frame then
+      failwith (Printf.sprintf "protocol: bad frame length %d" n)
+    else if r.len >= 4 + n then begin
+      frames := Bytes.sub_string r.buf 4 n :: !frames;
+      Bytes.blit r.buf (4 + n) r.buf 0 (r.len - 4 - n);
+      r.len <- r.len - 4 - n
+    end
+    else ok := false
+  done;
+  List.rev !frames
+
+type read_event =
+  | Frames of string list (* complete frames, possibly none yet *)
+  | Closed (* orderly EOF or a hard connection error *)
+
+(** One [read(2)] on the (non-blocking) descriptor, folded into the
+    reader.  @raise Failure on an oversized or negative frame length —
+    the connection is unrecoverable past that point. *)
+let reader_step fd (r : reader) : read_event =
+  if Bytes.length r.buf - r.len < chunk_size then begin
+    let need = r.len + chunk_size in
+    let cap = ref (Bytes.length r.buf) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let b = Bytes.create !cap in
+    Bytes.blit r.buf 0 b 0 r.len;
+    r.buf <- b
+  end;
+  match Unix.read fd r.buf r.len chunk_size with
+  | 0 -> Closed
+  | n ->
+      r.len <- r.len + n;
+      Frames (drain_frames r)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      Frames []
+  | exception Unix.Unix_error _ -> Closed
+
+type writer = {
+  queue : string Queue.t; (* head is partially written up to [off] *)
+  mutable off : int;
+}
+
+let writer_create () = { queue = Queue.create (); off = 0 }
+
+let writer_push (w : writer) (payload : string) =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Queue.add (Bytes.unsafe_to_string b) w.queue
+
+let writer_pending (w : writer) = not (Queue.is_empty w.queue)
+
+type write_event =
+  | Flushed (* nothing left to write *)
+  | Again (* the descriptor stopped accepting bytes; more remains *)
+  | Closed_w (* the peer is gone *)
+
+(** Write as much as the (non-blocking) descriptor accepts. *)
+let writer_step fd (w : writer) : write_event =
+  let rec go () =
+    match Queue.peek_opt w.queue with
+    | None -> Flushed
+    | Some s -> (
+        let remaining = String.length s - w.off in
+        match Unix.write_substring fd s w.off remaining with
+        | n ->
+            if n = remaining then begin
+              ignore (Queue.pop w.queue);
+              w.off <- 0;
+              go ()
+            end
+            else begin
+              w.off <- w.off + n;
+              Again
+            end
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            Again
+        | exception Unix.Unix_error _ -> Closed_w)
+  in
+  go ()

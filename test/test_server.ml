@@ -38,16 +38,28 @@ let with_dir f =
   Fun.protect ~finally:(fun () -> try rm_rf dir with _ -> ()) (fun () -> f dir)
 
 (* The daemon runs in a forked child (as in production); [Server.fault_for]
-   set before the fork is inherited by it.  [Unix._exit] keeps the child
-   away from alcotest's exit machinery. *)
-let start_server ?cache_dir ?request_timeout ?(jobs = 1) sock =
+   and [Server.delay_for] set before the fork are inherited by it.
+   [Unix._exit] keeps the child away from alcotest's exit machinery. *)
+let start_server ?cache_dir ?request_timeout ?(jobs = 1) ?max_inflight
+    ?client_queue sock =
   flush stdout;
   flush stderr;
   match Unix.fork () with
   | 0 ->
       (try
+         let d = Server.default_config ~sock in
          Server.serve
-           { Server.sock; cache_dir; jobs; request_timeout; quiet = true }
+           {
+             d with
+             Server.cache_dir;
+             jobs;
+             request_timeout;
+             quiet = true;
+             max_inflight =
+               Option.value ~default:d.Server.max_inflight max_inflight;
+             client_queue =
+               Option.value ~default:d.Server.client_queue client_queue;
+           }
        with _ -> ());
       Unix._exit 0
   | pid -> pid
@@ -60,10 +72,14 @@ let with_client sock f =
   let c = Client.connect_retry sock in
   Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
 
-let with_server ?cache_dir ?request_timeout ?jobs f =
+let with_server ?cache_dir ?request_timeout ?jobs ?max_inflight ?client_queue
+    f =
   with_dir (fun base ->
       let sock = Filename.concat base "d.sock" in
-      let pid = start_server ?cache_dir ?request_timeout ?jobs sock in
+      let pid =
+        start_server ?cache_dir ?request_timeout ?jobs ?max_inflight
+          ?client_queue sock
+      in
       Fun.protect ~finally:(fun () -> stop_server pid sock) (fun () -> f sock))
 
 let src_safe =
@@ -170,6 +186,13 @@ let with_fault_for hook f =
   Server.fault_for := hook;
   Fun.protect ~finally:(fun () -> Server.fault_for := fun _ -> None) f
 
+(* Deterministic slow solves: the hook (inherited across the daemon
+   fork) sleeps inside the worker, holding the named program in flight
+   long enough for coalescing/backpressure windows to be observable. *)
+let with_delay_for hook f =
+  Server.delay_for := hook;
+  Fun.protect ~finally:(fun () -> Server.delay_for := fun _ -> None) f
+
 let test_crashed_worker () =
   with_fault_for
     (fun name -> if name = "crashme.ml" then Some Scheduler.Crash else None)
@@ -275,10 +298,8 @@ let test_socket_liveness () =
                 try
                   Server.serve
                     {
-                      Server.sock;
-                      cache_dir = None;
-                      jobs = 1;
-                      request_timeout = None;
+                      (Server.default_config ~sock) with
+                      Server.request_timeout = None;
                       quiet = true;
                     };
                   1
@@ -425,6 +446,190 @@ let test_suite_warm_equals_cold () =
                 (s.Protocol.sv_disk_hits > 0);
               check_int "warm pass never solves cold" 0 s.Protocol.sv_cold)))
 
+(* ------------------------------------------------------------------ *)
+(* Multi-tenancy: coalescing, backpressure, stall isolation, drain     *)
+(* ------------------------------------------------------------------ *)
+
+(* Two clients racing the same program: one cold solve, two identical
+   replies, and the stats say so. *)
+let test_coalescing () =
+  with_delay_for
+    (fun name -> if name = "dup.ml" then Some 0.5 else None)
+    (fun () ->
+      with_server (fun sock ->
+          let c1 = Client.connect_retry sock in
+          let c2 = Client.connect_retry sock in
+          Fun.protect
+            ~finally:(fun () ->
+              Client.close c1;
+              Client.close c2)
+            (fun () ->
+              let req = Protocol.request ~name:"dup.ml" src_safe in
+              Client.post c1 [ req ];
+              Client.post c2 [ req ];
+              let r1 = expect_verified (List.hd (Client.collect c1)) in
+              let r2 = expect_verified (List.hd (Client.collect c2)) in
+              check_bool "coalesced reply identical to the solved one" true
+                (render r1 = render r2);
+              let s = Client.stats c1 in
+              check_int "exactly one cold solve for two requests" 1
+                s.Protocol.sv_cold;
+              check_int "the other request coalesced onto it" 1
+                s.Protocol.sv_coalesced;
+              check_int "no memo hit involved" 0 s.Protocol.sv_mem_hits)))
+
+(* The global in-flight cap: with room for 2, a batch of 4 distinct slow
+   programs yields 2 solves and 2 E_OVERLOAD sheds — deterministically,
+   since the first two are still in flight when the rest arrive. *)
+let test_overload_shed () =
+  with_delay_for
+    (fun name ->
+      if String.length name >= 4 && String.sub name 0 4 = "slow" then Some 0.4
+      else None)
+    (fun () ->
+      with_server ~max_inflight:2 (fun sock ->
+          with_client sock (fun c ->
+              let reqs =
+                List.init 4 (fun i ->
+                    Protocol.request
+                      ~name:(Printf.sprintf "slow%d.ml" i)
+                      src_safe)
+              in
+              match Client.verify c reqs with
+              | [ r1; r2; r3; r4 ] ->
+                  check_bool "first admitted" true
+                    (expect_verified r1).Pipeline.safe;
+                  check_bool "second admitted" true
+                    (expect_verified r2).Pipeline.safe;
+                  ignore (expect_rejected "E_OVERLOAD" r3);
+                  ignore (expect_rejected "E_OVERLOAD" r4);
+                  let s = Client.stats c in
+                  check_int "two programs shed" 2 s.Protocol.sv_shed;
+                  check_int "sheds counted as failures" 2
+                    s.Protocol.sv_failures;
+                  check_int "two cold solves" 2 s.Protocol.sv_cold
+              | rs ->
+                  Alcotest.failf "expected 4 replies, got %d" (List.length rs))))
+
+(* The per-client queue bound (fairness backstop): with one worker and a
+   queue of 1, a burst of 3 slow programs gets one running, one queued,
+   and the third shed — the client cannot monopolize the backlog. *)
+let test_client_queue_shed () =
+  with_delay_for
+    (fun name ->
+      if String.length name >= 4 && String.sub name 0 4 = "slow" then Some 0.4
+      else None)
+    (fun () ->
+      with_server ~client_queue:1 (fun sock ->
+          with_client sock (fun c ->
+              let reqs =
+                List.init 3 (fun i ->
+                    Protocol.request
+                      ~name:(Printf.sprintf "slow%d.ml" i)
+                      src_safe)
+              in
+              match Client.verify c reqs with
+              | [ r1; r2; r3 ] ->
+                  check_bool "running program verified" true
+                    (expect_verified r1).Pipeline.safe;
+                  check_bool "queued program verified" true
+                    (expect_verified r2).Pipeline.safe;
+                  ignore (expect_rejected "E_OVERLOAD" r3);
+                  check_int "one program shed" 1
+                    (Client.stats c).Protocol.sv_shed
+              | rs ->
+                  Alcotest.failf "expected 3 replies, got %d" (List.length rs))))
+
+(* A client that sends half a frame and stalls must cost the daemon
+   nothing: healthy clients connected after it are still served.  (The
+   pre-reactor daemon served connections sequentially, so this exact
+   scenario used to wedge it.) *)
+let test_stalled_client () =
+  with_server (fun sock ->
+      with_client sock (fun c -> ignore (Client.stats c));
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          Protocol.send_request oc
+            (Protocol.Hello
+               { version = Protocol.version; stamp = Protocol.build_stamp });
+          (match Protocol.recv_reply ic with
+          | Protocol.Hello_ok _ -> ()
+          | _ -> Alcotest.fail "stalling client's handshake failed");
+          (* A header promising 4096 bytes, then silence. *)
+          let partial = Bytes.of_string "\000\000\016\000stuck" in
+          ignore (Unix.write fd partial 0 (Bytes.length partial) : int);
+          with_client sock (fun c ->
+              let replies =
+                Client.verify c [ Protocol.request ~name:"ok.ml" src_safe ]
+              in
+              check_bool "healthy client served past a stalled one" true
+                (expect_verified (List.hd replies)).Pipeline.safe)))
+
+(* Replies leave each connection in request order even when batches
+   finish out of order inside the daemon (two workers: the second, fast
+   batch completes while the first is still sleeping). *)
+let test_pipelined_order () =
+  with_delay_for
+    (fun name -> if name = "slowbatch.ml" then Some 0.5 else None)
+    (fun () ->
+      with_server ~jobs:2 (fun sock ->
+          with_client sock (fun c ->
+              Client.post c [ Protocol.request ~name:"slowbatch.ml" src_safe ];
+              Client.post c [ Protocol.request ~name:"fast.ml" src_unsafe ];
+              let first = expect_verified (List.hd (Client.collect c)) in
+              let second = expect_verified (List.hd (Client.collect c)) in
+              check_bool "first reply is the slow batch" true
+                first.Pipeline.safe;
+              check_bool "second reply is the fast batch" false
+                second.Pipeline.safe)))
+
+(* Shutdown drains: a solve in flight when Shutdown arrives still
+   completes and its reply is flushed before the daemon exits. *)
+let test_graceful_drain () =
+  with_delay_for
+    (fun name -> if name = "drain.ml" then Some 0.5 else None)
+    (fun () ->
+      with_dir (fun base ->
+          let sock = Filename.concat base "d.sock" in
+          let pid = start_server sock in
+          let c1 = Client.connect_retry sock in
+          Fun.protect
+            ~finally:(fun () -> Client.close c1)
+            (fun () ->
+              Client.post c1 [ Protocol.request ~name:"drain.ml" src_safe ];
+              (* Let the daemon pick the solve up before asking it to
+                 drain. *)
+              Unix.sleepf 0.1;
+              with_client sock Client.shutdown;
+              let r = expect_verified (List.hd (Client.collect c1)) in
+              check_bool "in-flight solve answered through the drain" true
+                r.Pipeline.safe);
+          ignore (Unix.waitpid [] pid)))
+
+(* The connect-retry schedule, as pure arithmetic: equal-jitter delays
+   sit in [c/2, c] of an exponentially growing, capped ceiling, are
+   reproducible per seed, and differ across seeds. *)
+let test_backoff_schedule () =
+  let base = 0.1 and cap = 2.0 in
+  let delays seed = List.init 10 (Client.backoff_delay ~base ~cap ~seed) in
+  let d42 = delays 42 in
+  List.iteri
+    (fun k d ->
+      let ceiling = Float.min cap (base *. Float.pow 2. (float_of_int k)) in
+      check_bool "delay at least half the ceiling" true
+        (d >= (ceiling /. 2.) -. 1e-9);
+      check_bool "delay at most the ceiling" true (d <= ceiling +. 1e-9))
+    d42;
+  check_bool "ceiling reaches the cap" true
+    (List.nth d42 9 >= (cap /. 2.) -. 1e-9);
+  check_bool "deterministic for a fixed seed" true (delays 42 = d42);
+  check_bool "different seeds de-synchronize the herd" true (delays 7 <> d42)
+
 let tests =
   let tc name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -438,6 +643,15 @@ let tests =
       test_socket_liveness;
     tc "concurrent clients are all served" test_concurrent_clients;
     tc "memory hits, then disk hits across a restart" test_memo_and_disk_hits;
+    tc "identical in-flight requests coalesce onto one solve"
+      test_coalescing;
+    tc "global in-flight cap sheds with E_OVERLOAD" test_overload_shed;
+    tc "per-client queue bound sheds with E_OVERLOAD" test_client_queue_shed;
+    tc "a stalled client never blocks healthy ones" test_stalled_client;
+    tc "pipelined batches reply in request order" test_pipelined_order;
+    tc "shutdown drains in-flight solves" test_graceful_drain;
+    tc "connect backoff is jittered, exponential, capped"
+      test_backoff_schedule;
     slow "suite through warm daemon equals direct runs"
       test_suite_warm_equals_cold;
   ]
