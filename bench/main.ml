@@ -20,6 +20,11 @@
       subset re-verified without its custom qualifiers (so it fails),
       with the explain phase's cost gated under 15% of the rest of the
       run and its JSON output required byte-identical across runs.
+    - [ADT] — user datatypes + measures: the declaration corpus (tree
+      size/height, size-indexed stack, red-black color invariant, one
+      seeded UNSAFE variant) verified direct, at jobs=4, through a cold
+      and warm partition cache and through the daemon, gated on
+      expected verdicts and byte-identical reports.
     - [FIXPOINT] — per-benchmark solver counters (time, queries,
       sat-checks, cache hits), also written to [BENCH_fixpoint.json].
     - [BECHAMEL] — one [Test.make] per T1 row, measuring the full
@@ -1150,11 +1155,232 @@ let explain_bench () =
       ] )
 
 (* ------------------------------------------------------------------ *)
+(* ADT: user datatypes + measures                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The declaration-to-refinement corpus: binary tree size/height, a
+   size-indexed stack, and a red-black color invariant, plus one seeded
+   UNSAFE variant (the assertion overclaims by one).  Everything is
+   named and called so no binding is dead code. *)
+let adt_corpus : (string * string * bool) list =
+  [
+    ( "tree",
+      "type tree = Leaf | Node of tree * int * tree\n\
+       measure size : tree =\n\
+      \  | Leaf -> 0\n\
+      \  | Node (l, _, r) -> 1 + size l + size r\n\
+       measure height : tree =\n\
+      \  | Leaf -> 0\n\
+      \  | Node (l, _, r) -> 1 + max (height l) (height r)\n\
+       let rec size_of t =\n\
+      \  match t with\n\
+      \  | Leaf -> 0\n\
+      \  | Node (l, x, r) -> 1 + size_of l + size_of r\n\
+       let check_grow l x r = assert (size_of (Node (l, x, r)) > size_of l)\n\
+       let main = check_grow (Node (Leaf, 1, Leaf)) 2 Leaf",
+      true );
+    ( "stack",
+      "type stack = Empty | Push of int * stack\n\
+       measure depth : stack =\n\
+      \  | Empty -> 0\n\
+      \  | Push (_, rest) -> 1 + depth rest\n\
+       let rec depth_of s =\n\
+      \  match s with\n\
+      \  | Empty -> 0\n\
+      \  | Push (x, rest) -> 1 + depth_of rest\n\
+       let push_grows x s = assert (depth_of (Push (x, s)) > depth_of s)\n\
+       let main = push_grows 1 (Push (2, Empty))",
+      true );
+    ( "rbtree",
+      "type color = Red | Black\n\
+       type rbt = Nil | T of color * rbt * int * rbt\n\
+       measure isred : color = | Red -> 1 | Black -> 0\n\
+       measure reds : rbt =\n\
+      \  | Nil -> 0\n\
+      \  | T (c, l, _, r) -> isred c + reds l + reds r\n\
+       let rec count_reds t =\n\
+      \  match t with\n\
+      \  | Nil -> 0\n\
+      \  | T (c, l, x, r) ->\n\
+      \      (match c with Red -> 1 | Black -> 0) + count_reds l + \
+       count_reds r\n\
+       let red_root_adds l x r =\n\
+      \  assert (count_reds (T (Red, l, x, r)) > count_reds l + count_reds \
+       r)\n\
+       let main = red_root_adds Nil 7 (T (Black, Nil, 8, Nil))",
+      true );
+    ( "tree-unsafe",
+      "type tree = Leaf | Node of tree * int * tree\n\
+       measure size : tree =\n\
+      \  | Leaf -> 0\n\
+      \  | Node (l, _, r) -> 1 + size l + size r\n\
+       let rec size_of t =\n\
+      \  match t with\n\
+      \  | Leaf -> 0\n\
+      \  | Node (l, x, r) -> 1 + size_of l + size_of r\n\
+       let check_grow l x r = assert (size_of (Node (l, x, r)) > size_of l + \
+       1)\n\
+       let main = check_grow Leaf 5 Leaf",
+      false );
+  ]
+
+(* Verifies the ADT corpus direct, at jobs=4, through a cold and a warm
+   partition cache, and through the daemon; every arm must produce a
+   byte-identical report, with the expected verdicts and a non-zero
+   measure-axiom count (a zero count would mean the subsystem silently
+   disengaged and the corpus passed for the wrong reason). *)
+let adt_bench () =
+  section "ADT: user datatypes + measures (byte-identity across engines)";
+  Fmt.pr
+    "Each corpus program declares datatypes and structurally recursive@.\
+     measures; constructor and match sites emit measure axioms and the@.\
+     generated measure qualifier patterns close the candidate space.@.\
+     One verdict per program, five ways: direct, jobs=4, cold cache,@.\
+     warm cache, daemon.@.@.";
+  let module J = Liquid_analysis.Json in
+  let module Server = Liquid_server.Server in
+  let module Client = Liquid_server.Client in
+  let module Protocol = Liquid_server.Protocol in
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dsolve-bench-adt-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf base;
+  Unix.mkdir base 0o755;
+  let report_fp (r : Liquid_driver.Pipeline.report) =
+    ( r.Liquid_driver.Pipeline.safe,
+      List.map
+        (fun (e : Liquid_driver.Pipeline.error) ->
+          Fmt.str "%a: %s: %s" Liquid_common.Loc.pp
+            e.Liquid_driver.Pipeline.err_loc
+            e.Liquid_driver.Pipeline.err_reason
+            e.Liquid_driver.Pipeline.err_goal)
+        r.Liquid_driver.Pipeline.errors,
+      render_types r )
+  in
+  let verify ?(jobs = 1) ?cache_dir ~name src =
+    Liquid_driver.Pipeline.verify_string
+      ~options:
+        {
+          Liquid_driver.Pipeline.default with
+          Liquid_driver.Pipeline.jobs;
+          cache_dir;
+        }
+      ~name src
+  in
+  (* One daemon serves the whole corpus in a single batch. *)
+  let sock = Filename.concat base "d.sock" in
+  let daemon_pid =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (try
+           Server.serve
+             {
+               (Server.default_config ~sock) with
+               Server.request_timeout = None;
+               quiet = true;
+             }
+         with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  let daemon_replies =
+    let c = Client.connect_retry sock in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        Client.verify c
+          (List.map
+             (fun (name, src, _) -> Protocol.request ~name:(name ^ ".ml") src)
+             adt_corpus))
+  in
+  (try Client.with_connection sock Client.shutdown with _ -> ());
+  ignore (Unix.waitpid [] daemon_pid);
+  Fmt.pr "%-12s %6s %9s %6s %7s %8s@." "Program" "Safe" "Verdict" "Arms"
+    "Axioms" "Agree";
+  Fmt.pr "%s@." (String.make 56 '-');
+  let results =
+    List.map2
+      (fun (name, src, expect_safe) reply ->
+        let file = name ^ ".ml" in
+        let cache = Filename.concat base ("cache-" ^ name) in
+        Unix.mkdir cache 0o755;
+        let direct = verify ~name:file src in
+        let sharded = verify ~jobs:4 ~name:file src in
+        let cold = verify ~cache_dir:cache ~name:file src in
+        let warm = verify ~cache_dir:cache ~name:file src in
+        let daemon =
+          match reply with
+          | Protocol.Verified rep -> Some rep
+          | Protocol.Rejected _ -> None
+        in
+        let fp = report_fp direct in
+        let arms =
+          [ report_fp sharded; report_fp cold; report_fp warm ]
+          @ match daemon with Some r -> [ report_fp r ] | None -> []
+        in
+        let agree =
+          daemon <> None && List.for_all (fun a -> a = fp) arms
+        in
+        let verdict_ok = direct.Liquid_driver.Pipeline.safe = expect_safe in
+        let axioms =
+          direct.Liquid_driver.Pipeline.stats
+            .Liquid_driver.Pipeline.n_measure_axioms
+        in
+        Fmt.pr "%-12s %6s %9s %6d %7d %8s@." name
+          (if direct.Liquid_driver.Pipeline.safe then "yes" else "NO")
+          (if verdict_ok then "expected" else "WRONG")
+          (1 + List.length arms)
+          axioms
+          (if agree then "yes" else "DIVERGED");
+        let ok = agree && verdict_ok && axioms > 0 in
+        ( ok,
+          J.Obj
+            [
+              ("name", J.String name);
+              ("safe", J.Bool direct.Liquid_driver.Pipeline.safe);
+              ("expected_safe", J.Bool expect_safe);
+              ( "measures",
+                J.Int
+                  direct.Liquid_driver.Pipeline.stats
+                    .Liquid_driver.Pipeline.n_measures );
+              ("measure_axioms", J.Int axioms);
+              ("agree", J.Bool agree);
+            ] ))
+      adt_corpus daemon_replies
+  in
+  rm_rf base;
+  let gate_ok = List.for_all fst results in
+  Fmt.pr
+    "@.verdicts as expected, byte-identical direct/jobs=4/cold/warm/daemon: \
+     %b@."
+    gate_ok;
+  if not gate_ok then
+    Fmt.pr "  GATE: an ADT arm diverged, misjudged, or emitted no axioms@.";
+  ( gate_ok,
+    J.Obj
+      [
+        ("gate_ok", J.Bool gate_ok);
+        ("programs", J.List (List.map snd results));
+      ] )
+
+(* ------------------------------------------------------------------ *)
 (* FIXPOINT: per-benchmark solver counters → BENCH_fixpoint.json        *)
 (* ------------------------------------------------------------------ *)
 
 let bench_fixpoint ~prune_json ~partition_json ~server_json ~load_json
-    ~incr_json ~explain_json () =
+    ~incr_json ~explain_json ~adt_json () =
   section "FIXPOINT: per-benchmark solver counters (BENCH_fixpoint.json)";
   Fmt.pr
     "Per-benchmark wall-clock and solver counters for the default@.\
@@ -1197,7 +1423,7 @@ let bench_fixpoint ~prune_json ~partition_json ~server_json ~load_json
   let json =
     J.Obj
       [
-        ("schema", J.String "bench_fixpoint/v7");
+        ("schema", J.String "bench_fixpoint/v8");
         ("engine", J.String "incremental");
         ("benchmarks", J.List (List.map snd rows_and_entries));
         ("prune", prune_json);
@@ -1206,6 +1432,7 @@ let bench_fixpoint ~prune_json ~partition_json ~server_json ~load_json
         ("load", load_json);
         ("incr", incr_json);
         ("explain", explain_json);
+        ("adt", adt_json);
       ]
   in
   let oc = open_out "BENCH_fixpoint.json" in
@@ -1362,6 +1589,19 @@ let () =
   (* [incr] mode runs only the incremental section — the CI step that
      gates warm re-verification at half the cold time with at least one
      partition reused and byte-identical reports. *)
+  (* [adt] mode runs only the datatype/measure corpus — the CI step
+     that gates expected verdicts and byte-identical reports across
+     direct, jobs=4, cold/warm cache and daemon solves, with a
+     non-zero measure-axiom count. *)
+  if Array.exists (fun a -> a = "adt") Sys.argv then begin
+    let adt_ok, _ = adt_bench () in
+    Fmt.pr "@.%s@.ADT: %s@.%s@." line
+      (if adt_ok then
+         "measure corpus verdicts as expected, all engines byte-identical"
+       else "ADT GATE BROKE (verdict, divergence, or no axioms emitted)")
+      line;
+    exit (if adt_ok then 0 else 1)
+  end;
   if Array.exists (fun a -> a = "incr") Sys.argv then begin
     let incr_ok, _ = incr_bench () in
     Fmt.pr "@.%s@.Incr: %s@.%s@." line
@@ -1383,9 +1623,10 @@ let () =
   let load_ok, load_json = load_bench () in
   let incr_ok, incr_json = incr_bench () in
   let explain_ok, explain_json = explain_bench () in
+  let adt_ok, adt_json = adt_bench () in
   let fixpoint_rows =
     bench_fixpoint ~prune_json ~partition_json ~server_json ~load_json
-      ~incr_json ~explain_json ()
+      ~incr_json ~explain_json ~adt_json ()
   in
   e1 ();
   if not quick then begin
@@ -1398,7 +1639,7 @@ let () =
         r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
       (rows @ fixpoint_rows)
     && engines_agree && prune_ok && jobs_agree && server_agree && load_ok
-    && incr_ok && explain_ok
+    && incr_ok && explain_ok && adt_ok
   in
   Fmt.pr "@.%s@.Overall: %s@.%s@." line
     (if all_safe then "all benchmarks verified SAFE"

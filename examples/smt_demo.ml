@@ -10,6 +10,7 @@
 
 open Liquid_logic
 open Liquid_smt
+let tlen t = Term.app Symbol.len [ t ]
 
 let x = Term.var "x" Sort.Int
 let y = Term.var "y" Sort.Int
@@ -39,9 +40,9 @@ let () =
   show [ Pred.le (n 0) x ] (Pred.ge x (n 1));
 
   Fmt.pr "=== uninterpreted functions (congruence) ===@.";
-  show [ Pred.eq a b ] (Pred.eq (Term.len a) (Term.len b));
+  show [ Pred.eq a b ] (Pred.eq (tlen a) (tlen b));
   show
-    [ Pred.eq (Term.len a) (n 8); Pred.lt i (Term.len a); Pred.le (n 0) i ]
+    [ Pred.eq (tlen a) (n 8); Pred.lt i (tlen a); Pred.le (n 0) i ]
     (Pred.lt i (n 8));
 
   Fmt.pr "=== the array-bounds obligation shape ===@.";
@@ -49,13 +50,13 @@ let () =
   show
     [
       Pred.le (n 0) i;
-      Pred.lt i (Term.len a);
-      Pred.lt (Term.add i (n 1)) (Term.len a);
+      Pred.lt i (tlen a);
+      Pred.lt (Term.add i (n 1)) (tlen a);
     ]
     (Pred.conj
        [
          Pred.le (n 0) (Term.add i (n 1));
-         Pred.lt (Term.add i (n 1)) (Term.len a);
+         Pred.lt (Term.add i (n 1)) (tlen a);
        ]);
 
   Fmt.pr "=== statistics ===@.";

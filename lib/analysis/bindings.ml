@@ -49,7 +49,7 @@ let analyze (prog : Ast.program) : Diagnostic.t list =
         walk scope c;
         walk scope e1;
         walk scope e2
-    | Ast.Tuple es -> List.iter (walk scope) es
+    | Ast.Tuple es | Ast.Constr (_, es) -> List.iter (walk scope) es
     | Ast.Let (rf, x, e1, e2) ->
         shadow scope x e.Ast.loc;
         let scope' = Ident.Set.add x scope in

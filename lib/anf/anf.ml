@@ -102,6 +102,8 @@ and norm rho (e : expr) (k : expr -> expr) : expr =
       let e1' = to_anf rho' e1 in
       mk ~loc:e.loc (Let (Rec, x', e1', to_anf rho' e2)) |> k_let k
   | Tuple es -> bind_many rho es (fun atoms -> k (mk ~loc:e.loc (Tuple atoms)))
+  | Constr (c, es) ->
+      bind_many rho es (fun atoms -> k (mk ~loc:e.loc (Constr (c, atoms))))
   | Nil -> k e
   | Cons (e1, e2) ->
       bind rho e1 (fun a1 ->
@@ -136,6 +138,7 @@ and rename_pat rho (p : pat) vars =
     | Pvar x -> Pvar (List.assoc x mapping)
     | Ptuple ps -> Ptuple (List.map go ps)
     | Pcons (p1, p2) -> Pcons (go p1, go p2)
+    | Pconstr (c, ps) -> Pconstr (c, List.map go ps)
   in
   (rho', go p)
 
@@ -193,7 +196,7 @@ let rec is_anf (e : expr) : bool =
   | Unop (_, e1) -> is_atom e1
   | If (c, e1, e2) -> is_atom c && is_anf e1 && is_anf e2
   | Let (_, _, e1, e2) -> is_anf e1 && is_anf e2
-  | Tuple es -> List.for_all is_atom es
+  | Tuple es | Constr (_, es) -> List.for_all is_atom es
   | Cons (e1, e2) -> is_atom e1 && is_atom e2
   | Match (s, cases) ->
       is_atom s && List.for_all (fun (_, b) -> is_anf b) cases

@@ -39,6 +39,8 @@ type stats = {
   n_wf_constraints : int;
   n_sub_constraints : int;
   n_qualifiers : int; (* qualifier patterns supplied *)
+  n_measures : int; (* user-declared measures in the program *)
+  n_measure_axioms : int; (* measure axioms emitted during congen *)
   n_initial_candidates : int; (* total instances over all κs *)
   n_alpha_collapsed : int;
       (* instances collapsed by orientation-level dedup at instantiation *)
@@ -144,7 +146,7 @@ let count_lines (src : string) : int =
   if !has_code then incr n;
   !n
 
-let parse_program ~name (src : string) : Ast.program =
+let parse_program_decls ~name (src : string) : Ast.program * Ast.decls =
   (* Fresh-name counters restart per program, so every generated name
      (parser desugaring, ANF temporaries, α-renamed binders) is a
      function of the source alone and reports — witness bindings and
@@ -154,10 +156,25 @@ let parse_program ~name (src : string) : Ast.program =
      whose binders use the distinct ["spec_arg"] base. *)
   Liquid_common.Gensym.reset ();
   Liquid_anf.Anf.reset ();
-  try Parser.program_of_string ~file:name src with
-  | Parser.Error (msg, loc) -> raise (Source_error ("parse error: " ^ msg, loc))
-  | Lexer.Error (msg, pos) ->
-      raise (Source_error ("lex error: " ^ msg, Loc.of_lexing pos pos))
+  let prog, decls =
+    try Parser.parse_string ~file:name src with
+    | Parser.Error (msg, loc) ->
+        raise (Source_error ("parse error: " ^ msg, loc))
+    | Lexer.Error (msg, pos) ->
+        raise (Source_error ("lex error: " ^ msg, Loc.of_lexing pos pos))
+  in
+  (match Declcheck.check decls with
+  | [] -> ()
+  | d :: _ ->
+      raise
+        (Source_error
+           ( Fmt.str "declaration error [%s]: %s" d.Declcheck.code
+               d.Declcheck.message,
+             d.Declcheck.loc )));
+  (prog, decls)
+
+let parse_program ~name (src : string) : Ast.program =
+  fst (parse_program_decls ~name src)
 
 (** Integer literals worth mining for qualifier instances: those the
     program {e compares against} (comparison operands).  Literals used
@@ -196,7 +213,8 @@ let timed phases name f =
   r
 
 let verify_program ?(options = default) ?(parse_time = 0.0)
-    (prog : Ast.program) ~(source_lines : int) : report =
+    ?(decls = Ast.no_decls) (prog : Ast.program) ~(source_lines : int) :
+    report =
   let {
     quals;
     mine;
@@ -215,6 +233,21 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
   (* A warm process (daemon, repeated library calls) must never leak a
      counterexample or per-run counter from a previous run. *)
   Liquid_smt.Solver.reset_run_state ();
+  (* Load the declaration unit's measures for this run.  [Measures.load]
+     resets the table to the built-ins first, so a warm process never
+     sees a previous run's measures — the qualifier pattern parser gates
+     measure applications on the table, and a leaked name would make
+     reports depend on what the process verified before.  The generated
+     measure qualifier patterns ride along with the caller's set, so
+     user measures get candidate refinements without any flag. *)
+  Measures.load decls;
+  let user_measures =
+    List.map (fun (m : Ast.measure_decl) -> m.Ast.m_name) decls.Ast.measures
+  in
+  let quals =
+    if user_measures = [] then quals
+    else quals @ Qualifier.measure_defaults user_measures
+  in
   let smt0 = Liquid_smt.Solver.stats.queries in
   let smt_hits0 = Liquid_smt.Solver.stats.cache_hits in
   let phases = ref [ ("parse", parse_time) ] in
@@ -224,7 +257,7 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
   in
   let info =
     timed phases "hm" (fun () ->
-        try Infer.infer_program prog
+        try Infer.infer_program ~decls prog
         with Infer.Type_error (msg, loc) ->
           raise (Source_error ("type error: " ^ msg, loc)))
   in
@@ -277,8 +310,19 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
         | None -> (None, None)
         | Some store ->
             let fingerprint =
-              Fmt.str "%s|incremental=%b|prune=%b" Fixpoint.partial_version
+              (* The declaration digest joins the engine switches: measure
+                 semantics reach a unit's constraints through axioms and
+                 embedding-time non-negativity facts, and the latter are
+                 derived from the measure table rather than rendered into
+                 the unit signature — so an edited measure body must
+                 invalidate every unit of the program even when the
+                 signatures it feeds are unchanged.  Declaration-free
+                 programs keep their pre-measure fingerprints. *)
+              Fmt.str "%s|incremental=%b|prune=%b%s" Fixpoint.partial_version
                 incremental prune
+                (match Measures.fingerprint decls with
+                | "" -> ""
+                | d -> "|decls=" ^ d)
             in
             let key k = Liquid_cache.Store.key store [ "punit"; k ] in
             ( Some
@@ -471,6 +515,8 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
         n_wf_constraints = List.length out.Congen.wfs;
         n_sub_constraints = List.length out.Congen.subs;
         n_qualifiers = List.length quals;
+        n_measures = List.length user_measures;
+        n_measure_axioms = out.Congen.n_measure_axioms;
         n_initial_candidates =
           res.Fixpoint.solver_stats.Fixpoint.initial_candidates;
         n_alpha_collapsed =
@@ -517,7 +563,7 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
    type. *)
 let options_fingerprint (o : options) : string =
   Fmt.str
-    "pipeline-report/v4|mine=%b|lint=%b|incremental=%b|prune=%b|explain=%b|explain_limit=%d|quals=[%a]|specs=[%a]"
+    "pipeline-report/v5|mine=%b|lint=%b|incremental=%b|prune=%b|explain=%b|explain_limit=%d|quals=[%a]|specs=[%a]"
     o.mine o.lint o.incremental o.prune o.explain o.explain_limit
     Fmt.(list ~sep:(any " ;; ") Qualifier.pp)
     o.quals Spec.pp o.specs
@@ -586,9 +632,10 @@ let verify_string ?(options = default) ?(name = "<string>") (src : string) :
     report =
   let verify_cold () =
     let t0 = Unix.gettimeofday () in
-    let prog = parse_program ~name src in
+    let prog, decls = parse_program_decls ~name src in
     let parse_time = Unix.gettimeofday () -. t0 in
-    verify_program ~options ~parse_time prog ~source_lines:(count_lines src)
+    verify_program ~options ~parse_time ~decls prog
+      ~source_lines:(count_lines src)
   in
   match options.cache_dir with
   | None -> verify_cold ()
@@ -763,6 +810,8 @@ let json_of_stats (s : stats) : Liquid_analysis.Json.t =
       ("wf_constraints", Json.Int s.n_wf_constraints);
       ("sub_constraints", Json.Int s.n_sub_constraints);
       ("qualifiers", Json.Int s.n_qualifiers);
+      ("measures", Json.Int s.n_measures);
+      ("measure_axioms", Json.Int s.n_measure_axioms);
       ("initial_candidates", Json.Int s.n_initial_candidates);
       ("alpha_collapsed", Json.Int s.n_alpha_collapsed);
       ("quals_pruned", Json.Int s.n_quals_pruned);

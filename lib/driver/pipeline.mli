@@ -35,6 +35,8 @@ type stats = {
   n_wf_constraints : int;
   n_sub_constraints : int;
   n_qualifiers : int; (* qualifier patterns supplied *)
+  n_measures : int; (* user-declared measures in the program *)
+  n_measure_axioms : int; (* measure axioms emitted during congen *)
   n_initial_candidates : int; (* total instances over all κs *)
   n_alpha_collapsed : int;
       (* instances collapsed by orientation-level dedup at instantiation *)
@@ -94,7 +96,14 @@ exception Source_error of string * Loc.t
     table); comment nesting is tracked across lines. *)
 val count_lines : string -> int
 
-(** @raise Source_error on lex/parse errors. *)
+(** Parse a compilation unit into its program and its declaration unit
+    (type and measure declarations), validating the declarations
+    ({!Liquid_lang.Declcheck}).
+    @raise Source_error on lex/parse errors and on the first declaration
+    diagnostic (message tagged with the [D]-code). *)
+val parse_program_decls : name:string -> string -> Ast.program * Ast.decls
+
+(** [parse_program_decls] without the declarations (legacy callers). *)
 val parse_program : name:string -> string -> Ast.program
 
 (** Integer literals the program compares against (qualifier mining). *)
@@ -178,11 +187,16 @@ val rehash_report : report -> report
 val cache_lookup : options:options -> name:string -> string -> report option
 
 (** Verify a parsed program.  [parse_time] seeds the "parse" entry of
-    [stats.phases] for callers that parsed separately.
+    [stats.phases] for callers that parsed separately.  [decls] is the
+    program's declaration unit (default {!Liquid_lang.Ast.no_decls}),
+    assumed already validated by {!Liquid_lang.Declcheck} — its measures
+    are loaded for the run and their generated qualifier patterns
+    appended to [options.quals].
     @raise Source_error on type errors. *)
 val verify_program :
   ?options:options ->
   ?parse_time:float ->
+  ?decls:Ast.decls ->
   Ast.program ->
   source_lines:int ->
   report

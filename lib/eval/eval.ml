@@ -22,6 +22,7 @@ type value =
   | Vtuple of value list
   | Vlist of value list
   | Varray of value array
+  | Vcon of string * value list (* user-constructor value *)
   | Vclosure of env ref * Ident.t * expr
   | Vprim of string * value list (* primitive + collected args *)
 
@@ -46,6 +47,8 @@ let rec pp_value ppf = function
   | Vunit -> Fmt.string ppf "()"
   | Vtuple vs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma pp_value) vs
   | Vlist vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:semi pp_value) vs
+  | Vcon (c, []) -> Fmt.string ppf c
+  | Vcon (c, vs) -> Fmt.pf ppf "%s (%a)" c Fmt.(list ~sep:comma pp_value) vs
   | Varray vs ->
       Fmt.pf ppf "[|%a|]" Fmt.(list ~sep:semi pp_value) (Array.to_list vs)
   | Vclosure _ -> Fmt.string ppf "<fun>"
@@ -113,6 +116,21 @@ let rec match_pat (p : pat) (v : value) : (Ident.t * value) list option =
           | None -> None)
       | None -> None)
   | Pnil, Vlist (_ :: _) | Pcons _, Vlist [] -> None
+  | Pconstr (c, ps), Vcon (c', vs) ->
+      if c <> c' then None
+      else if List.length ps <> List.length vs then
+        raise (Runtime_error "constructor pattern arity mismatch")
+      else
+        let rec go ps vs acc =
+          match (ps, vs) with
+          | [], [] -> Some acc
+          | p :: ps, v :: vs -> (
+              match match_pat p v with
+              | Some binds -> go ps vs (acc @ binds)
+              | None -> None)
+          | _ -> None
+        in
+        go ps vs []
   | _ -> raise (Runtime_error "pattern/value shape mismatch")
 
 type config = { mutable fuel : int; quiet : bool }
@@ -186,6 +204,7 @@ let rec eval (cfg : config) (env : env) (e : expr) : value =
           eval cfg (Ident.Map.add x clo env) e2
       | _ -> raise (Runtime_error "let rec of a non-function"))
   | Tuple es -> Vtuple (List.map (eval cfg env) es)
+  | Constr (c, es) -> Vcon (c, List.map (eval cfg env) es)
   | Nil -> Vlist []
   | Cons (e1, e2) -> (
       let v1 = eval cfg env e1 in
@@ -221,6 +240,11 @@ and value_eq a b =
   | Vunit, Vunit -> true
   | Vtuple xs, Vtuple ys | Vlist xs, Vlist ys ->
       List.length xs = List.length ys && List.for_all2 value_eq xs ys
+  | Vcon (c, xs), Vcon (c', ys) ->
+      c = c'
+      && List.length xs = List.length ys
+      && List.for_all2 value_eq xs ys
+  | Vcon _, _ | _, Vcon _ -> false
   | Varray xs, Varray ys -> xs == ys
   | _ -> raise (Runtime_error "equality on functional values")
 

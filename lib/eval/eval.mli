@@ -13,6 +13,7 @@ type value =
   | Vtuple of value list
   | Vlist of value list
   | Varray of value array
+  | Vcon of string * value list (* user-constructor value *)
   | Vclosure of env ref * Ident.t * Ast.expr
   | Vprim of string * value list (* primitive + collected arguments *)
 

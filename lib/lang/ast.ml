@@ -47,6 +47,7 @@ type pat =
   | Ptuple of pat list
   | Pnil
   | Pcons of pat * pat
+  | Pconstr of string * pat list
 
 type expr = { id : int; loc : Loc.t; desc : desc }
 
@@ -64,6 +65,7 @@ and desc =
   | Cons of expr * expr
   | Match of expr * (pat * expr) list
   | Assert of expr
+  | Constr of string * expr list (* saturated user-constructor application *)
 
 (** A program is a list of top-level bindings, each a name bound to an
     expression, followed by an optional anonymous "main" expression list
@@ -71,6 +73,60 @@ and desc =
 type item = { item_loc : Loc.t; rec_flag : rec_flag; name : Ident.t; body : expr }
 
 type program = item list
+
+(* -- Declarations ----------------------------------------------------- *)
+
+(** A type expression in a constructor declaration: [int], [bool],
+    [unit], or the name of a (possibly recursively occurring) ADT. *)
+type tyexpr = { ty_name : string; ty_loc : Loc.t }
+
+type ctor_decl = { c_name : string; c_loc : Loc.t; c_args : tyexpr list }
+
+(** [type t = C1 of ty * … | C2 | …] *)
+type tydecl = {
+  t_name : string;
+  t_name_loc : Loc.t;
+  t_ctors : ctor_decl list;
+  t_loc : Loc.t;
+}
+
+(** Right-hand sides of measure equations: integer terms over the
+    equation's binders, measure applications ([Mcall] also covers the
+    built-in [max]/[min]), and arithmetic. *)
+type mterm =
+  | Mint of int
+  | Mvar of string * Loc.t
+  | Mcall of string * Loc.t * mterm list
+  | Mneg of mterm
+  | Madd of mterm * mterm
+  | Msub of mterm * mterm
+  | Mmul of mterm * mterm
+
+(** [| C (x, …) -> body] — one structurally recursive equation.
+    Argument binders are [None] for [_]. *)
+type meqn = {
+  eq_ctor : string;
+  eq_ctor_loc : Loc.t;
+  eq_args : (string option * Loc.t) list;
+  eq_body : mterm;
+  eq_loc : Loc.t;
+}
+
+(** [measure m : t = | C1 … -> … | C2 … -> …] *)
+type measure_decl = {
+  m_name : string;
+  m_name_loc : Loc.t;
+  m_tycon : string;
+  m_tycon_loc : Loc.t;
+  m_eqns : meqn list;
+  m_loc : Loc.t;
+}
+
+(** The declarations of a compilation unit, in source order within each
+    kind.  Declarations scope over the whole program. *)
+type decls = { types : tydecl list; measures : measure_decl list }
+
+let no_decls = { types = []; measures = [] }
 
 (* -- Construction ---------------------------------------------------- *)
 
@@ -85,7 +141,7 @@ let mk ?(loc = Loc.dummy) desc =
 let rec pat_vars = function
   | Pwild | Punit | Pbool _ | Pint _ | Pnil -> []
   | Pvar x -> [ x ]
-  | Ptuple ps -> List.concat_map pat_vars ps
+  | Ptuple ps | Pconstr (_, ps) -> List.concat_map pat_vars ps
   | Pcons (p1, p2) -> pat_vars p1 @ pat_vars p2
 
 (* -- Traversal --------------------------------------------------------- *)
@@ -99,7 +155,7 @@ let rec fold f acc e =
   | App (e1, e2) | Binop (_, e1, e2) | Cons (e1, e2) | Let (_, _, e1, e2) ->
       fold f (fold f acc e1) e2
   | If (e1, e2, e3) -> fold f (fold f (fold f acc e1) e2) e3
-  | Tuple es -> List.fold_left (fold f) acc es
+  | Tuple es | Constr (_, es) -> List.fold_left (fold f) acc es
   | Match (e1, cases) ->
       List.fold_left (fun acc (_, e) -> fold f acc e) (fold f acc e1) cases
 
@@ -122,7 +178,7 @@ let free_vars e =
     | Let (Rec, x, e1, e2) ->
         let bound = Ident.Set.add x bound in
         go bound (go bound acc e1) e2
-    | Tuple es -> List.fold_left (go bound) acc es
+    | Tuple es | Constr (_, es) -> List.fold_left (go bound) acc es
     | Match (e1, cases) ->
         List.fold_left
           (fun acc (p, e) ->
@@ -163,6 +219,9 @@ let rec pp_pat ppf = function
   | Ptuple ps -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma pp_pat) ps
   | Pnil -> Fmt.string ppf "[]"
   | Pcons (p1, p2) -> Fmt.pf ppf "%a :: %a" pp_pat p1 pp_pat p2
+  | Pconstr (c, []) -> Fmt.string ppf c
+  | Pconstr (c, ps) ->
+      Fmt.pf ppf "%s (%a)" c Fmt.(list ~sep:comma pp_pat) ps
 
 let rec pp ppf e =
   match e.desc with
@@ -189,6 +248,8 @@ let rec pp ppf e =
         Fmt.(list ~sep:sp pp_case)
         cases
   | Assert e -> Fmt.pf ppf "(assert %a)" pp e
+  | Constr (c, []) -> Fmt.string ppf c
+  | Constr (c, es) -> Fmt.pf ppf "%s (%a)" c Fmt.(list ~sep:comma pp) es
 
 let pp_item ppf { rec_flag; name; body; _ } =
   Fmt.pf ppf "@[<v>let%s %a = %a@]"

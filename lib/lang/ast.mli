@@ -32,6 +32,7 @@ type pat =
   | Ptuple of pat list
   | Pnil
   | Pcons of pat * pat
+  | Pconstr of string * pat list
 
 type expr = { id : int; loc : Loc.t; desc : desc }
 
@@ -49,6 +50,7 @@ and desc =
   | Cons of expr * expr
   | Match of expr * (pat * expr) list
   | Assert of expr
+  | Constr of string * expr list (* saturated user-constructor application *)
 
 (** A top-level binding. *)
 type item = {
@@ -59,6 +61,55 @@ type item = {
 }
 
 type program = item list
+
+(** A type expression in a constructor declaration: [int], [bool],
+    [unit], or an ADT name. *)
+type tyexpr = { ty_name : string; ty_loc : Loc.t }
+
+type ctor_decl = { c_name : string; c_loc : Loc.t; c_args : tyexpr list }
+
+(** [type t = C1 of ty * … | C2 | …] *)
+type tydecl = {
+  t_name : string;
+  t_name_loc : Loc.t;
+  t_ctors : ctor_decl list;
+  t_loc : Loc.t;
+}
+
+(** Measure-equation right-hand sides ([Mcall] also covers [max]/[min]). *)
+type mterm =
+  | Mint of int
+  | Mvar of string * Loc.t
+  | Mcall of string * Loc.t * mterm list
+  | Mneg of mterm
+  | Madd of mterm * mterm
+  | Msub of mterm * mterm
+  | Mmul of mterm * mterm
+
+(** One structurally recursive equation; argument binders are [None]
+    for [_]. *)
+type meqn = {
+  eq_ctor : string;
+  eq_ctor_loc : Loc.t;
+  eq_args : (string option * Loc.t) list;
+  eq_body : mterm;
+  eq_loc : Loc.t;
+}
+
+(** [measure m : t = | C1 … -> … | …] *)
+type measure_decl = {
+  m_name : string;
+  m_name_loc : Loc.t;
+  m_tycon : string;
+  m_tycon_loc : Loc.t;
+  m_eqns : meqn list;
+  m_loc : Loc.t;
+}
+
+(** Declarations of a compilation unit, in source order per kind. *)
+type decls = { types : tydecl list; measures : measure_decl list }
+
+val no_decls : decls
 
 (** Construct a node with a fresh id. *)
 val mk : ?loc:Loc.t -> desc -> expr

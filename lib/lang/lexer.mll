@@ -15,6 +15,7 @@ let keyword_table =
       ("else", ELSE); ("fun", FUN); ("match", MATCH); ("with", WITH);
       ("assert", ASSERT); ("true", TRUE); ("false", FALSE); ("not", NOT);
       ("mod", MOD); ("begin", BEGIN); ("end", END); ("val", VAL);
+      ("type", TYPE); ("measure", MEASURE); ("of", OF);
     ];
   tbl
 }
@@ -34,7 +35,7 @@ rule token = parse
   | digit+ as n           { INT (int_of_string n) }
   | "_"                   { UNDERSCORE }
   | qualified as s        { IDENT s }
-  | uident as s           { IDENT s }
+  | uident as s           { UIDENT s }
   | lident as s           {
       match Hashtbl.find_opt keyword_table s with
       | Some tok -> tok

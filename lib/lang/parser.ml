@@ -85,6 +85,13 @@ and parse_atom_pattern st : pat =
   | Token.IDENT x ->
       advance st;
       Pvar (Ident.of_string x)
+  | Token.UIDENT c ->
+      advance st;
+      if starts_atom_pattern st.tok then
+        let p = parse_atom_pattern st in
+        let args = match p with Ptuple ps -> ps | p -> [ p ] in
+        Pconstr (c, args)
+      else Pconstr (c, [])
   | Token.INT n ->
       advance st;
       Pint n
@@ -121,6 +128,12 @@ and parse_atom_pattern st : pat =
           expect st Token.RPAREN;
           (match !ps with [ p ] -> p | ps -> Ptuple (List.rev ps)))
   | t -> error st (Printf.sprintf "unexpected token '%s' in pattern" (Token.to_string t))
+
+and starts_atom_pattern = function
+  | Token.UNDERSCORE | Token.IDENT _ | Token.UIDENT _ | Token.INT _
+  | Token.MINUS | Token.TRUE | Token.FALSE | Token.LBRACKET | Token.LPAREN ->
+      true
+  | _ -> false
 
 (* -- Function parameters ------------------------------------------------ *)
 
@@ -402,6 +415,14 @@ and parse_unary st : expr =
 and parse_app st : expr =
   let start = st.start_p in
   let e = ref (parse_postfix st) in
+  (* A bare constructor in head position takes its argument tuple, as in
+     OCaml; constructors in argument position stay unapplied. *)
+  (match (!e).desc with
+  | Constr (c, []) when starts_atom st.tok ->
+      let arg = parse_postfix st in
+      let args = match arg.desc with Tuple es -> es | _ -> [ arg ] in
+      e := mk ~loc:(loc_from st start) (Constr (c, args))
+  | _ -> ());
   while starts_atom st.tok do
     let arg = parse_postfix st in
     e := mk ~loc:(loc_from st start) (App (!e, arg))
@@ -409,8 +430,8 @@ and parse_app st : expr =
   !e
 
 and starts_atom = function
-  | Token.INT _ | Token.IDENT _ | Token.TRUE | Token.FALSE | Token.LPAREN
-  | Token.LBRACKET | Token.BEGIN ->
+  | Token.INT _ | Token.IDENT _ | Token.UIDENT _ | Token.TRUE | Token.FALSE
+  | Token.LPAREN | Token.LBRACKET | Token.BEGIN ->
       true
   | _ -> false
 
@@ -451,6 +472,9 @@ and parse_atom st : expr =
   | Token.IDENT x ->
       advance st;
       mk ~loc:(loc_from st start) (Var (Ident.of_string x))
+  | Token.UIDENT c ->
+      advance st;
+      mk ~loc:(loc_from st start) (Constr (c, []))
   | Token.LPAREN -> (
       advance st;
       match st.tok with
@@ -523,34 +547,282 @@ let parse_item st : item =
   if st.tok = Token.SEMISEMI then advance st;
   { item_loc = loc_from st start; rec_flag; name; body = rhs }
 
-let parse_program st : program =
-  let rec go acc =
+(* -- Declarations -------------------------------------------------------- *)
+
+(* A type expression in a constructor declaration: a bare (lowercase)
+   type name — [int], [bool], [unit], or an ADT. *)
+let parse_tyexpr st : tyexpr =
+  match st.tok with
+  | Token.IDENT s ->
+      let loc = loc_here st in
+      advance st;
+      { ty_name = s; ty_loc = loc }
+  | t ->
+      error st
+        (Printf.sprintf "expected a type name, found '%s'" (Token.to_string t))
+
+(* [C] or [C of ty * ty * …] *)
+let parse_ctor_decl st : ctor_decl =
+  let start = st.start_p in
+  match st.tok with
+  | Token.UIDENT c ->
+      advance st;
+      let args =
+        if st.tok = Token.OF then begin
+          advance st;
+          let rec go acc =
+            let acc = parse_tyexpr st :: acc in
+            if st.tok = Token.STAR then begin
+              advance st;
+              go acc
+            end
+            else List.rev acc
+          in
+          go []
+        end
+        else []
+      in
+      { c_name = c; c_loc = loc_from st start; c_args = args }
+  | t ->
+      error st
+        (Printf.sprintf "expected a constructor name, found '%s'"
+           (Token.to_string t))
+
+(* [type t = C1 of … | C2 | …] *)
+let parse_tydecl st : tydecl =
+  let start = st.start_p in
+  expect st Token.TYPE;
+  let t_name, t_name_loc =
     match st.tok with
-    | Token.EOF -> List.rev acc
-    | Token.LET -> go (parse_item st :: acc)
+    | Token.IDENT s ->
+        let loc = loc_here st in
+        advance st;
+        (s, loc)
     | t ->
         error st
-          (Printf.sprintf "expected a top-level 'let', found '%s'"
+          (Printf.sprintf "expected a type name after 'type', found '%s'"
              (Token.to_string t))
   in
-  go []
+  expect st Token.EQ;
+  if st.tok = Token.BAR then advance st;
+  let first = parse_ctor_decl st in
+  let rec go acc =
+    if st.tok = Token.BAR then begin
+      advance st;
+      go (parse_ctor_decl st :: acc)
+    end
+    else List.rev acc
+  in
+  let ctors = go [ first ] in
+  if st.tok = Token.SEMISEMI then advance st;
+  { t_name; t_name_loc; t_ctors = ctors; t_loc = loc_from st start }
+
+(* Measure bodies: an integer term grammar over the equation binders
+   with measure applications (and [max]/[min]) by juxtaposition. *)
+let rec parse_mterm st : mterm =
+  let t = ref (parse_mmul st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match st.tok with
+    | Token.PLUS ->
+        advance st;
+        t := Madd (!t, parse_mmul st)
+    | Token.MINUS ->
+        advance st;
+        t := Msub (!t, parse_mmul st)
+    | _ -> continue_ := false
+  done;
+  !t
+
+and parse_mmul st : mterm =
+  let t = ref (parse_munary st) in
+  while st.tok = Token.STAR do
+    advance st;
+    t := Mmul (!t, parse_munary st)
+  done;
+  !t
+
+and parse_munary st : mterm =
+  match st.tok with
+  | Token.MINUS ->
+      advance st;
+      Mneg (parse_munary st)
+  | _ -> parse_mapp st
+
+and parse_mapp st : mterm =
+  (* [f a b …] — a variable becomes an application head when an atom
+     follows it *)
+  let a = parse_matom st in
+  match a with
+  | Mvar (f, loc) when starts_matom st.tok ->
+      let rec go acc =
+        if starts_matom st.tok then go (parse_matom st :: acc)
+        else List.rev acc
+      in
+      Mcall (f, loc, go [])
+  | a -> a
+
+and starts_matom = function
+  | Token.INT _ | Token.IDENT _ | Token.LPAREN -> true
+  | _ -> false
+
+and parse_matom st : mterm =
+  match st.tok with
+  | Token.INT n ->
+      advance st;
+      Mint n
+  | Token.IDENT x ->
+      let loc = loc_here st in
+      advance st;
+      Mvar (x, loc)
+  | Token.LPAREN ->
+      advance st;
+      let t = parse_mterm st in
+      expect st Token.RPAREN;
+      t
+  | t ->
+      error st
+        (Printf.sprintf "unexpected token '%s' in measure body"
+           (Token.to_string t))
+
+(* [| C (x, _, r) -> body] *)
+let parse_meqn st : meqn =
+  let start = st.start_p in
+  let eq_ctor, eq_ctor_loc =
+    match st.tok with
+    | Token.UIDENT c ->
+        let loc = loc_here st in
+        advance st;
+        (c, loc)
+    | t ->
+        error st
+          (Printf.sprintf "expected a constructor in measure equation, found '%s'"
+             (Token.to_string t))
+  in
+  let arg st =
+    match st.tok with
+    | Token.IDENT x ->
+        let loc = loc_here st in
+        advance st;
+        (Some x, loc)
+    | Token.UNDERSCORE ->
+        let loc = loc_here st in
+        advance st;
+        (None, loc)
+    | t ->
+        error st
+          (Printf.sprintf "expected an argument binder, found '%s'"
+             (Token.to_string t))
+  in
+  let args =
+    match st.tok with
+    | Token.LPAREN ->
+        advance st;
+        let rec go acc =
+          let acc = arg st :: acc in
+          if st.tok = Token.COMMA then begin
+            advance st;
+            go acc
+          end
+          else List.rev acc
+        in
+        let args = go [] in
+        expect st Token.RPAREN;
+        args
+    | Token.IDENT _ | Token.UNDERSCORE -> [ arg st ]
+    | _ -> []
+  in
+  expect st Token.ARROW;
+  let body = parse_mterm st in
+  { eq_ctor; eq_ctor_loc; eq_args = args; eq_body = body; eq_loc = loc_from st start }
+
+(* [measure m : t = | C1 … -> … | …] *)
+let parse_measure st : measure_decl =
+  let start = st.start_p in
+  expect st Token.MEASURE;
+  let m_name, m_name_loc =
+    match st.tok with
+    | Token.IDENT s ->
+        let loc = loc_here st in
+        advance st;
+        (s, loc)
+    | t ->
+        error st
+          (Printf.sprintf "expected a measure name after 'measure', found '%s'"
+             (Token.to_string t))
+  in
+  expect st Token.COLON;
+  let m_tycon, m_tycon_loc =
+    match st.tok with
+    | Token.IDENT s ->
+        let loc = loc_here st in
+        advance st;
+        (s, loc)
+    | t ->
+        error st
+          (Printf.sprintf "expected a type name after ':', found '%s'"
+             (Token.to_string t))
+  in
+  expect st Token.EQ;
+  if st.tok = Token.BAR then advance st;
+  let first = parse_meqn st in
+  let rec go acc =
+    if st.tok = Token.BAR then begin
+      advance st;
+      go (parse_meqn st :: acc)
+    end
+    else List.rev acc
+  in
+  let eqns = go [ first ] in
+  if st.tok = Token.SEMISEMI then advance st;
+  {
+    m_name;
+    m_name_loc;
+    m_tycon;
+    m_tycon_loc;
+    m_eqns = eqns;
+    m_loc = loc_from st start;
+  }
+
+let parse_program st : program * decls =
+  let rec go items types measures =
+    match st.tok with
+    | Token.EOF ->
+        ( List.rev items,
+          { types = List.rev types; measures = List.rev measures } )
+    | Token.LET -> go (parse_item st :: items) types measures
+    | Token.TYPE -> go items (parse_tydecl st :: types) measures
+    | Token.MEASURE -> go items types (parse_measure st :: measures)
+    | t ->
+        error st
+          (Printf.sprintf
+             "expected a top-level 'let', 'type' or 'measure', found '%s'"
+             (Token.to_string t))
+  in
+  go [] [] []
 
 (* -- Entry points ---------------------------------------------------------- *)
 
-let program_of_lexbuf ~file lexbuf =
+let parse_lexbuf ~file lexbuf =
   let st = init file lexbuf in
   try parse_program st with
   | Lexer.Error (msg, pos) ->
       raise (Error (msg, Loc.of_lexing pos pos))
 
-let program_of_string ?(file = "<string>") s =
-  program_of_lexbuf ~file (Lexing.from_string s)
+let parse_string ?(file = "<string>") s = parse_lexbuf ~file (Lexing.from_string s)
 
-let program_of_file path =
+let parse_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> program_of_lexbuf ~file:path (Lexing.from_channel ic))
+    (fun () -> parse_lexbuf ~file:path (Lexing.from_channel ic))
+
+let program_of_lexbuf ~file lexbuf = fst (parse_lexbuf ~file lexbuf)
+
+let program_of_string ?(file = "<string>") s =
+  fst (parse_string ~file s)
+
+let program_of_file path = fst (parse_file path)
 
 let expr_of_string ?(file = "<string>") s =
   let st = init file (Lexing.from_string s) in

@@ -7,9 +7,20 @@ open Liquid_common
 
 exception Error of string * Loc.t
 
-(** Parse a whole program (a sequence of top-level [let] items).
+(** Parse a whole compilation unit: top-level [let] items interleaved
+    with [type] and [measure] declarations.  Declarations are collected
+    into {!Ast.decls} (source order per kind) and are only checked
+    syntactically here — semantic validation (unknown constructors,
+    non-structural recursion, …) is {!Declcheck.check}.
     @raise Error on syntax errors (lexer errors are re-raised as [Error]
-    only by the [program_of_*] entry points). *)
+    by the file/string entry points). *)
+val parse_lexbuf : file:string -> Lexing.lexbuf -> Ast.program * Ast.decls
+
+val parse_string : ?file:string -> string -> Ast.program * Ast.decls
+val parse_file : string -> Ast.program * Ast.decls
+
+(** The item-only views ([fst] of the above) — convenient for
+    declaration-free programs. *)
 val program_of_lexbuf : file:string -> Lexing.lexbuf -> Ast.program
 
 val program_of_string : ?file:string -> string -> Ast.program

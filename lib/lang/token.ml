@@ -3,6 +3,10 @@
 type t =
   | INT of int
   | IDENT of string (* lowercase identifiers, possibly module-qualified *)
+  | UIDENT of string (* capitalized identifiers: user constructors *)
+  | TYPE
+  | MEASURE
+  | OF
   | LET
   | REC
   | IN
@@ -54,6 +58,10 @@ type t =
 let to_string = function
   | INT n -> string_of_int n
   | IDENT s -> s
+  | UIDENT s -> s
+  | TYPE -> "type"
+  | MEASURE -> "measure"
+  | OF -> "of"
   | LET -> "let"
   | REC -> "rec"
   | IN -> "in"

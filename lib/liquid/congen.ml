@@ -60,6 +60,8 @@ type ctx = {
   mutable subs : Constr.sub list;
   mutable wfs : Constr.wf list;
   mutable branches : branch list;
+  mutable n_measure_axioms : int;
+      (* constructor-site measure axioms emitted (expressions and patterns) *)
 }
 
 let emit_sub ctx env ?(reason = "subtyping") loc t1 t2 =
@@ -305,9 +307,19 @@ let strengthen_self (value : Pred.value option) (t : Rtype.t) : Rtype.t =
           | Rtype.Tyvar (k, r) -> Rtype.Tyvar (k, Rtype.strengthen p r)
           | _ -> t))
 
+let vv_obj = Term.var Ident.vv Sort.Obj
+let llen t = Measure.app "llen" t
+
+(** Instantiated measure axioms of one constructor application, counted
+    into the run's statistics. *)
+let ctor_axioms ctx ~tycon ~ctor ~value ~args : Pred.t list =
+  let axs = Measure.ctor_axioms ~tycon ~ctor ~value ~args in
+  ctx.n_measure_axioms <- ctx.n_measure_axioms + List.length axs;
+  axs
+
 (** Bindings and guard facts contributed by matching pattern [p] against a
     scrutinee of type [t] whose logical value is [value]. *)
-let rec pat_facts (value : Pred.value option) (t : Rtype.t) (p : Ast.pat) :
+let rec pat_facts ctx (value : Pred.value option) (t : Rtype.t) (p : Ast.pat) :
     (Ident.t * Rtype.t) list * Pred.t list =
   match p with
   | Ast.Pwild | Ast.Punit -> ([], [])
@@ -336,7 +348,7 @@ let rec pat_facts (value : Pred.value option) (t : Rtype.t) (p : Ast.pat) :
                         (Pred.Tm (Term.app (Rtype.proj_symbol i s) [ base ]))
                   | _ -> None
                 in
-                pat_facts vi ti pi)
+                pat_facts ctx vi ti pi)
               (List.combine ps ts)
           in
           List.fold_left
@@ -344,15 +356,16 @@ let rec pat_facts (value : Pred.value option) (t : Rtype.t) (p : Ast.pat) :
             ([], []) parts
       | _ -> ([], []))
   | Ast.Pnil -> (
-      (* matching []: the scrutinee's length is zero *)
+      (* matching []: the nil axioms of every list measure (llen ν = 0) *)
       ( [],
         match value with
-        | Some (Pred.Tm tm) -> [ Pred.eq (Term.llen tm) (Term.int 0) ]
+        | Some (Pred.Tm tm) ->
+            ctor_axioms ctx ~tycon:"list" ~ctor:"[]" ~value:tm ~args:[]
         | _ -> [] ))
   | Ast.Pcons (p1, p2) -> (
       match t with
       | Rtype.List (elt, _) ->
-          let b1, g1 = pat_facts None elt p1 in
+          let b1, g1 = pat_facts ctx None elt p1 in
           (* the tail's length is one less than the scrutinee's *)
           let tail_type =
             match value with
@@ -360,19 +373,74 @@ let rec pat_facts (value : Pred.value option) (t : Rtype.t) (p : Ast.pat) :
                 Rtype.List
                   ( elt,
                     Rtype.known
-                      (Pred.eq
-                         (Term.llen (Term.var Ident.vv Sort.Obj))
-                         (Term.sub (Term.llen tm) (Term.int 1))) )
+                      (Pred.eq (llen vv_obj)
+                         (Term.sub (llen tm) (Term.int 1))) )
             | _ -> t
           in
-          let b2, g2 = pat_facts None tail_type p2 in
+          let b2, g2 = pat_facts ctx None tail_type p2 in
           let guards =
             match value with
-            | Some (Pred.Tm tm) -> [ Pred.ge (Term.llen tm) (Term.int 1) ]
+            | Some (Pred.Tm tm) -> [ Pred.ge (llen tm) (Term.int 1) ]
             | _ -> []
           in
           (b1 @ b2, g1 @ g2 @ guards)
       | _ -> ([], []))
+  | Ast.Pconstr (c, ps) -> (
+      match Hashtbl.find_opt ctx.info.Infer.ctors c with
+      | None -> ([], [])
+      | Some (arg_tys, tycon) when List.length arg_tys = List.length ps ->
+          (* Name every constructor argument — source names where the
+             sub-pattern is a variable, fresh internal names otherwise —
+             so the defining measure axioms can speak about all of them
+             (and each ADT/list/array-typed argument contributes its
+             non-negativity facts through the environment embedding). *)
+          let names =
+            List.map
+              (fun (pi : Ast.pat) ->
+                match pi with
+                | Ast.Pvar x -> x
+                | _ -> Gensym.fresh_inst "arg")
+              ps
+          in
+          let shapes = List.map Rtype.shape arg_tys in
+          let binds = List.combine names shapes in
+          (* recurse into non-variable sub-patterns with the fresh
+             binder as their scrutinee *)
+          let nested =
+            List.map2
+              (fun (pi : Ast.pat) (x, ti) ->
+                match pi with
+                | Ast.Pvar _ -> ([], [])
+                | _ ->
+                    let vi =
+                      match Rtype.sort_of ti with
+                      | Sort.Bool -> Some (Pred.Pr (Pred.bvar x))
+                      | s -> Some (Pred.Tm (Term.var x s))
+                    in
+                    pat_facts ctx vi ti pi)
+              ps binds
+          in
+          let axioms =
+            match value with
+            | Some (Pred.Tm tm) ->
+                let args =
+                  List.map2
+                    (fun x ti ->
+                      match Rtype.sort_of ti with
+                      | Sort.Bool -> None
+                      | s -> Some (Term.var x s))
+                    names shapes
+                in
+                ctor_axioms ctx ~tycon ~ctor:c ~value:tm ~args
+            | _ -> []
+          in
+          let bs, gs =
+            List.fold_left
+              (fun (bs, gs) (bs', gs') -> (bs @ bs', gs @ gs'))
+              (binds, []) nested
+          in
+          (bs, gs @ axioms)
+      | Some _ -> ([], []))
 
 (* -- Array access signatures ----------------------------------------------------- *)
 
@@ -391,7 +459,7 @@ let array_access_sig (h : Ident.t) (elem : Rtype.t) : Rtype.t =
     Pred.conj
       [
         Pred.le (Term.int 0) vv_int;
-        Pred.lt vv_int (Term.len (Term.var fa Sort.Obj));
+        Pred.lt vv_int (Measure.app "len" (Term.var fa Sort.Obj));
       ]
   in
   let idx = Rtype.Base (Rtype.Bint, Rtype.known in_bounds) in
@@ -525,13 +593,28 @@ let rec cg (ctx : ctx) (g : genv) (e : Ast.expr) : Rtype.t =
       let t2 = cg ctx g' e2 in
       close_let ctx g g' x e t2
   | Ast.Tuple atoms -> Rtype.Tuple (List.map (type_of_atom ctx g) atoms)
+  | Ast.Constr (c, atoms) -> (
+      match Hashtbl.find_opt ctx.info.Infer.ctors c with
+      | None -> raise (Congen_error ("unknown constructor " ^ c, e.loc))
+      | Some (_, tycon) ->
+          (* the defining axiom of every measure of the datatype, with
+             the constructor arguments substituted in *)
+          let args =
+            List.map
+              (fun a ->
+                match atom_value ctx a with
+                | Some (Pred.Tm tm) -> Some tm
+                | _ -> None)
+              atoms
+          in
+          let axs = ctor_axioms ctx ~tycon ~ctor:c ~value:vv_obj ~args in
+          Rtype.Data (tycon, Rtype.known (Pred.conj axs)))
   | Ast.Nil -> (
       match Mltype.repr (Infer.type_of ctx.info e) with
       | Mltype.Tlist elt ->
           (* measure semantics: llen [] = 0 *)
-          Rtype.List
-            ( fresh_template ctx g.cenv elt,
-              Rtype.known (Pred.eq (Term.llen (Term.var Ident.vv Sort.Obj)) (Term.int 0)) )
+          let axs = ctor_axioms ctx ~tycon:"list" ~ctor:"[]" ~value:vv_obj ~args:[] in
+          Rtype.List (fresh_template ctx g.cenv elt, Rtype.known (Pred.conj axs))
       | _ -> raise (Congen_error ("[] without list type", e.loc)))
   | Ast.Cons (a, l) -> (
       match Mltype.repr (Infer.type_of ctx.info e) with
@@ -549,12 +632,10 @@ let rec cg (ctx : ctx) (g : genv) (e : Ast.expr) : Rtype.t =
             match atom_value ctx l with
             | Some (Pred.Tm tail) ->
                 Rtype.known
-                  (Pred.eq
-                     (Term.llen (Term.var Ident.vv Sort.Obj))
-                     (Term.add (Term.llen tail) (Term.int 1)))
-            | _ ->
-                Rtype.known
-                  (Pred.ge (Term.llen (Term.var Ident.vv Sort.Obj)) (Term.int 1))
+                  (Pred.conj
+                     (ctor_axioms ctx ~tycon:"list" ~ctor:"::" ~value:vv_obj
+                        ~args:[ None; Some tail ]))
+            | _ -> Rtype.known (Pred.ge (llen vv_obj) (Term.int 1))
           in
           Rtype.List (telt, len_ref)
       | _ -> raise (Congen_error ("cons without list type", e.loc)))
@@ -564,7 +645,7 @@ let rec cg (ctx : ctx) (g : genv) (e : Ast.expr) : Rtype.t =
       let v = atom_value ctx scrut in
       List.iter
         (fun (p, body) ->
-          let binds, guards = pat_facts v tscrut p in
+          let binds, guards = pat_facts ctx v tscrut p in
           let g' =
             List.fold_left (fun g (x, t) -> bind_mono x t g) g binds
           in
@@ -605,11 +686,14 @@ type output = {
   wfs : Constr.wf list;
   item_types : (Ident.t * Rtype.t) list; (* in program order *)
   branches : branch list; (* in program order *)
+  n_measure_axioms : int; (* constructor-site measure axioms emitted *)
 }
 
 let generate ?(specs : Spec.t = []) (info : Infer.result)
     (prog : Ast.program) : output =
-  let ctx = { info; subs = []; wfs = []; branches = [] } in
+  let ctx =
+    { info; subs = []; wfs = []; branches = []; n_measure_axioms = 0 }
+  in
   let spec_of (item : Ast.item) =
     match Spec.lookup specs item.name with
     | None -> None
@@ -664,4 +748,5 @@ let generate ?(specs : Spec.t = []) (info : Infer.result)
     wfs = List.rev ctx.wfs;
     item_types = List.rev items;
     branches = List.rev ctx.branches;
+    n_measure_axioms = ctx.n_measure_axioms;
   }

@@ -27,6 +27,7 @@ type output = {
   wfs : Constr.wf list;
   item_types : (Ident.t * Rtype.t) list; (* in program order *)
   branches : branch list; (* in program order *)
+  n_measure_axioms : int; (* constructor-site measure axioms emitted *)
 }
 
 (** Generate the constraint system.  [specs] supplies refinement-type

@@ -118,6 +118,8 @@ let rec split env origin (t1 : Rtype.t) (t2 : Rtype.t) (acc : sub list) :
       let acc = split env origin e1 e2 acc in
       let acc = split env origin e2 e1 acc in
       subs_of_refinements env origin r1 r2 Sort.Obj acc
+  | Rtype.Data (d1, r1), Rtype.Data (d2, r2) when String.equal d1 d2 ->
+      subs_of_refinements env origin r1 r2 Sort.Obj acc
   | Rtype.Tyvar (i, r1), Rtype.Tyvar (j, r2) when i = j ->
       subs_of_refinements env origin r1 r2 Sort.Obj acc
   | _ ->
@@ -141,6 +143,7 @@ let rec split_wf env (t : Rtype.t) (acc : wf list) : wf list =
   | Rtype.Array (e, r) ->
       let acc = split_wf env e acc in
       wf_of_refinement env r Sort.Obj acc
+  | Rtype.Data (_, r) -> wf_of_refinement env r Sort.Obj acc
   | Rtype.Tyvar (_, r) -> wf_of_refinement env r Sort.Obj acc
 
 and wf_of_refinement env (r : Rtype.refinement) sort acc =
@@ -167,12 +170,18 @@ let preds_of_refinement (lookup : Rtype.kvar -> Pred.t list)
          List.map (fun q -> inst (Pred.subst theta q)) (lookup k))
        r.Rtype.kvars
 
-(** The axiom [measure(value) >= 0], contributed for every array ([len])
-    and list ([llen]) binding. *)
-let nonneg_measure (m : Symbol.t) (value : Pred.value) : Pred.t =
+(** The axioms [m(value) >= 0] for every provably non-negative measure
+    over [tycon], registration order — contributed for every binding of
+    that datatype (arrays: [len], lists: [llen], user ADTs: their
+    declared measures).  All three embedding paths below share this so
+    their fact order stays identical. *)
+let nonneg_measures (tycon : string) (value : Pred.value) : Pred.t list =
   match value with
-  | Pred.Tm tm -> Pred.ge (Term.app m [ tm ]) (Term.int 0)
-  | Pred.Pr _ -> Pred.tt
+  | Pred.Pr _ -> []
+  | Pred.Tm tm ->
+      List.filter_map
+        (fun m -> Measure.nonneg_fact m tm)
+        (Measure.measures_on tycon)
 
 (** Facts contributed by one environment binding.  [value] names the
     bound value in the logic (a variable, or a projection chain for tuple
@@ -184,9 +193,11 @@ let rec embed_binding lookup (value : Pred.value) (rt : Rtype.t) : Pred.t list
   | Rtype.Base (_, r) -> preds_of_refinement lookup value r
   | Rtype.Array (_, r) ->
       (* array lengths are non-negative by construction *)
-      nonneg_measure Symbol.len value :: preds_of_refinement lookup value r
+      nonneg_measures "array" value @ preds_of_refinement lookup value r
   | Rtype.List (_, r) ->
-      nonneg_measure Symbol.llen value :: preds_of_refinement lookup value r
+      nonneg_measures "list" value @ preds_of_refinement lookup value r
+  | Rtype.Data (d, r) ->
+      nonneg_measures d value @ preds_of_refinement lookup value r
   | Rtype.Tyvar (_, r) -> preds_of_refinement lookup value r
   | Rtype.Tuple ts -> (
       match value with
@@ -242,11 +253,14 @@ let rec embed_binding_traced lookup (value : Pred.value) (rt : Rtype.t) :
   | Rtype.Base (Rtype.Bunit, _) -> []
   | Rtype.Base (_, r) -> preds_of_refinement_traced lookup value r
   | Rtype.Array (_, r) ->
-      (nonneg_measure Symbol.len value, None)
-      :: preds_of_refinement_traced lookup value r
+      List.map (fun p -> (p, None)) (nonneg_measures "array" value)
+      @ preds_of_refinement_traced lookup value r
   | Rtype.List (_, r) ->
-      (nonneg_measure Symbol.llen value, None)
-      :: preds_of_refinement_traced lookup value r
+      List.map (fun p -> (p, None)) (nonneg_measures "list" value)
+      @ preds_of_refinement_traced lookup value r
+  | Rtype.Data (d, r) ->
+      List.map (fun p -> (p, None)) (nonneg_measures d value)
+      @ preds_of_refinement_traced lookup value r
   | Rtype.Tyvar (_, r) -> preds_of_refinement_traced lookup value r
   | Rtype.Tuple ts -> (
       match value with
@@ -319,9 +333,14 @@ let rec compile_binding (value : Pred.value) (rt : Rtype.t) : slot list =
   | Rtype.Base (Rtype.Bunit, _) -> []
   | Rtype.Base (_, r) -> compile_refinement value r
   | Rtype.Array (_, r) ->
-      Sstatic (nonneg_measure Symbol.len value) :: compile_refinement value r
+      List.map (fun p -> Sstatic p) (nonneg_measures "array" value)
+      @ compile_refinement value r
   | Rtype.List (_, r) ->
-      Sstatic (nonneg_measure Symbol.llen value) :: compile_refinement value r
+      List.map (fun p -> Sstatic p) (nonneg_measures "list" value)
+      @ compile_refinement value r
+  | Rtype.Data (d, r) ->
+      List.map (fun p -> Sstatic p) (nonneg_measures d value)
+      @ compile_refinement value r
   | Rtype.Tyvar (_, r) -> compile_refinement value r
   | Rtype.Tuple ts -> (
       match value with

@@ -1149,4 +1149,5 @@ let rec apply_solution (sol : Pred.t list KMap.t) (t : Rtype.t) : Rtype.t =
   | Rtype.Tuple ts -> Rtype.Tuple (List.map (apply_solution sol) ts)
   | Rtype.List (t, r) -> Rtype.List (apply_solution sol t, refinement r)
   | Rtype.Array (t, r) -> Rtype.Array (apply_solution sol t, refinement r)
+  | Rtype.Data (d, r) -> Rtype.Data (d, refinement r)
   | Rtype.Tyvar (k, r) -> Rtype.Tyvar (k, refinement r)

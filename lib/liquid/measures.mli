@@ -1,0 +1,20 @@
+(** Elaboration of surface [measure] declarations into the measure table
+    ({!Liquid_logic.Measure}).  Call {!load} once per run, after
+    {!Liquid_lang.Declcheck} has accepted the declaration unit. *)
+
+open Liquid_lang
+
+(** Translate one equation body (binders resolved to argument
+    positions).
+    @raise Invalid_argument on bodies {!Liquid_lang.Declcheck} rejects. *)
+val body_of_mterm : string option list -> Ast.mterm -> Liquid_logic.Measure.body
+
+val eqn_of_meqn : Ast.meqn -> Liquid_logic.Measure.eqn
+
+(** Reset the measure table to the built-ins and register every declared
+    measure, in source order. *)
+val load : Ast.decls -> unit
+
+(** Stable digest of the declaration unit (types and measures) for cache
+    keys; [""] when there are no declarations. *)
+val fingerprint : Ast.decls -> string

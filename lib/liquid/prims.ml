@@ -22,6 +22,8 @@ let v = Ident.vv
 let vt s = Term.var v s
 let ivar x = Term.var (Ident.of_string x) Sort.Int
 let ovar x = Term.var (Ident.of_string x) Sort.Obj
+let len t = Measure.app "len" t
+let llen t = Measure.app "llen" t
 
 let known p = Rtype.known p
 let int_r p = Base (Bint, known p)
@@ -34,7 +36,7 @@ let fn x t1 t2 = Fun (Ident.of_string x, t1, t2)
 (** [0 <= ν && ν < len a] — the bounds-safe index type. *)
 let in_bounds_of a =
   Pred.conj
-    [ Pred.le (Term.int 0) (vt Sort.Int); Pred.lt (vt Sort.Int) (Term.len (ovar a)) ]
+    [ Pred.le (Term.int 0) (vt Sort.Int); Pred.lt (vt Sort.Int) (len (ovar a)) ]
 
 let signatures : (string * Rtype.t) list =
   [
@@ -43,7 +45,7 @@ let signatures : (string * Rtype.t) list =
       fn "n"
         (int_r (Pred.le (Term.int 0) (vt Sort.Int)))
         (fn "x" alpha
-           (Array (alpha, known (Pred.eq (Term.len (vt Sort.Obj)) (ivar "n"))))) );
+           (Array (alpha, known (Pred.eq (len (vt Sort.Obj)) (ivar "n"))))) );
     ( "Array.length",
       (* a:α array -> {ν:int | ν = len a && 0 <= ν} *)
       fn "a"
@@ -51,7 +53,7 @@ let signatures : (string * Rtype.t) list =
         (int_r
            (Pred.conj
               [
-                Pred.eq (vt Sort.Int) (Term.len (ovar "a"));
+                Pred.eq (vt Sort.Int) (len (ovar "a"));
                 Pred.le (Term.int 0) (vt Sort.Int);
               ])) );
     ( "Array.get",
@@ -112,7 +114,7 @@ let signatures : (string * Rtype.t) list =
         (int_r
            (Pred.conj
               [
-                Pred.eq (vt Sort.Int) (Term.llen (ovar "l"));
+                Pred.eq (vt Sort.Int) (llen (ovar "l"));
                 Pred.le (Term.int 0) (vt Sort.Int);
               ])) );
   ]

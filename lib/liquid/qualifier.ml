@@ -26,8 +26,7 @@ open Liquid_lang
 type rterm = Qualparse.rterm =
   | Rint of int
   | Rvar of string
-  | Rlen of rterm
-  | Rllen of rterm
+  | Rmeasure of string * rterm
   | Rneg of rterm
   | Radd of rterm * rterm
   | Rsub of rterm * rterm
@@ -77,7 +76,7 @@ let parse_string ?(file = "<qualifiers>") (src : string) : t list =
         Qualparse.advance st;
         let name =
           match Qualparse.peek st with
-          | Token.IDENT s ->
+          | Token.IDENT s | Token.UIDENT s ->
               Qualparse.advance st;
               s
           | _ -> raise (Parse_error "expected qualifier name")
@@ -297,6 +296,33 @@ qualif LlenSum(v)  : llen v = llen _A + llen _B
 
 let list_defaults : t list =
   parse_string ~file:"<list-defaults>" list_defaults_source
+
+(** The qualifier patterns instantiated for one user measure [m] — the
+    [llen] set of {!list_defaults}, generalized.  Only generated for
+    measures that are actually declared, so programs without ADTs pay
+    nothing.  Parsed after the measure table is loaded (the pattern
+    parser only treats registered names as measures). *)
+let measure_defaults_source (m : string) : string =
+  String.concat "\n"
+    [
+      Printf.sprintf "qualif VEq_%s(v)  : v = %s _" m m;
+      Printf.sprintf "qualif VLt_%s(v)  : v < %s _" m m;
+      Printf.sprintf "qualif VLe_%s(v)  : v <= %s _" m m;
+      Printf.sprintf "qualif %s_Eq(v)   : %s v = _" m m;
+      Printf.sprintf "qualif %s_EqM(v)  : %s v = %s _" m m m;
+      Printf.sprintf "qualif %s_Le(v)   : %s v <= _" m m;
+      Printf.sprintf "qualif %s_LeM(v)  : %s v <= %s _" m m m;
+      Printf.sprintf "qualif %s_GeM(v)  : %s v >= %s _" m m m;
+      Printf.sprintf "qualif %s_Succ(v) : %s v = %s _ + 1" m m m;
+    ]
+
+let measure_defaults (names : string list) : t list =
+  List.concat_map
+    (fun m ->
+      parse_string
+        ~file:(Printf.sprintf "<measure-defaults:%s>" m)
+        (measure_defaults_source m))
+    names
 
 (* -- Printing ------------------------------------------------------------------------- *)
 

@@ -20,8 +20,7 @@ open Liquid_logic
 type rterm = Qualparse.rterm =
   | Rint of int
   | Rvar of string (* "v", a placeholder "*k"/"*A", or a program variable *)
-  | Rlen of rterm
-  | Rllen of rterm
+  | Rmeasure of string * rterm
   | Rneg of rterm
   | Radd of rterm * rterm
   | Rsub of rterm * rterm
@@ -90,6 +89,13 @@ val defaults_source : string
 val list_defaults : t list
 
 val list_defaults_source : string
+
+(** Qualifier patterns for the named user measures (the [llen] set,
+    generalized).  Call after the measure table is loaded: the pattern
+    parser only recognizes registered measure names. *)
+val measure_defaults : string list -> t list
+
+val measure_defaults_source : string -> string
 
 val pp_rterm : Format.formatter -> rterm -> unit
 val pp_rpred : Format.formatter -> rpred -> unit

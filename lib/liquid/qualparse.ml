@@ -4,7 +4,8 @@
     specifications ({!Spec}) embed the same predicate language: boolean
     combinations of comparisons over terms built from [v], literals,
     program variables, placeholders ([_], [_A]), arithmetic, and the
-    measures [len]/[llen].  This module provides the raw (sort-agnostic)
+    registered measures ([len], [llen], user measures; see
+    {!Liquid_logic.Measure}).  This module provides the raw (sort-agnostic)
     AST, a token-stream parser for it, and sorted elaboration into
     {!Liquid_logic.Pred}. *)
 
@@ -17,8 +18,7 @@ open Liquid_lang
 type rterm =
   | Rint of int
   | Rvar of string (* "v", a placeholder "*k"/"*A", or a program variable *)
-  | Rlen of rterm
-  | Rllen of rterm
+  | Rmeasure of string * rterm (* a registered measure applied to a term *)
   | Rneg of rterm
   | Radd of rterm * rterm
   | Rsub of rterm * rterm
@@ -40,7 +40,7 @@ let is_placeholder s = String.length s > 0 && s.[0] = '*'
 let rec rterm_vars acc = function
   | Rint _ -> acc
   | Rvar x -> x :: acc
-  | Rlen t | Rllen t | Rneg t -> rterm_vars acc t
+  | Rmeasure (_, t) | Rneg t -> rterm_vars acc t
   | Radd (a, b) | Rsub (a, b) | Rmul (a, b) -> rterm_vars (rterm_vars acc a) b
 
 let rec rpred_vars acc = function
@@ -144,12 +144,11 @@ and parse_atom_term st =
       advance st;
       st.anon <- st.anon + 1;
       Rvar (Printf.sprintf "*%d" st.anon)
-  | Token.IDENT "len" ->
+  | Token.IDENT s when Measure.find s <> None ->
+      (* a registered measure name ([len], [llen], or a user measure of
+         the current run) applies by juxtaposition, like [len _] *)
       advance st;
-      Rlen (parse_atom_term st)
-  | Token.IDENT "llen" ->
-      advance st;
-      Rllen (parse_atom_term st)
+      Rmeasure (s, parse_atom_term st)
   | Token.IDENT s ->
       advance st;
       ident_or_placeholder s
@@ -242,12 +241,10 @@ let rec term_of_rterm (sorts : string -> Sort.t) (t : rterm) : Term.t =
       match sorts x with
       | Sort.Bool -> raise Ill_sorted (* boolean vars are not terms *)
       | s -> Term.var (Ident.of_string x) s)
-  | Rlen t ->
+  | Rmeasure (m, t) ->
       let t' = term_of_rterm sorts t in
-      if Sort.equal (Term.sort t') Sort.Obj then Term.len t' else raise Ill_sorted
-  | Rllen t ->
-      let t' = term_of_rterm sorts t in
-      if Sort.equal (Term.sort t') Sort.Obj then Term.llen t' else raise Ill_sorted
+      if Sort.equal (Term.sort t') Sort.Obj then Measure.app m t'
+      else raise Ill_sorted
   | Rneg t ->
       let t' = term_of_rterm sorts t in
       if Sort.equal (Term.sort t') Sort.Int then Term.neg t' else raise Ill_sorted
@@ -290,8 +287,7 @@ let rec pred_of_rpred (sorts : string -> Sort.t) (p : rpred) : Pred.t =
 let rec pp_rterm ppf = function
   | Rint n -> Fmt.int ppf n
   | Rvar x -> Fmt.string ppf x
-  | Rlen t -> Fmt.pf ppf "len %a" pp_rterm t
-  | Rllen t -> Fmt.pf ppf "llen %a" pp_rterm t
+  | Rmeasure (m, t) -> Fmt.pf ppf "%s %a" m pp_rterm t
   | Rneg t -> Fmt.pf ppf "(- %a)" pp_rterm t
   | Radd (a, b) -> Fmt.pf ppf "(%a + %a)" pp_rterm a pp_rterm b
   | Rsub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_rterm a pp_rterm b

@@ -33,7 +33,7 @@ let rec binders acc = function
   | Rtype.Fun (x, t1, t2) -> binders (binders (x :: acc) t1) t2
   | Rtype.Tuple ts -> List.fold_left binders acc ts
   | Rtype.List (t, _) | Rtype.Array (t, _) -> binders acc t
-  | Rtype.Base _ | Rtype.Tyvar _ -> acc
+  | Rtype.Base _ | Rtype.Data _ | Rtype.Tyvar _ -> acc
 
 (** Renaming of binders to their base names, skipping collisions.
     Internal binders (compiler-introduced argument names) that no
@@ -97,6 +97,7 @@ let rec rename_type (m : Ident.t Ident.Map.t) (t : Rtype.t) : Rtype.t =
   | Rtype.Tuple ts -> Rtype.Tuple (List.map (rename_type m) ts)
   | Rtype.List (t, r) -> Rtype.List (rename_type m t, rename_refinement r)
   | Rtype.Array (t, r) -> Rtype.Array (rename_type m t, rename_refinement r)
+  | Rtype.Data (d, r) -> Rtype.Data (d, rename_refinement r)
   | Rtype.Tyvar (k, r) -> Rtype.Tyvar (k, rename_refinement r)
 
 (* -- Tyvar renumbering ------------------------------------------------------- *)
@@ -122,6 +123,7 @@ let renumber_tyvars (t : Rtype.t) : Rtype.t =
     | Rtype.Tuple ts -> Rtype.Tuple (List.map go ts)
     | Rtype.List (t, r) -> Rtype.List (go t, r)
     | Rtype.Array (t, r) -> Rtype.Array (go t, r)
+    | Rtype.Data _ as t -> t
     | Rtype.Tyvar (k, r) -> Rtype.Tyvar (renumber k, r)
   in
   go t
@@ -157,6 +159,7 @@ let rec minimize_type (t : Rtype.t) : Rtype.t =
   | Rtype.Tuple ts -> Rtype.Tuple (List.map minimize_type ts)
   | Rtype.List (t, r) -> Rtype.List (minimize_type t, refinement r)
   | Rtype.Array (t, r) -> Rtype.Array (minimize_type t, refinement r)
+  | Rtype.Data (d, r) -> Rtype.Data (d, refinement r)
   | Rtype.Tyvar (k, r) -> Rtype.Tyvar (k, refinement r)
 
 (* -- Entry point ------------------------------------------------------------------ *)

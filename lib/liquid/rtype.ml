@@ -38,6 +38,7 @@ type t =
   | Tuple of t list
   | List of t * refinement (* element type, refinement on the list value *)
   | Array of t * refinement (* element type, refinement on the array value *)
+  | Data of string * refinement (* user ADT; refinement speaks about measures of ν *)
   | Tyvar of int * refinement (* rigid ML type variable; concrete part only *)
 
 (* -- Refinement helpers -------------------------------------------------- *)
@@ -70,7 +71,7 @@ let sort_of : t -> Sort.t = function
   | Base (Bint, _) -> Sort.Int
   | Base (Bbool, _) -> Sort.Bool
   | Base (Bunit, _) -> Sort.Obj
-  | Fun _ | Tuple _ | List _ | Array _ | Tyvar _ -> Sort.Obj
+  | Fun _ | Tuple _ | List _ | Array _ | Data _ | Tyvar _ -> Sort.Obj
 
 (** Compose substitutions: [compose s1 s2] applies [s1] first, then [s2]. *)
 let compose_subst (s1 : Pred.subst) (s2 : Pred.subst) : Pred.subst =
@@ -100,6 +101,7 @@ let rec subst (s : Pred.subst) (t : t) : t =
   | Tuple ts -> Tuple (List.map (subst s) ts)
   | List (t, r) -> List (subst s t, subst_refinement s r)
   | Array (t, r) -> Array (subst s t, subst_refinement s r)
+  | Data (d, r) -> Data (d, subst_refinement s r)
   | Tyvar (k, r) -> Tyvar (k, subst_refinement s r)
 
 let subst1 x v t = subst (Ident.Map.singleton x v) t
@@ -126,6 +128,7 @@ let rec shape (ty : Mltype.t) : t =
   | Mltype.Ttuple ts -> Tuple (List.map shape ts)
   | Mltype.Tlist t -> List (shape t, trivial)
   | Mltype.Tarray t -> Array (shape t, trivial)
+  | Mltype.Tcon d -> Data (d, trivial)
 
 (** Template with a fresh [κ] at every refinable position. *)
 let rec template (ty : Mltype.t) : t =
@@ -141,6 +144,7 @@ let rec template (ty : Mltype.t) : t =
   | Mltype.Ttuple ts -> Tuple (List.map template ts)
   | Mltype.Tlist t -> List (template t, fresh_kvar_ref ())
   | Mltype.Tarray t -> Array (template t, fresh_kvar_ref ())
+  | Mltype.Tcon d -> Data (d, fresh_kvar_ref ())
 
 (* -- Re-sorting tyvar refinements -------------------------------------------- *)
 
@@ -196,6 +200,7 @@ let strengthen_top (r : refinement) (t : t) : t =
         Base (b, meet r0 (resort_refinement s r))
     | Array (e, r0) -> Array (e, meet r0 r)
     | List (e, r0) -> List (e, meet r0 r)
+    | Data (d, r0) -> Data (d, meet r0 r)
     | Tyvar (k, r0) -> Tyvar (k, meet r0 r)
     | Fun _ | Tuple _ -> t
 
@@ -222,7 +227,7 @@ let instantiate (scheme_body : t) (site_ty : Mltype.t) : t =
               t
         in
         strengthen_top r base
-    | Base _, _ -> rt
+    | Base _, _ | Data _, _ -> rt
     | Fun (x, a, b), Mltype.Tarrow (ta, tb) -> Fun (x, go a ta, go b tb)
     | Tuple ts, Mltype.Ttuple tys -> Tuple (List.map2 go ts tys)
     | List (t, r), Mltype.Tlist ty -> List (go t ty, r)
@@ -258,6 +263,7 @@ let strengthen_with_proj i (s : Sort.t) (base : Term.t) (ti : t) : t =
     | Base (b, r) -> Base (b, strengthen p r)
     | Array (e, r) -> Array (e, strengthen p r)
     | List (e, r) -> List (e, strengthen p r)
+    | Data (d, r) -> Data (d, strengthen p r)
     | Tyvar (k, r) -> Tyvar (k, strengthen p r)
     | _ -> ti
 
@@ -271,6 +277,7 @@ let selfify (x : Ident.t) (t : t) : t =
       Base (b, strengthen (self_pred sort x) r)
   | Array (elem, r) -> Array (elem, strengthen (self_pred Sort.Obj x) r)
   | List (elem, r) -> List (elem, strengthen (self_pred Sort.Obj x) r)
+  | Data (d, r) -> Data (d, strengthen (self_pred Sort.Obj x) r)
   | Tyvar (k, r) -> Tyvar (k, strengthen (self_pred Sort.Obj x) r)
   | Tuple ts ->
       Tuple
@@ -288,6 +295,7 @@ let rec fold_refinements f acc = function
   | Tuple ts -> List.fold_left (fold_refinements f) acc ts
   | List (t, r) -> f (fold_refinements f acc t) r
   | Array (t, r) -> f (fold_refinements f acc t) r
+  | Data (_, r) -> f acc r
   | Tyvar (_, r) -> f acc r
 
 let kvars t =
@@ -338,6 +346,7 @@ let rehash () : t -> t =
     | Tuple ts -> Tuple (List.map go ts)
     | List (t, r) -> List (go t, refinement r)
     | Array (t, r) -> Array (go t, refinement r)
+    | Data (d, r) -> Data (d, refinement r)
     | Tyvar (i, r) -> Tyvar (i, refinement r)
   in
   go
@@ -377,6 +386,8 @@ let rec pp ppf = function
   | List (t, r) -> Fmt.pf ppf "{v:%a list | %a}" pp_atom t pp_refinement r
   | Array (t, r) when is_trivial r -> Fmt.pf ppf "%a array" pp_atom t
   | Array (t, r) -> Fmt.pf ppf "{v:%a array | %a}" pp_atom t pp_refinement r
+  | Data (d, r) when is_trivial r -> Fmt.string ppf d
+  | Data (d, r) -> Fmt.pf ppf "{v:%s | %a}" d pp_refinement r
   | Tyvar (k, r) when is_trivial r -> Fmt.string ppf (Mltype.tyvar_name k)
   | Tyvar (k, r) ->
       Fmt.pf ppf "{v:%s | %a}" (Mltype.tyvar_name k) pp_refinement r

@@ -26,6 +26,7 @@ type t =
   | Tuple of t list
   | List of t * refinement
   | Array of t * refinement
+  | Data of string * refinement (* user ADT; refinement speaks about measures of ν *)
   | Tyvar of int * refinement
 
 (** {1 Refinements} *)

@@ -154,6 +154,7 @@ and parse_atom env : Rtype.t =
       | Rtype.Base (b, r) -> Rtype.Base (b, Rtype.strengthen p r)
       | Rtype.Array (e, r) -> Rtype.Array (e, Rtype.strengthen p r)
       | Rtype.List (e, r) -> Rtype.List (e, Rtype.strengthen p r)
+      | Rtype.Data (d, r) -> Rtype.Data (d, Rtype.strengthen p r)
       | Rtype.Tyvar (k, r) -> Rtype.Tyvar (k, Rtype.strengthen p r)
       | Rtype.Fun _ | Rtype.Tuple _ ->
           fail "refinements on function or tuple types are not supported")

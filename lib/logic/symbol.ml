@@ -34,6 +34,22 @@ let declare name signature =
 
 let find_opt name = Hashtbl.find_opt table name
 
+(* Names registered as measures: unary [Obj -> Int] symbols whose
+   applications the theory layer and counterexample labels treat as
+   meaningful observations of opaque values (rather than noise to be
+   scrubbed).  The set only grows — measure-ness is a property of the
+   name, and signatures are pinned to [Obj -> Int] by [declare]. *)
+let measure_names : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let measure_signature : Sort.signature = { args = [ Sort.Obj ]; result = Sort.Int }
+
+let declare_measure name =
+  let s = declare name measure_signature in
+  if not (Hashtbl.mem measure_names name) then Hashtbl.add measure_names name ();
+  s
+
+let is_measure_name name = Hashtbl.mem measure_names name
+
 let name t = t.name
 let signature t = t.signature
 let arity t = List.length t.signature.args
@@ -48,12 +64,12 @@ let pp ppf t = Fmt.string ppf t.name
 (* Built-in symbols. *)
 
 (** Array length. *)
-let len = declare "len" { args = [ Sort.Obj ]; result = Sort.Int }
+let len = declare_measure "len"
 
 (** List length measure (the PLDI'09 follow-up extension): [Nil] has
     [llen = 0], [Cons] adds one, and match cases learn the corresponding
     facts about their scrutinee. *)
-let llen = declare "llen" { args = [ Sort.Obj ]; result = Sort.Int }
+let llen = declare_measure "llen"
 
 (** Non-linear integer multiplication, left uninterpreted. *)
 let mul = declare "mul" { args = [ Sort.Int; Sort.Int ]; result = Sort.Int }

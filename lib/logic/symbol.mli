@@ -12,6 +12,15 @@ val declare : string -> Sort.signature -> t
 
 val find_opt : string -> t option
 
+(** Declare (or look up) a measure symbol: a unary [Obj -> Int]
+    uninterpreted function whose name is remembered as a measure (see
+    {!is_measure_name}).  Used for the built-in [len]/[llen] and every
+    user-defined ADT measure. *)
+val declare_measure : string -> t
+
+(** Has [name] been declared as a measure? *)
+val is_measure_name : string -> bool
+
 val name : t -> string
 val signature : t -> Sort.signature
 val arity : t -> int

@@ -237,10 +237,6 @@ let mul a b =
   | Int m, Int n -> int (m * n)
   | _ -> make (Mul (a, b))
 
-let len a = app Symbol.len [ a ]
-
-let llen l = app Symbol.llen [ l ]
-
 let rec pp ppf t =
   match t.node with
   | Int n -> Fmt.int ppf n

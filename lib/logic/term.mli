@@ -81,11 +81,5 @@ val sub : t -> t -> t
 val neg : t -> t
 val mul : t -> t -> t
 
-(** [len a] — array length of an [Obj] term. *)
-val len : t -> t
-
-(** [llen l] — list length measure of an [Obj] term. *)
-val llen : t -> t
-
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -370,9 +370,9 @@ let clean_label (label : string) : string option =
     (* keep variables and measure applications; drop other proxies
        (mul/div/mod terms are noise in a counterexample) *)
     let keep =
-      not (String.contains label '(')
-      || (String.length label >= 4 && String.sub label 0 4 = "len(")
-      || (String.length label >= 5 && String.sub label 0 5 = "llen(")
+      match String.index_opt label '(' with
+      | None -> true
+      | Some i -> Symbol.is_measure_name (String.sub label 0 i)
     in
     if keep then Some label else None
   end

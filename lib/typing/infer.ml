@@ -15,16 +15,45 @@ exception Type_error of string * Loc.t
 type result = {
   types : (int, Mltype.t) Hashtbl.t; (* expr id -> resolved ML type *)
   item_schemes : (Ident.t * scheme) list; (* in program order *)
+  ctors : (string, Mltype.t list * string) Hashtbl.t;
+      (* constructor -> argument types, datatype name *)
 }
 
 let err loc fmt = Fmt.kstr (fun s -> raise (Type_error (s, loc))) fmt
+
+(* -- ADT environment ------------------------------------------------------ *)
+
+let mltype_of_tyexpr (ty : Ast.tyexpr) : Mltype.t =
+  match ty.ty_name with
+  | "int" -> Tint
+  | "bool" -> Tbool
+  | "unit" -> Tunit
+  | name -> Tcon name
+
+(** Constructor environment of a declaration unit. *)
+let ctor_env (decls : Ast.decls) : (string, Mltype.t list * string) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (td : Ast.tydecl) ->
+      List.iter
+        (fun (c : Ast.ctor_decl) ->
+          Hashtbl.replace tbl c.c_name
+            (List.map mltype_of_tyexpr c.c_args, td.t_name))
+        td.t_ctors)
+    decls.types;
+  tbl
+
+let lookup_ctor ctors loc c =
+  match Hashtbl.find_opt ctors c with
+  | Some entry -> entry
+  | None -> err loc "unknown constructor %s" c
 
 let record tbl (e : Ast.expr) ty = Hashtbl.replace tbl e.id ty
 
 (* -- Patterns ------------------------------------------------------------ *)
 
 (** Type a pattern against [ty], returning bindings for its variables. *)
-let rec infer_pat level loc (p : Ast.pat) (ty : t) : (Ident.t * t) list =
+let rec infer_pat ctors level loc (p : Ast.pat) (ty : t) : (Ident.t * t) list =
   match p with
   | Ast.Pwild -> []
   | Ast.Pvar x -> [ (x, ty) ]
@@ -46,7 +75,7 @@ let rec infer_pat level loc (p : Ast.pat) (ty : t) : (Ident.t * t) list =
       let tys = List.map (fun _ -> fresh_var level) ps in
       (try unify ty (Ttuple tys)
        with Unify_error _ -> err loc "tuple pattern used at type %a" Mltype.pp ty);
-      List.concat (List.map2 (infer_pat level loc) ps tys)
+      List.concat (List.map2 (infer_pat ctors level loc) ps tys)
   | Ast.Pnil ->
       let elt = fresh_var level in
       (try unify ty (Tlist elt)
@@ -56,7 +85,17 @@ let rec infer_pat level loc (p : Ast.pat) (ty : t) : (Ident.t * t) list =
       let elt = fresh_var level in
       (try unify ty (Tlist elt)
        with Unify_error _ -> err loc "list pattern used at type %a" Mltype.pp ty);
-      infer_pat level loc p1 elt @ infer_pat level loc p2 (Tlist elt)
+      infer_pat ctors level loc p1 elt @ infer_pat ctors level loc p2 (Tlist elt)
+  | Ast.Pconstr (c, ps) ->
+      let arg_tys, tycon = lookup_ctor ctors loc c in
+      (try unify ty (Tcon tycon)
+       with Unify_error _ ->
+         err loc "constructor %s of type %s used at type %a" c tycon Mltype.pp
+           ty);
+      if List.length ps <> List.length arg_tys then
+        err loc "constructor %s expects %d argument(s), pattern binds %d" c
+          (List.length arg_tys) (List.length ps);
+      List.concat (List.map2 (infer_pat ctors level loc) ps arg_tys)
 
 (* -- Expressions ----------------------------------------------------------- *)
 
@@ -64,16 +103,16 @@ let rec infer_pat level loc (p : Ast.pat) (ty : t) : (Ident.t * t) list =
 let rec is_value (e : Ast.expr) =
   match e.desc with
   | Ast.Const _ | Ast.Var _ | Ast.Fun _ | Ast.Nil -> true
-  | Ast.Tuple es -> List.for_all is_value es
+  | Ast.Tuple es | Ast.Constr (_, es) -> List.for_all is_value es
   | Ast.Cons (e1, e2) -> is_value e1 && is_value e2
   | _ -> false
 
-let rec infer tbl (env : scheme Ident.Map.t) level (e : Ast.expr) : t =
-  let ty = infer_desc tbl env level e in
+let rec infer ctors tbl (env : scheme Ident.Map.t) level (e : Ast.expr) : t =
+  let ty = infer_desc ctors tbl env level e in
   record tbl e ty;
   ty
 
-and infer_desc tbl env level (e : Ast.expr) : t =
+and infer_desc ctors tbl env level (e : Ast.expr) : t =
   match e.desc with
   | Ast.Const (Ast.Cint _) -> Tint
   | Ast.Const (Ast.Cbool _) -> Tbool
@@ -85,12 +124,12 @@ and infer_desc tbl env level (e : Ast.expr) : t =
   | Ast.Fun (x, body) ->
       let targ = fresh_var level in
       let tbody =
-        infer tbl (Ident.Map.add x (trivial_scheme targ) env) level body
+        infer ctors tbl (Ident.Map.add x (trivial_scheme targ) env) level body
       in
       Tarrow (targ, tbody)
   | Ast.App (e1, e2) ->
-      let t1 = infer tbl env level e1 in
-      let t2 = infer tbl env level e2 in
+      let t1 = infer ctors tbl env level e1 in
+      let t2 = infer ctors tbl env level e2 in
       let tres = fresh_var level in
       (try unify t1 (Tarrow (t2, tres))
        with Unify_error _ ->
@@ -98,8 +137,8 @@ and infer_desc tbl env level (e : Ast.expr) : t =
            Mltype.pp t1 Mltype.pp t2);
       tres
   | Ast.Binop (op, e1, e2) -> (
-      let t1 = infer tbl env level e1 in
-      let t2 = infer tbl env level e2 in
+      let t1 = infer ctors tbl env level e1 in
+      let t2 = infer ctors tbl env level e2 in
       match op with
       | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
           (try
@@ -124,92 +163,107 @@ and infer_desc tbl env level (e : Ast.expr) : t =
                Mltype.pp t1 Mltype.pp t2);
           Tbool)
   | Ast.Unop (Ast.Neg, e1) ->
-      (try unify (infer tbl env level e1) Tint
+      (try unify (infer ctors tbl env level e1) Tint
        with Unify_error _ -> err e.loc "negation of a non-integer");
       Tint
   | Ast.Unop (Ast.Not, e1) ->
-      (try unify (infer tbl env level e1) Tbool
+      (try unify (infer ctors tbl env level e1) Tbool
        with Unify_error _ -> err e.loc "'not' of a non-boolean");
       Tbool
   | Ast.If (c, e1, e2) ->
-      (try unify (infer tbl env level c) Tbool
+      (try unify (infer ctors tbl env level c) Tbool
        with Unify_error _ -> err c.loc "if condition must be boolean");
-      let t1 = infer tbl env level e1 in
-      let t2 = infer tbl env level e2 in
+      let t1 = infer ctors tbl env level e1 in
+      let t2 = infer ctors tbl env level e2 in
       (try unify t1 t2
        with Unify_error _ ->
          err e.loc "branches of if have different types %a and %a" Mltype.pp
            t1 Mltype.pp t2);
       t1
   | Ast.Let (Ast.Nonrec, x, e1, e2) ->
-      let t1 = infer tbl env (level + 1) e1 in
+      let t1 = infer ctors tbl env (level + 1) e1 in
       let sch =
         if is_value e1 then generalize level t1 else trivial_scheme t1
       in
-      infer tbl (Ident.Map.add x sch env) level e2
+      infer ctors tbl (Ident.Map.add x sch env) level e2
   | Ast.Let (Ast.Rec, x, e1, e2) ->
       let tx = fresh_var (level + 1) in
       let env1 = Ident.Map.add x (trivial_scheme tx) env in
-      let t1 = infer tbl env1 (level + 1) e1 in
+      let t1 = infer ctors tbl env1 (level + 1) e1 in
       (try unify tx t1
        with Unify_error _ -> err e.loc "recursive binding has inconsistent type");
       let sch =
         if is_value e1 then generalize level t1 else trivial_scheme t1
       in
-      infer tbl (Ident.Map.add x sch env) level e2
-  | Ast.Tuple es -> Ttuple (List.map (infer tbl env level) es)
+      infer ctors tbl (Ident.Map.add x sch env) level e2
+  | Ast.Tuple es -> Ttuple (List.map (infer ctors tbl env level) es)
   | Ast.Nil -> Tlist (fresh_var level)
   | Ast.Cons (e1, e2) ->
-      let t1 = infer tbl env level e1 in
-      let t2 = infer tbl env level e2 in
+      let t1 = infer ctors tbl env level e1 in
+      let t2 = infer ctors tbl env level e2 in
       (try unify t2 (Tlist t1)
        with Unify_error _ ->
          err e.loc "cons of %a onto %a" Mltype.pp t1 Mltype.pp t2);
       t2
   | Ast.Match (scrut, cases) ->
-      let tscrut = infer tbl env level scrut in
+      let tscrut = infer ctors tbl env level scrut in
       let tres = fresh_var level in
       List.iter
         (fun (p, body) ->
-          let binds = infer_pat level e.loc p tscrut in
+          let binds = infer_pat ctors level e.loc p tscrut in
           let env' =
             List.fold_left
               (fun env (x, t) -> Ident.Map.add x (trivial_scheme t) env)
               env binds
           in
-          let t = infer tbl env' level body in
+          let t = infer ctors tbl env' level body in
           try unify tres t
           with Unify_error _ ->
             err body.loc "match arms have different types")
         cases;
       tres
   | Ast.Assert e1 ->
-      (try unify (infer tbl env level e1) Tbool
+      (try unify (infer ctors tbl env level e1) Tbool
        with Unify_error _ -> err e1.loc "assert requires a boolean");
       Tunit
+  | Ast.Constr (c, args) ->
+      let arg_tys, tycon = lookup_ctor ctors e.loc c in
+      if List.length args <> List.length arg_tys then
+        err e.loc "constructor %s expects %d argument(s), got %d" c
+          (List.length arg_tys) (List.length args);
+      List.iter2
+        (fun arg want ->
+          let got = infer ctors tbl env level arg in
+          try unify got want
+          with Unify_error _ ->
+            err arg.loc "constructor %s argument has type %a, expected %a" c
+              Mltype.pp got Mltype.pp want)
+        args arg_tys;
+      Tcon tycon
 
 (* -- Programs ----------------------------------------------------------------- *)
 
-let infer_item tbl env (item : Ast.item) : scheme =
+let infer_item ctors tbl env (item : Ast.item) : scheme =
   match item.rec_flag with
   | Ast.Nonrec ->
-      let t = infer tbl env 1 item.body in
+      let t = infer ctors tbl env 1 item.body in
       if is_value item.body then generalize 0 t else trivial_scheme t
   | Ast.Rec ->
       let tx = fresh_var 1 in
       let env1 = Ident.Map.add item.name (trivial_scheme tx) env in
-      let t = infer tbl env1 1 item.body in
+      let t = infer ctors tbl env1 1 item.body in
       (try unify tx t
        with Unify_error _ ->
          err item.item_loc "recursive binding has inconsistent type");
       if is_value item.body then generalize 0 t else trivial_scheme t
 
-let infer_program (prog : Ast.program) : result =
+let infer_program ?(decls = Ast.no_decls) (prog : Ast.program) : result =
+  let ctors = ctor_env decls in
   let tbl = Hashtbl.create 256 in
   let _, rev_schemes =
     List.fold_left
       (fun (env, acc) item ->
-        let sch = infer_item tbl env item in
+        let sch = infer_item ctors tbl env item in
         (Ident.Map.add item.name sch env, (item.name, sch) :: acc))
       (Builtins.env, [])
       prog
@@ -220,6 +274,7 @@ let infer_program (prog : Ast.program) : result =
     types = tbl;
     item_schemes =
       List.rev_map (fun (x, s) -> (x, { s with body = resolve s.body })) rev_schemes;
+    ctors;
   }
 
 (** Type of an expression node, after inference. *)

@@ -11,13 +11,20 @@ exception Type_error of string * Loc.t
 type result = {
   types : (int, Mltype.t) Hashtbl.t; (* expr id -> resolved ML type *)
   item_schemes : (Ident.t * Mltype.scheme) list; (* in program order *)
+  ctors : (string, Mltype.t list * string) Hashtbl.t;
+      (* constructor -> argument types, datatype name *)
 }
 
 (** Syntactic values (generalizable under the value restriction). *)
 val is_value : Ast.expr -> bool
 
-(** @raise Type_error on ill-typed programs. *)
-val infer_program : Ast.program -> result
+(** Constructor environment of a declaration unit (constructor name to
+    argument types and datatype name). *)
+val ctor_env : Ast.decls -> (string, Mltype.t list * string) Hashtbl.t
+
+(** @raise Type_error on ill-typed programs.  [decls] supplies the
+    constructor environment for programs with [type] declarations. *)
+val infer_program : ?decls:Ast.decls -> Ast.program -> result
 
 (** Resolved type of a node.
     @raise Invalid_argument if the node was not typed. *)

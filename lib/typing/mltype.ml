@@ -14,6 +14,7 @@ type t =
   | Ttuple of t list
   | Tlist of t
   | Tarray of t
+  | Tcon of string (* nominal user-declared ADT *)
 
 and tv =
   | Unbound of int * int (* id, level *)
@@ -38,7 +39,7 @@ let rec repr t =
 (** Resolve all links, leaving [Unbound]/[Rigid] vars in place. *)
 let rec resolve t =
   match repr t with
-  | (Tint | Tbool | Tunit) as t -> t
+  | (Tint | Tbool | Tunit | Tcon _) as t -> t
   | Tvar _ as t -> t
   | Tarrow (a, b) -> Tarrow (resolve a, resolve b)
   | Ttuple ts -> Ttuple (List.map resolve ts)
@@ -52,7 +53,7 @@ exception Occurs_check of int * t
     generalization at an outer level cannot capture them. *)
 let rec occurs_adjust id level t =
   match repr t with
-  | Tint | Tbool | Tunit -> ()
+  | Tint | Tbool | Tunit | Tcon _ -> ()
   | Tvar ({ contents = Unbound (id', level') } as r) ->
       if id = id' then raise (Occurs_check (id, t));
       if level' > level then r := Unbound (id', level)
@@ -70,6 +71,7 @@ let rec unify a b =
   else
     match (a, b) with
     | Tint, Tint | Tbool, Tbool | Tunit, Tunit -> ()
+    | Tcon a, Tcon b when String.equal a b -> ()
     | Tvar ({ contents = Unbound (id, level) } as r), t
     | t, Tvar ({ contents = Unbound (id, level) } as r) ->
         occurs_adjust id level t;
@@ -97,7 +99,7 @@ let generalize level t =
   let count = ref 0 in
   let rec go t =
     match repr t with
-    | (Tint | Tbool | Tunit) as t -> t
+    | (Tint | Tbool | Tunit | Tcon _) as t -> t
     | Tvar ({ contents = Unbound (id, level') } as r) as t ->
         if level' > level then begin
           let k =
@@ -134,7 +136,7 @@ let instantiate level { nvars; body } =
   let fresh = Array.init nvars (fun _ -> fresh_var level) in
   let rec go t =
     match repr t with
-    | (Tint | Tbool | Tunit) as t -> t
+    | (Tint | Tbool | Tunit | Tcon _) as t -> t
     | Tvar { contents = Rigid k } -> fresh.(k)
     | Tvar _ as t -> t
     | Tarrow (a, b) -> Tarrow (go a, go b)
@@ -156,6 +158,7 @@ let rec pp ppf t =
   | Tint -> Fmt.string ppf "int"
   | Tbool -> Fmt.string ppf "bool"
   | Tunit -> Fmt.string ppf "unit"
+  | Tcon c -> Fmt.string ppf c
   | Tvar { contents = Unbound (id, _) } -> Fmt.pf ppf "'_%d" id
   | Tvar { contents = Rigid k } -> Fmt.string ppf (tyvar_name k)
   | Tvar { contents = Link _ } -> assert false

@@ -10,6 +10,7 @@ type t =
   | Ttuple of t list
   | Tlist of t
   | Tarray of t
+  | Tcon of string (* nominal user-declared ADT *)
 
 and tv =
   | Unbound of int * int (* id, level *)

@@ -13,6 +13,7 @@ let () =
       ("suite", Test_suite.tests);
       ("soundness", Test_soundness.tests);
       ("measures", Test_measures.tests);
+      ("adt", Test_adt.tests);
       ("extended", Test_extended.tests);
       ("spec", Test_spec.tests);
       ("driver", Test_driver.tests);

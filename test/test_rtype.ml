@@ -5,6 +5,7 @@ open Liquid_infer
 open Liquid_logic
 open Liquid_common
 open Liquid_typing
+let tlen t = Term.app Symbol.len [ t ]
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -206,7 +207,7 @@ let test_embedding () =
     (List.exists
        (fun p ->
          Pred.equal p
-           (Pred.ge (Term.len (Term.var "a" Sort.Obj)) (Term.int 0)))
+           (Pred.ge (tlen (Term.var "a" Sort.Obj)) (Term.int 0)))
        facts)
 
 (* -- Display cleanup -------------------------------------------------------------------- *)

@@ -3,6 +3,7 @@
 
 open Liquid_logic
 open Liquid_smt
+let tlen t = Term.app Symbol.len [ t ]
 
 let x = Term.var "x" Sort.Int
 let y = Term.var "y" Sort.Int
@@ -194,13 +195,13 @@ let test_valid_bool_structure () =
 
 let test_valid_euf () =
   check_bool "a = b => len a = len b" true
-    (valid [ Pred.eq a_obj b_obj ] (Pred.eq (Term.len a_obj) (Term.len b_obj)));
+    (valid [ Pred.eq a_obj b_obj ] (Pred.eq (tlen a_obj) (tlen b_obj)));
   check_bool "len a = 5 /\\ x < len a => x < 5" true
     (valid
-       [ Pred.eq (Term.len a_obj) (i 5); Pred.lt x (Term.len a_obj) ]
+       [ Pred.eq (tlen a_obj) (i 5); Pred.lt x (tlen a_obj) ]
        (Pred.lt x (i 5)));
   check_bool "len a = len b not implied by nothing" true
-    (invalid [] (Pred.eq (Term.len a_obj) (Term.len b_obj)))
+    (invalid [] (Pred.eq (tlen a_obj) (tlen b_obj)))
 
 let test_valid_combination () =
   (* LIA -> CC propagation: x <= y /\ y <= x => mul(x,z) = mul(y,z) *)
@@ -211,14 +212,14 @@ let test_valid_combination () =
   (* CC -> LIA: a = b /\ len a >= 4 => len b + 1 >= 5 *)
   check_bool "a = b /\\ len a >= 4 => len b + 1 >= 5" true
     (valid
-       [ Pred.eq a_obj b_obj; Pred.ge (Term.len a_obj) (i 4) ]
-       (Pred.ge (Term.add (Term.len b_obj) (i 1)) (i 5)))
+       [ Pred.eq a_obj b_obj; Pred.ge (tlen a_obj) (i 4) ]
+       (Pred.ge (Term.add (tlen b_obj) (i 1)) (i 5)))
 
 let test_array_bounds_shape () =
   (* The exact shape of a liquid array-bounds query:
      0 <= i /\ i < len a /\ i+1 <= len a - 1  |=  0 <= i+1 /\ i+1 < len a *)
   let iv = Term.var "i" Sort.Int in
-  let la = Term.len a_obj in
+  let la = tlen a_obj in
   check_bool "bounds obligation" true
     (valid
        [ Pred.le (i 0) iv; Pred.lt iv la; Pred.le (Term.add iv (i 1)) (Term.sub la (i 1)) ]
@@ -345,7 +346,7 @@ let test_ctx_agrees_with_check_valid () =
       ([ Pred.le x y; Pred.le y z ], Pred.lt x z);
       ([ Pred.lt x y ], Pred.le x (Term.sub y (i 1)));
       ([ Pred.le (i 0) x; Pred.lt x y ], Pred.le (i 0) (Term.add x (i 1)));
-      ([ Pred.eq (Term.len a_obj) (i 5) ], Pred.lt (i 4) (Term.len a_obj));
+      ([ Pred.eq (tlen a_obj) (i 5) ], Pred.lt (i 4) (tlen a_obj));
       ([], Pred.eq x x);
       ([], Pred.lt x x);
     ]
