@@ -1376,11 +1376,238 @@ let adt_bench () =
       ] )
 
 (* ------------------------------------------------------------------ *)
+(* GRADUAL: residual casts (byte-identity + bounded overhead)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Programs with obligations the fixpoint cannot discharge: a genuine
+   off-by-one (no qualifier helps) and an assertion verified with the
+   default qualifiers ablated (the missing instance is exactly what the
+   repair hint would reinstate).  Under [--gradual] each must demote to
+   a residual cast — no hard errors — and the residual report must be
+   byte-identical however the fixpoint was scheduled or cached.
+   (name, source, use_defaults, expected residual count) *)
+let gradual_corpus =
+  [
+    ( "assertgap",
+      "let rec sum k =\n\
+      \  if k < 0 then 0\n\
+      \  else begin\n\
+      \    let s = sum (k - 1) in\n\
+      \    s + k\n\
+      \  end\n\n\
+       let total = sum 5\n\
+       let ok = assert (0 <= total)\n",
+      false,
+      1 );
+    ( "overrun",
+      "let a = Array.make 10 0\n\n\
+       let rec fill i =\n\
+      \  if i <= 10 then begin\n\
+      \    a.(i) <- i;\n\
+      \    fill (i + 1)\n\
+      \  end\n\
+      \  else 0\n\n\
+       let start = fill 0\n",
+      true,
+      1 );
+    ( "sharded",
+      "let a = Array.make 10 0\n\
+       let b = Array.make 20 0\n\n\
+       let rec fill i =\n\
+      \  if i <= 10 then begin\n\
+      \    a.(i) <- i;\n\
+      \    fill (i + 1)\n\
+      \  end\n\
+      \  else 0\n\n\
+       let rec fillb j =\n\
+      \  if j <= 20 then begin\n\
+      \    b.(j) <- j;\n\
+      \    fillb (j + 1)\n\
+      \  end\n\
+      \  else 0\n\n\
+       let rec h n = if n < 1 then 1 else h (n - 1)\n\n\
+       let s1 = fill 0\n\
+       let s2 = fillb 0\n\
+       let s3 = h 5\n",
+      true,
+      2 );
+  ]
+
+let gradual_bench () =
+  section "GRADUAL: residual casts (byte-identity across engines)";
+  Fmt.pr
+    "Each corpus program carries obligations the fixpoint cannot@.\
+     discharge.  Under --gradual they demote to residual casts instead@.\
+     of errors; the gate requires no hard errors, a non-zero residual@.\
+     count, the byte-identical residual report across direct, jobs=4,@.\
+     cold cache, warm cache and daemon, and bounded overhead over the@.\
+     plain (non-gradual) run.@.@.";
+  let module J = Liquid_analysis.Json in
+  let module Server = Liquid_server.Server in
+  let module Client = Liquid_server.Client in
+  let module Protocol = Liquid_server.Protocol in
+  let module Gradual = Liquid_gradual.Gradual in
+  let base =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dsolve-bench-gradual-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf base;
+  Unix.mkdir base 0o755;
+  (* The gradual fingerprint: verdict shape plus the rendered residual
+     report — ids, spans, goals, witnesses, hints, order, everything. *)
+  let report_fp (r : Liquid_driver.Pipeline.report) =
+    ( r.Liquid_driver.Pipeline.safe,
+      List.length r.Liquid_driver.Pipeline.errors,
+      Fmt.str "%a"
+        (Fmt.list ~sep:Fmt.cut Gradual.pp_residual)
+        r.Liquid_driver.Pipeline.residuals )
+  in
+  let verify ?(gradual = true) ?(jobs = 1) ?cache_dir ~use_defaults ~name src =
+    Liquid_driver.Pipeline.verify_string
+      ~options:
+        {
+          Liquid_driver.Pipeline.default with
+          Liquid_driver.Pipeline.jobs;
+          cache_dir;
+          gradual;
+          quals =
+            (if use_defaults then Liquid_infer.Qualifier.defaults else []);
+        }
+      ~name src
+  in
+  let sock = Filename.concat base "d.sock" in
+  let daemon_pid =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (try
+           Server.serve
+             {
+               (Server.default_config ~sock) with
+               Server.request_timeout = None;
+               quiet = true;
+             }
+         with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  let daemon_replies =
+    let c = Client.connect_retry sock in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        Client.verify c
+          (List.map
+             (fun (name, src, use_defaults, _) ->
+               Protocol.request ~use_defaults ~gradual:true
+                 ~name:(name ^ ".ml") src)
+             gradual_corpus))
+  in
+  (try Client.with_connection sock Client.shutdown with _ -> ());
+  ignore (Unix.waitpid [] daemon_pid);
+  Fmt.pr "%-12s %6s %9s %6s %9s %8s %9s@." "Program" "Hard" "Residual" "Arms"
+    "Overhead" "Agree" "Plain(s)";
+  Fmt.pr "%s@." (String.make 66 '-');
+  let results =
+    List.map2
+      (fun (name, src, use_defaults, expect_residuals) reply ->
+        let file = name ^ ".ml" in
+        let cache = Filename.concat base ("cache-" ^ name) in
+        Unix.mkdir cache 0o755;
+        let t0 = Unix.gettimeofday () in
+        let plain = verify ~gradual:false ~use_defaults ~name:file src in
+        let t_plain = Unix.gettimeofday () -. t0 in
+        let t0 = Unix.gettimeofday () in
+        let direct = verify ~use_defaults ~name:file src in
+        let t_gradual = Unix.gettimeofday () -. t0 in
+        let sharded = verify ~jobs:4 ~use_defaults ~name:file src in
+        let cold = verify ~cache_dir:cache ~use_defaults ~name:file src in
+        let warm = verify ~cache_dir:cache ~use_defaults ~name:file src in
+        let daemon =
+          match reply with
+          | Protocol.Verified rep -> Some rep
+          | Protocol.Rejected _ -> None
+        in
+        let fp = report_fp direct in
+        let arms =
+          [ report_fp sharded; report_fp cold; report_fp warm ]
+          @ match daemon with Some r -> [ report_fp r ] | None -> []
+        in
+        let agree = daemon <> None && List.for_all (fun a -> a = fp) arms in
+        let n_residuals =
+          List.length direct.Liquid_driver.Pipeline.residuals
+        in
+        let n_hard = List.length direct.Liquid_driver.Pipeline.errors in
+        (* The plain run must actually fail on these obligations —
+           otherwise the residuals gate below would pass vacuously on a
+           corpus the fixpoint learned to prove. *)
+        let plain_fails = plain.Liquid_driver.Pipeline.errors <> [] in
+        (* Classification adds one explain pass over the failures; on
+           these micro-programs that must stay within a small multiple
+           of the plain solve (slack floor absorbs timer noise). *)
+        let overhead_ok = t_gradual <= (5.0 *. t_plain) +. 0.5 in
+        let ok =
+          direct.Liquid_driver.Pipeline.safe
+          && n_hard = 0 && plain_fails
+          && n_residuals = expect_residuals
+          && agree && overhead_ok
+        in
+        Fmt.pr "%-12s %6d %9d %6d %9s %8s %9.2f@." name n_hard n_residuals
+          (1 + List.length arms)
+          (if overhead_ok then "ok" else "SLOW")
+          (if agree then "yes" else "DIVERGED")
+          t_plain;
+        ( ok,
+          J.Obj
+            [
+              ("name", J.String name);
+              ("hard_errors", J.Int n_hard);
+              ("residuals", J.Int n_residuals);
+              ("expected_residuals", J.Int expect_residuals);
+              ( "residuals_degraded",
+                J.Int
+                  direct.Liquid_driver.Pipeline.stats
+                    .Liquid_driver.Pipeline.n_residuals_degraded );
+              ("agree", J.Bool agree);
+              ("time_plain_s", J.Float t_plain);
+              ("time_gradual_s", J.Float t_gradual);
+              ("overhead_ok", J.Bool overhead_ok);
+            ] ))
+      gradual_corpus daemon_replies
+  in
+  rm_rf base;
+  let gate_ok = List.for_all fst results in
+  Fmt.pr
+    "@.no hard errors, residuals as expected, byte-identical \
+     direct/jobs=4/cold/warm/daemon, bounded overhead: %b@."
+    gate_ok;
+  if not gate_ok then
+    Fmt.pr
+      "  GATE: a gradual arm diverged, errored hard, missed residuals, or \
+       overran the overhead bound@.";
+  ( gate_ok,
+    J.Obj
+      [
+        ("gate_ok", J.Bool gate_ok);
+        ("programs", J.List (List.map snd results));
+      ] )
+
+(* ------------------------------------------------------------------ *)
 (* FIXPOINT: per-benchmark solver counters → BENCH_fixpoint.json        *)
 (* ------------------------------------------------------------------ *)
 
 let bench_fixpoint ~prune_json ~partition_json ~server_json ~load_json
-    ~incr_json ~explain_json ~adt_json () =
+    ~incr_json ~explain_json ~adt_json ~gradual_json () =
   section "FIXPOINT: per-benchmark solver counters (BENCH_fixpoint.json)";
   Fmt.pr
     "Per-benchmark wall-clock and solver counters for the default@.\
@@ -1423,7 +1650,7 @@ let bench_fixpoint ~prune_json ~partition_json ~server_json ~load_json
   let json =
     J.Obj
       [
-        ("schema", J.String "bench_fixpoint/v8");
+        ("schema", J.String "bench_fixpoint/v9");
         ("engine", J.String "incremental");
         ("benchmarks", J.List (List.map snd rows_and_entries));
         ("prune", prune_json);
@@ -1433,6 +1660,7 @@ let bench_fixpoint ~prune_json ~partition_json ~server_json ~load_json
         ("incr", incr_json);
         ("explain", explain_json);
         ("adt", adt_json);
+        ("gradual", gradual_json);
       ]
   in
   let oc = open_out "BENCH_fixpoint.json" in
@@ -1602,6 +1830,21 @@ let () =
       line;
     exit (if adt_ok then 0 else 1)
   end;
+  (* [gradual] mode runs only the residual-cast corpus — the CI step
+     that gates zero hard errors, the expected residual counts, the
+     byte-identical residual report across direct, jobs=4, cold/warm
+     cache and daemon solves, and bounded overhead over plain runs. *)
+  if Array.exists (fun a -> a = "gradual") Sys.argv then begin
+    let gradual_ok, _ = gradual_bench () in
+    Fmt.pr "@.%s@.Gradual: %s@.%s@." line
+      (if gradual_ok then
+         "residual casts stable and byte-identical across engines"
+       else
+         "GRADUAL GATE BROKE (hard error, missing residual, divergence, or \
+          overhead)")
+      line;
+    exit (if gradual_ok then 0 else 1)
+  end;
   if Array.exists (fun a -> a = "incr") Sys.argv then begin
     let incr_ok, _ = incr_bench () in
     Fmt.pr "@.%s@.Incr: %s@.%s@." line
@@ -1624,9 +1867,10 @@ let () =
   let incr_ok, incr_json = incr_bench () in
   let explain_ok, explain_json = explain_bench () in
   let adt_ok, adt_json = adt_bench () in
+  let gradual_ok, gradual_json = gradual_bench () in
   let fixpoint_rows =
     bench_fixpoint ~prune_json ~partition_json ~server_json ~load_json
-      ~incr_json ~explain_json ~adt_json ()
+      ~incr_json ~explain_json ~adt_json ~gradual_json ()
   in
   e1 ();
   if not quick then begin
@@ -1639,7 +1883,7 @@ let () =
         r.Liquid_suite.Runner.report.Liquid_driver.Pipeline.safe)
       (rows @ fixpoint_rows)
     && engines_agree && prune_ok && jobs_agree && server_agree && load_ok
-    && incr_ok && explain_ok && adt_ok
+    && incr_ok && explain_ok && adt_ok && gradual_ok
   in
   Fmt.pr "@.%s@.Overall: %s@.%s@." line
     (if all_safe then "all benchmarks verified SAFE"

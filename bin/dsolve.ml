@@ -18,8 +18,12 @@
     pre-fixpoint qualifier-space prune (results are identical; only the
     solve work changes).  [--explain] explains each
     failed obligation (minimal core, blame path, witness, repair hint;
-    [--explain-limit N] caps how many).  Exits 0 iff the program is
-    proved safe (and lint-clean under [--warn-error]).
+    [--explain-limit N] caps how many).  [--gradual] turns unrefuted
+    failing obligations into residual runtime casts (verdict SAFE /
+    SAFE_MODULO n / UNSAFE); with [--run] the program executes with the
+    casts armed, reporting which residuals held or failed dynamically.
+    Exits 0 iff the program is proved safe (and lint-clean under
+    [--warn-error]; under [--gradual --run], also no cast failed).
 
     Server mode: [dsolve --serve SOCK] starts a resident verification
     daemon on a Unix-domain socket; [dsolve --connect SOCK FILE...]
@@ -55,6 +59,8 @@ let print_stats ~jobs (s : Pipeline.stats) =
      reinstated=%d prune-time=%.3fs reinstate-time=%.3fs@."
     s.n_alpha_collapsed s.n_quals_pruned s.n_pruned_dedup s.n_pruned_refuted
     s.n_pruned_subsumed s.n_reinstated s.prune_time s.reinstate_time;
+  Fmt.pr "gradual: residuals=%d residuals-degraded=%d uncacheable-degraded=%d@."
+    s.n_residuals s.n_residuals_degraded s.n_uncacheable_degraded;
   List.iter
     (fun (p : Pipeline.part_stat) ->
       if jobs > 1 then
@@ -79,7 +85,7 @@ let code_of_report ~warn_error (report : Pipeline.report) =
 
 let run_oneshot file ~quals ~specfile ~show_stats ~execute ~lint ~warn_error
     ~format ~prune ~jobs ~partition_timeout ~cache_dir ~explain ~explain_limit
-    =
+    ~gradual =
   let specs =
     match specfile with
     | None -> []
@@ -97,6 +103,7 @@ let run_oneshot file ~quals ~specfile ~show_stats ~execute ~lint ~warn_error
       cache_dir;
       explain;
       explain_limit;
+      gradual;
     }
   in
   let report = Pipeline.verify_file ~options file in
@@ -105,26 +112,54 @@ let run_oneshot file ~quals ~specfile ~show_stats ~execute ~lint ~warn_error
   | `Text ->
       Fmt.pr "%a@." Pipeline.pp_report report;
       if show_stats then print_stats ~jobs report.Pipeline.stats);
+  let run_code = ref 0 in
   if execute && format = `Text then begin
     Fmt.pr "@.--- running %s ---@." file;
     let prog = Liquid_lang.Parser.program_of_file file in
-    match Liquid_eval.Eval.run_program ~quiet:false prog with
-    | env -> (
-        match Liquid_common.Ident.Map.find_opt "main" env with
-        | Some v -> Fmt.pr "main = %a@." Liquid_eval.Eval.pp_value v
-        | None -> ())
-    | exception Liquid_eval.Eval.Bounds_violation msg ->
-        Fmt.pr "runtime bounds violation: %s@." msg
-    | exception Liquid_eval.Eval.Assertion_failure loc ->
-        Fmt.pr "runtime assertion failure at %a@." Liquid_common.Loc.pp loc
+    if gradual && report.Pipeline.residuals <> [] then begin
+      (* Residual casts armed: the interpreter credits every runtime
+         safety check landing in a residual's span to that cast, and a
+         failed armed assertion is absorbed into the cast report instead
+         of halting execution. *)
+      let rr =
+        Liquid_gradual.Gradual.run_casts ~quiet:false
+          report.Pipeline.residuals prog
+      in
+      Fmt.pr "%a@." Liquid_gradual.Gradual.pp_run_report rr;
+      let failed =
+        List.exists
+          (fun (_, st) ->
+            match st with Liquid_gradual.Gradual.Failed _ -> true | _ -> false)
+          rr.Liquid_gradual.Gradual.rr_casts
+      in
+      if failed || not rr.Liquid_gradual.Gradual.rr_finished then run_code := 1
+    end
+    else
+      match Liquid_eval.Eval.run_program ~quiet:false prog with
+      | env -> (
+          match Liquid_common.Ident.Map.find_opt "main" env with
+          | Some v -> Fmt.pr "main = %a@." Liquid_eval.Eval.pp_value v
+          | None -> ())
+      | exception Liquid_eval.Eval.Bounds_violation msg ->
+          Fmt.pr "%a@." Liquid_analysis.Diagnostic.pp
+            (Liquid_analysis.Diagnostic.make
+               Liquid_analysis.Diagnostic.Runtime_failure Liquid_common.Loc.dummy
+               (Fmt.str "runtime bounds violation: %s" msg))
+      | exception Liquid_eval.Eval.Assertion_failure loc ->
+          (* Span-carrying diagnostic, same machinery as the static ones:
+             scripts can match on the R001 code and the structured loc. *)
+          Fmt.pr "%a@." Liquid_analysis.Diagnostic.pp
+            (Liquid_analysis.Diagnostic.make
+               Liquid_analysis.Diagnostic.Runtime_failure loc
+               "assertion failed at runtime")
   end;
-  code_of_report ~warn_error report
+  max (code_of_report ~warn_error report) !run_code
 
 (* ------------------------------------------------------------------ *)
 (* Client mode                                                         *)
 
 let run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
-    ~show_stats ~lint ~warn_error ~format ~explain ~explain_limit
+    ~show_stats ~lint ~warn_error ~format ~explain ~explain_limit ~gradual
     ~server_stats ~server_shutdown =
   Liquid_server.Client.with_connection sock (fun c ->
       let code = ref 0 in
@@ -135,7 +170,7 @@ let run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
               Liquid_server.Protocol.request ~qual_text
                 ~use_defaults:(not no_defaults) ~list_quals
                 ~spec_text ~lint:(lint || warn_error) ~explain
-                ~explain_limit ~name:file
+                ~explain_limit ~gradual ~name:file
                 (read_file file))
             files
         in
@@ -188,7 +223,7 @@ let run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
 
 let run files qualfile inline_quals no_defaults list_quals specfile show_stats
     execute lint warn_error format no_prune jobs partition_timeout cache_dir
-    explain explain_limit serve connect request_timeout max_inflight
+    explain explain_limit gradual serve connect request_timeout max_inflight
     client_queue idle_timeout server_stats server_shutdown =
   let qual_text =
     String.concat "\n"
@@ -238,7 +273,7 @@ let run files qualfile inline_quals no_defaults list_quals specfile show_stats
           in
           run_client sock files ~qual_text ~no_defaults ~list_quals ~spec_text
             ~show_stats ~lint ~warn_error ~format ~explain ~explain_limit
-            ~server_stats ~server_shutdown
+            ~gradual ~server_stats ~server_shutdown
         end
     | None, None -> (
         match files with
@@ -257,7 +292,7 @@ let run files qualfile inline_quals no_defaults list_quals specfile show_stats
             run_oneshot file ~quals ~specfile ~show_stats ~execute
               ~lint:(lint || warn_error) ~warn_error ~format
               ~prune:(not no_prune) ~jobs ~partition_timeout ~cache_dir
-              ~explain ~explain_limit
+              ~explain ~explain_limit ~gradual
         | [] ->
             Fmt.epr "error: a FILE argument is required@.";
             2
@@ -414,6 +449,18 @@ let explain_limit_arg =
         ~doc:"Explain at most $(docv) failures per run (default 5); \
               further failures are counted but not explained")
 
+let gradual_arg =
+  Arg.(
+    value & flag
+    & info [ "gradual" ]
+        ~doc:"Gradual liquid mode: after the fixpoint, each failing \
+              obligation the environment does not refute (and each \
+              obligation a degraded partition never checked) becomes a \
+              residual runtime cast instead of an error, with a verified \
+              repair hint.  The verdict becomes SAFE / SAFE_MODULO n / \
+              UNSAFE; combine with $(b,--run) to execute the program with \
+              the casts armed and report which residuals held")
+
 let serve_arg =
   Arg.(
     value
@@ -488,7 +535,8 @@ let cmd =
       $ list_quals_arg $ spec_arg $ stats_arg $ run_arg $ lint_arg
       $ warn_error_arg $ format_arg $ no_prune_arg $ jobs_arg
       $ partition_timeout_arg $ cache_arg $ explain_arg $ explain_limit_arg
-      $ serve_arg $ connect_arg $ request_timeout_arg $ max_inflight_arg
+      $ gradual_arg $ serve_arg $ connect_arg $ request_timeout_arg
+      $ max_inflight_arg
       $ client_queue_arg $ idle_timeout_arg $ server_stats_arg
       $ server_shutdown_arg)
 

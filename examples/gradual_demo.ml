@@ -1,0 +1,111 @@
+(** Gradual mode demo: residual obligations as runtime-checked casts.
+
+    Run with: [dune exec examples/gradual_demo.exe]
+
+    One program, verified {e without} the default qualifier set, carries
+    two obligations the fixpoint cannot discharge:
+
+    - [ok] asserts that [sum 5] is non-negative.  True at runtime, but
+      with no qualifiers the solver cannot express it statically.
+    - [fill] walks one past the end of a 10-element array — a genuine
+      off-by-one that no qualifier can repair.
+
+    Under [--gradual] neither becomes a hard error.  Each is demoted to
+    a {e residual cast}: a content-addressed runtime check at the
+    obligation's source span.  The verdict is SAFE_MODULO 2 — safe,
+    modulo two casts the program must pass dynamically.
+
+    [dsolve --gradual --run] then arms the casts in the evaluator:
+
+    - the assertion cast {e holds} (the program's luck is observed, not
+      assumed), and
+    - the bounds cast {e fails} with the concrete witness [i = 10] and
+      the out-of-range store it attempted.
+
+    Each residual also carries the [--explain] diagnosis, so the held
+    cast comes with a solver-verified repair hint (adding [0 <= v] to
+    the blamed κ discharges it statically) and the failed cast with the
+    blame path for the off-by-one.  The demo closes the loop: it fixes
+    the bug the witness points at ([i <= 10] → [i < 10]), adds the
+    hinted qualifier, re-verifies — SAFE, no residuals left.
+
+    The same flow is available from the CLI as [dsolve --gradual] and
+    [dsolve --gradual --run]. *)
+
+module Pipeline = Liquid_driver.Pipeline
+module Gradual = Liquid_gradual.Gradual
+module Explain = Liquid_explain.Explain
+
+let source =
+  {|
+let rec sum k =
+  if k < 0 then 0
+  else begin
+    let s = sum (k - 1) in
+    s + k
+  end
+
+let total = sum 5
+let ok = assert (0 <= total)
+
+let a = Array.make 10 0
+
+let rec fill i =
+  if i <= 10 then begin
+    a.(i) <- i;
+    fill (i + 1)
+  end
+  else 0
+
+let start = fill 0
+|}
+
+(* The same program with the off-by-one fixed, as the failed cast's
+   witness ([i = 10]) directs. *)
+let fixed_source = Str.global_replace (Str.regexp_string "i <= 10") "i < 10" source
+
+let gradual_options quals = { Pipeline.default with Pipeline.quals; gradual = true }
+
+let () =
+  Fmt.pr "=== dsolve --gradual (verified without the default qualifiers) ===@.";
+  let report =
+    Pipeline.verify_string ~options:(gradual_options []) ~name:"gradual.ml"
+      source
+  in
+  Fmt.pr "%a@." Pipeline.pp_report report;
+
+  Fmt.pr "@.=== dsolve --gradual --run: arming the residual casts ===@.";
+  let prog = Liquid_lang.Parser.program_of_string ~file:"gradual.ml" source in
+  let run = Gradual.run_casts ~quiet:true report.Pipeline.residuals prog in
+  Fmt.pr "%a@." Gradual.pp_run_report run;
+
+  (* Close the loop: the failed cast's witness pins the off-by-one, the
+     held cast's repair hint names the missing qualifier. *)
+  let repair =
+    List.find_map
+      (fun (r : Gradual.residual) ->
+        r.Gradual.rc_explanation.Explain.ex_repair)
+      report.Pipeline.residuals
+  in
+  match repair with
+  | None -> Fmt.pr "@.(no repair hint found)@."
+  | Some rp ->
+      Fmt.pr
+        "@.=== fixing the witnessed bug and applying the repair hint ===@.";
+      Fmt.pr "bug fix : i <= 10  ->  i < 10 (the witness says i = 10 escapes)@.";
+      Fmt.pr "re-verifying with `qualif Fix(v) : %a`@." Liquid_logic.Pred.pp
+        rp.Explain.rp_pred;
+      let quals =
+        Liquid_infer.Qualifier.parse_string
+          (Fmt.str "qualif Fix(v) : %a" Liquid_logic.Pred.pp
+             rp.Explain.rp_pred)
+      in
+      let fixed =
+        Pipeline.verify_string ~options:(gradual_options quals)
+          ~name:"gradual.ml" fixed_source
+      in
+      Fmt.pr "verdict: %a (%d residual casts left)@." Gradual.pp_verdict
+        (Gradual.verdict_of
+           ~errors:(List.length fixed.Pipeline.errors)
+           ~residuals:(List.length fixed.Pipeline.residuals))
+        (List.length fixed.Pipeline.residuals)

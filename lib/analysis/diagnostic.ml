@@ -14,6 +14,7 @@ type code =
   | Shadowed_binding (* L004 *)
   | Dead_qualifier (* L005: every instance pruned from every κ *)
   | Partition_timeout (* P001: solve partition degraded to ⊤ (timeout/crash) *)
+  | Runtime_failure (* R001: a runtime safety check failed under --run *)
 
 type severity = Info | Warning
 
@@ -26,6 +27,7 @@ let code_name = function
   | Shadowed_binding -> "L004"
   | Dead_qualifier -> "L005"
   | Partition_timeout -> "P001"
+  | Runtime_failure -> "R001"
 
 let severity_name = function Info -> "info" | Warning -> "warning"
 
@@ -38,6 +40,7 @@ let default_severity = function
       Warning
   | Dead_qualifier -> Info
   | Partition_timeout -> Warning
+  | Runtime_failure -> Warning
 
 let make ?severity code loc message =
   let severity =
@@ -54,6 +57,7 @@ let code_rank = function
   | Shadowed_binding -> 4
   | Dead_qualifier -> 5
   | Partition_timeout -> 6
+  | Runtime_failure -> 7
 
 (** Report order: source position, then code, then message. *)
 let compare a b =

@@ -60,6 +60,11 @@ type stats = {
   n_partitions : int; (* solve units in the partition plan *)
   critical_path : int; (* longest dependency chain, in partitions *)
   partitions : part_stat list; (* by partition id *)
+  n_residuals : int; (* residual casts ([--gradual] runs only) *)
+  n_residuals_degraded : int; (* ... owed to degraded partitions *)
+  n_uncacheable_degraded : int;
+      (* 1 iff this run's report was not stored in the persistent cache
+         because a partition was degraded (cache enabled, miss path) *)
   n_pcache_lookups : int; (* persistent-cache probes for this run (0/1) *)
   n_pcache_hits : int; (* runs served from the persistent cache (0/1) *)
   n_punit_hits : int; (* solve units served from the partition cache *)
@@ -68,13 +73,17 @@ type stats = {
   phases : (string * float) list;
       (* per-phase wall-clock seconds, in pipeline order:
          parse, anf, hm, congen, partition, solve, concrete_check,
-         merge, explain (when enabled), lint.  [elapsed] is exactly
-         their sum. *)
+         merge, gradual (when enabled), explain (when enabled), lint.
+         [elapsed] is exactly their sum. *)
 }
 
 type report = {
   safe : bool;
   errors : error list;
+  residuals : Liquid_gradual.Gradual.residual list;
+      (* unprovable-but-unrefuted obligations deferred to runtime casts;
+         empty unless [gradual].  [safe] means "no hard errors": a
+         gradual report with residuals is SAFE_MODULO their count. *)
   item_types : (Ident.t * Rtype.t) list; (* with the solution applied *)
   lints : Liquid_analysis.Diagnostic.t list; (* empty unless [lint] *)
   explanations : Liquid_explain.Explain.explanation list;
@@ -100,6 +109,9 @@ type options = {
   cache_dir : string option; (* persistent result cache root; None = off *)
   explain : bool; (* explain failed obligations post-fixpoint *)
   explain_limit : int; (* failures explained per run (rest counted) *)
+  gradual : bool;
+      (* gradual mode: unrefuted failing obligations become residual
+         casts ({!Liquid_gradual.Gradual}) instead of errors *)
 }
 
 let default =
@@ -115,6 +127,7 @@ let default =
     cache_dir = None;
     explain = false;
     explain_limit = 5;
+    gradual = false;
   }
 
 (** Count source lines containing code: at least one non-whitespace
@@ -227,6 +240,7 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
     cache_dir;
     explain;
     explain_limit;
+    gradual;
   } =
     options
   in
@@ -318,8 +332,12 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
                  invalidate every unit of the program even when the
                  signatures it feeds are unchanged.  Declaration-free
                  programs keep their pre-measure fingerprints. *)
-              Fmt.str "%s|incremental=%b|prune=%b%s" Fixpoint.partial_version
-                incremental prune
+              (* [gradual] joins too: the solved partial is the same
+                 either way, but gradual runs and plain runs must never
+                 share cache entries — a stale partial served across the
+                 mode boundary would make the two reports drift. *)
+              Fmt.str "%s|incremental=%b|prune=%b|gradual=%b%s"
+                Fixpoint.partial_version incremental prune gradual
                 (match Measures.fingerprint decls with
                 | "" -> ""
                 | d -> "|decls=" ^ d)
@@ -427,9 +445,44 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
         end)
       res.Fixpoint.failures
   in
+  let degraded_kvars =
+    List.concat_map
+      (fun (i : Liquid_engine.Psolve.part_info) ->
+        plan.Constr.parts.(i.Liquid_engine.Psolve.pi_id).Constr.part_kvars)
+      degraded_parts
+  in
+  (* Snapshot the query counter before the gradual/explain passes so
+     their queries are counted once (in [n_explain_smt_queries]), not in
+     [n_smt_queries] — gradual classification runs each obligation
+     through the explain engine, so its SMT work is explain work. *)
+  let explain_smt0 = Liquid_smt.Solver.stats.queries in
+  (* Gradual classification: unrefuted failing obligations (plus the
+     never-checked obligations of degraded partitions) become residual
+     casts; only refuted obligations stay hard errors, each keeping the
+     explanation classification already computed for it. *)
+  let residuals, hard =
+    if not gradual then
+      ( ([] : Liquid_gradual.Gradual.residual list),
+        List.map (fun (f, n) -> (f, n, None)) failures )
+    else
+      timed phases "gradual" (fun () ->
+          let degraded_subs =
+            List.concat_map
+              (fun (i : Liquid_engine.Psolve.part_info) ->
+                plan.Constr.parts.(i.Liquid_engine.Psolve.pi_id)
+                  .Constr.part_subs)
+              degraded_parts
+          in
+          let rs, hs =
+            Liquid_gradual.Gradual.classify ~wfs:out.Congen.wfs
+              ~subs:out.Congen.subs ~solution:res.Fixpoint.solution ~quals
+              ~consts ~degraded_kvars ~degraded_subs failures
+          in
+          (rs, List.map (fun (f, n, ex) -> (f, n, Some ex)) hs))
+  in
   let errors =
     List.map
-      (fun ((f : Fixpoint.failure), count) ->
+      (fun ((f : Fixpoint.failure), count, _) ->
         {
           err_loc = f.Fixpoint.f_origin.Constr.loc;
           err_reason = f.Fixpoint.f_origin.Constr.reason;
@@ -437,24 +490,26 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
           err_count = count;
           err_cex = f.Fixpoint.f_cex;
         })
-      failures
+      hard
   in
-  (* Snapshot the query counter before the explain pass so its queries
-     are counted once (in [n_explain_smt_queries]), not in
-     [n_smt_queries]. *)
-  let explain_smt0 = Liquid_smt.Solver.stats.queries in
   let explanation =
-    if (not explain) || failures = [] then
+    if gradual then
+      (* Classification already explained every obligation; the report's
+         explanation section covers the hard (refuted) ones, residuals
+         carry theirs inline. *)
+      if (not explain) || hard = [] then
+        { Liquid_explain.Explain.exs = []; skipped = 0 }
+      else
+        let exs = List.filter_map (fun (_, _, ex) -> ex) hard in
+        let shown = Listx.take explain_limit exs in
+        {
+          Liquid_explain.Explain.exs = shown;
+          skipped = List.length exs - List.length shown;
+        }
+    else if (not explain) || failures = [] then
       { Liquid_explain.Explain.exs = []; skipped = 0 }
     else
       timed phases "explain" (fun () ->
-          let degraded_kvars =
-            List.concat_map
-              (fun (i : Liquid_engine.Psolve.part_info) ->
-                plan.Constr.parts.(i.Liquid_engine.Psolve.pi_id)
-                  .Constr.part_kvars)
-              degraded_parts
-          in
           Liquid_explain.Explain.explain ~limit:explain_limit ~degraded_kvars
             ~wfs:out.Congen.wfs ~subs:out.Congen.subs
             ~solution:res.Fixpoint.solution ~quals ~consts failures)
@@ -502,6 +557,7 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
   {
     safe = errors = [];
     errors;
+    residuals;
     item_types;
     lints;
     explanations = explanation.Liquid_explain.Explain.exs;
@@ -542,6 +598,14 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
         n_partitions = n_parts;
         critical_path = plan.Constr.critical_path;
         partitions = part_stats;
+        n_residuals = List.length residuals;
+        n_residuals_degraded =
+          List.length
+            (List.filter
+               (fun (r : Liquid_gradual.Gradual.residual) ->
+                 r.Liquid_gradual.Gradual.rc_degraded)
+               residuals);
+        n_uncacheable_degraded = 0;
         n_pcache_lookups = 0;
         n_pcache_hits = 0;
         n_punit_hits = punit_hits;
@@ -563,8 +627,8 @@ let verify_program ?(options = default) ?(parse_time = 0.0)
    type. *)
 let options_fingerprint (o : options) : string =
   Fmt.str
-    "pipeline-report/v5|mine=%b|lint=%b|incremental=%b|prune=%b|explain=%b|explain_limit=%d|quals=[%a]|specs=[%a]"
-    o.mine o.lint o.incremental o.prune o.explain o.explain_limit
+    "pipeline-report/v6|mine=%b|lint=%b|incremental=%b|prune=%b|explain=%b|explain_limit=%d|gradual=%b|quals=[%a]|specs=[%a]"
+    o.mine o.lint o.incremental o.prune o.explain o.explain_limit o.gradual
     Fmt.(list ~sep:(any " ;; ") Qualifier.pp)
     o.quals Spec.pp o.specs
 
@@ -606,6 +670,7 @@ let rehash_report (r : report) : report =
     r with
     item_types = List.map (fun (x, t) -> (x, go t)) r.item_types;
     explanations = ex.Liquid_explain.Explain.exs;
+    residuals = Liquid_gradual.Gradual.rehash r.residuals;
   }
 
 (** Probe the persistent cache for a finished report ([None] when
@@ -645,10 +710,19 @@ let verify_string ?(options = default) ?(name = "<string>") (src : string) :
       | None ->
           let r = verify_cold () in
           let store = Liquid_cache.Store.open_store ~dir () in
-          if cacheable r then
-            Liquid_cache.Store.store store
-              ~key:(cache_key ~options ~name src store)
-              ~fingerprint:(options_fingerprint options) r;
+          let r =
+            if cacheable r then begin
+              Liquid_cache.Store.store store
+                ~key:(cache_key ~options ~name src store)
+                ~fingerprint:(options_fingerprint options) r;
+              r
+            end
+            else
+              (* Degraded reports are (rightly) never cached; count the
+                 refusal so a warm-run user can see why this program
+                 keeps re-solving ([--stats uncacheable-degraded=]). *)
+              { r with stats = { r.stats with n_uncacheable_degraded = 1 } }
+          in
           { r with stats = { r.stats with n_pcache_lookups = 1 } })
 
 let verify_file ?(options = default) (path : string) : report =
@@ -684,11 +758,29 @@ let pp_report ppf (r : report) =
     (fun (x, t) ->
       Fmt.pf ppf "val %a : %a@," Ident.pp x Rtype.pp (Report.display t))
     user_items;
-  if r.safe then Fmt.pf ppf "@,program is SAFE@,"
+  let pp_residuals ppf () =
+    List.iter
+      (fun rc -> Fmt.pf ppf "  %a@," Liquid_gradual.Gradual.pp_residual rc)
+      r.residuals
+  in
+  if r.safe && r.residuals = [] then Fmt.pf ppf "@,program is SAFE@,"
+  else if r.safe then begin
+    let n = List.length r.residuals in
+    Fmt.pf ppf "@,program is SAFE_MODULO %d residual cast%s:@," n
+      (if n = 1 then "" else "s");
+    pp_residuals ppf ()
+  end
   else begin
     Fmt.pf ppf "@,program is UNSAFE (%d obligations failed):@,"
       (List.length r.errors);
-    List.iter (fun e -> Fmt.pf ppf "  %a@," pp_error e) r.errors
+    List.iter (fun e -> Fmt.pf ppf "  %a@," pp_error e) r.errors;
+    if r.residuals <> [] then begin
+      let n = List.length r.residuals in
+      Fmt.pf ppf "@,%d further obligation%s deferred to residual cast%s:@," n
+        (if n = 1 then "" else "s")
+        (if n = 1 then "" else "s");
+      pp_residuals ppf ()
+    end
   end;
   if r.explanations <> [] then begin
     Fmt.pf ppf "@,explanations:@,";
@@ -800,6 +892,24 @@ let json_of_explanation (ex : Liquid_explain.Explain.explanation) :
         | Some why -> Json.String why );
     ]
 
+let json_of_residual (rc : Liquid_gradual.Gradual.residual) :
+    Liquid_analysis.Json.t =
+  let open Liquid_analysis in
+  let open Liquid_gradual.Gradual in
+  Json.Obj
+    [
+      ("id", Json.String rc.rc_id);
+      ("loc", Diagnostic.json_of_loc rc.rc_origin.Liquid_infer.Constr.loc);
+      ("reason", Json.String rc.rc_origin.Liquid_infer.Constr.reason);
+      ("goal", Json.String (Fmt.str "%a" Liquid_logic.Pred.pp rc.rc_goal));
+      ("count", Json.Int rc.rc_count);
+      ("degraded", Json.Bool rc.rc_degraded);
+      ( "witness",
+        Json.Obj
+          (List.map (fun (x, v) -> (x, json_of_cex_value v)) rc.rc_witness) );
+      ("explanation", json_of_explanation rc.rc_explanation);
+    ]
+
 let json_of_stats (s : stats) : Liquid_analysis.Json.t =
   let open Liquid_analysis in
   Json.Obj
@@ -842,6 +952,9 @@ let json_of_stats (s : stats) : Liquid_analysis.Json.t =
                    ("degraded", Json.Bool p.pt_degraded);
                  ])
              s.partitions) );
+      ("residuals", Json.Int s.n_residuals);
+      ("residuals_degraded", Json.Int s.n_residuals_degraded);
+      ("uncacheable_degraded", Json.Int s.n_uncacheable_degraded);
       ("pcache_lookups", Json.Int s.n_pcache_lookups);
       ("pcache_hits", Json.Int s.n_pcache_hits);
       ("punit_hits", Json.Int s.n_punit_hits);
@@ -861,7 +974,14 @@ let json_of_report ?(file = "") (r : report) : Liquid_analysis.Json.t =
     [
       ("file", Json.String file);
       ("safe", Json.Bool r.safe);
+      ( "verdict",
+        Json.String
+          (Fmt.str "%a" Liquid_gradual.Gradual.pp_verdict
+             (Liquid_gradual.Gradual.verdict_of
+                ~errors:(List.length r.errors)
+                ~residuals:(List.length r.residuals))) );
       ("errors", Json.List (List.map json_of_error r.errors));
+      ("residuals", Json.List (List.map json_of_residual r.residuals));
       ("explanations", Json.List (List.map json_of_explanation r.explanations));
       ("explain_skipped", Json.Int r.explain_skipped);
       ( "types",

@@ -56,6 +56,13 @@ type stats = {
   n_partitions : int; (* solve units in the partition plan *)
   critical_path : int; (* longest dependency chain, in partitions *)
   partitions : part_stat list; (* by partition id *)
+  n_residuals : int; (* residual casts ([gradual] runs only) *)
+  n_residuals_degraded : int; (* ... owed to degraded partitions *)
+  n_uncacheable_degraded : int;
+      (* 1 iff this run's report was not stored in the persistent cache
+         because a partition was degraded (cache enabled, miss path
+         only) — the honest answer to "why does this warm run keep
+         re-solving?" *)
   n_pcache_lookups : int;
       (* persistent-cache probes for this run: 1 when [cache_dir] is
          set, else 0 *)
@@ -71,8 +78,9 @@ type stats = {
   phases : (string * float) list;
       (* per-phase wall-clock seconds, in pipeline order:
          parse, anf, hm, congen, partition, solve, concrete_check,
-         merge, explain (when enabled), lint.  [elapsed] is exactly
-         their sum.  Sequential runs put fixpoint time under
+         merge, gradual (when enabled), explain (when enabled), lint.
+         [elapsed] is exactly their sum.  Sequential runs put fixpoint
+         time under
          "solve"/"concrete_check" with a zero "merge"; sharded runs put
          scheduler wall time under "solve" (workers interleave their own
          concrete checks, reported as zero) and parent-side folding
@@ -82,6 +90,11 @@ type stats = {
 type report = {
   safe : bool;
   errors : error list;
+  residuals : Liquid_gradual.Gradual.residual list;
+      (* unprovable-but-unrefuted obligations deferred to runtime casts;
+         empty unless [options.gradual].  [safe] means "no hard errors":
+         a gradual report with residuals is SAFE_MODULO their count
+         ({!Liquid_gradual.Gradual.verdict_of}). *)
   item_types : (Ident.t * Rtype.t) list; (* with the solution applied *)
   lints : Liquid_analysis.Diagnostic.t list; (* empty unless [lint] *)
   explanations : Liquid_explain.Explain.explanation list;
@@ -153,11 +166,22 @@ type options = {
       (* explain failed obligations after the fixpoint: minimal cores,
          blame paths, witnesses, repair hints ({!Liquid_explain.Explain}) *)
   explain_limit : int; (* failures explained per run; the rest counted *)
+  gradual : bool;
+      (* gradual liquid mode ({!Liquid_gradual.Gradual}): after the
+         fixpoint, each failing obligation the environment does not
+         refute — and each obligation a degraded partition never
+         checked — becomes a residual runtime cast ([report.residuals])
+         instead of an error; only refuted obligations stay in
+         [report.errors].  Orthogonal to every solve switch: residual
+         reports are byte-identical across job counts, cache
+         temperatures, and the daemon, and gradual/non-gradual runs
+         never share cache entries (both fingerprints carry the flag). *)
 }
 
 (** Defaults: {!Liquid_infer.Qualifier.defaults}, mining on, no specs,
     lint off, incremental engine, pruning on, [jobs = 1], 60 s partition
-    timeout, no persistent cache, explanation off with a limit of 5. *)
+    timeout, no persistent cache, explanation off with a limit of 5,
+    gradual mode off. *)
 val default : options
 
 (** Canonical rendering of the report-determining option fields
@@ -217,3 +241,8 @@ val json_of_report : ?file:string -> report -> Liquid_analysis.Json.t
     report's ["explanations"] array). *)
 val json_of_explanation :
   Liquid_explain.Explain.explanation -> Liquid_analysis.Json.t
+
+(** Machine-readable form of one residual cast (an element of the
+    report's ["residuals"] array). *)
+val json_of_residual :
+  Liquid_gradual.Gradual.residual -> Liquid_analysis.Json.t

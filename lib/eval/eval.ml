@@ -133,7 +133,22 @@ let rec match_pat (p : pat) (v : value) : (Ident.t * value) list option =
         go ps vs []
   | _ -> raise (Runtime_error "pattern/value shape mismatch")
 
-type config = { mutable fuel : int; quiet : bool }
+type check_kind = Check_assert | Check_bounds
+
+type check_hook = Loc.t -> check_kind -> ok:bool -> detail:string -> bool
+
+type config = {
+  mutable fuel : int;
+  quiet : bool;
+  check : check_hook option;
+}
+
+(* Primitives whose application performs a runtime safety check — the
+   sites gradual casts can arm.  [Array.length] and the arithmetic
+   primitives never trap. *)
+let bounds_checked = function
+  | "Array.get" | "Array.set" | "Array.make" -> true
+  | _ -> false
 
 let rec eval (cfg : config) (env : env) (e : expr) : value =
   if cfg.fuel <= 0 then raise Out_of_fuel;
@@ -155,11 +170,26 @@ let rec eval (cfg : config) (env : env) (e : expr) : value =
       let a = eval cfg env e2 in
       match f with
       | Vclosure (cenv, x, body) -> eval cfg (Ident.Map.add x a !cenv) body
-      | Vprim (name, args) ->
+      | Vprim (name, args) -> (
           let args = args @ [ a ] in
-          if List.length args = prim_arity name then
-            apply_prim ~quiet:cfg.quiet name args
-          else Vprim (name, args)
+          if List.length args <> prim_arity name then Vprim (name, args)
+          else
+            match apply_prim ~quiet:cfg.quiet name args with
+            | v ->
+                (match cfg.check with
+                | Some h when bounds_checked name ->
+                    ignore (h e.loc Check_bounds ~ok:true ~detail:"")
+                | _ -> ());
+                v
+            | exception Bounds_violation msg ->
+                (* There is no value to continue with, so the hook only
+                   observes the failure (with the application's span); the
+                   violation still halts evaluation. *)
+                (match cfg.check with
+                | Some h ->
+                    ignore (h e.loc Check_bounds ~ok:false ~detail:msg)
+                | None -> ());
+                raise (Bounds_violation msg))
       | _ -> raise (Runtime_error "application of a non-function"))
   | Binop (op, e1, e2) -> (
       let v1 = eval cfg env e1 in
@@ -229,8 +259,20 @@ let rec eval (cfg : config) (env : env) (e : expr) : value =
       try_cases cases
   | Assert e1 -> (
       match eval cfg env e1 with
-      | Vbool true -> Vunit
-      | Vbool false -> raise (Assertion_failure e.loc)
+      | Vbool true ->
+          (match cfg.check with
+          | Some h -> ignore (h e.loc Check_assert ~ok:true ~detail:"")
+          | None -> ());
+          Vunit
+      | Vbool false ->
+          let recover =
+            match cfg.check with
+            | Some h ->
+                h e.loc Check_assert ~ok:false
+                  ~detail:"assertion evaluated to false"
+            | None -> false
+          in
+          if recover then Vunit else raise (Assertion_failure e.loc)
       | _ -> raise (Runtime_error "assert of a non-boolean"))
 
 and value_eq a b =
@@ -251,8 +293,9 @@ and value_eq a b =
 (** Run a whole program: evaluate items in order, returning the
     environment of top-level values.  [fuel] bounds the number of
     evaluation steps (default: one million). *)
-let run_program ?(fuel = 1_000_000) ?(quiet = true) (prog : program) : env =
-  let cfg = { fuel; quiet } in
+let run_program ?(fuel = 1_000_000) ?(quiet = true) ?check (prog : program) :
+    env =
+  let cfg = { fuel; quiet; check } in
   List.fold_left
     (fun env (item : item) ->
       let v =

@@ -26,7 +26,26 @@ exception Out_of_fuel
 
 val pp_value : Format.formatter -> value -> unit
 
+(** The two runtime safety checks the interpreter performs: [assert]
+    expressions and the bounds checks of [Array.get]/[Array.set]/
+    [Array.make] applications. *)
+type check_kind = Check_assert | Check_bounds
+
+(** Observer of every runtime safety check, armed or not: called with
+    the source span of the checking expression ([assert] node, or the
+    primitive application), the kind, whether the check passed, and a
+    human-readable detail on failure ([""] on success).  The return
+    value is read only for a {e failed assertion}: [true] recovers
+    (the assert evaluates to [()] and execution continues — the gradual
+    cast absorbed the failure), [false] raises {!Assertion_failure} as
+    usual.  A bounds violation has no value to continue with, so it
+    always raises {!Bounds_violation} after the hook observes it. *)
+type check_hook = Loc.t -> check_kind -> ok:bool -> detail:string -> bool
+
 (** Run a whole program, returning the environment of top-level values.
     [fuel] bounds evaluation steps (default one million); [quiet]
-    suppresses [print_int]/[print_newline] output (default [true]). *)
-val run_program : ?fuel:int -> ?quiet:bool -> Ast.program -> env
+    suppresses [print_int]/[print_newline] output (default [true]);
+    [check] observes (and may absorb) every runtime safety check — the
+    hook gradual casts hang off. *)
+val run_program :
+  ?fuel:int -> ?quiet:bool -> ?check:check_hook -> Ast.program -> env

@@ -91,7 +91,13 @@ type result = { exs : explanation list; skipped : int }
    candidate (local + survival) tests; both keep pathological qualifier
    sets from turning explanation into a second fixpoint run. *)
 let max_candidates_per_kvar = 64
-let max_repair_tests = 256
+
+(* 256 exhausts before reaching the right instance on programs with a
+   second concern in scope (more constants and scope variables inflate
+   the candidate pool); the probes are incremental-context checks, so
+   the larger budget costs tens of milliseconds, not a second fixpoint
+   run. *)
+let max_repair_tests = 512
 
 (* Blame walks are capped in depth and breadth: past a few levels the
    κ-closure of real programs is the whole call graph, which explains

@@ -1,7 +1,9 @@
 (* v3: server_stats grew the multi-tenant counters (coalesced solves,
    shed requests, connection gauges) when the daemon became a
-   multiplexed reactor. *)
-let version = 3
+   multiplexed reactor.
+   v4: verify_request grew vq_gradual (gradual liquid mode), and the
+   report layout grew residual casts. *)
+let version = 4
 let build_stamp = Liquid_cache.Store.default_stamp
 
 type verify_request = {
@@ -16,11 +18,12 @@ type verify_request = {
   vq_incremental : bool;
   vq_explain : bool;
   vq_explain_limit : int;
+  vq_gradual : bool;
 }
 
 let request ?(qual_text = "") ?(use_defaults = true) ?(list_quals = false)
     ?(spec_text = "") ?(mine = true) ?(lint = false) ?(incremental = true)
-    ?(explain = false) ?(explain_limit = 5) ~name source =
+    ?(explain = false) ?(explain_limit = 5) ?(gradual = false) ~name source =
   {
     vq_name = name;
     vq_source = source;
@@ -33,6 +36,7 @@ let request ?(qual_text = "") ?(use_defaults = true) ?(list_quals = false)
     vq_incremental = incremental;
     vq_explain = explain;
     vq_explain_limit = explain_limit;
+    vq_gradual = gradual;
   }
 
 type verify_error = { ve_code : string; ve_message : string }

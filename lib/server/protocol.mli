@@ -36,11 +36,12 @@ type verify_request = {
   vq_incremental : bool;
   vq_explain : bool; (* explain failed obligations (post-fixpoint) *)
   vq_explain_limit : int; (* failures explained per program *)
+  vq_gradual : bool; (* gradual mode: residual casts, not errors *)
 }
 
 (** Build a request; defaults mirror {!Liquid_driver.Pipeline.default}
     (defaults on, no list qualifiers, mining on, lint off, incremental
-    engine, explanation off with a limit of 5). *)
+    engine, explanation off with a limit of 5, gradual off). *)
 val request :
   ?qual_text:string ->
   ?use_defaults:bool ->
@@ -51,6 +52,7 @@ val request :
   ?incremental:bool ->
   ?explain:bool ->
   ?explain_limit:int ->
+  ?gradual:bool ->
   name:string ->
   string ->
   verify_request

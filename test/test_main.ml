@@ -24,4 +24,5 @@ let () =
       ("server", Test_server.tests);
       ("explain", Test_explain.tests);
       ("prune", Test_prune.tests);
+      ("gradual", Test_gradual.tests);
     ]
